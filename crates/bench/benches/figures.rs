@@ -1,0 +1,36 @@
+//! Regenerates every *figure* of the paper (Figures 2–14) and prints the
+//! series, one experiment per bench invocation.
+//!
+//! Runs at `Scale::Bench` by default so `cargo bench` finishes in minutes;
+//! set `REPRO_SCALE=laptop` (or `paper`) for the full-fidelity runs, or use
+//! the `repro` binary directly.
+
+use kad_experiments::figures::{run_experiment, ExperimentId};
+use kad_experiments::scale::Scale;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env(Scale::Bench);
+    let seed = 1;
+    let figures = [
+        ExperimentId::Fig2,
+        ExperimentId::Fig3,
+        ExperimentId::Fig4,
+        ExperimentId::Fig5,
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+        ExperimentId::Fig11,
+        ExperimentId::Fig12,
+        ExperimentId::Fig13,
+        ExperimentId::Fig14,
+    ];
+    println!("# figure regeneration at {scale} scale (REPRO_SCALE overrides)\n");
+    for id in figures {
+        let started = Instant::now();
+        let result = run_experiment(id, scale, seed);
+        println!("{}", result.render());
+        println!("[{id} regenerated in {:.1?}]\n", started.elapsed());
+    }
+}

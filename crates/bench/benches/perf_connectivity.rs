@@ -1,0 +1,42 @@
+//! Connectivity-analysis costs: the paper's c-sampling vs the full sweep,
+//! cutoff pruning, and rayon parallelism (the "cluster substitute").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kad_bench::support::overlay_graph;
+use kad_resilience::sampled::sampled_connectivity;
+use kad_resilience::AnalysisConfig;
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity");
+    group.sample_size(10);
+    let g = overlay_graph(120, 10, 11);
+
+    let configs: [(&str, AnalysisConfig); 4] = [
+        ("paper_c0.02", AnalysisConfig::default()),
+        ("exact", AnalysisConfig::exact()),
+        (
+            "exact_cutoff",
+            AnalysisConfig {
+                use_cutoff: true,
+                ..AnalysisConfig::exact()
+            },
+        ),
+        (
+            "exact_serial",
+            AnalysisConfig {
+                parallel: false,
+                ..AnalysisConfig::exact()
+            },
+        ),
+    ];
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::new(name, "n120-k10"), &g, |bencher, g| {
+            bencher.iter(|| black_box(sampled_connectivity(g, &config).min));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

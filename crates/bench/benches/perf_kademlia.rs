@@ -1,0 +1,44 @@
+//! Protocol-layer costs: joins, lookups, snapshots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dessim::time::SimDuration;
+use kad_bench::support::stabilized_network;
+use kademlia::id::NodeId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kademlia");
+    group.sample_size(10);
+
+    group.bench_function("lookup_100node_net", |bencher| {
+        let mut net = stabilized_network(100, 20, 3);
+        let origin = net.alive_addrs()[0];
+        let mut rng = SmallRng::seed_from_u64(1);
+        bencher.iter(|| {
+            let target = NodeId::random(&mut rng, net.config().bits);
+            net.start_lookup(origin, target);
+            net.run_until(net.now() + SimDuration::from_secs(30));
+            black_box(net.counters().get("lookup_finished"))
+        });
+    });
+
+    group.bench_function("snapshot_200node_net", |bencher| {
+        let net = stabilized_network(200, 20, 4);
+        bencher.iter(|| black_box(net.snapshot().edge_count()));
+    });
+
+    group.bench_function("build_60node_network", |bencher| {
+        let mut seed = 0u64;
+        bencher.iter(|| {
+            seed += 1;
+            black_box(stabilized_network(60, 8, seed).alive_count())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

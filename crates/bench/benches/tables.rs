@@ -1,0 +1,29 @@
+//! Regenerates every *table* of the paper (Tables 1–2) plus the derived
+//! table experiments (Figure 10's k-sweep means, the §5.7 bit-length
+//! comparison and the §5.2 sampling validation).
+//!
+//! Runs at `Scale::Bench` by default; set `REPRO_SCALE=laptop`/`paper` for
+//! full-fidelity runs.
+
+use kad_experiments::figures::{run_experiment, ExperimentId};
+use kad_experiments::scale::Scale;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env(Scale::Bench);
+    let seed = 1;
+    let tables = [
+        ExperimentId::Tab1,
+        ExperimentId::Tab2,
+        ExperimentId::Fig10,
+        ExperimentId::BitLength,
+        ExperimentId::Sampling,
+    ];
+    println!("# table regeneration at {scale} scale (REPRO_SCALE overrides)\n");
+    for id in tables {
+        let started = Instant::now();
+        let result = run_experiment(id, scale, seed);
+        println!("{}", result.render());
+        println!("[{id} regenerated in {:.1?}]\n", started.elapsed());
+    }
+}

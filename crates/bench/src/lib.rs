@@ -1,0 +1,3 @@
+//! Benchmark harness crate. All substance lives in the `benches/` targets;
+//! this library only hosts shared helpers re-exported for them.
+pub mod support;

@@ -1,0 +1,245 @@
+//! Attack simulation: empirical validation of Equation 2.
+//!
+//! The paper's system model assumes an attacker who compromises up to `a`
+//! nodes; a compromised node can drop all traffic, so from a connectivity
+//! standpoint it is *removed*. This module removes node sets under several
+//! strategies and checks whether the survivors can still all communicate —
+//! the operational meaning of r-resilience.
+
+use crate::graph::exact_connectivity;
+use crate::AnalysisConfig;
+use flowgraph::mincut::min_vertex_cut;
+use flowgraph::scc::is_strongly_connected;
+use flowgraph::DiGraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// How the attacker picks victims.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackStrategy {
+    /// Uniformly random victims — models failures/maintenance, which the
+    /// paper notes are indistinguishable from attacks.
+    Random,
+    /// Remove the best-connected nodes first (highest in+out degree) — a
+    /// knowledgeable attacker going after hubs.
+    HighestDegree,
+    /// Remove a minimum vertex cut between some non-adjacent pair — the
+    /// optimal attacker the `κ > a` guarantee defends against.
+    MinimumCut,
+}
+
+/// Result of one attack experiment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Victims, in removal order.
+    pub removed: Vec<u32>,
+    /// Whether all surviving nodes can still reach each other.
+    pub survivors_connected: bool,
+    /// Number of surviving nodes.
+    pub survivors: usize,
+}
+
+/// Removes `a` nodes according to `strategy` and reports whether the
+/// remaining network is still strongly connected.
+///
+/// For [`AttackStrategy::MinimumCut`], the attacker removes a minimum
+/// vertex cut of the most vulnerable sampled pair if the cut fits inside
+/// the budget `a` (padding with random victims); otherwise it falls back to
+/// random victims.
+///
+/// # Panics
+///
+/// Panics if `a >= n` (the attacker may not remove the whole network).
+pub fn simulate_attack<R: Rng + ?Sized>(
+    g: &DiGraph,
+    a: usize,
+    strategy: AttackStrategy,
+    rng: &mut R,
+) -> AttackOutcome {
+    let n = g.node_count();
+    assert!(a < n, "attacker budget must leave at least one node");
+    let mut victims: Vec<u32> = match strategy {
+        AttackStrategy::Random => {
+            let mut all: Vec<u32> = (0..n as u32).collect();
+            all.shuffle(rng);
+            all.truncate(a);
+            all
+        }
+        AttackStrategy::HighestDegree => {
+            let mut all: Vec<u32> = (0..n as u32).collect();
+            all.sort_by_key(|&v| {
+                std::cmp::Reverse(g.out_degree(v) + g.in_degree(v))
+            });
+            all.truncate(a);
+            all
+        }
+        AttackStrategy::MinimumCut => best_cut_within_budget(g, a, rng).unwrap_or_else(|| {
+            let mut all: Vec<u32> = (0..n as u32).collect();
+            all.shuffle(rng);
+            all.truncate(a);
+            all
+        }),
+    };
+    victims.truncate(a);
+    let removed_set: HashSet<u32> = victims.iter().copied().collect();
+    let (survivor_graph, _) = g.remove_vertices(&removed_set);
+    AttackOutcome {
+        survivors_connected: is_strongly_connected(&survivor_graph),
+        survivors: survivor_graph.node_count(),
+        removed: victims,
+    }
+}
+
+/// Finds a minimum vertex cut of size `<= budget` by probing a handful of
+/// random non-adjacent pairs; returns the smallest cut found, padded with
+/// nothing (callers may add filler victims).
+fn best_cut_within_budget<R: Rng + ?Sized>(
+    g: &DiGraph,
+    budget: usize,
+    rng: &mut R,
+) -> Option<Vec<u32>> {
+    let n = g.node_count() as u32;
+    if n < 3 {
+        return None;
+    }
+    let mut best: Option<Vec<u32>> = None;
+    for _ in 0..32 {
+        let v = rng.random_range(0..n);
+        let w = rng.random_range(0..n);
+        let Some(cut) = min_vertex_cut(g, v, w) else {
+            continue;
+        };
+        if cut.vertices.is_empty() {
+            continue; // already disconnected; nothing to remove
+        }
+        if cut.vertices.len() <= budget
+            && best
+                .as_ref()
+                .map(|b| cut.vertices.len() < b.len())
+                .unwrap_or(true)
+        {
+            best = Some(cut.vertices);
+        }
+    }
+    best
+}
+
+/// Property check behind Equation 2: removing **any** set of fewer than
+/// `κ(D)` vertices leaves the graph strongly connected. Probes `trials`
+/// random sets; returns `true` if none disconnects the survivors.
+pub fn equation2_holds<R: Rng + ?Sized>(
+    g: &DiGraph,
+    config: &AnalysisConfig,
+    trials: usize,
+    rng: &mut R,
+) -> bool {
+    let kappa = exact_connectivity(g, config);
+    if kappa <= 1 {
+        return true; // nothing to remove within budget
+    }
+    let budget = (kappa - 1) as usize;
+    for _ in 0..trials {
+        let outcome = simulate_attack(g, budget, AttackStrategy::Random, rng);
+        if !outcome.survivors_connected {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgraph::generators::{bidirected_cycle, complete, gnp, paper_figure1};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn removing_below_connectivity_never_disconnects() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(equation2_holds(
+            &complete(8),
+            &AnalysisConfig::default(),
+            20,
+            &mut rng
+        ));
+        assert!(equation2_holds(
+            &bidirected_cycle(9),
+            &AnalysisConfig::default(),
+            20,
+            &mut rng
+        ));
+    }
+
+    #[test]
+    fn min_cut_attack_disconnects_figure1() {
+        // Figure 1's graph has a single articulation vertex (e); a min-cut
+        // attacker with budget 1 kills it.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = paper_figure1();
+        let outcome = simulate_attack(&g, 1, AttackStrategy::MinimumCut, &mut rng);
+        assert_eq!(outcome.removed, vec![4]);
+        assert!(!outcome.survivors_connected);
+        assert_eq!(outcome.survivors, 8);
+    }
+
+    #[test]
+    fn random_attack_on_ring_with_budget_two_disconnects_sometimes() {
+        // κ(bidirected ring) = 2, so budget 2 *can* disconnect — removing
+        // two non-adjacent ring nodes splits it. Check it happens at least
+        // once over several trials (and never with budget 1).
+        let g = bidirected_cycle(10);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut disconnected = false;
+        for _ in 0..50 {
+            let o = simulate_attack(&g, 2, AttackStrategy::Random, &mut rng);
+            disconnected |= !o.survivors_connected;
+            let o1 = simulate_attack(&g, 1, AttackStrategy::Random, &mut rng);
+            assert!(o1.survivors_connected, "budget 1 < κ=2 cannot disconnect");
+        }
+        assert!(disconnected, "budget κ should disconnect eventually");
+    }
+
+    #[test]
+    fn highest_degree_attack_picks_hubs() {
+        // Star-ish graph: vertex 0 connected everywhere.
+        let mut g = DiGraph::new(6);
+        for v in 1..6 {
+            g.add_edge(0, v);
+            g.add_edge(v, 0);
+        }
+        let mut rng = SmallRng::seed_from_u64(4);
+        let outcome = simulate_attack(&g, 1, AttackStrategy::HighestDegree, &mut rng);
+        assert_eq!(outcome.removed, vec![0]);
+        assert!(!outcome.survivors_connected);
+    }
+
+    #[test]
+    fn attack_outcome_counts_survivors() {
+        let g = complete(6);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let outcome = simulate_attack(&g, 2, AttackStrategy::Random, &mut rng);
+        assert_eq!(outcome.survivors, 4);
+        assert_eq!(outcome.removed.len(), 2);
+        assert!(outcome.survivors_connected, "complete graph survives");
+    }
+
+    #[test]
+    #[should_panic(expected = "attacker budget")]
+    fn budget_must_leave_a_node() {
+        let g = complete(3);
+        let mut rng = SmallRng::seed_from_u64(6);
+        simulate_attack(&g, 3, AttackStrategy::Random, &mut rng);
+    }
+
+    #[test]
+    fn equation2_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let g = gnp(14, 0.5, &mut rng);
+            assert!(equation2_holds(&g, &AnalysisConfig::default(), 10, &mut rng));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Pairwise vertex connectivity `κ(v, w)`.
+
+use crate::solver::SolverKind;
+use flowgraph::even::EvenNetwork;
+use flowgraph::DiGraph;
+
+/// Computes `κ(v, w)` for a single pair: the number of node-disjoint
+/// `v -> w` paths, equivalently the size of a minimum `v`-`w` vertex cut.
+///
+/// Returns `None` when `v == w` or `(v, w)` is an edge (vertex connectivity
+/// is undefined for adjacent pairs; the paper excludes them from Equation
+/// 1's minimum).
+///
+/// This convenience function rebuilds the Even transformation per call; use
+/// [`PairEvaluator`] to amortize the construction over many pairs.
+///
+/// # Example
+///
+/// ```
+/// use flowgraph::generators::paper_figure1;
+/// use kad_resilience::pair::pair_connectivity;
+/// use kad_resilience::SolverKind;
+///
+/// let g = paper_figure1();
+/// assert_eq!(pair_connectivity(&g, 0, 8, SolverKind::Dinic), Some(1));
+/// ```
+pub fn pair_connectivity(g: &DiGraph, v: u32, w: u32, solver: SolverKind) -> Option<u64> {
+    PairEvaluator::new(g, solver).connectivity(v, w, None)
+}
+
+/// Reusable evaluator: one Even network + one solver, many pairs.
+pub struct PairEvaluator {
+    even: EvenNetwork,
+    solver: Box<dyn flowgraph::maxflow::MaxFlow + Send + Sync>,
+}
+
+impl PairEvaluator {
+    /// Builds the evaluator for a graph.
+    pub fn new(g: &DiGraph, solver: SolverKind) -> Self {
+        PairEvaluator {
+            even: EvenNetwork::from_graph(g),
+            solver: solver.instance(),
+        }
+    }
+
+    /// `κ(v, w)`, or `None` for adjacent/equal pairs. With a cutoff the
+    /// result may be any certified lower bound `>= cutoff`.
+    pub fn connectivity(&mut self, v: u32, w: u32, cutoff: Option<u64>) -> Option<u64> {
+        self.even
+            .vertex_connectivity(self.solver.as_ref(), v, w, cutoff)
+    }
+}
+
+impl Clone for PairEvaluator {
+    fn clone(&self) -> Self {
+        // Cloning re-derives the solver from its name; solvers are
+        // stateless unit structs so this is exact.
+        let solver = match self.solver.name() {
+            "push-relabel-hi" => SolverKind::PushRelabel,
+            "edmonds-karp" => SolverKind::EdmondsKarp,
+            _ => SolverKind::Dinic,
+        };
+        PairEvaluator {
+            even: self.even.clone(),
+            solver: solver.instance(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgraph::generators::{bidirected_cycle, complete, paper_figure1};
+
+    #[test]
+    fn figure1_pair() {
+        let g = paper_figure1();
+        for kind in SolverKind::ALL {
+            assert_eq!(pair_connectivity(&g, 0, 8, kind), Some(1), "{kind}");
+        }
+    }
+
+    #[test]
+    fn adjacent_pairs_undefined() {
+        let g = paper_figure1();
+        assert_eq!(pair_connectivity(&g, 0, 1, SolverKind::Dinic), None);
+        assert_eq!(pair_connectivity(&g, 3, 3, SolverKind::Dinic), None);
+    }
+
+    #[test]
+    fn complete_graph_all_adjacent() {
+        let g = complete(5);
+        for v in 0..5 {
+            for w in 0..5 {
+                assert_eq!(pair_connectivity(&g, v, w, SolverKind::Dinic), None);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_reuse_matches_one_shot() {
+        let g = bidirected_cycle(10);
+        let mut eval = PairEvaluator::new(&g, SolverKind::Dinic);
+        for v in 0..10u32 {
+            for w in 0..10u32 {
+                assert_eq!(
+                    eval.connectivity(v, w, None),
+                    pair_connectivity(&g, v, w, SolverKind::Dinic),
+                    "pair ({v},{w})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_certifies_lower_bound() {
+        let g = bidirected_cycle(12);
+        let mut eval = PairEvaluator::new(&g, SolverKind::Dinic);
+        let bounded = eval.connectivity(0, 6, Some(1)).expect("non-adjacent");
+        assert!(bounded >= 1);
+        let exact = eval.connectivity(0, 6, None).expect("non-adjacent");
+        assert_eq!(exact, 2);
+    }
+
+    #[test]
+    fn clone_preserves_solver() {
+        let g = bidirected_cycle(6);
+        let eval = PairEvaluator::new(&g, SolverKind::PushRelabel);
+        let mut cloned = eval.clone();
+        assert_eq!(cloned.solver.name(), "push-relabel-hi");
+        assert_eq!(cloned.connectivity(0, 3, None), Some(2));
+    }
+}

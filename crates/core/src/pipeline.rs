@@ -1,0 +1,137 @@
+//! The snapshot → connectivity-report pipeline.
+//!
+//! Mirrors the paper's toolchain end to end: routing-table snapshot →
+//! connectivity graph → Even transformation → max-flow sweep → report.
+
+use crate::report::ConnectivityReport;
+use crate::sampled::sampled_connectivity;
+use crate::AnalysisConfig;
+use flowgraph::scc::strongly_connected_components;
+use flowgraph::DiGraph;
+use kademlia::snapshot::RoutingSnapshot;
+
+/// Converts a routing snapshot into its connectivity graph: one vertex per
+/// alive node, a directed edge `(v, w)` iff `w` is in `v`'s routing table.
+pub fn snapshot_to_digraph(snapshot: &RoutingSnapshot) -> DiGraph {
+    DiGraph::from_edges(snapshot.node_count(), snapshot.edges().iter().copied())
+}
+
+/// Full analysis of a connectivity graph.
+///
+/// The reported minimum combines the sampled flow minimum with a
+/// strong-connectivity pre-check: a graph that is not strongly connected
+/// has connectivity 0 even if the sampled source set misses the culprit
+/// (stronger than the paper's heuristic, never weaker).
+pub fn analyze_graph(g: &DiGraph, config: &AnalysisConfig) -> ConnectivityReport {
+    let scc = strongly_connected_components(g);
+    let strongly_connected = g.node_count() <= 1 || scc.count == 1;
+    let disconnected_nodes = if strongly_connected {
+        0
+    } else {
+        scc.outside_largest().len()
+    };
+    let sweep = sampled_connectivity(g, config);
+    let min_connectivity = if strongly_connected { sweep.min } else { 0 };
+    ConnectivityReport {
+        node_count: g.node_count(),
+        edge_count: g.edge_count(),
+        min_connectivity,
+        avg_connectivity: sweep.avg,
+        strongly_connected,
+        disconnected_nodes,
+        reciprocity: g.reciprocity(),
+        pairs_evaluated: sweep.pairs_evaluated,
+        sources_used: sweep.sources_used,
+    }
+}
+
+/// Convenience composition of [`snapshot_to_digraph`] and
+/// [`analyze_graph`].
+pub fn analyze_snapshot(snapshot: &RoutingSnapshot, config: &AnalysisConfig) -> ConnectivityReport {
+    analyze_graph(&snapshot_to_digraph(snapshot), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dessim::latency::LatencyModel;
+    use dessim::time::{SimDuration, SimTime};
+    use dessim::transport::Transport;
+    use flowgraph::generators::{bidirected_cycle, paper_figure1};
+    use kademlia::config::KademliaConfig;
+    use kademlia::network::SimNetwork;
+
+    #[test]
+    fn analyze_ring() {
+        let report = analyze_graph(&bidirected_cycle(10), &AnalysisConfig::exact());
+        assert_eq!(report.min_connectivity, 2);
+        assert_eq!(report.resilience(), 1);
+        assert!(report.strongly_connected);
+        assert_eq!(report.reciprocity, 1.0);
+        assert_eq!(report.disconnected_nodes, 0);
+    }
+
+    #[test]
+    fn scc_precheck_forces_zero() {
+        // Figure 1's graph is a DAG-ish funnel: not strongly connected.
+        let report = analyze_graph(&paper_figure1(), &AnalysisConfig::default());
+        assert_eq!(report.min_connectivity, 0);
+        assert!(!report.strongly_connected);
+        assert!(report.disconnected_nodes > 0);
+    }
+
+    #[test]
+    fn end_to_end_simulated_network() {
+        let config = KademliaConfig::builder()
+            .bits(32)
+            .k(8)
+            .staleness_limit(1)
+            .build()
+            .expect("valid");
+        let transport =
+            Transport::lossless(LatencyModel::Constant(SimDuration::from_millis(20)));
+        let mut net = SimNetwork::new(config, transport, 7);
+        let mut prev = None;
+        for _ in 0..24 {
+            let addr = net.spawn_node();
+            net.join(addr, prev);
+            prev = Some(addr);
+            net.run_until(net.now() + SimDuration::from_secs(20));
+        }
+        net.run_until(SimTime::from_minutes(120));
+        let snapshot = net.snapshot();
+        let report = analyze_snapshot(&snapshot, &AnalysisConfig::exact());
+        assert_eq!(report.node_count, 24);
+        assert!(
+            report.min_connectivity > 0,
+            "a stabilized lossless network should be connected: {report}"
+        );
+        // With k=8 and only 24 nodes the graph is dense; connectivity
+        // should be near k (paper: "the connectivity is roughly k").
+        assert!(
+            report.min_connectivity >= 4,
+            "κ_min = {} too low",
+            report.min_connectivity
+        );
+        assert!(report.reciprocity > 0.8, "tables should be near-symmetric");
+    }
+
+    #[test]
+    fn snapshot_graph_shapes_match() {
+        let config = KademliaConfig::builder()
+            .bits(32)
+            .k(4)
+            .build()
+            .expect("valid");
+        let mut net = SimNetwork::new(config, Transport::default(), 3);
+        let a = net.spawn_node();
+        net.join(a, None);
+        let b = net.spawn_node();
+        net.join(b, Some(a));
+        net.run_until(SimTime::from_secs(30));
+        let snap = net.snapshot();
+        let g = snapshot_to_digraph(&snap);
+        assert_eq!(g.node_count(), snap.node_count());
+        assert_eq!(g.edge_count(), snap.edge_count());
+    }
+}

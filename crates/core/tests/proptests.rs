@@ -1,0 +1,138 @@
+//! Property-based tests for the connectivity analysis layer.
+
+use flowgraph::generators;
+use flowgraph::DiGraph;
+use kad_resilience::attack::{simulate_attack, AttackStrategy};
+use kad_resilience::graph::{exact_connectivity, has_connectivity_at_least};
+use kad_resilience::sampled::sampled_connectivity;
+use kad_resilience::{analyze_graph, AnalysisConfig, SolverKind};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_digraph(max_n: usize) -> impl Strategy<Value = DiGraph> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 5)
+            .prop_map(move |edges| DiGraph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sampling can only raise the observed minimum; c = 1.0 equals the
+    /// exact sweep.
+    #[test]
+    fn sampling_bounds(g in arb_digraph(14)) {
+        let exact = sampled_connectivity(&g, &AnalysisConfig::exact());
+        let sampled = sampled_connectivity(
+            &g,
+            &AnalysisConfig { min_sources: 2, ..AnalysisConfig::default() },
+        );
+        prop_assert!(sampled.min >= exact.min);
+        let full_again = sampled_connectivity(&g, &AnalysisConfig::exact());
+        prop_assert_eq!(exact, full_again, "exact sweep is deterministic");
+    }
+
+    /// All solvers agree on sampled sweeps.
+    #[test]
+    fn solver_equivalence(g in arb_digraph(12)) {
+        let base = AnalysisConfig::exact();
+        let reference = sampled_connectivity(&g, &base);
+        for solver in SolverKind::ALL {
+            let result = sampled_connectivity(&g, &AnalysisConfig { solver, ..base });
+            prop_assert_eq!(result.min, reference.min, "{}", solver);
+            prop_assert!((result.avg - reference.avg).abs() < 1e-9, "{}", solver);
+        }
+    }
+
+    /// Cutoff pruning preserves the exact minimum.
+    #[test]
+    fn cutoff_preserves_minimum(g in arb_digraph(12)) {
+        let full = sampled_connectivity(&g, &AnalysisConfig::exact());
+        let pruned = sampled_connectivity(
+            &g,
+            &AnalysisConfig { use_cutoff: true, ..AnalysisConfig::exact() },
+        );
+        prop_assert_eq!(full.min, pruned.min);
+    }
+
+    /// Equation 2 as a theorem: removing any fewer-than-κ vertices leaves
+    /// the graph strongly connected.
+    #[test]
+    fn equation2_theorem(g in arb_digraph(10), seed in any::<u64>()) {
+        // Densify with a bidirected ring so κ >= 2 is common (sparse random
+        // digraphs are almost always 0- or 1-connected).
+        let mut g = g;
+        let n = g.node_count() as u32;
+        for v in 0..n {
+            g.add_edge(v, (v + 1) % n);
+            g.add_edge((v + 1) % n, v);
+        }
+        let kappa = exact_connectivity(&g, &AnalysisConfig::default());
+        if kappa < 2 {
+            return Ok(()); // nothing to remove within budget
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let outcome = simulate_attack(
+                &g,
+                (kappa - 1) as usize,
+                AttackStrategy::Random,
+                &mut rng,
+            );
+            prop_assert!(outcome.survivors_connected, "κ={} attack disconnected", kappa);
+        }
+    }
+
+    /// The threshold decision procedure brackets the exact value.
+    #[test]
+    fn decision_procedure_brackets(g in arb_digraph(10)) {
+        let config = AnalysisConfig::default();
+        let kappa = exact_connectivity(&g, &config);
+        prop_assert!(has_connectivity_at_least(&g, kappa, &config));
+        prop_assert!(!has_connectivity_at_least(&g, kappa + 1, &config));
+    }
+
+    /// Reports are internally consistent.
+    #[test]
+    fn report_consistency(g in arb_digraph(12)) {
+        let report = analyze_graph(&g, &AnalysisConfig::exact());
+        prop_assert_eq!(report.node_count, g.node_count());
+        prop_assert_eq!(report.edge_count, g.edge_count());
+        prop_assert!(report.min_connectivity as f64 <= report.avg_connectivity + 1e-9
+            || report.pairs_evaluated == 0);
+        prop_assert_eq!(report.strongly_connected, report.disconnected_nodes == 0);
+        if !report.strongly_connected {
+            prop_assert_eq!(report.min_connectivity, 0);
+        }
+        prop_assert!(report.reciprocity >= 0.0 && report.reciprocity <= 1.0);
+        prop_assert_eq!(report.resilience(), report.min_connectivity.saturating_sub(1));
+    }
+
+    /// On symmetric k-out graphs (Kademlia-like), the paper's default
+    /// sampling finds the exact minimum.
+    #[test]
+    fn paper_sampling_exact_on_kademlia_like(seed in any::<u64>(), n in 20usize..60) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::random_k_out_symmetric(n, 4, &mut rng);
+        let exact = sampled_connectivity(&g, &AnalysisConfig::exact());
+        let sampled = sampled_connectivity(&g, &AnalysisConfig::default());
+        prop_assert_eq!(sampled.min, exact.min);
+    }
+
+    /// Densification never lowers exact connectivity.
+    #[test]
+    fn densification_monotone(g in arb_digraph(10), extra in proptest::collection::vec((0u32..10, 0u32..10), 0..20)) {
+        let before = exact_connectivity(&g, &AnalysisConfig::default());
+        let mut h = g.clone();
+        let n = h.node_count() as u32;
+        for (u, v) in extra {
+            if u < n && v < n && u != v {
+                h.add_edge(u, v);
+            }
+        }
+        let after = exact_connectivity(&h, &AnalysisConfig::default());
+        prop_assert!(after >= before);
+    }
+}

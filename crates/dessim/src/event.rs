@@ -1,0 +1,64 @@
+//! Event identifiers and queue entries.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+///
+/// Ids are unique per [`crate::scheduler::EventQueue`] for its entire
+/// lifetime (a `u64` sequence number never reused).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// The raw sequence number (also the global tie-breaking order).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Internal heap entry: ordered by time, then by insertion sequence so that
+/// simultaneous events fire in the order they were scheduled. This total
+/// order is what makes simulations deterministic.
+#[derive(Debug)]
+pub(crate) struct Entry<E> {
+    pub at: SimTime,
+    pub id: EventId,
+    pub event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.id).cmp(&(other.at, other.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_order_by_time_then_sequence() {
+        let a = Entry { at: SimTime::from_millis(5), id: EventId(2), event: () };
+        let b = Entry { at: SimTime::from_millis(5), id: EventId(1), event: () };
+        let c = Entry { at: SimTime::from_millis(1), id: EventId(9), event: () };
+        assert!(c < b);
+        assert!(b < a);
+    }
+}

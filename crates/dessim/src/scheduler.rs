@@ -1,0 +1,275 @@
+//! The event queue at the heart of the simulation.
+
+use crate::event::{Entry, EventId};
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A deterministic, cancellable discrete-event queue.
+///
+/// Events of type `E` are delivered in `(time, insertion-sequence)` order.
+/// The queue owns the simulated clock: [`EventQueue::now`] advances to the
+/// timestamp of each popped event and never moves backwards.
+///
+/// The driving loop lives with whoever owns the simulation state (see the
+/// `kademlia` crate's `SimNetwork`), keeping this kernel free of callback
+/// borrow gymnastics:
+///
+/// ```
+/// use dessim::scheduler::EventQueue;
+/// use dessim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(SimTime::from_secs(2), "world");
+/// q.schedule_at(SimTime::from_secs(1), "hello");
+/// let mut words = Vec::new();
+/// while let Some((_, w)) = q.pop() {
+///     words.push(w);
+/// }
+/// assert_eq!(words, ["hello", "world"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (or zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far (cancelled events excluded).
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending (cancelled-but-unpopped entries may
+    /// be counted until they surface).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error:
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`EventQueue::now`].
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        let id = EventId(self.next_seq);
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, id, event }));
+        id
+    }
+
+    /// Schedules `event` after a delay relative to the current clock.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// had not yet fired (or been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    /// Cancelled events are skipped silently.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "event queue went backwards");
+            self.now = entry.at;
+            self.popped += 1;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Pops the next event only if it fires strictly before `deadline`.
+    /// The clock does not advance when `None` is returned, so the caller
+    /// can later resume with a later deadline.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            match self.heap.peek() {
+                Some(Reverse(entry)) if entry.at < deadline => {
+                    if self.cancelled.contains(&entry.id) {
+                        let Reverse(entry) = self.heap.pop().expect("peeked entry");
+                        self.cancelled.remove(&entry.id);
+                        continue;
+                    }
+                    return self.pop();
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Timestamp of the next (non-cancelled) pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            match self.heap.peek() {
+                Some(Reverse(entry)) => {
+                    if self.cancelled.contains(&entry.id) {
+                        let Reverse(entry) = self.heap.pop().expect("peeked entry");
+                        self.cancelled.remove(&entry.id);
+                        continue;
+                    }
+                    return Some(entry.at);
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Advances the clock to `to` without delivering anything (used to
+    /// align snapshot instants between event bursts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is in the past.
+    pub fn advance_to(&mut self, to: SimTime) {
+        assert!(to >= self.now, "cannot advance into the past");
+        self.now = to;
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), 3);
+        q.schedule_at(SimTime::from_millis(10), 1);
+        q.schedule_at(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.schedule_at(t, "a");
+        q.schedule_at(t, "b");
+        q.schedule_at(t, "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule_at(SimTime::from_millis(1), "keep");
+        let drop_ = q.schedule_at(SimTime::from_millis(2), "drop");
+        assert!(q.cancel(drop_));
+        assert!(!q.cancel(drop_), "double-cancel reports false");
+        assert!(!q.cancel(crate::event::EventId(999)), "unknown id");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["keep"]);
+        let _ = keep;
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), 1);
+        q.schedule_at(SimTime::from_millis(50), 2);
+        assert_eq!(q.pop_before(SimTime::from_millis(20)).map(|(_, e)| e), Some(1));
+        assert_eq!(q.pop_before(SimTime::from_millis(20)), None);
+        // Clock stays put; event 2 still pending.
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(50)));
+        assert_eq!(q.pop_before(SimTime::MAX).map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn pop_before_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_millis(1), "a");
+        q.schedule_at(SimTime::from_millis(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop_before(SimTime::from_millis(10)).map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "first");
+        q.pop();
+        q.schedule_after(SimDuration::from_secs(5), "second");
+        let (t, _) = q.pop().expect("second event");
+        assert_eq!(t, SimTime::from_secs(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    fn delivered_counts_only_fired_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_millis(1), ());
+        q.schedule_at(SimTime::from_millis(2), ());
+        q.cancel(a);
+        while q.pop().is_some() {}
+        assert_eq!(q.delivered(), 1);
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_minutes(5));
+        assert_eq!(q.now(), SimTime::from_minutes(5));
+    }
+}

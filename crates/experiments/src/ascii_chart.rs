@@ -1,0 +1,140 @@
+//! Terminal line charts for figure series.
+//!
+//! The paper's figures plot average and minimum connectivity (left axis)
+//! plus network size (right axis) over simulated minutes. This renderer
+//! produces an 80-column approximation good enough to eyeball the shape of
+//! each reproduced figure directly in the terminal; exact values live in
+//! the CSV output next to it.
+
+use crate::series::FigureData;
+use std::fmt::Write as _;
+
+/// Chart dimensions.
+const WIDTH: usize = 72;
+const HEIGHT: usize = 20;
+
+/// Renders every series of a figure as an ASCII chart of the **minimum**
+/// connectivity (the paper's headline metric), one glyph per series.
+pub fn render_min_connectivity(figure: &FigureData) -> String {
+    render(figure, Metric::Min)
+}
+
+/// Renders the **average** connectivity.
+pub fn render_avg_connectivity(figure: &FigureData) -> String {
+    render(figure, Metric::Avg)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Metric {
+    Min,
+    Avg,
+}
+
+fn render(figure: &FigureData, metric: Metric) -> String {
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let mut max_y: f64 = 1.0;
+    let mut max_t: f64 = 1.0;
+    for points in figure.series.values() {
+        for p in points {
+            let y = match metric {
+                Metric::Min => p.min_connectivity as f64,
+                Metric::Avg => p.avg_connectivity,
+            };
+            max_y = max_y.max(y);
+            max_t = max_t.max(p.time_min);
+        }
+    }
+
+    let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
+    for (si, points) in figure.series.values().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for p in points {
+            let y = match metric {
+                Metric::Min => p.min_connectivity as f64,
+                Metric::Avg => p.avg_connectivity,
+            };
+            let col = ((p.time_min / max_t) * (WIDTH - 1) as f64).round() as usize;
+            let row = HEIGHT - 1 - ((y / max_y) * (HEIGHT - 1) as f64).round() as usize;
+            grid[row.min(HEIGHT - 1)][col.min(WIDTH - 1)] = glyph;
+        }
+    }
+
+    let metric_name = match metric {
+        Metric::Min => "min connectivity",
+        Metric::Avg => "avg connectivity",
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {}", figure.title, metric_name);
+    for (row_idx, row) in grid.iter().enumerate() {
+        let axis_value = max_y * (HEIGHT - 1 - row_idx) as f64 / (HEIGHT - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{axis_value:>7.1} |{line}");
+    }
+    let _ = writeln!(out, "        +{}", "-".repeat(WIDTH));
+    let _ = writeln!(
+        out,
+        "         0 min {:>width$}",
+        format!("{max_t:.0} min"),
+        width = WIDTH - 7
+    );
+    let legend: Vec<String> = figure
+        .series
+        .keys()
+        .enumerate()
+        .map(|(i, label)| format!("{} {label}", glyphs[i % glyphs.len()]))
+        .collect();
+    let _ = writeln!(out, "  legend: {}", legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::SeriesPoint;
+
+    fn figure() -> FigureData {
+        let mut fig = FigureData::new("Demo");
+        let points: Vec<SeriesPoint> = (0..10)
+            .map(|i| SeriesPoint {
+                time_min: i as f64 * 10.0,
+                network_size: 50,
+                min_connectivity: i as u64,
+                avg_connectivity: i as f64 * 2.0,
+            })
+            .collect();
+        fig.series.insert("k=20".into(), points);
+        fig
+    }
+
+    #[test]
+    fn renders_title_axis_and_legend() {
+        let chart = render_min_connectivity(&figure());
+        assert!(chart.contains("Demo — min connectivity"));
+        assert!(chart.contains("legend: * k=20"));
+        assert!(chart.contains("0 min"));
+        assert!(chart.contains("90 min"));
+    }
+
+    #[test]
+    fn grid_contains_points() {
+        let chart = render_min_connectivity(&figure());
+        assert!(chart.contains('*'));
+        let rows = chart.lines().count();
+        assert!(rows >= HEIGHT + 3);
+    }
+
+    #[test]
+    fn avg_chart_differs_from_min() {
+        let fig = figure();
+        assert_ne!(
+            render_min_connectivity(&fig),
+            render_avg_connectivity(&fig)
+        );
+    }
+
+    #[test]
+    fn empty_figure_renders_without_panic() {
+        let chart = render_min_connectivity(&FigureData::new("Empty"));
+        assert!(chart.contains("Empty"));
+    }
+}

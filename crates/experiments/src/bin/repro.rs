@@ -1,0 +1,88 @@
+//! `repro` — regenerate any table or figure from the paper.
+//!
+//! ```text
+//! repro fig2                 # Simulation A at laptop scale
+//! repro tab2 --scale bench   # quick smoke-scale Table 2
+//! repro all --out results/   # everything, CSVs written to results/
+//! ```
+
+use clap::Parser;
+use kad_experiments::figures::{run_experiment, ExperimentId, ExperimentResult};
+use kad_experiments::scale::Scale;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Reproduce the tables and figures of "Evaluating Connection Resilience
+/// for the Overlay Network Kademlia" (Heck et al., 2017).
+#[derive(Parser, Debug)]
+#[command(version, about)]
+struct Args {
+    /// Experiment to run: tab1, fig2..fig14, tab2, fig10, bitlen,
+    /// sampling, or "all".
+    experiment: String,
+
+    /// Effort preset: bench (seconds), laptop (minutes), paper (original
+    /// sizes — hours to days).
+    #[arg(long, default_value_t = Scale::Laptop)]
+    scale: Scale,
+
+    /// Master seed for all randomness.
+    #[arg(long, default_value_t = 1)]
+    seed: u64,
+
+    /// Directory for CSV outputs (created if missing). Omit to skip CSVs.
+    #[arg(long)]
+    out: Option<PathBuf>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let ids: Vec<ExperimentId> = if args.experiment.eq_ignore_ascii_case("all") {
+        ExperimentId::ALL.to_vec()
+    } else {
+        match args.experiment.parse::<ExperimentId>() {
+            Ok(id) => vec![id],
+            Err(err) => {
+                eprintln!("error: {err}");
+                eprintln!(
+                    "available: all, {}",
+                    ExperimentId::ALL
+                        .iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+
+    for id in ids {
+        let started = Instant::now();
+        eprintln!("== running {id} at {} scale (seed {}) ==", args.scale, args.seed);
+        let result = run_experiment(id, args.scale, args.seed);
+        println!("{}", result.render());
+        eprintln!("== {id} done in {:.1?} ==\n", started.elapsed());
+        if let Some(dir) = &args.out {
+            if let Err(err) = write_csvs(dir, &result) {
+                eprintln!("error writing CSVs for {id}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn write_csvs(dir: &PathBuf, result: &ExperimentResult) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (i, figure) in result.figures.iter().enumerate() {
+        let path = dir.join(format!("{}-figure{}.csv", result.name, i));
+        std::fs::write(&path, figure.to_csv())?;
+        eprintln!("wrote {}", path.display());
+    }
+    for (i, table) in result.tables.iter().enumerate() {
+        let path = dir.join(format!("{}-table{}.csv", result.name, i));
+        std::fs::write(&path, table.to_csv())?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}

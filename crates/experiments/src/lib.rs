@@ -1,0 +1,38 @@
+//! The experiment harness: scenario matrix, simulation runner and the
+//! figure/table regeneration pipeline for every result in the paper.
+//!
+//! The paper's evaluation (Section 5) spans eight dimensions — network
+//! size, churn, traffic, message loss, `k`, `α`, `b`, `s` — organized into
+//! Simulations A–L plus two tables. This crate encodes:
+//!
+//! * [`scale`] — three effort presets: `Bench` (seconds per experiment,
+//!   used by `cargo bench`), `Laptop` (minutes, the default for the
+//!   `repro` CLI) and `Paper` (the original sizes: 250/2500 nodes and
+//!   full durations — hours to days of compute, as in the paper).
+//! * [`scenario`] — the [`scenario::Scenario`] type and constructors for
+//!   each of the paper's simulations.
+//! * [`runner`] — drives a [`kademlia::SimNetwork`] through the setup /
+//!   stabilization / churn phases, applying joins, silent departures and
+//!   data traffic at random instants within each minute (Section 5.3), and
+//!   snapshotting connectivity on a fixed grid.
+//! * [`series`] / [`table`] / [`ascii_chart`] — figure and table data
+//!   structures with CSV and terminal renderings.
+//! * [`figures`] — the experiment registry: one entry per paper
+//!   figure/table, executable via `repro <experiment>` or the bench
+//!   harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii_chart;
+pub mod figures;
+pub mod runner;
+pub mod scale;
+pub mod scenario;
+pub mod series;
+pub mod table;
+
+pub use figures::{run_experiment, ExperimentId, ExperimentResult};
+pub use runner::{run_scenario, ScenarioOutcome, SnapshotResult};
+pub use scale::Scale;
+pub use scenario::{Scenario, ScenarioBuilder};

@@ -1,0 +1,338 @@
+//! The scenario runner: phases, churn, traffic, snapshots.
+//!
+//! Reproduces the paper's methodology (Sections 5.3–5.4):
+//!
+//! * **Setup** (minute 0–30): the initial nodes join at uniformly random
+//!   instants; each bootstraps off a node chosen uniformly among those
+//!   already joined.
+//! * **Stabilization** (minute 30–120): the network settles; every node
+//!   performs at least one 60-minute bucket refresh.
+//! * **Churn** (minute 120 onward): `remove/add` actions per minute at
+//!   random instants within each minute.
+//! * **Traffic**: when enabled, every alive node performs its lookups and
+//!   disseminations per minute, again at random instants.
+//! * **Snapshots**: on a fixed grid; each snapshot is converted into a
+//!   connectivity graph and analysed (minimum + average connectivity).
+
+use crate::scenario::Scenario;
+use dessim::metrics::Counters;
+use dessim::rng::RngFactory;
+use dessim::time::SimTime;
+use kad_resilience::{analyze_snapshot, ConnectivityReport};
+use kademlia::id::NodeId;
+use kademlia::network::SimNetwork;
+use kademlia::NodeAddr;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One measured point of a scenario run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotResult {
+    /// Simulated time of the snapshot in minutes (the x-axis of the
+    /// paper's figures).
+    pub time_min: f64,
+    /// Alive network size at the snapshot (the figures' right-hand axis).
+    pub network_size: usize,
+    /// Connectivity analysis of the snapshot.
+    pub report: ConnectivityReport,
+}
+
+/// The full result of one scenario run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// Snapshot series, ascending in time.
+    pub snapshots: Vec<SnapshotResult>,
+    /// Protocol/transport event counters accumulated over the run.
+    pub counters: Counters,
+}
+
+impl ScenarioOutcome {
+    /// Snapshots taken during the churn phase (time ≥ stabilization end) —
+    /// the window Table 2 aggregates over.
+    pub fn churn_phase(&self) -> impl Iterator<Item = &SnapshotResult> {
+        let start = self.scenario.stabilization_minutes as f64;
+        self.snapshots.iter().filter(move |s| s.time_min >= start)
+    }
+
+    /// The last snapshot, if any.
+    pub fn final_snapshot(&self) -> Option<&SnapshotResult> {
+        self.snapshots.last()
+    }
+}
+
+/// Harness-level actions applied between protocol events.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    JoinInitial,
+    JoinChurn,
+    Remove,
+    Lookup(NodeAddr),
+    Store(NodeAddr),
+}
+
+/// Runs a scenario to completion.
+///
+/// Deterministic: the scenario's `seed` fixes node ids, latencies, loss,
+/// action instants and all node/target choices.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    let factory = RngFactory::new(scenario.seed);
+    let mut schedule_rng = factory.stream("harness-schedule");
+    let mut choice_rng = factory.stream("harness-choices");
+    let mut target_rng = factory.stream("harness-targets");
+
+    let transport = dessim::transport::Transport::new(
+        dessim::latency::LatencyModel::default_uniform(),
+        scenario.loss.to_model(),
+    );
+    let mut net = SimNetwork::new(scenario.protocol, transport, scenario.seed);
+
+    // Initial joins: uniform over the setup phase, per minute.
+    let setup_ms = scenario.setup_minutes.max(1) * 60_000;
+    let mut join_times: Vec<u64> = (0..scenario.size)
+        .map(|_| schedule_rng.random_range(0..setup_ms))
+        .collect();
+    join_times.sort_unstable();
+
+    let mut snapshots = Vec::new();
+    let end_min = scenario.end_minutes();
+    let mut join_cursor = 0usize;
+
+    for minute in 0..end_min {
+        let minute_start_ms = minute * 60_000;
+        let mut actions: Vec<(u64, Action)> = Vec::new();
+
+        // Initial joins falling into this minute.
+        while join_cursor < join_times.len()
+            && join_times[join_cursor] < minute_start_ms + 60_000
+        {
+            actions.push((join_times[join_cursor], Action::JoinInitial));
+            join_cursor += 1;
+        }
+
+        // Churn phase actions.
+        if scenario.churn.is_active() && minute >= scenario.stabilization_minutes {
+            for _ in 0..scenario.churn.remove_per_min {
+                actions.push((
+                    minute_start_ms + schedule_rng.random_range(0..60_000),
+                    Action::Remove,
+                ));
+            }
+            for _ in 0..scenario.churn.add_per_min {
+                actions.push((
+                    minute_start_ms + schedule_rng.random_range(0..60_000),
+                    Action::JoinChurn,
+                ));
+            }
+        }
+
+        // Data traffic: every node alive at the minute boundary performs
+        // its per-minute operations at random instants within the minute
+        // ("each node performs 10 lookup procedures and 1 dissemination
+        // procedure per minute", Section 5.3).
+        if let Some(traffic) = scenario.traffic {
+            for addr in net.alive_addrs() {
+                for _ in 0..traffic.lookups_per_min {
+                    actions.push((
+                        minute_start_ms + schedule_rng.random_range(0..60_000),
+                        Action::Lookup(addr),
+                    ));
+                }
+                for _ in 0..traffic.stores_per_min {
+                    actions.push((
+                        minute_start_ms + schedule_rng.random_range(0..60_000),
+                        Action::Store(addr),
+                    ));
+                }
+            }
+        }
+
+        actions.sort_by_key(|&(t, _)| t);
+        for (t, action) in actions {
+            net.run_until(SimTime::from_millis(t));
+            apply_action(&mut net, action, scenario, &mut choice_rng, &mut target_rng);
+        }
+        let minute_end = SimTime::from_minutes(minute + 1);
+        net.run_until(minute_end);
+
+        // Snapshot grid (plus always the final instant).
+        let at_minute = minute + 1;
+        if at_minute % scenario.snapshot_minutes == 0 || at_minute == end_min {
+            let snap = net.snapshot();
+            let report = analyze_snapshot(&snap, &scenario.analysis);
+            snapshots.push(SnapshotResult {
+                time_min: minute_end.as_minutes_f64(),
+                network_size: snap.node_count(),
+                report,
+            });
+        }
+    }
+
+    ScenarioOutcome {
+        scenario: scenario.clone(),
+        snapshots,
+        counters: net.counters().clone(),
+    }
+}
+
+fn random_alive(net: &SimNetwork, rng: &mut SmallRng) -> Option<NodeAddr> {
+    let alive = net.alive_addrs();
+    if alive.is_empty() {
+        None
+    } else {
+        Some(alive[rng.random_range(0..alive.len())])
+    }
+}
+
+fn apply_action(
+    net: &mut SimNetwork,
+    action: Action,
+    scenario: &Scenario,
+    choice_rng: &mut SmallRng,
+    target_rng: &mut SmallRng,
+) {
+    match action {
+        Action::JoinInitial | Action::JoinChurn => {
+            let bootstrap = random_alive(net, choice_rng);
+            let addr = net.spawn_node();
+            // The bootstrap node is chosen among nodes joined *before* the
+            // newcomer (`spawn_node` comes after the draw, so the newcomer
+            // can never bootstrap off itself).
+            net.join(addr, bootstrap);
+        }
+        Action::Remove => {
+            if let Some(addr) = random_alive(net, choice_rng) {
+                net.remove_node(addr);
+            }
+        }
+        Action::Lookup(addr) => {
+            // Draw the target before the liveness check so the random
+            // stream stays aligned whether or not the node departed
+            // mid-minute.
+            let target = NodeId::random(target_rng, scenario.protocol.bits);
+            net.start_lookup(addr, target);
+        }
+        Action::Store(addr) => {
+            let key = NodeId::random(target_rng, scenario.protocol.bits);
+            net.start_store(addr, key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ChurnRate, ScenarioBuilder, TrafficModel};
+
+    fn tiny_scenario() -> Scenario {
+        let mut b = ScenarioBuilder::quick(24, 8);
+        b.name("tiny").seed(11);
+        b.build()
+    }
+
+    #[test]
+    fn tiny_run_produces_snapshots() {
+        let outcome = run_scenario(&tiny_scenario());
+        assert!(!outcome.snapshots.is_empty());
+        let last = outcome.final_snapshot().expect("snapshots");
+        assert_eq!(last.network_size, 24);
+        assert!(
+            last.report.min_connectivity > 0,
+            "stabilized lossless network should be connected: {}",
+            last.report
+        );
+    }
+
+    #[test]
+    fn snapshots_are_time_ordered_on_grid() {
+        let outcome = run_scenario(&tiny_scenario());
+        let times: Vec<f64> = outcome.snapshots.iter().map(|s| s.time_min).collect();
+        let mut sorted = times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        assert_eq!(times, sorted);
+        assert!((times[0] - 20.0).abs() < 1e-9, "first grid point at 20min");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let a = run_scenario(&tiny_scenario());
+        let b = run_scenario(&tiny_scenario());
+        for (x, y) in a.snapshots.iter().zip(&b.snapshots) {
+            assert_eq!(x.report, y.report);
+            assert_eq!(x.network_size, y.network_size);
+        }
+        assert_eq!(
+            a.counters.get("msg_sent"),
+            b.counters.get("msg_sent")
+        );
+    }
+
+    #[test]
+    fn different_seed_different_run() {
+        let mut b = ScenarioBuilder::quick(24, 8);
+        b.seed(12);
+        let other = run_scenario(&b.build());
+        let base = run_scenario(&tiny_scenario());
+        assert_ne!(
+            base.counters.get("msg_sent"),
+            other.counters.get("msg_sent"),
+            "different seeds should produce different traffic patterns"
+        );
+    }
+
+    #[test]
+    fn zero_one_churn_drains_network() {
+        let mut b = ScenarioBuilder::quick(30, 6);
+        b.name("drain")
+            .seed(5)
+            .churn(ChurnRate::ZERO_ONE)
+            .churn_minutes(15)
+            .snapshot_minutes(5);
+        // quick() sets stabilization at 80 minutes.
+        let outcome = run_scenario(&b.build());
+        let last = outcome.final_snapshot().expect("snapshots");
+        assert_eq!(last.network_size, 15, "30 nodes - 15 removals");
+    }
+
+    #[test]
+    fn one_one_churn_keeps_size_stable() {
+        let mut b = ScenarioBuilder::quick(20, 6);
+        b.name("steady")
+            .seed(6)
+            .churn(ChurnRate::ONE_ONE)
+            .churn_minutes(20)
+            .snapshot_minutes(10);
+        let outcome = run_scenario(&b.build());
+        let last = outcome.final_snapshot().expect("snapshots");
+        assert_eq!(last.network_size, 20);
+        assert!(outcome.counters.get("node_removed") >= 20);
+        assert!(outcome.counters.get("node_joined") >= 40);
+    }
+
+    #[test]
+    fn churn_phase_filter() {
+        let mut b = ScenarioBuilder::quick(16, 4);
+        b.churn(ChurnRate::ONE_ONE).churn_minutes(20).snapshot_minutes(10);
+        let outcome = run_scenario(&b.build());
+        let churn_count = outcome.churn_phase().count();
+        assert!(churn_count >= 2, "got {churn_count}");
+        for s in outcome.churn_phase() {
+            assert!(s.time_min >= 90.0);
+        }
+    }
+
+    #[test]
+    fn traffic_counters_reflect_scenario() {
+        let mut b = ScenarioBuilder::quick(16, 4);
+        b.traffic(TrafficModel {
+            lookups_per_min: 3,
+            stores_per_min: 1,
+        });
+        let outcome = run_scenario(&b.build());
+        assert!(outcome.counters.get("lookup_started") > 0);
+        assert!(outcome.counters.get("store_started") > 0);
+        assert!(outcome.counters.get("store_rpc_sent") > 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! DIMACS maximum-flow format I/O.
+//!
+//! The paper's pipeline serialized every Even-transformed snapshot into the
+//! DIMACS max-flow exchange format and fed the files to the HIPR binary.
+//! We reproduce that interchange layer so that (a) snapshots can be dumped
+//! and inspected with standard tools, and (b) our solvers can be validated
+//! against external codes on identical inputs.
+//!
+//! Format summary (1-indexed vertices):
+//!
+//! ```text
+//! c <comment>
+//! p max <nodes> <arcs>
+//! n <id> s          # source
+//! n <id> t          # sink
+//! a <tail> <head> <capacity>
+//! ```
+
+use crate::maxflow::FlowNetwork;
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// A parsed DIMACS max-flow problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsProblem {
+    /// Number of vertices (0-indexed internally).
+    pub nodes: usize,
+    /// Source vertex (0-indexed).
+    pub source: u32,
+    /// Sink vertex (0-indexed).
+    pub sink: u32,
+    /// Arcs as `(tail, head, capacity)`, 0-indexed.
+    pub arcs: Vec<(u32, u32, u64)>,
+}
+
+impl DimacsProblem {
+    /// Builds a [`FlowNetwork`] from the problem.
+    pub fn to_network(&self) -> FlowNetwork {
+        let mut net = FlowNetwork::new(self.nodes);
+        for &(u, v, c) in &self.arcs {
+            net.add_arc(u, v, c);
+        }
+        net
+    }
+}
+
+/// Error produced when parsing a DIMACS file fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+fn field<T: FromStr>(
+    parts: &[&str],
+    idx: usize,
+    line: usize,
+    what: &str,
+) -> Result<T, ParseDimacsError> {
+    parts
+        .get(idx)
+        .ok_or_else(|| ParseDimacsError {
+            line,
+            message: format!("missing {what}"),
+        })?
+        .parse::<T>()
+        .map_err(|_| ParseDimacsError {
+            line,
+            message: format!("invalid {what}: {:?}", parts.get(idx)),
+        })
+}
+
+/// Parses a DIMACS max-flow problem from a string.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed input: missing problem line,
+/// out-of-range vertex ids, missing source/sink designators, or trailing
+/// garbage.
+pub fn parse(input: &str) -> Result<DimacsProblem, ParseDimacsError> {
+    let mut nodes: Option<usize> = None;
+    let mut declared_arcs: usize = 0;
+    let mut source: Option<u32> = None;
+    let mut sink: Option<u32> = None;
+    let mut arcs: Vec<(u32, u32, u64)> = Vec::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts[0] {
+            "c" => continue,
+            "p" => {
+                if nodes.is_some() {
+                    return Err(ParseDimacsError {
+                        line: line_no,
+                        message: "duplicate problem line".into(),
+                    });
+                }
+                if parts.get(1) != Some(&"max") {
+                    return Err(ParseDimacsError {
+                        line: line_no,
+                        message: "problem type must be 'max'".into(),
+                    });
+                }
+                nodes = Some(field(&parts, 2, line_no, "node count")?);
+                declared_arcs = field(&parts, 3, line_no, "arc count")?;
+            }
+            "n" => {
+                let id: u32 = field(&parts, 1, line_no, "node id")?;
+                let n = nodes.ok_or_else(|| ParseDimacsError {
+                    line: line_no,
+                    message: "node designator before problem line".into(),
+                })?;
+                if id == 0 || id as usize > n {
+                    return Err(ParseDimacsError {
+                        line: line_no,
+                        message: format!("node id {id} out of range 1..={n}"),
+                    });
+                }
+                match parts.get(2) {
+                    Some(&"s") => source = Some(id - 1),
+                    Some(&"t") => sink = Some(id - 1),
+                    other => {
+                        return Err(ParseDimacsError {
+                            line: line_no,
+                            message: format!("node designator must be s or t, got {other:?}"),
+                        })
+                    }
+                }
+            }
+            "a" => {
+                let n = nodes.ok_or_else(|| ParseDimacsError {
+                    line: line_no,
+                    message: "arc before problem line".into(),
+                })?;
+                let u: u32 = field(&parts, 1, line_no, "arc tail")?;
+                let v: u32 = field(&parts, 2, line_no, "arc head")?;
+                let c: u64 = field(&parts, 3, line_no, "arc capacity")?;
+                if u == 0 || u as usize > n || v == 0 || v as usize > n {
+                    return Err(ParseDimacsError {
+                        line: line_no,
+                        message: format!("arc ({u},{v}) endpoint out of range 1..={n}"),
+                    });
+                }
+                arcs.push((u - 1, v - 1, c));
+            }
+            other => {
+                return Err(ParseDimacsError {
+                    line: line_no,
+                    message: format!("unknown line type {other:?}"),
+                })
+            }
+        }
+    }
+
+    let nodes = nodes.ok_or(ParseDimacsError {
+        line: 0,
+        message: "missing problem line".into(),
+    })?;
+    if arcs.len() != declared_arcs {
+        return Err(ParseDimacsError {
+            line: 0,
+            message: format!("declared {declared_arcs} arcs, found {}", arcs.len()),
+        });
+    }
+    Ok(DimacsProblem {
+        nodes,
+        source: source.ok_or(ParseDimacsError {
+            line: 0,
+            message: "missing source designator".into(),
+        })?,
+        sink: sink.ok_or(ParseDimacsError {
+            line: 0,
+            message: "missing sink designator".into(),
+        })?,
+        arcs,
+    })
+}
+
+/// Serializes a flow network plus a (source, sink) pair to DIMACS.
+///
+/// Only forward arcs (those with original capacity) are emitted; residual
+/// state is ignored, so the output describes the *problem*, not a solution.
+pub fn write(net: &FlowNetwork, source: u32, sink: u32, comment: &str) -> String {
+    let mut out = String::new();
+    for line in comment.lines() {
+        let _ = writeln!(out, "c {line}");
+    }
+    let mut arcs: Vec<(u32, u32, u64)> = Vec::new();
+    for u in 0..net.node_count() as u32 {
+        for &a in net.arcs_from(u) {
+            // Forward arcs have even id by construction.
+            if a % 2 == 0 {
+                arcs.push((u, net.arc_head(a), net.residual(a) + net.flow(a)));
+            }
+        }
+    }
+    let _ = writeln!(out, "p max {} {}", net.node_count(), arcs.len());
+    let _ = writeln!(out, "n {} s", source + 1);
+    let _ = writeln!(out, "n {} t", sink + 1);
+    for (u, v, c) in arcs {
+        let _ = writeln!(out, "a {} {} {}", u + 1, v + 1, c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxflow::{Dinic, MaxFlow};
+
+    const SAMPLE: &str = "\
+c sample problem
+p max 4 5
+n 1 s
+n 4 t
+a 1 2 3
+a 1 3 2
+a 2 3 1
+a 2 4 2
+a 3 4 3
+";
+
+    #[test]
+    fn parse_sample() {
+        let p = parse(SAMPLE).expect("valid");
+        assert_eq!(p.nodes, 4);
+        assert_eq!(p.source, 0);
+        assert_eq!(p.sink, 3);
+        assert_eq!(p.arcs.len(), 5);
+        assert_eq!(p.arcs[0], (0, 1, 3));
+    }
+
+    #[test]
+    fn parsed_network_solves() {
+        let p = parse(SAMPLE).expect("valid");
+        let mut net = p.to_network();
+        assert_eq!(Dinic::new().max_flow(&mut net, p.source, p.sink, None), 5);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = parse(SAMPLE).expect("valid");
+        let net = p.to_network();
+        let text = write(&net, p.source, p.sink, "roundtrip");
+        let p2 = parse(&text).expect("roundtrip parses");
+        assert_eq!(p.nodes, p2.nodes);
+        assert_eq!(p.source, p2.source);
+        assert_eq!(p.sink, p2.sink);
+        let mut a = p.arcs.clone();
+        let mut b = p2.arcs.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_missing_problem_line() {
+        assert!(parse("a 1 2 3\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arc_count() {
+        let bad = "p max 2 2\nn 1 s\nn 2 t\na 1 2 1\n";
+        let err = parse(bad).unwrap_err();
+        assert!(err.message.contains("declared 2 arcs"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        let bad = "p max 2 1\nn 1 s\nn 2 t\na 1 5 1\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_designator() {
+        let bad = "p max 2 0\nn 1 x\nn 2 t\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_problem_line() {
+        let bad = "p max 2 0\np max 2 0\nn 1 s\nn 2 t\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_non_max_problem() {
+        let bad = "p sp 2 0\nn 1 s\nn 2 t\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let bad = "p max 2 1\nn 1 s\nn 2 t\na one 2 3\n";
+        let err = parse(bad).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.to_string().contains("line 4"));
+    }
+}

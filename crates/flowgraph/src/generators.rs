@@ -1,0 +1,214 @@
+//! Deterministic graph generators for tests, property tests and benches.
+//!
+//! All random generators take an explicit [`rand::Rng`] so callers control
+//! seeding; the experiment harness derives seeds from scenario ids, making
+//! every generated graph reproducible bit-for-bit.
+
+use crate::digraph::DiGraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The 9-vertex example graph of **Figure 1** in the paper.
+///
+/// Vertices `a..i` map to indices `0..9` (`a=0`, `b=1`, …, `i=8`).
+/// From `a` to `i` the maximum edge flow is 3 while the vertex connectivity
+/// `κ(a, i)` is 1: all three edge-disjoint paths funnel through vertex
+/// `e = 4`.
+pub fn paper_figure1() -> DiGraph {
+    DiGraph::from_edges(
+        9,
+        [
+            (0, 1), // a -> b
+            (0, 2), // a -> c
+            (0, 3), // a -> d
+            (1, 4), // b -> e
+            (2, 4), // c -> e
+            (3, 4), // d -> e
+            (4, 5), // e -> f
+            (4, 6), // e -> g
+            (4, 7), // e -> h
+            (5, 8), // f -> i
+            (6, 8), // g -> i
+            (7, 8), // h -> i
+        ],
+    )
+}
+
+/// Complete directed graph: every ordered pair of distinct vertices is an
+/// edge. Its vertex connectivity is `n - 1` by definition.
+pub fn complete(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Directed cycle `0 -> 1 -> … -> n-1 -> 0`; vertex connectivity 1 for
+/// `n >= 3`.
+pub fn cycle(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    if n >= 2 {
+        for v in 0..n as u32 {
+            g.add_edge(v, (v + 1) % n as u32);
+        }
+    }
+    g
+}
+
+/// Bidirected cycle (each cycle edge in both directions); vertex
+/// connectivity 2 for `n >= 4` (non-adjacent pairs have two disjoint arcs
+/// around the ring).
+pub fn bidirected_cycle(n: usize) -> DiGraph {
+    let mut g = cycle(n);
+    for v in 0..n as u32 {
+        g.add_edge((v + 1) % n as u32, v);
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` digraph: each ordered pair becomes an edge
+/// independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> DiGraph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut g = DiGraph::new(n);
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && rng.random_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Random `k`-out digraph: every vertex gets edges to `k` distinct random
+/// targets.
+///
+/// This is the closest synthetic analogue of a Kademlia connectivity graph
+/// — each node "knows" a bounded number of others — and is what the
+/// sampling-validation experiment uses when it needs many graphs cheaply.
+///
+/// # Panics
+///
+/// Panics if `k >= n` (a vertex cannot have `k` distinct non-self targets).
+pub fn random_k_out<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> DiGraph {
+    assert!(n == 0 || k < n, "k must be < n");
+    let mut g = DiGraph::new(n);
+    let mut candidates: Vec<u32> = (0..n as u32).collect();
+    for u in 0..n as u32 {
+        candidates.shuffle(rng);
+        let mut added = 0;
+        for &v in candidates.iter() {
+            if v != u && g.add_edge(u, v) {
+                added += 1;
+                if added == k {
+                    break;
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Symmetric random `k`-out digraph: like [`random_k_out`] but every edge is
+/// inserted in both directions, mimicking the near-undirectedness of real
+/// Kademlia routing tables.
+pub fn random_k_out_symmetric<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> DiGraph {
+    let base = random_k_out(n, k, rng);
+    let mut g = DiGraph::new(n);
+    for (u, v) in base.edges() {
+        g.add_edge(u, v);
+        g.add_edge(v, u);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn figure1_shape() {
+        let g = paper_figure1();
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.out_degree(0), 3);
+        assert_eq!(g.in_degree(8), 3);
+        assert_eq!(g.out_degree(4), 3);
+        assert_eq!(g.in_degree(4), 3);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(5);
+        assert!(g.is_complete());
+        assert_eq!(g.edge_count(), 20);
+    }
+
+    #[test]
+    fn cycle_degrees() {
+        let g = cycle(6);
+        for v in 0..6 {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn bidirected_cycle_reciprocity_is_one() {
+        let g = bidirected_cycle(8);
+        assert_eq!(g.reciprocity(), 1.0);
+        assert_eq!(g.edge_count(), 16);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).edge_count(), 0);
+        assert!(gnp(10, 1.0, &mut rng).is_complete());
+    }
+
+    #[test]
+    fn gnp_deterministic_per_seed() {
+        let a = gnp(20, 0.3, &mut SmallRng::seed_from_u64(42));
+        let b = gnp(20, 0.3, &mut SmallRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_out_has_exact_out_degree() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = random_k_out(30, 4, &mut rng);
+        for v in 0..30 {
+            assert_eq!(g.out_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn k_out_symmetric_is_reciprocal() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = random_k_out_symmetric(25, 3, &mut rng);
+        assert_eq!(g.reciprocity(), 1.0);
+        for v in 0..25 {
+            assert!(g.out_degree(v) >= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be < n")]
+    fn k_out_rejects_large_k() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        random_k_out(4, 4, &mut rng);
+    }
+}

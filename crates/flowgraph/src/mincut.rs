@@ -1,0 +1,156 @@
+//! Minimum vertex cut extraction.
+//!
+//! Equation 2 of the paper (`κ(D) > r ≥ a`) is about *how many* nodes an
+//! attacker must compromise; this module answers *which* nodes those are:
+//! the minimum vertex cut separating a pair. The cut is read off the
+//! residual graph after a max-flow computation on an Even network built with
+//! [`EdgeCapacity::Infinite`] — with unbounded edge arcs, every minimum cut
+//! consists solely of internal (vertex) arcs, so the saturated internal arcs
+//! crossing the source side are exactly the cut vertices.
+
+use crate::digraph::DiGraph;
+use crate::even::{EdgeCapacity, EvenNetwork};
+use crate::maxflow::Dinic;
+
+/// A minimum vertex cut between a non-adjacent vertex pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexCut {
+    /// The vertex connectivity `κ(v, w)` (equals `vertices.len()`).
+    pub connectivity: u64,
+    /// The cut vertices, sorted ascending. Removing them destroys every
+    /// `v -> w` path.
+    pub vertices: Vec<u32>,
+}
+
+/// Computes a minimum vertex cut between non-adjacent `v` and `w`.
+///
+/// Returns `None` for `v == w` or adjacent pairs, where no vertex cut
+/// exists. Runs Dinic internally (a genuine flow, not a preflow, is needed
+/// to read the residual graph).
+///
+/// # Example
+///
+/// ```
+/// use flowgraph::generators::paper_figure1;
+/// use flowgraph::mincut::min_vertex_cut;
+///
+/// let g = paper_figure1();
+/// let cut = min_vertex_cut(&g, 0, 8).expect("non-adjacent");
+/// assert_eq!(cut.connectivity, 1);
+/// assert_eq!(cut.vertices, vec![4]); // vertex e is the articulation point
+/// ```
+///
+/// # Panics
+///
+/// Panics if `v` or `w` is out of range.
+pub fn min_vertex_cut(graph: &DiGraph, v: u32, w: u32) -> Option<VertexCut> {
+    if v == w || graph.has_edge(v, w) {
+        return None;
+    }
+    let mut even = EvenNetwork::with_edge_capacity(graph, EdgeCapacity::Infinite);
+    let connectivity = even
+        .vertex_connectivity(&Dinic::new(), v, w, None)
+        .expect("pair checked non-adjacent");
+
+    // Source side of the residual graph, then collect internal arcs that
+    // cross to the sink side: in-copy reachable, out-copy not.
+    let net = even.network();
+    let reach = net.residual_reachable(EvenNetwork::out_vertex(v));
+    let mut vertices = Vec::new();
+    for x in 0..graph.node_count() as u32 {
+        let in_reach = reach[EvenNetwork::in_vertex(x) as usize];
+        let out_reach = reach[EvenNetwork::out_vertex(x) as usize];
+        if in_reach && !out_reach {
+            vertices.push(x);
+        }
+    }
+    debug_assert_eq!(vertices.len() as u64, connectivity, "cut size != flow value");
+    Some(VertexCut {
+        connectivity,
+        vertices,
+    })
+}
+
+/// Verifies that removing `cut` from `graph` leaves no `v -> w` path.
+/// Used by tests and attack simulations to validate cuts independently.
+pub fn cut_disconnects(graph: &DiGraph, v: u32, w: u32, cut: &[u32]) -> bool {
+    use std::collections::{HashSet, VecDeque};
+    let removed: HashSet<u32> = cut.iter().copied().collect();
+    if removed.contains(&v) || removed.contains(&w) {
+        return true;
+    }
+    let mut seen = vec![false; graph.node_count()];
+    let mut queue = VecDeque::new();
+    seen[v as usize] = true;
+    queue.push_back(v);
+    while let Some(u) = queue.pop_front() {
+        for &x in graph.out_neighbors(u) {
+            if removed.contains(&x) || seen[x as usize] {
+                continue;
+            }
+            if x == w {
+                return false;
+            }
+            seen[x as usize] = true;
+            queue.push_back(x);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, paper_figure1};
+
+    #[test]
+    fn figure1_cut_is_vertex_e() {
+        let g = paper_figure1();
+        let cut = min_vertex_cut(&g, 0, 8).expect("non-adjacent pair");
+        assert_eq!(cut.connectivity, 1);
+        assert_eq!(cut.vertices, vec![4]);
+        assert!(cut_disconnects(&g, 0, 8, &cut.vertices));
+    }
+
+    #[test]
+    fn adjacent_pair_has_no_cut() {
+        let g = DiGraph::from_edges(2, [(0, 1)]);
+        assert!(min_vertex_cut(&g, 0, 1).is_none());
+        assert!(min_vertex_cut(&g, 0, 0).is_none());
+    }
+
+    #[test]
+    fn complete_graph_pairs_are_all_adjacent() {
+        let g = complete(4);
+        for v in 0..4 {
+            for w in 0..4 {
+                assert!(min_vertex_cut(&g, v, w).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn two_disjoint_paths_cut_has_two_vertices() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let cut = min_vertex_cut(&g, 0, 3).expect("non-adjacent");
+        assert_eq!(cut.connectivity, 2);
+        assert_eq!(cut.vertices, vec![1, 2]);
+        assert!(cut_disconnects(&g, 0, 3, &cut.vertices));
+    }
+
+    #[test]
+    fn disconnected_pair_has_empty_cut() {
+        let g = DiGraph::from_edges(3, [(1, 0)]);
+        let cut = min_vertex_cut(&g, 0, 2).expect("non-adjacent");
+        assert_eq!(cut.connectivity, 0);
+        assert!(cut.vertices.is_empty());
+        assert!(cut_disconnects(&g, 0, 2, &[]));
+    }
+
+    #[test]
+    fn cut_disconnects_is_strict() {
+        let g = paper_figure1();
+        // Removing a non-cut vertex does not disconnect the pair.
+        assert!(!cut_disconnects(&g, 0, 8, &[1]));
+    }
+}

@@ -1,0 +1,202 @@
+//! Strongly connected components and connectivity pre-checks.
+//!
+//! A directed graph whose vertices do not all lie in one strongly connected
+//! component has vertex connectivity 0, so the expensive max-flow sweep can
+//! be skipped whenever this cheap `O(V + E)` test fails. The paper observes
+//! exactly this situation after network setup: "a single digit number of
+//! disconnected nodes" forces the measured connectivity to zero.
+
+use crate::digraph::DiGraph;
+
+/// Result of a strongly-connected-component decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SccDecomposition {
+    /// `component[v]` is the id of the SCC containing vertex `v`.
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl SccDecomposition {
+    /// Sizes of the components, indexed by component id.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Vertices outside the largest component — the "disconnected nodes" the
+    /// paper identifies as the cause of zero connectivity after setup.
+    pub fn outside_largest(&self) -> Vec<u32> {
+        if self.count <= 1 {
+            return Vec::new();
+        }
+        let sizes = self.component_sizes();
+        let largest = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(id, &s)| (s, std::cmp::Reverse(id)))
+            .map(|(id, _)| id as u32)
+            .unwrap_or(0);
+        self.component
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != largest)
+            .map(|(v, _)| v as u32)
+            .collect()
+    }
+}
+
+/// Tarjan's algorithm (iterative, no recursion) for strongly connected
+/// components.
+///
+/// # Example
+///
+/// ```
+/// use flowgraph::DiGraph;
+/// use flowgraph::scc::strongly_connected_components;
+///
+/// let g = DiGraph::from_edges(4, [(0, 1), (1, 0), (2, 3)]);
+/// let scc = strongly_connected_components(&g);
+/// assert_eq!(scc.count, 3); // {0,1}, {2}, {3}
+/// ```
+pub fn strongly_connected_components(g: &DiGraph) -> SccDecomposition {
+    let n = g.node_count();
+    let mut index = vec![u32::MAX; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![u32::MAX; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comp_count = 0u32;
+
+    // Explicit DFS frames: (vertex, next child position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != u32::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            let neighbors = g.out_neighbors(v);
+            if *child < neighbors.len() {
+                let w = neighbors[*child];
+                *child += 1;
+                if index[w as usize] == u32::MAX {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is the root of an SCC; pop the stack down to v.
+                    loop {
+                        let w = stack.pop().expect("scc stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = comp_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+            }
+        }
+    }
+
+    SccDecomposition {
+        component,
+        count: comp_count as usize,
+    }
+}
+
+/// Whether the graph is strongly connected (single SCC). Vacuously true for
+/// graphs with fewer than two vertices.
+pub fn is_strongly_connected(g: &DiGraph) -> bool {
+    if g.node_count() <= 1 {
+        return true;
+    }
+    strongly_connected_components(g).count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_is_strongly_connected() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(is_strongly_connected(&g));
+        assert_eq!(strongly_connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn path_is_not_strongly_connected() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(!is_strongly_connected(&g));
+        assert_eq!(strongly_connected_components(&g).count, 3);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        assert!(is_strongly_connected(&DiGraph::new(0)));
+        assert!(is_strongly_connected(&DiGraph::new(1)));
+        assert!(!is_strongly_connected(&DiGraph::new(2)));
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        // {0,1,2} cycle -> bridge -> {3,4,5} cycle: 2 SCCs.
+        let g = DiGraph::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
+        );
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 2);
+        assert_eq!(scc.component[0], scc.component[1]);
+        assert_eq!(scc.component[0], scc.component[2]);
+        assert_eq!(scc.component[3], scc.component[4]);
+        assert_ne!(scc.component[0], scc.component[3]);
+    }
+
+    #[test]
+    fn component_sizes_sum_to_n() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.component_sizes().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn outside_largest_identifies_stragglers() {
+        // Large cycle {0..3}, isolated vertices 4 and 5.
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0), (4, 0), (5, 0)]);
+        let scc = strongly_connected_components(&g);
+        let mut outside = scc.outside_largest();
+        outside.sort_unstable();
+        assert_eq!(outside, vec![4, 5]);
+    }
+
+    #[test]
+    fn outside_largest_empty_when_connected() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(strongly_connected_components(&g).outside_largest().is_empty());
+    }
+}

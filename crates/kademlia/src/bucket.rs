@@ -1,0 +1,240 @@
+//! A single k-bucket.
+//!
+//! Buckets hold at most `k` contacts, ordered least-recently-seen first.
+//! When a bucket is full, new contacts are **dropped** rather than evicting
+//! a live entry — the behaviour the paper leans on when explaining why
+//! large `α` hurts small-`k` networks ("those places are not available for
+//! joining nodes"). Eviction happens only through the staleness limit `s`:
+//! after `s` *consecutive* failed communications a contact is removed.
+
+use crate::contact::Contact;
+use crate::id::NodeId;
+use dessim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A bucket entry: a contact plus liveness bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketEntry {
+    /// The stored contact.
+    pub contact: Contact,
+    /// Consecutive failed communication attempts.
+    pub failures: u32,
+    /// Last time any communication with this contact succeeded (or when it
+    /// was inserted).
+    pub last_seen: SimTime,
+}
+
+/// Outcome of offering a contact to a bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The contact was appended as a fresh entry.
+    Inserted,
+    /// The contact was already present; its liveness was refreshed.
+    Refreshed,
+    /// The bucket is full; the contact was dropped.
+    Full,
+}
+
+/// A k-bucket: at most `k` contacts, least-recently-seen first.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KBucket {
+    entries: Vec<BucketEntry>,
+    k: usize,
+}
+
+impl KBucket {
+    /// Creates an empty bucket with capacity `k`.
+    pub fn new(k: usize) -> Self {
+        KBucket {
+            entries: Vec::new(),
+            k,
+        }
+    }
+
+    /// Number of stored contacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bucket holds no contacts.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the bucket is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.k
+    }
+
+    /// Whether a contact with this id is stored.
+    pub fn contains(&self, id: &NodeId) -> bool {
+        self.position(id).is_some()
+    }
+
+    fn position(&self, id: &NodeId) -> Option<usize> {
+        self.entries.iter().position(|e| e.contact.id == *id)
+    }
+
+    /// Offers a contact observed through *successful* communication.
+    ///
+    /// Present → moved to the most-recently-seen end with failures reset.
+    /// Absent and space available → appended. Absent and full → dropped
+    /// ([`InsertOutcome::Full`]).
+    pub fn offer(&mut self, contact: Contact, now: SimTime) -> InsertOutcome {
+        match self.position(&contact.id) {
+            Some(pos) => {
+                let mut entry = self.entries.remove(pos);
+                entry.failures = 0;
+                entry.last_seen = now;
+                entry.contact = contact;
+                self.entries.push(entry);
+                InsertOutcome::Refreshed
+            }
+            None if self.entries.len() < self.k => {
+                self.entries.push(BucketEntry {
+                    contact,
+                    failures: 0,
+                    last_seen: now,
+                });
+                InsertOutcome::Inserted
+            }
+            None => InsertOutcome::Full,
+        }
+    }
+
+    /// Records a successful communication with `id` (if stored).
+    pub fn record_success(&mut self, id: &NodeId, now: SimTime) {
+        if let Some(pos) = self.position(id) {
+            let mut entry = self.entries.remove(pos);
+            entry.failures = 0;
+            entry.last_seen = now;
+            self.entries.push(entry);
+        }
+    }
+
+    /// Records a failed communication with `id`. Once the failure count
+    /// reaches `staleness_limit` the contact is evicted; returns `true` in
+    /// that case.
+    pub fn record_failure(&mut self, id: &NodeId, staleness_limit: u32) -> bool {
+        if let Some(pos) = self.position(id) {
+            self.entries[pos].failures += 1;
+            if self.entries[pos].failures >= staleness_limit {
+                self.entries.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes a contact outright, returning `true` if it was present.
+    pub fn remove(&mut self, id: &NodeId) -> bool {
+        match self.position(id) {
+            Some(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates entries, least-recently-seen first.
+    pub fn iter(&self) -> impl Iterator<Item = &BucketEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates just the contacts.
+    pub fn contacts(&self) -> impl Iterator<Item = &Contact> {
+        self.entries.iter().map(|e| &e.contact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::NodeAddr;
+
+    fn contact(v: u64) -> Contact {
+        Contact::new(NodeId::from_u64(v, 32), NodeAddr(v as u32))
+    }
+
+    #[test]
+    fn offer_inserts_until_full() {
+        let mut b = KBucket::new(2);
+        assert_eq!(b.offer(contact(1), SimTime::ZERO), InsertOutcome::Inserted);
+        assert_eq!(b.offer(contact(2), SimTime::ZERO), InsertOutcome::Inserted);
+        assert_eq!(b.offer(contact(3), SimTime::ZERO), InsertOutcome::Full);
+        assert_eq!(b.len(), 2);
+        assert!(b.is_full());
+        assert!(!b.contains(&NodeId::from_u64(3, 32)));
+    }
+
+    #[test]
+    fn offer_refreshes_existing() {
+        let mut b = KBucket::new(2);
+        b.offer(contact(1), SimTime::ZERO);
+        b.offer(contact(2), SimTime::ZERO);
+        // Re-offering 1 moves it to the most-recently-seen end.
+        assert_eq!(
+            b.offer(contact(1), SimTime::from_secs(5)),
+            InsertOutcome::Refreshed
+        );
+        let order: Vec<u32> = b.contacts().map(|c| c.addr.0).collect();
+        assert_eq!(order, vec![2, 1]);
+        assert_eq!(b.iter().last().expect("entry").last_seen, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn staleness_limit_one_evicts_immediately() {
+        let mut b = KBucket::new(4);
+        b.offer(contact(1), SimTime::ZERO);
+        assert!(b.record_failure(&NodeId::from_u64(1, 32), 1));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn staleness_limit_five_requires_five_consecutive_failures() {
+        let mut b = KBucket::new(4);
+        let id = NodeId::from_u64(1, 32);
+        b.offer(contact(1), SimTime::ZERO);
+        for _ in 0..4 {
+            assert!(!b.record_failure(&id, 5));
+        }
+        // A success resets the counter — failures must be consecutive.
+        b.record_success(&id, SimTime::from_secs(1));
+        for _ in 0..4 {
+            assert!(!b.record_failure(&id, 5));
+        }
+        assert!(b.record_failure(&id, 5));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn failure_on_absent_contact_is_noop() {
+        let mut b = KBucket::new(2);
+        assert!(!b.record_failure(&NodeId::from_u64(9, 32), 1));
+    }
+
+    #[test]
+    fn eviction_frees_space_for_new_contacts() {
+        let mut b = KBucket::new(1);
+        b.offer(contact(1), SimTime::ZERO);
+        assert_eq!(b.offer(contact(2), SimTime::ZERO), InsertOutcome::Full);
+        b.record_failure(&NodeId::from_u64(1, 32), 1);
+        assert_eq!(b.offer(contact(2), SimTime::ZERO), InsertOutcome::Inserted);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut b = KBucket::new(2);
+        b.offer(contact(1), SimTime::ZERO);
+        assert!(b.remove(&NodeId::from_u64(1, 32)));
+        assert!(!b.remove(&NodeId::from_u64(1, 32)));
+    }
+
+    #[test]
+    fn success_on_absent_contact_is_noop() {
+        let mut b = KBucket::new(2);
+        b.record_success(&NodeId::from_u64(1, 32), SimTime::ZERO);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,397 @@
+//! The iterative lookup state machine.
+//!
+//! A lookup keeps a *shortlist* of candidate contacts ordered by XOR
+//! distance to the target, queries up to `α` of them concurrently, merges
+//! the contacts each response returns, and terminates when either `k` nodes
+//! have been successfully contacted or no untried candidates remain
+//! (paper, Section 4.1: "this process ends when a number of k nodes have
+//! been successfully contacted, or no more progress is made in getting
+//! closer to the target").
+//!
+//! The state machine is pure — it never performs I/O. The network driver
+//! ([`crate::network::SimNetwork`]) feeds it responses/failures and sends
+//! whatever [`LookupState::next_queries`] asks for, which keeps the
+//! protocol logic unit-testable without a simulator.
+
+use crate::config::KademliaConfig;
+use crate::contact::Contact;
+use crate::id::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Unique id of a lookup within one simulation.
+pub type LookupId = u64;
+
+/// Why the lookup is running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LookupPurpose {
+    /// Locate a node / data object (the paper's "lookup procedure").
+    Locate,
+    /// Locate the `k` closest nodes and then store a data object on them
+    /// (the paper's "dissemination procedure").
+    Disseminate,
+}
+
+/// State of one shortlist candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+enum CandidateState {
+    Untried,
+    InFlight,
+    Responded,
+    Failed,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Candidate {
+    contact: Contact,
+    state: CandidateState,
+}
+
+/// The iterative α-parallel lookup state machine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LookupState {
+    id: LookupId,
+    target: NodeId,
+    purpose: LookupPurpose,
+    own_id: NodeId,
+    /// Candidates sorted ascending by distance to the target.
+    shortlist: Vec<Candidate>,
+    capacity: usize,
+    k: usize,
+    alpha: usize,
+    in_flight: usize,
+    responded: usize,
+}
+
+impl LookupState {
+    /// Creates a lookup seeded from the node's routing table.
+    pub fn new(
+        id: LookupId,
+        target: NodeId,
+        purpose: LookupPurpose,
+        own_id: NodeId,
+        seeds: Vec<Contact>,
+        config: &KademliaConfig,
+    ) -> Self {
+        let mut state = LookupState {
+            id,
+            target,
+            purpose,
+            own_id,
+            shortlist: Vec::new(),
+            capacity: config.shortlist_capacity(),
+            k: config.k,
+            alpha: config.alpha,
+            in_flight: 0,
+            responded: 0,
+        };
+        state.merge_candidates(seeds);
+        state
+    }
+
+    /// The lookup's id.
+    pub fn id(&self) -> LookupId {
+        self.id
+    }
+
+    /// The lookup target.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// The lookup purpose.
+    pub fn purpose(&self) -> LookupPurpose {
+        self.purpose
+    }
+
+    /// Queries currently awaiting a response.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Nodes successfully contacted so far.
+    pub fn responded(&self) -> usize {
+        self.responded
+    }
+
+    /// Marks up to `α − in_flight` closest untried candidates as in-flight
+    /// and returns them for the driver to query.
+    pub fn next_queries(&mut self) -> Vec<Contact> {
+        let mut queries = Vec::new();
+        if self.responded >= self.k {
+            return queries;
+        }
+        for cand in self.shortlist.iter_mut() {
+            if self.in_flight >= self.alpha {
+                break;
+            }
+            if cand.state == CandidateState::Untried {
+                cand.state = CandidateState::InFlight;
+                self.in_flight += 1;
+                queries.push(cand.contact);
+            }
+        }
+        queries
+    }
+
+    /// Feeds a successful response from `from`, merging the returned
+    /// contacts into the shortlist.
+    pub fn on_response(&mut self, from: &NodeId, returned: Vec<Contact>) {
+        if let Some(pos) = self.candidate_position(from) {
+            if self.shortlist[pos].state == CandidateState::InFlight {
+                self.in_flight -= 1;
+            }
+            if self.shortlist[pos].state != CandidateState::Responded {
+                self.shortlist[pos].state = CandidateState::Responded;
+                self.responded += 1;
+            }
+        }
+        self.merge_candidates(returned);
+    }
+
+    /// Feeds a failure (timeout or lost round trip) for `from`.
+    pub fn on_failure(&mut self, from: &NodeId) {
+        if let Some(pos) = self.candidate_position(from) {
+            if self.shortlist[pos].state == CandidateState::InFlight {
+                self.in_flight -= 1;
+            }
+            if self.shortlist[pos].state != CandidateState::Responded {
+                self.shortlist[pos].state = CandidateState::Failed;
+            }
+        }
+    }
+
+    /// Whether the lookup is done: `k` successful contacts, or candidates
+    /// exhausted (nothing untried, nothing in flight).
+    pub fn is_finished(&self) -> bool {
+        if self.responded >= self.k {
+            return true;
+        }
+        self.in_flight == 0
+            && !self
+                .shortlist
+                .iter()
+                .any(|c| c.state == CandidateState::Untried)
+    }
+
+    /// The closest successfully-contacted nodes — the lookup result, and
+    /// the STORE targets for a dissemination.
+    pub fn closest_responded(&self, count: usize) -> Vec<Contact> {
+        self.shortlist
+            .iter()
+            .filter(|c| c.state == CandidateState::Responded)
+            .take(count)
+            .map(|c| c.contact)
+            .collect()
+    }
+
+    fn candidate_position(&self, id: &NodeId) -> Option<usize> {
+        self.shortlist.iter().position(|c| c.contact.id == *id)
+    }
+
+    /// Inserts new candidates keeping the list sorted by distance and
+    /// pruning the farthest *untried* entries beyond capacity.
+    fn merge_candidates(&mut self, contacts: Vec<Contact>) {
+        for contact in contacts {
+            if contact.id == self.own_id {
+                continue;
+            }
+            if self.shortlist.iter().any(|c| c.contact.id == contact.id) {
+                continue;
+            }
+            let dist = contact.id.distance(&self.target);
+            let pos = self
+                .shortlist
+                .partition_point(|c| c.contact.id.distance(&self.target) <= dist);
+            self.shortlist.insert(
+                pos,
+                Candidate {
+                    contact,
+                    state: CandidateState::Untried,
+                },
+            );
+        }
+        // Prune: drop farthest untried candidates beyond capacity.
+        if self.shortlist.len() > self.capacity {
+            let mut excess = self.shortlist.len() - self.capacity;
+            let mut i = self.shortlist.len();
+            while excess > 0 && i > 0 {
+                i -= 1;
+                if self.shortlist[i].state == CandidateState::Untried {
+                    self.shortlist.remove(i);
+                    excess -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::NodeAddr;
+
+    fn contact(v: u64) -> Contact {
+        Contact::new(NodeId::from_u64(v, 32), NodeAddr(v as u32))
+    }
+
+    fn config(k: usize, alpha: usize) -> KademliaConfig {
+        KademliaConfig::builder()
+            .bits(32)
+            .k(k)
+            .alpha(alpha)
+            .build()
+            .expect("valid")
+    }
+
+    fn lookup(target: u64, seeds: &[u64], k: usize, alpha: usize) -> LookupState {
+        LookupState::new(
+            1,
+            NodeId::from_u64(target, 32),
+            LookupPurpose::Locate,
+            NodeId::from_u64(u32::MAX as u64, 32),
+            seeds.iter().map(|&v| contact(v)).collect(),
+            &config(k, alpha),
+        )
+    }
+
+    #[test]
+    fn queries_alpha_closest_first() {
+        let mut s = lookup(0, &[1, 2, 50, 100], 20, 2);
+        let q = s.next_queries();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0], contact(1));
+        assert_eq!(q[1], contact(2));
+        assert_eq!(s.in_flight(), 2);
+        // No more slots until a response or failure arrives.
+        assert!(s.next_queries().is_empty());
+    }
+
+    #[test]
+    fn response_frees_slot_and_merges_contacts() {
+        let mut s = lookup(0, &[1, 2, 50], 20, 2);
+        let _ = s.next_queries();
+        s.on_response(&NodeId::from_u64(1, 32), vec![contact(3), contact(4)]);
+        assert_eq!(s.responded(), 1);
+        let q = s.next_queries();
+        // Closest untried are now 3 (just merged); one slot free.
+        assert_eq!(q, vec![contact(3)]);
+    }
+
+    #[test]
+    fn finishes_after_k_successes() {
+        let mut s = lookup(0, &[1, 2, 3], 2, 3);
+        let q = s.next_queries();
+        assert_eq!(q.len(), 3);
+        s.on_response(&NodeId::from_u64(1, 32), vec![]);
+        assert!(!s.is_finished());
+        s.on_response(&NodeId::from_u64(2, 32), vec![]);
+        assert!(s.is_finished(), "k=2 successes reached");
+        assert!(s.next_queries().is_empty(), "finished lookups stop querying");
+    }
+
+    #[test]
+    fn finishes_on_exhaustion() {
+        let mut s = lookup(0, &[1, 2], 20, 3);
+        let _ = s.next_queries();
+        s.on_failure(&NodeId::from_u64(1, 32));
+        assert!(!s.is_finished(), "one query still in flight");
+        s.on_failure(&NodeId::from_u64(2, 32));
+        assert!(s.is_finished(), "all candidates failed");
+        assert_eq!(s.responded(), 0);
+    }
+
+    #[test]
+    fn empty_seed_lookup_is_immediately_finished() {
+        let s = lookup(0, &[], 20, 3);
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn own_id_and_duplicates_excluded() {
+        let own = u32::MAX as u64;
+        let mut s = lookup(0, &[1, 1, own], 20, 5);
+        let q = s.next_queries();
+        assert_eq!(q.len(), 1, "duplicate and self filtered");
+    }
+
+    #[test]
+    fn closest_responded_sorted_by_distance() {
+        let mut s = lookup(0, &[8, 1, 4], 20, 3);
+        let _ = s.next_queries();
+        for v in [8u64, 1, 4] {
+            s.on_response(&NodeId::from_u64(v, 32), vec![]);
+        }
+        let top = s.closest_responded(2);
+        assert_eq!(top, vec![contact(1), contact(4)]);
+    }
+
+    #[test]
+    fn failed_candidates_not_in_result() {
+        let mut s = lookup(0, &[1, 2], 20, 2);
+        let _ = s.next_queries();
+        s.on_response(&NodeId::from_u64(2, 32), vec![]);
+        s.on_failure(&NodeId::from_u64(1, 32));
+        assert_eq!(s.closest_responded(5), vec![contact(2)]);
+    }
+
+    #[test]
+    fn shortlist_capacity_prunes_farthest_untried() {
+        let cfg = KademliaConfig::builder()
+            .bits(32)
+            .k(2)
+            .alpha(1)
+            .shortlist_factor(2)
+            .build()
+            .expect("valid");
+        let mut s = LookupState::new(
+            1,
+            NodeId::from_u64(0, 32),
+            LookupPurpose::Locate,
+            NodeId::from_u64(u32::MAX as u64, 32),
+            (1..=10).map(contact).collect(),
+            &cfg,
+        );
+        // Capacity is 4; merging kept only the closest 4 untried.
+        assert_eq!(s.next_queries().len(), 1);
+        let untried_or_inflight = 4;
+        let total: usize = s.shortlist.len();
+        assert_eq!(total, untried_or_inflight);
+    }
+
+    #[test]
+    fn late_duplicate_response_not_double_counted() {
+        let mut s = lookup(0, &[1, 2], 2, 2);
+        let _ = s.next_queries();
+        s.on_response(&NodeId::from_u64(1, 32), vec![]);
+        s.on_response(&NodeId::from_u64(1, 32), vec![]);
+        assert_eq!(s.responded(), 1);
+    }
+
+    #[test]
+    fn failure_after_response_keeps_responded_state() {
+        let mut s = lookup(0, &[1], 5, 1);
+        let _ = s.next_queries();
+        s.on_response(&NodeId::from_u64(1, 32), vec![]);
+        s.on_failure(&NodeId::from_u64(1, 32));
+        assert_eq!(s.responded(), 1);
+        assert_eq!(s.closest_responded(5).len(), 1);
+    }
+
+    #[test]
+    fn unknown_sender_ignored() {
+        let mut s = lookup(0, &[1], 5, 1);
+        let _ = s.next_queries();
+        s.on_response(&NodeId::from_u64(77, 32), vec![contact(5)]);
+        // 77 wasn't a candidate; its contacts still merge.
+        assert_eq!(s.responded(), 0);
+        assert!(s.next_queries().is_empty(), "alpha=1 and 1 already in flight");
+    }
+
+    #[test]
+    fn purpose_and_accessors() {
+        let s = lookup(7, &[1], 5, 1);
+        assert_eq!(s.id(), 1);
+        assert_eq!(s.target(), NodeId::from_u64(7, 32));
+        assert_eq!(s.purpose(), LookupPurpose::Locate);
+    }
+}

@@ -1,0 +1,663 @@
+//! The simulated Kademlia network: nodes + event queue + transport.
+//!
+//! `SimNetwork` is the PeerSim-equivalent driver. It owns every node, the
+//! deterministic event queue, the transport (latency + loss) and the RPC
+//! bookkeeping (pending requests, timeouts). The experiment harness applies
+//! *scenario* actions — joins, silent departures, lookups, disseminations —
+//! between calls to [`SimNetwork::run_until`], and takes routing-table
+//! snapshots that the analysis layer turns into connectivity graphs.
+
+use crate::config::{KademliaConfig, RefreshPolicy};
+use crate::contact::{Contact, NodeAddr};
+use crate::id::NodeId;
+use crate::lookup::{LookupId, LookupPurpose, LookupState};
+use crate::messages::{Message, RequestKind, ResponseBody, RpcId};
+use crate::node::KademliaNode;
+use crate::snapshot::RoutingSnapshot;
+use dessim::event::EventId;
+use dessim::metrics::Counters;
+use dessim::rng::RngFactory;
+use dessim::scheduler::EventQueue;
+use dessim::time::SimTime;
+use dessim::transport::Transport;
+use rand::rngs::SmallRng;
+use std::collections::HashMap;
+
+/// Events processed by the network driver.
+#[derive(Clone, Debug)]
+pub enum SimEvent {
+    /// A message arrives at a node.
+    Deliver {
+        /// Destination address.
+        to: NodeAddr,
+        /// The message.
+        msg: Message,
+    },
+    /// An RPC's response did not arrive in time.
+    RpcTimeout {
+        /// The request that timed out.
+        rpc_id: RpcId,
+    },
+    /// A node's periodic bucket refresh is due.
+    RefreshTick {
+        /// The refreshing node.
+        node: NodeAddr,
+    },
+}
+
+/// A request awaiting its response.
+#[derive(Clone, Debug)]
+struct PendingRpc {
+    requester: NodeAddr,
+    to: Contact,
+    lookup: Option<LookupId>,
+    timeout_event: EventId,
+}
+
+/// The simulated network (see module docs).
+#[derive(Debug)]
+pub struct SimNetwork {
+    config: KademliaConfig,
+    transport: Transport,
+    nodes: Vec<KademliaNode>,
+    queue: EventQueue<SimEvent>,
+    pending: HashMap<RpcId, PendingRpc>,
+    next_rpc_id: RpcId,
+    next_lookup_id: LookupId,
+    transport_rng: SmallRng,
+    refresh_rng: SmallRng,
+    id_rng: SmallRng,
+    counters: Counters,
+    alive_count: usize,
+}
+
+impl SimNetwork {
+    /// Creates an empty network.
+    ///
+    /// `seed` drives every random decision (ids, latencies, loss, refresh
+    /// targets) through independent labelled streams, so identical seeds
+    /// reproduce identical runs.
+    pub fn new(config: KademliaConfig, transport: Transport, seed: u64) -> Self {
+        let factory = RngFactory::new(seed);
+        SimNetwork {
+            config,
+            transport,
+            nodes: Vec::new(),
+            queue: EventQueue::new(),
+            pending: HashMap::new(),
+            next_rpc_id: 0,
+            next_lookup_id: 0,
+            transport_rng: factory.stream("transport"),
+            refresh_rng: factory.stream("refresh"),
+            id_rng: factory.stream("node-ids"),
+            counters: Counters::new(),
+            alive_count: 0,
+        }
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &KademliaConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Event counters (messages sent/lost, lookups, timeouts, …).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Total nodes ever spawned (alive and departed).
+    pub fn spawned_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Borrow a node by address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address was never spawned.
+    pub fn node(&self, addr: NodeAddr) -> &KademliaNode {
+        &self.nodes[addr.index()]
+    }
+
+    /// Addresses of all currently alive nodes, ascending.
+    pub fn alive_addrs(&self) -> Vec<NodeAddr> {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.contact.addr)
+            .collect()
+    }
+
+    /// Creates a new node with a fresh random id. The node is alive (it
+    /// answers requests) but knows nobody until [`SimNetwork::join`].
+    pub fn spawn_node(&mut self) -> NodeAddr {
+        let addr = NodeAddr(self.nodes.len() as u32);
+        let id = NodeId::random(&mut self.id_rng, self.config.bits);
+        let contact = Contact::new(id, addr);
+        self.nodes
+            .push(KademliaNode::new(contact, &self.config, self.now()));
+        self.alive_count += 1;
+        self.counters.incr("node_spawned");
+        addr
+    }
+
+    /// Joins the network: seeds the routing table with the bootstrap
+    /// contact, looks up the node's own id (which advertises the joiner to
+    /// the nodes it queries), and schedules the periodic bucket refresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or the bootstrap address was never spawned.
+    pub fn join(&mut self, addr: NodeAddr, bootstrap: Option<NodeAddr>) {
+        let now = self.now();
+        if let Some(b) = bootstrap {
+            let bc = self.nodes[b.index()].contact;
+            self.nodes[addr.index()].routing.offer(bc, now);
+            self.nodes[addr.index()].bootstrap = Some(bc);
+        }
+        let own_id = self.nodes[addr.index()].id();
+        self.start_lookup_internal(addr, own_id, LookupPurpose::Locate);
+        self.queue.schedule_after(
+            self.config.refresh_interval,
+            SimEvent::RefreshTick { node: addr },
+        );
+        self.counters.incr("node_joined");
+    }
+
+    /// Removes a node silently (churn / failure / compromise): it stops
+    /// answering but remains in other nodes' routing tables until the
+    /// staleness limit evicts it.
+    ///
+    /// Returns `false` if the node was already gone.
+    pub fn remove_node(&mut self, addr: NodeAddr) -> bool {
+        let node = &mut self.nodes[addr.index()];
+        if !node.alive {
+            return false;
+        }
+        node.alive = false;
+        node.lookups.clear();
+        self.alive_count -= 1;
+        self.counters.incr("node_removed");
+        true
+    }
+
+    /// Starts a lookup for `target` at `addr` (the paper's "lookup
+    /// procedure"). Returns the lookup id, or `None` if the node is dead.
+    pub fn start_lookup(&mut self, addr: NodeAddr, target: NodeId) -> Option<LookupId> {
+        if !self.nodes[addr.index()].alive {
+            return None;
+        }
+        self.counters.incr("lookup_started");
+        Some(self.start_lookup_internal(addr, target, LookupPurpose::Locate))
+    }
+
+    /// Starts a dissemination of `key` at `addr`: locate the `k` closest
+    /// nodes, then STORE the object on them.
+    pub fn start_store(&mut self, addr: NodeAddr, key: NodeId) -> Option<LookupId> {
+        if !self.nodes[addr.index()].alive {
+            return None;
+        }
+        self.counters.incr("store_started");
+        Some(self.start_lookup_internal(addr, key, LookupPurpose::Disseminate))
+    }
+
+    /// Runs the event loop until simulated time `t`, then advances the
+    /// clock to exactly `t` (convenient for aligning snapshots).
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some((_, event)) = self.queue.pop_before(t) {
+            self.dispatch(event);
+        }
+        self.queue.advance_to(t);
+    }
+
+    /// Drains every pending event. Only sensible in tests and small
+    /// examples; scenario runs always bound time with `run_until`.
+    pub fn run_to_quiescence(&mut self) {
+        while let Some((_, event)) = self.queue.pop_before(SimTime::MAX) {
+            self.dispatch(event);
+        }
+    }
+
+    /// Captures the connectivity snapshot: every alive node and one edge
+    /// per routing-table entry pointing at another alive node.
+    pub fn snapshot(&self) -> RoutingSnapshot {
+        RoutingSnapshot::capture(self.now(), &self.nodes)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn start_lookup_internal(
+        &mut self,
+        addr: NodeAddr,
+        target: NodeId,
+        purpose: LookupPurpose,
+    ) -> LookupId {
+        let id = self.next_lookup_id;
+        self.next_lookup_id += 1;
+        let node = &mut self.nodes[addr.index()];
+        let mut seeds = node.routing.closest(&target, self.config.shortlist_capacity());
+        if seeds.is_empty() {
+            // Empty routing table (join request lost, or heavy loss evicted
+            // everything): fall back to the remembered bootstrap contact so
+            // the node keeps retrying instead of staying isolated forever.
+            if let Some(b) = node.bootstrap {
+                seeds.push(b);
+                self.counters.incr("bootstrap_reseed");
+            }
+        }
+        let state = LookupState::new(id, target, purpose, node.id(), seeds, &self.config);
+        node.lookups.insert(id, state);
+        self.drive_lookup(addr, id);
+        id
+    }
+
+    /// Advances a lookup: sends fresh queries or finalizes it.
+    fn drive_lookup(&mut self, addr: NodeAddr, lookup_id: LookupId) {
+        let (queries, finished) = {
+            let node = &mut self.nodes[addr.index()];
+            let Some(state) = node.lookups.get_mut(&lookup_id) else {
+                return;
+            };
+            let queries = state.next_queries();
+            (queries, state.is_finished())
+        };
+        if finished {
+            let node = &mut self.nodes[addr.index()];
+            let state = node
+                .lookups
+                .remove(&lookup_id)
+                .expect("finished lookup present");
+            self.counters.incr("lookup_finished");
+            if state.purpose() == LookupPurpose::Disseminate {
+                let key = state.target();
+                for c in state.closest_responded(self.config.k) {
+                    self.send_request(addr, c, RequestKind::Store(key), None);
+                    self.counters.incr("store_rpc_sent");
+                }
+            }
+            return;
+        }
+        let target = {
+            let node = &self.nodes[addr.index()];
+            match node.lookups.get(&lookup_id) {
+                Some(s) => s.target(),
+                None => return,
+            }
+        };
+        for c in queries {
+            self.send_request(addr, c, RequestKind::FindNode(target), Some(lookup_id));
+        }
+    }
+
+    fn send_request(
+        &mut self,
+        from: NodeAddr,
+        to: Contact,
+        kind: RequestKind,
+        lookup: Option<LookupId>,
+    ) {
+        let rpc_id = self.next_rpc_id;
+        self.next_rpc_id += 1;
+        let timeout_event = self.queue.schedule_after(
+            self.config.rpc_timeout,
+            SimEvent::RpcTimeout { rpc_id },
+        );
+        self.pending.insert(
+            rpc_id,
+            PendingRpc {
+                requester: from,
+                to,
+                lookup,
+                timeout_event,
+            },
+        );
+        self.counters.incr("rpc_sent");
+        let msg = Message::Request {
+            rpc_id,
+            from: self.nodes[from.index()].contact,
+            kind,
+        };
+        self.send_message(to.addr, msg);
+    }
+
+    fn send_message(&mut self, to: NodeAddr, msg: Message) {
+        let now = self.now();
+        match self
+            .transport
+            .delivery_time(&mut self.transport_rng, now)
+        {
+            Some(at) => {
+                self.queue.schedule_at(at, SimEvent::Deliver { to, msg });
+                self.counters.incr("msg_sent");
+            }
+            None => self.counters.incr("msg_lost"),
+        }
+    }
+
+    fn dispatch(&mut self, event: SimEvent) {
+        match event {
+            SimEvent::Deliver { to, msg } => self.on_deliver(to, msg),
+            SimEvent::RpcTimeout { rpc_id } => self.on_timeout(rpc_id),
+            SimEvent::RefreshTick { node } => self.on_refresh(node),
+        }
+    }
+
+    fn on_deliver(&mut self, to: NodeAddr, msg: Message) {
+        if !self.nodes[to.index()].alive {
+            self.counters.incr("msg_to_dead");
+            return;
+        }
+        match msg {
+            Message::Request { rpc_id, from, kind } => {
+                let now = self.now();
+                let (response, responder) = {
+                    let node = &mut self.nodes[to.index()];
+                    // "The nodes in Kademlia attempt to add each other to
+                    // their respective routing tables": requests advertise
+                    // the requester.
+                    node.routing.offer(from, now);
+                    (node.handle_request(&kind, self.config.k), node.contact)
+                };
+                self.counters.incr("request_handled");
+                self.send_message(
+                    from.addr,
+                    Message::Response {
+                        rpc_id,
+                        from: responder,
+                        body: response,
+                    },
+                );
+            }
+            Message::Response { rpc_id, from, body } => {
+                let Some(pending) = self.pending.remove(&rpc_id) else {
+                    // The timeout already declared this RPC failed.
+                    self.counters.incr("late_response");
+                    return;
+                };
+                self.queue.cancel(pending.timeout_event);
+                debug_assert_eq!(pending.requester, to, "response routed to requester");
+                let now = self.now();
+                {
+                    let node = &mut self.nodes[to.index()];
+                    node.routing.offer(from, now);
+                    node.routing.record_success(&from.id, now);
+                }
+                self.counters.incr("response_received");
+                if let Some(lookup_id) = pending.lookup {
+                    let contacts = match body {
+                        ResponseBody::Nodes(nodes) => nodes,
+                        _ => Vec::new(),
+                    };
+                    if let Some(state) =
+                        self.nodes[to.index()].lookups.get_mut(&lookup_id)
+                    {
+                        state.on_response(&from.id, contacts);
+                    }
+                    self.drive_lookup(to, lookup_id);
+                }
+            }
+        }
+    }
+
+    fn on_timeout(&mut self, rpc_id: RpcId) {
+        let Some(pending) = self.pending.remove(&rpc_id) else {
+            return; // response arrived first
+        };
+        self.counters.incr("rpc_timeout");
+        let requester = pending.requester;
+        if !self.nodes[requester.index()].alive {
+            return;
+        }
+        let evicted = self.nodes[requester.index()]
+            .routing
+            .record_failure(&pending.to.id);
+        if evicted {
+            self.counters.incr("contact_evicted");
+        }
+        if let Some(lookup_id) = pending.lookup {
+            if let Some(state) = self.nodes[requester.index()].lookups.get_mut(&lookup_id) {
+                state.on_failure(&pending.to.id);
+            }
+            self.drive_lookup(requester, lookup_id);
+        }
+    }
+
+    fn on_refresh(&mut self, addr: NodeAddr) {
+        if !self.nodes[addr.index()].alive {
+            return;
+        }
+        self.counters.incr("refresh_tick");
+        let bits = self.config.bits as usize;
+        let first_bucket = match self.config.refresh_policy {
+            RefreshPolicy::AllBuckets => 0,
+            RefreshPolicy::OccupiedWithMargin(margin) => {
+                let node = &self.nodes[addr.index()];
+                let lowest_occupied = (0..bits)
+                    .find(|&i| !node.routing.bucket(i).is_empty())
+                    .unwrap_or(bits.saturating_sub(1));
+                lowest_occupied.saturating_sub(margin)
+            }
+        };
+        for i in first_bucket..bits {
+            let target = self.nodes[addr.index()]
+                .routing
+                .random_id_in_bucket(&mut self.refresh_rng, i);
+            self.counters.incr("refresh_lookup");
+            self.start_lookup_internal(addr, target, LookupPurpose::Locate);
+        }
+        self.queue.schedule_after(
+            self.config.refresh_interval,
+            SimEvent::RefreshTick { node: addr },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dessim::latency::LatencyModel;
+    use dessim::loss::LossModel;
+    use dessim::time::SimDuration;
+
+    fn test_config(k: usize) -> KademliaConfig {
+        KademliaConfig::builder()
+            .bits(32)
+            .k(k)
+            .staleness_limit(1)
+            .build()
+            .expect("valid")
+    }
+
+    fn lossless() -> Transport {
+        Transport::lossless(LatencyModel::Constant(SimDuration::from_millis(10)))
+    }
+
+    /// Builds a network of `n` joined nodes, each bootstrapping off a
+    /// random earlier node, and lets it settle.
+    fn build_network(n: usize, k: usize, seed: u64) -> SimNetwork {
+        let mut net = SimNetwork::new(test_config(k), lossless(), seed);
+        let mut prev: Option<NodeAddr> = None;
+        for i in 0..n {
+            let addr = net.spawn_node();
+            net.join(addr, prev);
+            prev = Some(addr);
+            net.run_until(SimTime::from_secs((i as u64 + 1) * 10));
+        }
+        net.run_until(SimTime::from_minutes(30));
+        net
+    }
+
+    #[test]
+    fn two_nodes_learn_each_other() {
+        let mut net = SimNetwork::new(test_config(4), lossless(), 1);
+        let a = net.spawn_node();
+        net.join(a, None);
+        let b = net.spawn_node();
+        net.join(b, Some(a));
+        net.run_until(SimTime::from_secs(10));
+        let (ida, idb) = (net.node(a).id(), net.node(b).id());
+        assert!(net.node(b).routing.contains(&ida), "b bootstrapped off a");
+        assert!(net.node(a).routing.contains(&idb), "a learned b from its lookup");
+    }
+
+    #[test]
+    fn network_becomes_mutually_known() {
+        let net = build_network(12, 8, 2);
+        // Every node should know a decent number of others.
+        for addr in net.alive_addrs() {
+            assert!(
+                net.node(addr).routing.contact_count() >= 4,
+                "node {addr} knows only {}",
+                net.node(addr).routing.contact_count()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_edges_reference_alive_nodes() {
+        let mut net = build_network(10, 4, 3);
+        let victim = net.alive_addrs()[3];
+        net.remove_node(victim);
+        let snap = net.snapshot();
+        assert_eq!(snap.node_count(), 9);
+        for &(u, v) in snap.edges() {
+            assert!(u != v);
+            assert!((u as usize) < 9 && (v as usize) < 9);
+        }
+    }
+
+    #[test]
+    fn removed_node_stops_answering_and_gets_evicted() {
+        let mut net = build_network(8, 4, 4);
+        let victim = net.alive_addrs()[0];
+        let victim_id = net.node(victim).id();
+        net.remove_node(victim);
+        // Someone still knows the victim.
+        let knowers: Vec<NodeAddr> = net
+            .alive_addrs()
+            .into_iter()
+            .filter(|&a| net.node(a).routing.contains(&victim_id))
+            .collect();
+        assert!(!knowers.is_empty(), "victim should still be referenced");
+        // Pinging the victim times out and (s=1) evicts it.
+        let knower = knowers[0];
+        net.send_request(
+            knower,
+            Contact::new(victim_id, victim),
+            RequestKind::Ping,
+            None,
+        );
+        net.run_until(net.now() + SimDuration::from_secs(5));
+        assert!(
+            !net.node(knower).routing.contains(&victim_id),
+            "stale contact evicted after failed ping"
+        );
+        assert!(net.counters().get("contact_evicted") >= 1);
+    }
+
+    #[test]
+    fn store_disseminates_to_k_closest() {
+        let mut net = build_network(10, 4, 5);
+        let origin = net.alive_addrs()[0];
+        let key = NodeId::from_u64(0x1234_5678, 32);
+        net.start_store(origin, key);
+        net.run_until(net.now() + SimDuration::from_secs(30));
+        let holders = net
+            .alive_addrs()
+            .into_iter()
+            .filter(|&a| net.node(a).storage.contains(&key))
+            .count();
+        assert!(
+            holders >= 2,
+            "key should be stored on several nodes, got {holders}"
+        );
+        assert!(holders <= 4, "no more than k holders, got {holders}");
+    }
+
+    #[test]
+    fn lookups_finish() {
+        let mut net = build_network(10, 4, 6);
+        let origin = net.alive_addrs()[1];
+        let started = net.counters().get("lookup_started");
+        net.start_lookup(origin, NodeId::from_u64(99, 32));
+        net.run_until(net.now() + SimDuration::from_secs(30));
+        assert!(net.counters().get("lookup_started") == started + 1);
+        assert!(net.node(origin).lookups.is_empty(), "lookup state cleaned up");
+    }
+
+    #[test]
+    fn dead_nodes_cannot_start_operations() {
+        let mut net = build_network(6, 4, 7);
+        let victim = net.alive_addrs()[0];
+        net.remove_node(victim);
+        assert!(net.start_lookup(victim, NodeId::from_u64(1, 32)).is_none());
+        assert!(net.start_store(victim, NodeId::from_u64(1, 32)).is_none());
+        assert!(!net.remove_node(victim), "double removal reports false");
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let a = build_network(15, 4, 42);
+        let b = build_network(15, 4, 42);
+        let snap_a = a.snapshot();
+        let snap_b = b.snapshot();
+        assert_eq!(snap_a.edges(), snap_b.edges());
+        assert_eq!(
+            a.counters().get("msg_sent"),
+            b.counters().get("msg_sent")
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = build_network(15, 4, 1);
+        let b = build_network(15, 4, 2);
+        // Ids differ, so snapshots almost surely differ.
+        assert_ne!(a.snapshot().ids(), b.snapshot().ids());
+    }
+
+    #[test]
+    fn message_loss_is_counted() {
+        let config = test_config(4);
+        let transport = Transport::new(
+            LatencyModel::Constant(SimDuration::from_millis(10)),
+            LossModel::Bernoulli(0.5),
+        );
+        let mut net = SimNetwork::new(config, transport, 8);
+        let mut prev = None;
+        for _ in 0..10 {
+            let addr = net.spawn_node();
+            net.join(addr, prev);
+            prev = Some(addr);
+            net.run_until(net.now() + SimDuration::from_secs(10));
+        }
+        net.run_until(SimTime::from_minutes(10));
+        assert!(net.counters().get("msg_lost") > 0, "loss should occur");
+        assert!(net.counters().get("rpc_timeout") > 0, "loss causes timeouts");
+    }
+
+    #[test]
+    fn refresh_ticks_fire_periodically() {
+        let mut net = build_network(5, 4, 9);
+        net.run_until(SimTime::from_minutes(185));
+        // 5 nodes, refresh every 60 min, joined within the first 30 min:
+        // by minute 185 every node has refreshed at least twice.
+        assert!(
+            net.counters().get("refresh_tick") >= 10,
+            "got {}",
+            net.counters().get("refresh_tick")
+        );
+    }
+}

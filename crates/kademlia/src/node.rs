@@ -1,0 +1,132 @@
+//! Per-node protocol state and request handling.
+
+use crate::config::KademliaConfig;
+use crate::contact::Contact;
+use crate::id::NodeId;
+use crate::lookup::{LookupId, LookupState};
+use crate::messages::{RequestKind, ResponseBody};
+use crate::routing::RoutingTable;
+use dessim::time::SimTime;
+use std::collections::{HashMap, HashSet};
+
+/// One simulated Kademlia node: identity, routing table, stored keys and
+/// in-progress lookups.
+///
+/// Nodes are pure protocol state; all I/O (transport, timers) is owned by
+/// [`crate::network::SimNetwork`], which calls into the node and sends
+/// whatever needs sending.
+#[derive(Clone, Debug)]
+pub struct KademliaNode {
+    /// This node's identity and address.
+    pub contact: Contact,
+    /// The node's routing table.
+    pub routing: RoutingTable,
+    /// Keys of data objects stored at this node via STORE.
+    pub storage: HashSet<NodeId>,
+    /// Whether the node is part of the network. Dead nodes silently drop
+    /// everything — indistinguishable from a crashed or compromised node,
+    /// exactly as the paper's system model prescribes.
+    pub alive: bool,
+    /// When the node joined the network.
+    pub joined_at: SimTime,
+    /// The bootstrap contact this node joined through. Kept as a recovery
+    /// seed: if loss evicts every routing-table entry before the join
+    /// completes (a real possibility at `s = 1` under heavy loss), the
+    /// next lookup re-seeds from the bootstrap — the overlay equivalent of
+    /// a deployed node retrying its configured bootstrap list.
+    pub bootstrap: Option<Contact>,
+    /// In-progress lookups by id.
+    pub lookups: HashMap<LookupId, LookupState>,
+}
+
+impl KademliaNode {
+    /// Creates an alive node with an empty routing table.
+    pub fn new(contact: Contact, config: &KademliaConfig, now: SimTime) -> Self {
+        KademliaNode {
+            contact,
+            routing: RoutingTable::new(contact.id, config),
+            storage: HashSet::new(),
+            alive: true,
+            joined_at: now,
+            bootstrap: None,
+            lookups: HashMap::new(),
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.contact.id
+    }
+
+    /// Handles an incoming request, updating local state, and produces the
+    /// response body. The caller (network driver) has already verified the
+    /// node is alive and recorded the requester in the routing table.
+    pub fn handle_request(&mut self, kind: &RequestKind, k: usize) -> ResponseBody {
+        match kind {
+            RequestKind::Ping => ResponseBody::Pong,
+            RequestKind::FindNode(target) => ResponseBody::Nodes(self.routing.closest(target, k)),
+            RequestKind::Store(key) => {
+                self.storage.insert(*key);
+                ResponseBody::StoreOk
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::NodeAddr;
+
+    fn node() -> KademliaNode {
+        let config = KademliaConfig::builder().bits(32).k(2).build().expect("valid");
+        KademliaNode::new(
+            Contact::new(NodeId::from_u64(0, 32), NodeAddr(0)),
+            &config,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn ping_pongs() {
+        let mut n = node();
+        assert_eq!(n.handle_request(&RequestKind::Ping, 2), ResponseBody::Pong);
+    }
+
+    #[test]
+    fn find_node_returns_closest() {
+        let mut n = node();
+        for v in [1u64, 9, 200] {
+            n.routing
+                .offer(Contact::new(NodeId::from_u64(v, 32), NodeAddr(v as u32)), SimTime::ZERO);
+        }
+        let body = n.handle_request(&RequestKind::FindNode(NodeId::from_u64(8, 32)), 2);
+        match body {
+            ResponseBody::Nodes(nodes) => {
+                assert_eq!(nodes.len(), 2);
+                assert_eq!(nodes[0].addr, NodeAddr(9)); // distance 1
+                assert_eq!(nodes[1].addr, NodeAddr(1)); // distance 9
+            }
+            other => panic!("expected Nodes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_persists_key() {
+        let mut n = node();
+        let key = NodeId::from_u64(77, 32);
+        assert_eq!(
+            n.handle_request(&RequestKind::Store(key), 2),
+            ResponseBody::StoreOk
+        );
+        assert!(n.storage.contains(&key));
+    }
+
+    #[test]
+    fn new_node_is_alive_and_empty() {
+        let n = node();
+        assert!(n.alive);
+        assert_eq!(n.routing.contact_count(), 0);
+        assert!(n.lookups.is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! The per-node routing table: `b` k-buckets indexed by XOR distance.
+
+use crate::bucket::{InsertOutcome, KBucket};
+use crate::config::KademliaConfig;
+use crate::contact::Contact;
+use crate::id::NodeId;
+use dessim::time::SimTime;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A Kademlia routing table.
+///
+/// Bucket `i` stores contacts at XOR distance `[2^i, 2^(i+1))` from the
+/// owner (paper, Section 4.1). The table never stores the owner itself.
+///
+/// # Example
+///
+/// ```
+/// use dessim::time::SimTime;
+/// use kademlia::config::KademliaConfig;
+/// use kademlia::contact::{Contact, NodeAddr};
+/// use kademlia::id::NodeId;
+/// use kademlia::routing::RoutingTable;
+///
+/// let config = KademliaConfig::builder().bits(16).k(2).build()?;
+/// let mut table = RoutingTable::new(NodeId::from_u64(0, 16), &config);
+/// table.offer(Contact::new(NodeId::from_u64(5, 16), NodeAddr(1)), SimTime::ZERO);
+/// table.offer(Contact::new(NodeId::from_u64(9, 16), NodeAddr(2)), SimTime::ZERO);
+/// let closest = table.closest(&NodeId::from_u64(4, 16), 1);
+/// assert_eq!(closest[0].addr, NodeAddr(1));
+/// # Ok::<(), kademlia::config::ConfigError>(())
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoutingTable {
+    own_id: NodeId,
+    buckets: Vec<KBucket>,
+    staleness_limit: u32,
+}
+
+impl RoutingTable {
+    /// Creates an empty table for the node `own_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `own_id` does not fit into the configured bit-length.
+    pub fn new(own_id: NodeId, config: &KademliaConfig) -> Self {
+        assert!(own_id.fits(config.bits), "own id exceeds configured bits");
+        RoutingTable {
+            own_id,
+            buckets: (0..config.bits).map(|_| KBucket::new(config.k)).collect(),
+            staleness_limit: config.staleness_limit,
+        }
+    }
+
+    /// The owner's identifier.
+    pub fn own_id(&self) -> NodeId {
+        self.own_id
+    }
+
+    /// Number of buckets (`b`).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket index `id` falls into, or `None` for the owner's own id.
+    pub fn bucket_index(&self, id: &NodeId) -> Option<usize> {
+        self.own_id.bucket_index_of(id)
+    }
+
+    /// Offers a contact observed through successful communication; see
+    /// [`KBucket::offer`] for the bucket-full policy.
+    ///
+    /// A node never stores itself: offering the owner's own id is rejected
+    /// and reported as [`InsertOutcome::Full`].
+    pub fn offer(&mut self, contact: Contact, now: SimTime) -> InsertOutcome {
+        match self.bucket_index(&contact.id) {
+            Some(i) => self.buckets[i].offer(contact, now),
+            None => InsertOutcome::Full,
+        }
+    }
+
+    /// Records a successful round trip with `id`.
+    pub fn record_success(&mut self, id: &NodeId, now: SimTime) {
+        if let Some(i) = self.bucket_index(id) {
+            self.buckets[i].record_success(id, now);
+        }
+    }
+
+    /// Records a failed communication with `id`; returns `true` if the
+    /// staleness limit evicted the contact.
+    pub fn record_failure(&mut self, id: &NodeId) -> bool {
+        match self.bucket_index(id) {
+            Some(i) => self.buckets[i].record_failure(id, self.staleness_limit),
+            None => false,
+        }
+    }
+
+    /// Removes `id` outright (used when a node is told a contact is gone).
+    pub fn remove(&mut self, id: &NodeId) -> bool {
+        match self.bucket_index(id) {
+            Some(i) => self.buckets[i].remove(id),
+            None => false,
+        }
+    }
+
+    /// Whether `id` is currently stored.
+    pub fn contains(&self, id: &NodeId) -> bool {
+        self.bucket_index(id)
+            .map(|i| self.buckets[i].contains(id))
+            .unwrap_or(false)
+    }
+
+    /// The `count` stored contacts closest to `target` by XOR distance,
+    /// closest first. This is the answer to a FIND_NODE request.
+    ///
+    /// Hot path for the simulator (one call per FIND_NODE), so it selects
+    /// the top `count` before sorting instead of sorting the whole table.
+    pub fn closest(&self, target: &NodeId, count: usize) -> Vec<Contact> {
+        let mut all: Vec<Contact> = self.contacts().copied().collect();
+        if count < all.len() {
+            all.select_nth_unstable_by_key(count, |c| c.id.distance(target));
+            all.truncate(count);
+        }
+        all.sort_by_key(|c| c.id.distance(target));
+        all
+    }
+
+    /// Iterates all stored contacts (bucket order, LRS first within each).
+    pub fn contacts(&self) -> impl Iterator<Item = &Contact> {
+        self.buckets.iter().flat_map(|b| b.contacts())
+    }
+
+    /// Total number of stored contacts.
+    pub fn contact_count(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+
+    /// Access to bucket `i` (for refresh and diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bucket_count()`.
+    pub fn bucket(&self, i: usize) -> &KBucket {
+        &self.buckets[i]
+    }
+
+    /// Draws a random target id inside bucket `i`'s distance range — the
+    /// refresh procedure's lookup target.
+    pub fn random_id_in_bucket<R: Rng + ?Sized>(&self, rng: &mut R, i: usize) -> NodeId {
+        self.own_id
+            .random_in_bucket(rng, i, self.buckets.len() as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::NodeAddr;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn config(bits: u16, k: usize) -> KademliaConfig {
+        KademliaConfig::builder().bits(bits).k(k).build().expect("valid")
+    }
+
+    fn contact(v: u64) -> Contact {
+        Contact::new(NodeId::from_u64(v, 16), NodeAddr(v as u32))
+    }
+
+    #[test]
+    fn contacts_land_in_correct_buckets() {
+        let mut t = RoutingTable::new(NodeId::from_u64(0, 16), &config(16, 20));
+        t.offer(contact(1), SimTime::ZERO); // distance 1 -> bucket 0
+        t.offer(contact(2), SimTime::ZERO); // distance 2 -> bucket 1
+        t.offer(contact(3), SimTime::ZERO); // distance 3 -> bucket 1
+        t.offer(contact(0x8000), SimTime::ZERO); // bucket 15
+        assert_eq!(t.bucket(0).len(), 1);
+        assert_eq!(t.bucket(1).len(), 2);
+        assert_eq!(t.bucket(15).len(), 1);
+        assert_eq!(t.contact_count(), 4);
+    }
+
+    #[test]
+    fn own_id_is_never_stored() {
+        let mut t = RoutingTable::new(NodeId::from_u64(7, 16), &config(16, 20));
+        t.offer(Contact::new(NodeId::from_u64(7, 16), NodeAddr(9)), SimTime::ZERO);
+        assert_eq!(t.contact_count(), 0);
+        assert!(!t.contains(&NodeId::from_u64(7, 16)));
+    }
+
+    #[test]
+    fn closest_orders_by_xor_distance() {
+        let mut t = RoutingTable::new(NodeId::from_u64(0, 16), &config(16, 20));
+        for v in [1u64, 4, 5, 200, 1023] {
+            t.offer(contact(v), SimTime::ZERO);
+        }
+        let target = NodeId::from_u64(5, 16);
+        let closest = t.closest(&target, 3);
+        let ids: Vec<u64> = closest
+            .iter()
+            .map(|c| c.id.distance(&NodeId::ZERO).to_u64())
+            .collect();
+        // Distances to 5: 5->0, 4->1, 1->4, 200->205, 1023->1018.
+        assert_eq!(ids, vec![5, 4, 1]);
+    }
+
+    #[test]
+    fn closest_truncates_to_available() {
+        let mut t = RoutingTable::new(NodeId::from_u64(0, 16), &config(16, 20));
+        t.offer(contact(3), SimTime::ZERO);
+        assert_eq!(t.closest(&NodeId::from_u64(1, 16), 10).len(), 1);
+    }
+
+    #[test]
+    fn failure_eviction_respects_staleness_limit() {
+        let cfg = KademliaConfig::builder()
+            .bits(16)
+            .staleness_limit(2)
+            .build()
+            .expect("valid");
+        let mut t = RoutingTable::new(NodeId::from_u64(0, 16), &cfg);
+        t.offer(contact(5), SimTime::ZERO);
+        let id = NodeId::from_u64(5, 16);
+        assert!(!t.record_failure(&id));
+        assert!(t.contains(&id));
+        assert!(t.record_failure(&id));
+        assert!(!t.contains(&id));
+    }
+
+    #[test]
+    fn bucket_full_drops_new_contacts() {
+        let mut t = RoutingTable::new(NodeId::from_u64(0, 16), &config(16, 1));
+        // Both land in bucket 1 (distances 2 and 3).
+        assert_eq!(t.offer(contact(2), SimTime::ZERO), InsertOutcome::Inserted);
+        assert_eq!(t.offer(contact(3), SimTime::ZERO), InsertOutcome::Full);
+        assert!(t.contains(&NodeId::from_u64(2, 16)));
+        assert!(!t.contains(&NodeId::from_u64(3, 16)));
+    }
+
+    #[test]
+    fn random_id_in_bucket_has_right_distance() {
+        let t = RoutingTable::new(NodeId::from_u64(0xab, 16), &config(16, 4));
+        let mut rng = SmallRng::seed_from_u64(5);
+        for i in [0usize, 3, 9, 15] {
+            let id = t.random_id_in_bucket(&mut rng, i);
+            assert_eq!(t.bucket_index(&id), Some(i));
+        }
+    }
+
+    #[test]
+    fn remove_outright() {
+        let mut t = RoutingTable::new(NodeId::from_u64(0, 16), &config(16, 4));
+        t.offer(contact(9), SimTime::ZERO);
+        assert!(t.remove(&NodeId::from_u64(9, 16)));
+        assert!(!t.remove(&NodeId::from_u64(9, 16)));
+        assert_eq!(t.contact_count(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Scratch diagnostics for loss dynamics (run explicitly with --ignored).
+
+use kademlia_resilience::dessim::loss::LossScenario;
+use kademlia_resilience::kad_experiments::runner::run_scenario;
+use kademlia_resilience::kad_experiments::scenario::{ScenarioBuilder, TrafficModel};
+
+#[test]
+#[ignore]
+fn dump_low_loss_series() {
+    for (n, k, setup, loss) in [
+        (80usize, 10usize, 10u64, LossScenario::Low),
+        (80, 10, 30, LossScenario::Low),
+        (80, 16, 10, LossScenario::Low),
+        (100, 16, 30, LossScenario::Low),
+        (100, 16, 30, LossScenario::Medium),
+        (100, 16, 30, LossScenario::High),
+        (100, 20, 30, LossScenario::High),
+    ] {
+        for seed in [31u64, 43, 7] {
+            let mut builder = ScenarioBuilder::quick(n, k);
+            builder
+                .name("debug-low")
+                .seed(seed)
+                .loss(loss)
+                .staleness_limit(1)
+                .traffic(TrafficModel { lookups_per_min: 10, stores_per_min: 1 })
+                .churn_minutes(40)
+                .snapshot_minutes(20);
+            let mut scenario = builder.build();
+            scenario.setup_minutes = setup;
+            let outcome = run_scenario(&scenario);
+            let last = outcome.snapshots.last().expect("snapshots");
+            println!(
+                "n={n} k={k} setup={setup} loss={loss:?} seed={seed}: outside={} κ_min={} κ_avg={:.1}",
+                last.report.disconnected_nodes,
+                last.report.min_connectivity,
+                last.report.avg_connectivity,
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn inspect_straggler_tables() {
+    use kademlia_resilience::dessim::latency::LatencyModel;
+    use kademlia_resilience::dessim::time::{SimDuration, SimTime};
+    use kademlia_resilience::dessim::transport::Transport;
+    use kademlia_resilience::flowgraph::scc::strongly_connected_components;
+    use kademlia_resilience::kad_resilience::snapshot_to_digraph;
+    use kademlia_resilience::kademlia::config::KademliaConfig;
+    use kademlia_resilience::kademlia::id::NodeId;
+    use kademlia_resilience::kademlia::network::SimNetwork;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let config = KademliaConfig::builder()
+        .k(10)
+        .staleness_limit(1)
+        .build()
+        .expect("valid");
+    let transport = Transport::new(
+        LatencyModel::default_uniform(),
+        LossScenario::Low.to_model(),
+    );
+    let mut net = SimNetwork::new(config, transport, 31);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut prev = None;
+    for _ in 0..80 {
+        let addr = net.spawn_node();
+        net.join(addr, prev);
+        prev = Some(addr);
+        net.run_until(net.now() + SimDuration::from_secs(7));
+    }
+    // Traffic for 30 minutes.
+    let mut minute = net.now().as_minutes() + 1;
+    while minute < 40 {
+        for addr in net.alive_addrs() {
+            for _ in 0..5 {
+                let target = NodeId::random(&mut rng, 160);
+                net.start_lookup(addr, target);
+            }
+        }
+        minute += 1;
+        net.run_until(SimTime::from_minutes(minute));
+    }
+    let snap = net.snapshot();
+    let g = snapshot_to_digraph(&snap);
+    let scc = strongly_connected_components(&g);
+    for v in scc.outside_largest() {
+        let addr = snap.addrs()[v as usize];
+        let node = net.node(addr);
+        println!(
+            "straggler {}: snapshot out={} in={} | table contacts={} | bootstrap={:?} | lookups pending={}",
+            addr,
+            g.out_degree(v),
+            g.in_degree(v),
+            node.routing.contact_count(),
+            node.bootstrap.map(|b| b.addr),
+            node.lookups.len(),
+        );
+    }
+    println!("reseeds: {}", net.counters().get("bootstrap_reseed"));
+    println!("outside count: {}", scc.outside_largest().len());
+
+    // Cross-cluster edge structure.
+    let outside: std::collections::HashSet<u32> =
+        scc.outside_largest().into_iter().collect();
+    let (mut oo, mut oy, mut yo, mut yy) = (0, 0, 0, 0);
+    for (u, v) in g.edges() {
+        match (outside.contains(&u), outside.contains(&v)) {
+            (true, true) => oo += 1,
+            (true, false) => oy += 1,
+            (false, true) => yo += 1,
+            (false, false) => yy += 1,
+        }
+    }
+    println!("edges out->out={oo} out->main={oy} main->out={yo} main->main={yy}");
+    // SCC count and sizes.
+    let sizes = scc.component_sizes();
+    println!("scc count={} sizes={:?}", scc.count, sizes);
+}

@@ -1,0 +1,198 @@
+//! Integration tests asserting the paper's *qualitative claims* hold in
+//! this reproduction at miniature scale. Each test names the section of
+//! the paper it checks. These are the "shape" guarantees EXPERIMENTS.md
+//! reports on at full scale.
+
+use kademlia_resilience::dessim::loss::LossScenario;
+use kademlia_resilience::kad_experiments::runner::run_scenario;
+use kademlia_resilience::kad_experiments::scenario::{ChurnRate, ScenarioBuilder, TrafficModel};
+use kademlia_resilience::kad_experiments::series::churn_phase_min_summary;
+
+fn base(n: usize, k: usize, seed: u64) -> ScenarioBuilder {
+    let mut b = ScenarioBuilder::quick(n, k);
+    b.seed(seed).traffic(TrafficModel {
+        lookups_per_min: 5,
+        stores_per_min: 1,
+    });
+    b
+}
+
+/// Section 6: "The network connectivity κ of Kademlia strongly correlates
+/// with the bucket size k … the connectivity was equal or greater than k."
+#[test]
+fn connectivity_tracks_bucket_size() {
+    let mut mins = Vec::new();
+    for k in [4usize, 8, 16] {
+        let outcome = run_scenario(&base(60, k, 40).build());
+        let last = outcome.snapshots.last().expect("snapshots");
+        mins.push((k, last.report.min_connectivity));
+    }
+    // Monotone non-decreasing in k, and roughly ≥ k once stabilized.
+    assert!(mins[0].1 <= mins[1].1 && mins[1].1 <= mins[2].1, "{mins:?}");
+    for (k, min) in mins {
+        assert!(
+            min as usize >= k / 2,
+            "κ_min = {min} too far below k = {k}"
+        );
+    }
+}
+
+/// Section 5.5: with data traffic, connectivity is reached earlier and is
+/// overall better than without ("the data traffic results in an overall
+/// improved connectivity").
+#[test]
+fn traffic_improves_connectivity() {
+    let with_traffic = run_scenario(&base(50, 8, 41).build());
+    let mut no_traffic_builder = base(50, 8, 41);
+    no_traffic_builder.no_traffic();
+    let without_traffic = run_scenario(&no_traffic_builder.build());
+
+    // Compare the first snapshot after setup: traffic accelerates wiring.
+    let early_with = with_traffic.snapshots.first().expect("snapshots");
+    let early_without = without_traffic.snapshots.first().expect("snapshots");
+    assert!(
+        early_with.report.avg_connectivity >= early_without.report.avg_connectivity,
+        "traffic should speed up connectivity: {} vs {}",
+        early_with.report.avg_connectivity,
+        early_without.report.avg_connectivity
+    );
+}
+
+/// Section 5.5.4/5.5.5: stronger churn lowers the minimum connectivity
+/// (means in Table 2 drop from 1/1 to 10/10 at the same k).
+#[test]
+fn stronger_churn_lowers_min_connectivity() {
+    let mut light = base(60, 8, 42);
+    light.churn(ChurnRate::ONE_ONE).churn_minutes(40).snapshot_minutes(10);
+    let mut heavy = base(60, 8, 42);
+    heavy.churn(ChurnRate::TEN_TEN).churn_minutes(40).snapshot_minutes(10);
+
+    let light_mean = churn_phase_min_summary(&run_scenario(&light.build())).mean();
+    let heavy_mean = churn_phase_min_summary(&run_scenario(&heavy.build())).mean();
+    assert!(
+        heavy_mean <= light_mean + 0.5,
+        "churn 10/10 mean {heavy_mean} should not exceed churn 1/1 mean {light_mean}"
+    );
+}
+
+/// Section 5.8/Simulation J: with s = 1, message loss *increases*
+/// connectivity relative to no loss (the rewiring effect).
+///
+/// The effect needs rewiring headroom (tables must not already hold most
+/// of the network), so this runs at the larger end of the miniature scale
+/// with the paper's full traffic rate.
+#[test]
+fn message_loss_increases_connectivity_with_s1() {
+    let traffic = TrafficModel {
+        lookups_per_min: 10,
+        stores_per_min: 1,
+    };
+    let mut lossless = base(80, 10, 43);
+    lossless
+        .traffic(traffic)
+        .staleness_limit(1)
+        .churn_minutes(60)
+        .snapshot_minutes(20);
+    let mut lossy = base(80, 10, 43);
+    lossy
+        .traffic(traffic)
+        .staleness_limit(1)
+        .loss(LossScenario::High)
+        .churn_minutes(60)
+        .snapshot_minutes(20);
+
+    let clean = run_scenario(&lossless.build());
+    let noisy = run_scenario(&lossy.build());
+    let clean_avg = clean.snapshots.last().expect("snapshots").report.avg_connectivity;
+    let noisy_avg = noisy.snapshots.last().expect("snapshots").report.avg_connectivity;
+    assert!(
+        noisy_avg > clean_avg,
+        "loss should improve avg connectivity: {noisy_avg} vs {clean_avg}"
+    );
+}
+
+/// Section 5.8.1: a greater staleness limit (s = 5) damps the connectivity
+/// gain from loss compared to s = 1 (Simulation J, Figure 12). The paper
+/// notes the damping is most visible for medium/low loss; at miniature
+/// scale high loss additionally risks an overlay split (see EXPERIMENTS.md),
+/// so medium is the robust regime to assert on.
+#[test]
+fn staleness_limit_damps_loss_effect() {
+    let traffic = TrafficModel {
+        lookups_per_min: 10,
+        stores_per_min: 1,
+    };
+    let mut fast_eviction = base(100, 16, 44);
+    fast_eviction
+        .traffic(traffic)
+        .staleness_limit(1)
+        .loss(LossScenario::Medium)
+        .churn_minutes(60)
+        .snapshot_minutes(20);
+    let mut slow_eviction = base(100, 16, 44);
+    slow_eviction
+        .traffic(traffic)
+        .staleness_limit(5)
+        .loss(LossScenario::Medium)
+        .churn_minutes(60)
+        .snapshot_minutes(20);
+
+    let fast = run_scenario(&fast_eviction.build());
+    let slow = run_scenario(&slow_eviction.build());
+    let fast_avg = fast.snapshots.last().expect("snapshots").report.avg_connectivity;
+    let slow_avg = slow.snapshots.last().expect("snapshots").report.avg_connectivity;
+    assert!(
+        slow_avg < fast_avg,
+        "s=5 should damp the loss-driven gain: s5 {slow_avg} vs s1 {fast_avg}"
+    );
+}
+
+/// Section 5.7: halving the bit-length (b = 80) shows no significant
+/// connectivity difference.
+#[test]
+fn bit_length_has_no_significant_effect() {
+    let wide = run_scenario(&base(50, 8, 45).build());
+    let mut narrow_builder = base(50, 8, 45);
+    narrow_builder.bits(80);
+    let narrow = run_scenario(&narrow_builder.build());
+    let wide_last = wide.snapshots.last().expect("snapshots");
+    let narrow_last = narrow.snapshots.last().expect("snapshots");
+    let rel_diff = (wide_last.report.avg_connectivity - narrow_last.report.avg_connectivity).abs()
+        / wide_last.report.avg_connectivity.max(1.0);
+    assert!(
+        rel_diff < 0.25,
+        "b=160 vs b=80 diverged by {:.0}% (avg {:.1} vs {:.1})",
+        rel_diff * 100.0,
+        wide_last.report.avg_connectivity,
+        narrow_last.report.avg_connectivity
+    );
+    assert_eq!(
+        wide_last.report.min_connectivity > 0,
+        narrow_last.report.min_connectivity > 0
+    );
+}
+
+/// Section 5.5.1 (Simulations A/B): pure-departure churn 0/1 *raises* the
+/// minimum connectivity for a while — departures free bucket slots and the
+/// network rewires toward higher connectivity.
+#[test]
+fn departure_churn_can_raise_connectivity() {
+    let mut b = base(60, 6, 46);
+    b.churn(ChurnRate::ZERO_ONE).churn_minutes(25).snapshot_minutes(5);
+    let outcome = run_scenario(&b.build());
+    let stabilized = outcome
+        .snapshots
+        .iter()
+        .rfind(|s| s.time_min <= 90.0)
+        .expect("stabilization snapshot");
+    let churn_peak = outcome
+        .churn_phase()
+        .map(|s| s.report.min_connectivity)
+        .max()
+        .expect("churn snapshots");
+    assert!(
+        churn_peak >= stabilized.report.min_connectivity,
+        "0/1 churn should not lower the peak minimum: peak {churn_peak} vs stabilized {}",
+        stabilized.report.min_connectivity
+    );
+}
