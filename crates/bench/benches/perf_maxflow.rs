@@ -2,11 +2,13 @@
 //!
 //! The paper used HIPR (push-relabel); this bench quantifies why the
 //! harness defaults to Dinic on unit-capacity vertex-connectivity
-//! networks, and what the early-cutoff optimization buys.
+//! networks, what the early-cutoff optimization buys, and what the
+//! caller-owned [`FlowWorkspace`] saves over allocating solver scratch per
+//! flow computation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flowgraph::even::EvenNetwork;
-use flowgraph::maxflow::{Dinic, EdmondsKarp, MaxFlow, PushRelabel};
+use flowgraph::maxflow::{Dinic, EdmondsKarp, FlowWorkspace, MaxFlow, PushRelabel, Solver};
 use kad_bench::support::overlay_graph;
 use std::hint::black_box;
 
@@ -32,17 +34,43 @@ fn bench_solvers(c: &mut Criterion) {
             ("edmonds-karp", &EdmondsKarp::new()),
         ];
         for (name, solver) in solvers {
+            // Fresh-workspace baseline: scratch allocated per computation
+            // (the pre-refactor behaviour of `max_flow`).
             group.bench_with_input(
                 BenchmarkId::new(name, format!("n{n}-k{k}")),
                 &g,
                 |bencher, g| {
                     let mut even = EvenNetwork::from_graph(g);
+                    bencher.iter(|| black_box(even.vertex_connectivity(solver, v, w, None)));
+                },
+            );
+            // Reused workspace: zero allocation per computation.
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}-workspace"), format!("n{n}-k{k}")),
+                &g,
+                |bencher, g| {
+                    let mut even = EvenNetwork::from_graph(g);
+                    let mut workspace = FlowWorkspace::for_network(even.network());
                     bencher.iter(|| {
-                        black_box(even.vertex_connectivity(solver, v, w, None))
+                        black_box(even.vertex_connectivity_with(solver, v, w, None, &mut workspace))
                     });
                 },
             );
         }
+        // Enum dispatch sanity: `Solver` must cost the same as the direct
+        // struct (static dispatch, no boxing).
+        group.bench_with_input(
+            BenchmarkId::new("dinic-enum", format!("n{n}-k{k}")),
+            &g,
+            |bencher, g| {
+                let mut even = EvenNetwork::from_graph(g);
+                let mut workspace = FlowWorkspace::for_network(even.network());
+                let solver = Solver::Dinic;
+                bencher.iter(|| {
+                    black_box(even.vertex_connectivity_with(&solver, v, w, None, &mut workspace))
+                });
+            },
+        );
         // Cutoff ablation: stop at flow >= k/2 (what the min-sweep does
         // once a small minimum is known).
         group.bench_with_input(
@@ -50,12 +78,14 @@ fn bench_solvers(c: &mut Criterion) {
             &g,
             |bencher, g| {
                 let mut even = EvenNetwork::from_graph(g);
+                let mut workspace = FlowWorkspace::for_network(even.network());
                 bencher.iter(|| {
-                    black_box(even.vertex_connectivity(
+                    black_box(even.vertex_connectivity_with(
                         &Dinic::new(),
                         v,
                         w,
                         Some((k / 2) as u64),
+                        &mut workspace,
                     ))
                 });
             },

@@ -1,0 +1,586 @@
+//! Shim for the subset of the `proptest` API this workspace uses.
+//!
+//! Random-input property testing without shrinking: each `proptest!` test
+//! runs `ProptestConfig::cases` generated cases from a deterministic
+//! per-test seed (override with `PROPTEST_SEED`). Failures report the
+//! failing assertion but, unlike upstream, do not minimize the input —
+//! rerun with `PROPTEST_VERBOSE=1` to print every generated case instead.
+//!
+//! Supported strategies: integer/float ranges (`lo..hi`, `lo..=hi`),
+//! tuples up to arity 4, `any::<u64|bool>()`, `Just`,
+//! `collection::{vec, hash_set}`, `prop_map`, `prop_flat_map`, and string
+//! literals (which ignore the regex and produce short `[a-z]*` strings —
+//! sufficient for the label-style usage in this workspace).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Everything user code imports via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Per-test configuration (only `cases` is honoured).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` failed: the case is outside the property's domain.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Constructs a failure with a message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// Constructs a rejection.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Result type the body of each `proptest!` case produces.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic generator state for one test case (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform draw below `span` (rejection sampled, unbiased).
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let word = self.next_u64();
+            if word >= threshold {
+                return word % span;
+            }
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Derives a second strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, map: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, map }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.map)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy producing one constant value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// String literals act as strategies. Upstream interprets them as regexes;
+/// this shim ignores the pattern and generates short lowercase strings,
+/// which is all the workspace's label-style usages need.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = 1 + rng.below(12) as usize;
+        (0..len)
+            .map(|_| (b'a' + rng.below(26) as u8) as char)
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+}
+
+/// Types with a canonical whole-domain strategy for [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Whole-domain strategy for `T` (`any::<u64>()`, `any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform over all of `u64`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyU64;
+
+impl Strategy for AnyU64 {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u64 {
+    type Strategy = AnyU64;
+
+    fn arbitrary() -> AnyU64 {
+        AnyU64
+    }
+}
+
+/// Fair coin.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Inclusive-exclusive size bound for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange {
+                lo: range.start,
+                hi: range.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    /// `Vec` strategy of sampled length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is sampled from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `HashSet` strategy of sampled target size.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates hash sets aiming for a size sampled from `size` (possibly
+    /// smaller when the element domain is nearly exhausted).
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = HashSet::with_capacity(target);
+            // Bounded attempts so tiny domains cannot loop forever.
+            for _ in 0..target.saturating_mul(16).max(16) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Drives one property: `cases` random cases from a deterministic
+/// per-test seed. Rejected cases (via `prop_assume!`) are retried with
+/// fresh input, up to a bounded factor.
+pub fn run_property<F>(config: ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0x70_72_6f_70_74_65_73_74); // "proptest"
+    let verbose = std::env::var("PROPTEST_VERBOSE").is_ok();
+    let name_hash = fnv1a(test_name.as_bytes());
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(8).max(64);
+    let mut index = 0u64;
+    let mut passed = 0u32;
+    while passed < config.cases {
+        let mut rng = TestRng::new(seed ^ name_hash ^ index.wrapping_mul(0xA24B_AED4_963E_E407));
+        index += 1;
+        if verbose {
+            eprintln!("{test_name}: case {index}");
+        }
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{test_name}: too many prop_assume! rejections ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: property failed at case #{index}: {msg}")
+            }
+        }
+    }
+}
+
+const fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
+    }
+    hash
+}
+
+/// Declares property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, flag in any::<bool>()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property($config, stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::Strategy::generate(&($strategy), __proptest_rng);)+
+                let mut __proptest_case = || -> $crate::TestCaseResult {
+                    $body
+                    Ok(())
+                };
+                __proptest_case()
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Property-test assertion: fails the case (without panicking mid-case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pa_left, __pa_right) => {
+                if !(*__pa_left == *__pa_right) {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), __pa_left, __pa_right
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__pa_left, __pa_right) => {
+                if !(*__pa_left == *__pa_right) {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                        stringify!($left), stringify!($right), __pa_left, __pa_right,
+                        format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pa_left, __pa_right) => {
+                if *__pa_left == *__pa_right {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} != {}\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __pa_left
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the case when the assumption does not hold; the runner retries
+/// with fresh input.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject());
+        }
+    };
+}

@@ -1,0 +1,379 @@
+//! Shim for the subset of the `rand` 0.9 API this workspace uses.
+//!
+//! Implements [`rngs::SmallRng`] as xoshiro256++ seeded through SplitMix64
+//! (the same construction upstream `SmallRng` uses on 64-bit platforms,
+//! though the exact streams are not guaranteed to match upstream — all
+//! determinism guarantees in this repo are internal: same seed ⇒ same
+//! sequence with this implementation).
+//!
+//! Supported surface: `Rng::{random, random_range, random_bool, fill}`,
+//! `SeedableRng::seed_from_u64`, `seq::SliceRandom::{shuffle, choose}`.
+
+/// Low-level uniform word source.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators (only `seed_from_u64` is used by this workspace).
+pub trait SeedableRng: Sized {
+    /// Derives a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of a type with a standard uniform distribution.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a range. Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Fills a byte slice with uniform bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// 53-bit mantissa uniform in `[0, 1)`.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types with a canonical uniform distribution over their whole domain
+/// (`bool` and `f64` use the conventional conventions: fair coin, `[0,1)`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, span)` by rejection (unbiased).
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Reject the low "overhang" so every residue is equally likely.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let word = rng.next_u64();
+        if word >= threshold {
+            return word % span;
+        }
+    }
+}
+
+/// Element types uniform ranges can be built over. The blanket
+/// [`SampleRange`] impls below go through this trait so type inference can
+/// flow from the expected result type into unsuffixed range literals
+/// (`rng.random_range(0..60_000)` in a `u64` context).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`hi` is adjusted by the caller for
+    /// inclusive ranges).
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self {
+                let span = (hi_inclusive as u64)
+                    .wrapping_sub(lo as u64)
+                    .wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self {
+        lo + (hi_inclusive - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+impl<T: SampleUniform + SpanStep> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end.prev_for_exclusive())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_between(rng, lo, hi)
+    }
+}
+
+/// Converts an exclusive upper bound into an inclusive one.
+pub trait SpanStep: Copy {
+    /// The largest value strictly below `self` (for floats: `self`, since
+    /// the unit-interval draw is already exclusive of 1).
+    fn prev_for_exclusive(self) -> Self;
+}
+
+macro_rules! impl_span_step_int {
+    ($($t:ty),*) => {$(
+        impl SpanStep for $t {
+            #[inline]
+            fn prev_for_exclusive(self) -> Self {
+                self.wrapping_sub(1)
+            }
+        }
+    )*};
+}
+impl_span_step_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SpanStep for f64 {
+    #[inline]
+    fn prev_for_exclusive(self) -> Self {
+        // `sample_between` draws from [lo, hi) via a [0, 1) factor, so the
+        // exclusive bound can be used as-is.
+        self
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically solid; the same
+    /// algorithm upstream `SmallRng` uses on 64-bit platforms.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut z = seed;
+            let mut next = || {
+                z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^ (x >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffle and choose on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.random_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..8).map(|_| r.random()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..8).map(|_| r.random()).collect()
+        };
+        assert_eq!(a, b);
+        let c: u64 = SmallRng::seed_from_u64(43).random();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u64 = r.random_range(5..20);
+            assert!((5..20).contains(&x));
+            let y: usize = r.random_range(0..3);
+            assert!(y < 3);
+            let z: u64 = r.random_range(10..=10);
+            assert_eq!(z, 10);
+            let f: f64 = r.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[r.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn bool_probability() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn fill_covers_all_bytes() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut bytes = [0u8; 20];
+        r.fill(&mut bytes[..]);
+        assert!(bytes.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut r).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}

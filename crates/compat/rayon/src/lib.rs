@@ -1,0 +1,274 @@
+//! Shim for the subset of the `rayon` API this workspace uses.
+//!
+//! Supports `slice.par_iter()` / `vec.par_iter()` with `map`, `map_init`
+//! and order-preserving `collect`. Work is split into contiguous chunks
+//! across `std::thread::scope` threads (one per available core); on a
+//! single-core host everything degrades to the sequential path with zero
+//! thread overhead. Results are always produced in input order, exactly
+//! like upstream rayon's indexed collect.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Per-thread cap installed by [`with_thread_budget`].
+    static THREAD_BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads the shim will use: available parallelism,
+/// capped by `RAYON_NUM_THREADS` and by any [`with_thread_budget`] scope
+/// active on the calling thread.
+pub fn current_num_threads() -> usize {
+    let available = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let capped = match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n.min(available.max(1)),
+        _ => available,
+    };
+    match THREAD_BUDGET.with(Cell::get) {
+        Some(budget) => capped.min(budget),
+        None => capped,
+    }
+}
+
+/// Runs `f` with parallel iterators on **this thread** capped at `budget`
+/// worker threads (shim extension; upstream rayon would use a scoped
+/// `ThreadPool`). Callers that fan out above rayon — e.g. a scenario
+/// matrix running whole simulations on worker threads — use this to split
+/// the core budget between their own workers and the inner sweeps instead
+/// of multiplying them.
+pub fn with_thread_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_BUDGET.with(|cell| cell.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_BUDGET.with(|cell| cell.replace(Some(budget.max(1)))));
+    f()
+}
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `par_iter()` entry point for by-reference parallel iteration.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item yielded by the parallel iterator.
+    type Item: Sync + 'data;
+
+    /// Borrowing parallel iterator over the collection.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T: Sync> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Parallel map.
+    pub fn map<R, F>(self, op: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            op,
+        }
+    }
+
+    /// Parallel map with one lazily-created state value per worker chunk —
+    /// the pattern the connectivity sweep uses to give every worker its
+    /// own reusable evaluator.
+    pub fn map_init<A, R, INIT, F>(self, init: INIT, op: F) -> ParMapInit<'data, T, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> A + Sync,
+        F: Fn(&mut A, &'data T) -> R + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            op,
+        }
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct ParMap<'data, T: Sync, F> {
+    items: &'data [T],
+    op: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Executes the map and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let op = &self.op;
+        run_chunked(self.items, &|| (), &|(), item| op(item))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Result of [`ParIter::map_init`].
+pub struct ParMapInit<'data, T: Sync, INIT, F> {
+    items: &'data [T],
+    init: INIT,
+    op: F,
+}
+
+impl<'data, T, A, R, INIT, F> ParMapInit<'data, T, INIT, F>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> A + Sync,
+    F: Fn(&mut A, &'data T) -> R + Sync,
+{
+    /// Executes the map and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_chunked(self.items, &self.init, &self.op)
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Chunked scoped-thread execution preserving input order.
+fn run_chunked<'data, T, A, R, INIT, F>(items: &'data [T], init: &INIT, op: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> A + Sync,
+    F: Fn(&mut A, &'data T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| op(&mut state, item)).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    chunk
+                        .iter()
+                        .map(|item| op(&mut state, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("rayon-shim worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_state_is_per_worker() {
+        let input: Vec<u64> = (0..100).collect();
+        // State counts items seen by this worker; every item must be seen
+        // exactly once overall regardless of how chunks are split.
+        let out: Vec<(u64, u64)> = input
+            .par_iter()
+            .map_init(
+                || 0u64,
+                |seen, &x| {
+                    *seen += 1;
+                    (x, *seen)
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out.iter().map(|&(x, _)| x).collect::<Vec<_>>(), input);
+        assert_eq!(out.iter().map(|&(_, s)| s).sum::<u64>() as usize, {
+            // Sum of 1..=len over each chunk equals total only when every
+            // item incremented exactly once from its worker's own counter.
+            let mut total = 0usize;
+            let mut run = 0usize;
+            for window in out.windows(2) {
+                run += 1;
+                if window[1].1 <= window[0].1 {
+                    total += run * (run + 1) / 2;
+                    run = 0;
+                }
+            }
+            run += 1;
+            total += run * (run + 1) / 2;
+            total
+        });
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_budget_caps_and_restores() {
+        let unbudgeted = crate::current_num_threads();
+        crate::with_thread_budget(1, || {
+            assert_eq!(crate::current_num_threads(), 1);
+            // Results are unaffected by the cap.
+            let input: Vec<u64> = (0..64).collect();
+            let out: Vec<u64> = input.par_iter().map(|&x| x + 1).collect();
+            assert_eq!(out, (1..=64).collect::<Vec<_>>());
+            // Nested budgets stack and restore.
+            crate::with_thread_budget(7, || {
+                assert!(crate::current_num_threads() <= 7);
+            });
+            assert_eq!(crate::current_num_threads(), 1);
+        });
+        assert_eq!(crate::current_num_threads(), unbudgeted);
+        // The budget is per-thread: a fresh thread is uncapped.
+        crate::with_thread_budget(1, || {
+            let other = std::thread::spawn(crate::current_num_threads)
+                .join()
+                .expect("thread");
+            assert_eq!(other, unbudgeted);
+        });
+    }
+}

@@ -1,0 +1,16 @@
+//! Trait-only shim for serde.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait + derive macro) the
+//! workspace imports. The traits are empty markers with blanket impls:
+//! nothing in the repo serializes at runtime, the derives exist so the
+//! code is source-compatible with the real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T> Deserialize<'de> for T {}

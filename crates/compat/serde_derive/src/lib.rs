@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The workspace derives serde traits on most public data types so that a
+//! real serde can be dropped in when the build environment has network
+//! access; nothing in the repo serializes at runtime, so the derives can
+//! safely expand to nothing (the traits have blanket impls in the `serde`
+//! shim).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` has a blanket impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` has a blanket impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

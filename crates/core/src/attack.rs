@@ -69,9 +69,7 @@ pub fn simulate_attack<R: Rng + ?Sized>(
         }
         AttackStrategy::HighestDegree => {
             let mut all: Vec<u32> = (0..n as u32).collect();
-            all.sort_by_key(|&v| {
-                std::cmp::Reverse(g.out_degree(v) + g.in_degree(v))
-            });
+            all.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)));
             all.truncate(a);
             all
         }
@@ -239,7 +237,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..5 {
             let g = gnp(14, 0.5, &mut rng);
-            assert!(equation2_holds(&g, &AnalysisConfig::default(), 10, &mut rng));
+            assert!(equation2_holds(
+                &g,
+                &AnalysisConfig::default(),
+                10,
+                &mut rng
+            ));
         }
     }
 }

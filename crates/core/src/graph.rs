@@ -71,12 +71,14 @@ pub fn has_connectivity_at_least(g: &DiGraph, threshold: u64, config: &AnalysisC
         // κ(D) ≤ min degree for non-complete graphs.
         return false;
     }
-    let sources: Vec<u32> = (0..n as u32).collect();
-    let solver = config.solver.instance();
+    let solver = config.solver;
     let mut even = flowgraph::even::EvenNetwork::from_graph(g);
-    for v in sources {
+    let mut workspace = flowgraph::maxflow::FlowWorkspace::for_network(even.network());
+    for v in 0..n as u32 {
         for w in 0..n as u32 {
-            if let Some(flow) = even.vertex_connectivity(solver.as_ref(), v, w, Some(threshold)) {
+            if let Some(flow) =
+                even.vertex_connectivity_with(&solver, v, w, Some(threshold), &mut workspace)
+            {
                 if flow < threshold {
                     return false;
                 }

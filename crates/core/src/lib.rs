@@ -69,11 +69,12 @@ pub struct AnalysisConfig {
     /// network; for 50-node test graphs a bare `c·n = 1` would be far too
     /// coarse.)
     pub min_sources: usize,
-    /// Use the current running minimum as a max-flow cutoff. Roughly an
-    /// order of magnitude faster, but the per-pair values become lower
-    /// bounds, so the *average* connectivity is no longer meaningful —
-    /// only the minimum is exact. The paper computed full flows (no
-    /// cutoff); benches quantify the trade-off.
+    /// Use the current running minimum as a max-flow cutoff (clamped to at
+    /// least 1). Roughly an order of magnitude faster, but the per-pair
+    /// values become lower bounds, so the *average* connectivity is no
+    /// longer meaningful — the minimum and the zero-pair count stay exact.
+    /// The paper computed full flows (no cutoff); benches quantify the
+    /// trade-off.
     pub use_cutoff: bool,
     /// Compute pair flows on rayon worker threads.
     pub parallel: bool,

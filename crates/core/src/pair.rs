@@ -1,8 +1,10 @@
 //! Pairwise vertex connectivity `κ(v, w)`.
 
 use crate::solver::SolverKind;
-use flowgraph::even::EvenNetwork;
+use flowgraph::even::{EdgeCapacity, EvenNetwork};
+use flowgraph::maxflow::FlowWorkspace;
 use flowgraph::DiGraph;
+use std::sync::Arc;
 
 /// Computes `κ(v, w)` for a single pair: the number of node-disjoint
 /// `v -> w` paths, equivalently the size of a minimum `v`-`w` vertex cut.
@@ -28,42 +30,48 @@ pub fn pair_connectivity(g: &DiGraph, v: u32, w: u32, solver: SolverKind) -> Opt
     PairEvaluator::new(g, solver).connectivity(v, w, None)
 }
 
-/// Reusable evaluator: one Even network + one solver, many pairs.
+/// Reusable evaluator: one Even network, one solver, one workspace — many
+/// pairs, zero per-pair allocation.
+///
+/// Cloning is cheap and exact: the underlying graph is shared (`Arc`), the
+/// residual network is duplicated so each clone can run independently, and
+/// the solver is a `Copy` enum — clones are how the parallel sweep hands
+/// each rayon worker its own evaluator.
+#[derive(Clone)]
 pub struct PairEvaluator {
     even: EvenNetwork,
-    solver: Box<dyn flowgraph::maxflow::MaxFlow + Send + Sync>,
+    solver: SolverKind,
+    workspace: FlowWorkspace,
 }
 
 impl PairEvaluator {
     /// Builds the evaluator for a graph.
     pub fn new(g: &DiGraph, solver: SolverKind) -> Self {
+        Self::from_shared(Arc::new(g.clone()), solver)
+    }
+
+    /// Builds the evaluator around an already-shared graph, avoiding the
+    /// graph clone of [`PairEvaluator::new`].
+    pub fn from_shared(g: Arc<DiGraph>, solver: SolverKind) -> Self {
+        let even = EvenNetwork::from_shared(g, EdgeCapacity::Unit);
+        let workspace = FlowWorkspace::for_network(even.network());
         PairEvaluator {
-            even: EvenNetwork::from_graph(g),
-            solver: solver.instance(),
+            even,
+            solver,
+            workspace,
         }
+    }
+
+    /// The solver this evaluator runs.
+    pub fn solver(&self) -> SolverKind {
+        self.solver
     }
 
     /// `κ(v, w)`, or `None` for adjacent/equal pairs. With a cutoff the
     /// result may be any certified lower bound `>= cutoff`.
     pub fn connectivity(&mut self, v: u32, w: u32, cutoff: Option<u64>) -> Option<u64> {
         self.even
-            .vertex_connectivity(self.solver.as_ref(), v, w, cutoff)
-    }
-}
-
-impl Clone for PairEvaluator {
-    fn clone(&self) -> Self {
-        // Cloning re-derives the solver from its name; solvers are
-        // stateless unit structs so this is exact.
-        let solver = match self.solver.name() {
-            "push-relabel-hi" => SolverKind::PushRelabel,
-            "edmonds-karp" => SolverKind::EdmondsKarp,
-            _ => SolverKind::Dinic,
-        };
-        PairEvaluator {
-            even: self.even.clone(),
-            solver: solver.instance(),
-        }
+            .vertex_connectivity_with(&self.solver, v, w, cutoff, &mut self.workspace)
     }
 }
 
@@ -127,7 +135,28 @@ mod tests {
         let g = bidirected_cycle(6);
         let eval = PairEvaluator::new(&g, SolverKind::PushRelabel);
         let mut cloned = eval.clone();
-        assert_eq!(cloned.solver.name(), "push-relabel-hi");
+        assert_eq!(cloned.solver(), SolverKind::PushRelabel);
         assert_eq!(cloned.connectivity(0, 3, None), Some(2));
+    }
+
+    #[test]
+    fn clone_mid_sweep_is_independent() {
+        // Cloning after some pairs have run must not leak residual state:
+        // the clone and the original agree with a fresh evaluator on every
+        // remaining pair.
+        let g = bidirected_cycle(8);
+        let mut eval = PairEvaluator::new(&g, SolverKind::Dinic);
+        for w in 2..6u32 {
+            eval.connectivity(0, w, None);
+        }
+        let mut cloned = eval.clone();
+        let mut fresh = PairEvaluator::new(&g, SolverKind::Dinic);
+        for v in 0..8u32 {
+            for w in 0..8u32 {
+                let expected = fresh.connectivity(v, w, None);
+                assert_eq!(eval.connectivity(v, w, None), expected, "orig ({v},{w})");
+                assert_eq!(cloned.connectivity(v, w, None), expected, "clone ({v},{w})");
+            }
+        }
     }
 }

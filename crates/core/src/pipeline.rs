@@ -42,6 +42,7 @@ pub fn analyze_graph(g: &DiGraph, config: &AnalysisConfig) -> ConnectivityReport
         reciprocity: g.reciprocity(),
         pairs_evaluated: sweep.pairs_evaluated,
         sources_used: sweep.sources_used,
+        zero_pairs: sweep.zero_pairs,
     }
 }
 
@@ -72,6 +73,21 @@ mod tests {
     }
 
     #[test]
+    fn zero_pairs_surfaced_from_sweep() {
+        // Figure 1's graph has a sink vertex (i, index 8) with no outgoing
+        // edges: every flow computed from it is 0, and the report must
+        // carry that count through from the sampled sweep.
+        let report = analyze_graph(&paper_figure1(), &AnalysisConfig::exact());
+        let sweep =
+            crate::sampled::sampled_connectivity(&paper_figure1(), &AnalysisConfig::exact());
+        assert!(report.zero_pairs > 0);
+        assert_eq!(report.zero_pairs, sweep.zero_pairs);
+        // A strongly connected ring has no zero pairs.
+        let ring = analyze_graph(&bidirected_cycle(10), &AnalysisConfig::exact());
+        assert_eq!(ring.zero_pairs, 0);
+    }
+
+    #[test]
     fn scc_precheck_forces_zero() {
         // Figure 1's graph is a DAG-ish funnel: not strongly connected.
         let report = analyze_graph(&paper_figure1(), &AnalysisConfig::default());
@@ -88,8 +104,7 @@ mod tests {
             .staleness_limit(1)
             .build()
             .expect("valid");
-        let transport =
-            Transport::lossless(LatencyModel::Constant(SimDuration::from_millis(20)));
+        let transport = Transport::lossless(LatencyModel::Constant(SimDuration::from_millis(20)));
         let mut net = SimNetwork::new(config, transport, 7);
         let mut prev = None;
         for _ in 0..24 {

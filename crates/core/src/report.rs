@@ -32,6 +32,10 @@ pub struct ConnectivityReport {
     pub pairs_evaluated: usize,
     /// Source vertices used by the sweep.
     pub sources_used: usize,
+    /// Evaluated pairs with flow 0 — the direct count of "unreachable
+    /// pair" witnesses behind a zero minimum (the paper attributes these
+    /// to a single-digit number of disconnected nodes).
+    pub zero_pairs: usize,
 }
 
 impl ConnectivityReport {
@@ -85,6 +89,7 @@ mod tests {
             reciprocity: 1.0,
             pairs_evaluated: 90,
             sources_used: 10,
+            zero_pairs: usize::from(min == 0),
         }
     }
 

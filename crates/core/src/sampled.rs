@@ -96,7 +96,10 @@ pub fn connectivity_from_sources(
 
     let global_min = AtomicU64::new(u64::MAX);
     let use_cutoff = config.use_cutoff;
-    let solver = config.solver;
+    // One prototype evaluator; workers clone it, sharing the graph behind
+    // an `Arc` and duplicating only the residual network + workspace. Each
+    // worker then sweeps its sources with zero per-pair allocation.
+    let prototype = PairEvaluator::new(g, config.solver);
 
     let sweep_source = |eval: &mut PairEvaluator, v: u32| -> (u64, u128, usize, usize) {
         let mut local_min = u64::MAX;
@@ -109,7 +112,14 @@ pub fn connectivity_from_sources(
                 if current == u64::MAX {
                     None
                 } else {
-                    Some(current)
+                    // Never cut off below 1: a cutoff of 0 would make every
+                    // solver return 0 immediately once some pair is
+                    // unreachable, corrupting the zero-pair count (and a
+                    // flow of "at least 0" prunes nothing anyway). With the
+                    // clamp, a returned 0 is always a genuine zero pair, so
+                    // `zero_pairs` stays exact under cutoff pruning — only
+                    // `avg` degrades.
+                    Some(current.max(1))
                 }
             } else {
                 None
@@ -133,14 +143,14 @@ pub fn connectivity_from_sources(
     let partials: Vec<(u64, u128, usize, usize)> = if config.parallel {
         sources
             .par_iter()
-            .map_init(
-                || PairEvaluator::new(g, solver),
-                |eval, &v| sweep_source(eval, v),
-            )
+            .map_init(|| prototype.clone(), |eval, &v| sweep_source(eval, v))
             .collect()
     } else {
-        let mut eval = PairEvaluator::new(g, solver);
-        sources.iter().map(|&v| sweep_source(&mut eval, v)).collect()
+        let mut eval = prototype.clone();
+        sources
+            .iter()
+            .map(|&v| sweep_source(&mut eval, v))
+            .collect()
     };
 
     let mut min = u64::MAX;
@@ -272,6 +282,31 @@ mod tests {
                 },
             );
             assert_eq!(full.min, cut.min);
+        }
+    }
+
+    #[test]
+    fn cutoff_mode_preserves_zero_pairs() {
+        // Graphs with unreachable pairs drive the running minimum to 0;
+        // the cutoff must clamp at 1 so only genuine zero-flow pairs are
+        // counted (an unclamped cutoff of 0 would mark *every* remaining
+        // pair as zero).
+        let cutoff_config = AnalysisConfig {
+            use_cutoff: true,
+            ..AnalysisConfig::exact()
+        };
+        let exact = sampled_connectivity(&paper_figure1(), &AnalysisConfig::exact());
+        let pruned = sampled_connectivity(&paper_figure1(), &cutoff_config);
+        assert!(exact.zero_pairs > 0);
+        assert_eq!(exact.zero_pairs, pruned.zero_pairs);
+        assert_eq!(exact.pairs_evaluated, pruned.pairs_evaluated);
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..5 {
+            // Sparse digraphs: plenty of unreachable ordered pairs.
+            let g = gnp(16, 0.08, &mut rng);
+            let exact = sampled_connectivity(&g, &AnalysisConfig::exact());
+            let pruned = sampled_connectivity(&g, &cutoff_config);
+            assert_eq!(exact.zero_pairs, pruned.zero_pairs);
         }
     }
 

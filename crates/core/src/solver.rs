@@ -1,69 +1,35 @@
 //! Max-flow solver selection.
+//!
+//! [`SolverKind`] is the enum-dispatched [`flowgraph::maxflow::Solver`]:
+//! `Copy`, serializable, statically dispatched in the per-pair inner loop,
+//! and runnable against a caller-owned [`flowgraph::maxflow::FlowWorkspace`]
+//! via [`flowgraph::maxflow::MaxFlow::max_flow_with`]. It replaced the old
+//! `Box<dyn MaxFlow>` factory (and with it the name-string `Clone`
+//! reconstruction the evaluator needed).
 
-use flowgraph::maxflow::{Dinic, EdmondsKarp, MaxFlow, PushRelabel};
-use serde::{Deserialize, Serialize};
-use std::fmt;
-
-/// The max-flow algorithm used for connectivity computations.
-///
-/// The paper ran HIPR (highest-label push-relabel); [`SolverKind::Dinic`]
-/// is the default here because on the unit-capacity networks produced by
-/// Even's transform it is both asymptotically right and empirically fastest
-/// (see the `perf_maxflow` bench). All solvers produce identical values —
-/// that equivalence is property-tested.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum SolverKind {
-    /// Dinic's level-graph algorithm (default).
-    #[default]
-    Dinic,
-    /// HIPR-style highest-label push-relabel — the paper's solver.
-    PushRelabel,
-    /// Edmonds–Karp BFS augmenting paths — the baseline.
-    EdmondsKarp,
-}
-
-impl SolverKind {
-    /// All solver kinds, for cross-checking tests and benches.
-    pub const ALL: [SolverKind; 3] = [
-        SolverKind::Dinic,
-        SolverKind::PushRelabel,
-        SolverKind::EdmondsKarp,
-    ];
-
-    /// Instantiates the solver.
-    pub fn instance(self) -> Box<dyn MaxFlow + Send + Sync> {
-        match self {
-            SolverKind::Dinic => Box::new(Dinic::new()),
-            SolverKind::PushRelabel => Box::new(PushRelabel::new()),
-            SolverKind::EdmondsKarp => Box::new(EdmondsKarp::new()),
-        }
-    }
-}
-
-impl fmt::Display for SolverKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            SolverKind::Dinic => "dinic",
-            SolverKind::PushRelabel => "push-relabel-hi",
-            SolverKind::EdmondsKarp => "edmonds-karp",
-        };
-        f.write_str(name)
-    }
-}
+pub use flowgraph::maxflow::Solver as SolverKind;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flowgraph::maxflow::MaxFlow;
 
     #[test]
     fn display_matches_solver_names() {
         for kind in SolverKind::ALL {
-            assert_eq!(kind.to_string(), kind.instance().name());
+            assert_eq!(kind.to_string(), kind.name());
         }
     }
 
     #[test]
     fn default_is_dinic() {
         assert_eq!(SolverKind::default(), SolverKind::Dinic);
+    }
+
+    #[test]
+    fn kinds_are_trivially_copyable() {
+        let kind = SolverKind::PushRelabel;
+        let copy = kind;
+        assert_eq!(kind, copy);
     }
 }

@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Ids are unique per [`crate::scheduler::EventQueue`] for its entire
 /// lifetime (a `u64` sequence number never reused).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EventId(pub(crate) u64);
 
 impl EventId {
@@ -55,9 +53,21 @@ mod tests {
 
     #[test]
     fn entries_order_by_time_then_sequence() {
-        let a = Entry { at: SimTime::from_millis(5), id: EventId(2), event: () };
-        let b = Entry { at: SimTime::from_millis(5), id: EventId(1), event: () };
-        let c = Entry { at: SimTime::from_millis(1), id: EventId(9), event: () };
+        let a = Entry {
+            at: SimTime::from_millis(5),
+            id: EventId(2),
+            event: (),
+        };
+        let b = Entry {
+            at: SimTime::from_millis(5),
+            id: EventId(1),
+            event: (),
+        };
+        let c = Entry {
+            at: SimTime::from_millis(1),
+            id: EventId(9),
+            event: (),
+        };
         assert!(c < b);
         assert!(b < a);
     }

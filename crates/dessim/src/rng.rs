@@ -50,9 +50,8 @@ impl RngFactory {
 
     /// Creates a stream for a `(label, index)` pair, e.g. one per node.
     pub fn indexed_stream(&self, label: &str, index: u64) -> SmallRng {
-        let mixed = splitmix64(self.seed ^ fnv1a(label.as_bytes())).wrapping_add(
-            splitmix64(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        );
+        let mixed = splitmix64(self.seed ^ fnv1a(label.as_bytes()))
+            .wrapping_add(splitmix64(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         SmallRng::seed_from_u64(splitmix64(mixed))
     }
 }
@@ -85,8 +84,14 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let f = RngFactory::new(7);
-        let a: Vec<u32> = (0..8).map(|_| 0).scan(f.stream("x"), |r, _| Some(r.random())).collect();
-        let b: Vec<u32> = (0..8).map(|_| 0).scan(f.stream("x"), |r, _| Some(r.random())).collect();
+        let a: Vec<u32> = (0..8)
+            .map(|_| 0)
+            .scan(f.stream("x"), |r, _| Some(r.random()))
+            .collect();
+        let b: Vec<u32> = (0..8)
+            .map(|_| 0)
+            .scan(f.stream("x"), |r, _| Some(r.random()))
+            .collect();
         assert_eq!(a, b);
     }
 

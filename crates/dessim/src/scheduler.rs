@@ -79,7 +79,11 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `at` is earlier than [`EventQueue::now`].
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         let id = EventId(self.next_seq);
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { at, id, event }));
@@ -221,7 +225,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule_at(SimTime::from_millis(10), 1);
         q.schedule_at(SimTime::from_millis(50), 2);
-        assert_eq!(q.pop_before(SimTime::from_millis(20)).map(|(_, e)| e), Some(1));
+        assert_eq!(
+            q.pop_before(SimTime::from_millis(20)).map(|(_, e)| e),
+            Some(1)
+        );
         assert_eq!(q.pop_before(SimTime::from_millis(20)), None);
         // Clock stays put; event 2 still pending.
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(50)));
@@ -234,7 +241,10 @@ mod tests {
         let a = q.schedule_at(SimTime::from_millis(1), "a");
         q.schedule_at(SimTime::from_millis(2), "b");
         q.cancel(a);
-        assert_eq!(q.pop_before(SimTime::from_millis(10)).map(|(_, e)| e), Some("b"));
+        assert_eq!(
+            q.pop_before(SimTime::from_millis(10)).map(|(_, e)| e),
+            Some("b")
+        );
     }
 
     #[test]

@@ -195,14 +195,8 @@ mod tests {
         let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
         assert_eq!(t, SimTime::from_secs(15));
         assert_eq!(t - SimDuration::from_secs(20), SimTime::ZERO);
-        assert_eq!(
-            SimDuration::from_secs(4) * 3,
-            SimDuration::from_secs(12)
-        );
-        assert_eq!(
-            SimDuration::from_secs(9) / 3,
-            SimDuration::from_secs(3)
-        );
+        assert_eq!(SimDuration::from_secs(4) * 3, SimDuration::from_secs(12));
+        assert_eq!(SimDuration::from_secs(9) / 3, SimDuration::from_secs(3));
     }
 
     #[test]
@@ -227,7 +221,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_millis(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_millis(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_millis(7)),
             Some(SimTime::from_millis(7))

@@ -126,10 +126,7 @@ mod tests {
     #[test]
     fn avg_chart_differs_from_min() {
         let fig = figure();
-        assert_ne!(
-            render_min_connectivity(&fig),
-            render_avg_connectivity(&fig)
-        );
+        assert_ne!(render_min_connectivity(&fig), render_avg_connectivity(&fig));
     }
 
     #[test]

@@ -4,39 +4,93 @@
 //! repro fig2                 # Simulation A at laptop scale
 //! repro tab2 --scale bench   # quick smoke-scale Table 2
 //! repro all --out results/   # everything, CSVs written to results/
+//! repro matrix --scale bench # the full scenario matrix, run in parallel
 //! ```
+//!
+//! Arguments are parsed by hand (the build environment has no clap):
+//! `<experiment> [--scale bench|laptop|paper] [--seed N] [--out DIR]
+//! [--jobs N]`.
 
-use clap::Parser;
 use kad_experiments::figures::{run_experiment, ExperimentId, ExperimentResult};
+use kad_experiments::matrix::MatrixRunner;
 use kad_experiments::scale::Scale;
 use std::path::PathBuf;
 use std::time::Instant;
 
-/// Reproduce the tables and figures of "Evaluating Connection Resilience
-/// for the Overlay Network Kademlia" (Heck et al., 2017).
-#[derive(Parser, Debug)]
-#[command(version, about)]
 struct Args {
-    /// Experiment to run: tab1, fig2..fig14, tab2, fig10, bitlen,
-    /// sampling, or "all".
     experiment: String,
-
-    /// Effort preset: bench (seconds), laptop (minutes), paper (original
-    /// sizes — hours to days).
-    #[arg(long, default_value_t = Scale::Laptop)]
     scale: Scale,
-
-    /// Master seed for all randomness.
-    #[arg(long, default_value_t = 1)]
     seed: u64,
-
-    /// Directory for CSV outputs (created if missing). Omit to skip CSVs.
-    #[arg(long)]
     out: Option<PathBuf>,
+    jobs: Option<usize>,
+}
+
+const USAGE: &str =
+    "usage: repro <experiment> [--scale bench|laptop|paper] [--seed N] [--out DIR] [--jobs N]\n\
+    experiments: all, matrix, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
+    --jobs sets the scenario-level worker count (matrix only; other experiments auto-split)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        experiment: String::new(),
+        scale: Scale::Laptop,
+        seed: 1,
+        out: None,
+        jobs: None,
+    };
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = raw.next().ok_or("--scale needs a value")?;
+                args.scale = value.parse()?;
+            }
+            "--seed" => {
+                let value = raw.next().ok_or("--seed needs a value")?;
+                args.seed = value.parse().map_err(|_| format!("bad seed {value:?}"))?;
+            }
+            "--out" => {
+                let value = raw.next().ok_or("--out needs a value")?;
+                args.out = Some(PathBuf::from(value));
+            }
+            "--jobs" => {
+                let value = raw.next().ok_or("--jobs needs a value")?;
+                args.jobs = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad job count {value:?}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if args.experiment.is_empty() && !other.starts_with('-') => {
+                args.experiment = other.to_string();
+            }
+            other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+    }
+    if args.experiment.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
 }
 
 fn main() {
-    let args = Args::parse();
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.experiment.eq_ignore_ascii_case("matrix") {
+        run_matrix(&args);
+        return;
+    }
+
     let ids: Vec<ExperimentId> = if args.experiment.eq_ignore_ascii_case("all") {
         ExperimentId::ALL.to_vec()
     } else {
@@ -45,7 +99,7 @@ fn main() {
             Err(err) => {
                 eprintln!("error: {err}");
                 eprintln!(
-                    "available: all, {}",
+                    "available: all, matrix, {}",
                     ExperimentId::ALL
                         .iter()
                         .map(|i| i.to_string())
@@ -59,7 +113,10 @@ fn main() {
 
     for id in ids {
         let started = Instant::now();
-        eprintln!("== running {id} at {} scale (seed {}) ==", args.scale, args.seed);
+        eprintln!(
+            "== running {id} at {} scale (seed {}) ==",
+            args.scale, args.seed
+        );
         let result = run_experiment(id, args.scale, args.seed);
         println!("{}", result.render());
         eprintln!("== {id} done in {:.1?} ==\n", started.elapsed());
@@ -70,6 +127,61 @@ fn main() {
             }
         }
     }
+}
+
+/// Runs the paper's full k-sweep scenario grid through [`MatrixRunner`],
+/// streaming one summary line per scenario as it completes.
+fn run_matrix(args: &Args) {
+    let scenarios = kad_experiments::matrix::paper_matrix(args.scale, args.seed);
+    eprintln!(
+        "== running {} scenarios at {} scale (seed {}) ==",
+        scenarios.len(),
+        args.scale,
+        args.seed
+    );
+    let mut runner = MatrixRunner::new();
+    if let Some(jobs) = args.jobs {
+        runner = runner.scenario_threads(jobs);
+    }
+    let started = Instant::now();
+    let outcomes = runner.run_streaming(&scenarios, |index, outcome| {
+        let last = outcome.final_snapshot();
+        eprintln!(
+            "[{}/{}] {}: final n={} κ_min={}",
+            index + 1,
+            scenarios.len(),
+            outcome.scenario.name,
+            last.map_or(0, |s| s.network_size),
+            last.map_or(0, |s| s.report.min_connectivity),
+        );
+    });
+    let mut summary = String::from("scenario,final_size,min_connectivity,avg_connectivity\n");
+    for outcome in &outcomes {
+        if let Some(last) = outcome.final_snapshot() {
+            let line = format!(
+                "{},{},{},{:.2}",
+                outcome.scenario.name,
+                last.network_size,
+                last.report.min_connectivity,
+                last.report.avg_connectivity
+            );
+            println!("{line}");
+            summary.push_str(&line);
+            summary.push('\n');
+        }
+    }
+    if let Some(dir) = &args.out {
+        let write = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join("matrix-summary.csv"), &summary));
+        match write {
+            Ok(()) => eprintln!("wrote {}", dir.join("matrix-summary.csv").display()),
+            Err(err) => {
+                eprintln!("error writing matrix summary: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!("== matrix done in {:.1?} ==", started.elapsed());
 }
 
 fn write_csvs(dir: &PathBuf, result: &ExperimentResult) -> std::io::Result<()> {

@@ -7,7 +7,8 @@
 //! wrappers around it. EXPERIMENTS.md records paper-vs-measured for each
 //! entry.
 
-use crate::runner::{run_scenario, ScenarioOutcome};
+use crate::matrix::MatrixRunner;
+use crate::runner::ScenarioOutcome;
 use crate::scale::Scale;
 use crate::scenario::{paper, ChurnRate, Scenario};
 use crate::series::{churn_phase_min_summary, FigureData};
@@ -156,13 +157,21 @@ impl ExperimentResult {
     }
 }
 
-fn seed_for(base_seed: u64, name: &str) -> u64 {
+pub(crate) fn seed_for(base_seed: u64, name: &str) -> u64 {
     RngFactory::new(base_seed).stream(name).random()
 }
 
-fn run_with_seed(mut scenario: Scenario, base_seed: u64) -> ScenarioOutcome {
+/// Stamps the scenario's seed from its name (so every cell of the grid has
+/// independent, reproducible randomness).
+fn seeded(mut scenario: Scenario, base_seed: u64) -> Scenario {
     scenario.seed = seed_for(base_seed, &scenario.name);
-    run_scenario(&scenario)
+    scenario
+}
+
+/// Runs a grid of scenarios through the parallel [`MatrixRunner`] and
+/// returns outcomes in input order.
+fn run_grid(scenarios: Vec<Scenario>) -> Vec<ScenarioOutcome> {
+    MatrixRunner::new().run(&scenarios)
 }
 
 /// Runs one experiment at the given scale. `base_seed` parameterizes all
@@ -218,17 +227,26 @@ fn k_sweep_figure(
     };
     let mut figure = FigureData::new(format!(
         "{id}: Simulation {sim_name} — size {size}, churn {churn}, {}",
-        if traffic { "with data traffic" } else { "without data traffic" }
+        if traffic {
+            "with data traffic"
+        } else {
+            "without data traffic"
+        }
     ));
     let mut notes = Vec::new();
-    for k in K_SWEEP {
-        let scenario = match kind {
-            SimKind::Ab => paper::sim_ab(scale, large, k),
-            SimKind::Cd => paper::sim_cd(scale, large, k),
-            SimKind::Ef => paper::sim_ef(scale, large, k),
-            SimKind::Gh => paper::sim_gh(scale, large, k, 3),
-        };
-        let outcome = run_with_seed(scenario, base_seed);
+    let scenarios: Vec<Scenario> = K_SWEEP
+        .into_iter()
+        .map(|k| {
+            let scenario = match kind {
+                SimKind::Ab => paper::sim_ab(scale, large, k),
+                SimKind::Cd => paper::sim_cd(scale, large, k),
+                SimKind::Ef => paper::sim_ef(scale, large, k),
+                SimKind::Gh => paper::sim_gh(scale, large, k, 3),
+            };
+            seeded(scenario, base_seed)
+        })
+        .collect();
+    for (k, outcome) in K_SWEEP.into_iter().zip(run_grid(scenarios)) {
         if let Some(last) = outcome.final_snapshot() {
             notes.push(format!(
                 "k={k}: final size {}, κ_min {}, κ_avg {:.1}",
@@ -283,7 +301,10 @@ fn table1(base_seed: u64) -> ExperimentResult {
             format!("{:.1}%", scenario.one_way_probability() * 100.0),
             format!("{:.0}%", scenario.nominal_two_way_probability() * 100.0),
             format!("{:.2}%", model.two_way_probability() * 100.0),
-            format!("{:.2}%", one_way_losses as f64 / (2.0 * trials as f64) * 100.0),
+            format!(
+                "{:.2}%",
+                one_way_losses as f64 / (2.0 * trials as f64) * 100.0
+            ),
             format!("{:.2}%", two_way_failures as f64 / trials as f64 * 100.0),
         ]);
     }
@@ -291,9 +312,7 @@ fn table1(base_seed: u64) -> ExperimentResult {
         name: "tab1".into(),
         figures: Vec::new(),
         tables: vec![table],
-        notes: vec![
-            "paper: one-way 0/2.5/13.4/29.3% must induce two-way 0/5/25/50%".into(),
-        ],
+        notes: vec!["paper: one-way 0/2.5/13.4/29.3% must induce two-way 0/5/25/50%".into()],
     }
 }
 
@@ -304,6 +323,8 @@ fn table2(scale: Scale, base_seed: u64) -> ExperimentResult {
         "Table 2: churn-phase minimum connectivity — mean and relative variance",
         &["size", "k", "churn", "mean", "RV"],
     );
+    let mut rows: Vec<(usize, usize, ChurnRate)> = Vec::new();
+    let mut scenarios: Vec<Scenario> = Vec::new();
     for large in [false, true] {
         let size = if large {
             scale.config().large_size
@@ -317,17 +338,20 @@ fn table2(scale: Scale, base_seed: u64) -> ExperimentResult {
                 } else {
                     paper::sim_gh(scale, large, k, 3)
                 };
-                let outcome = run_with_seed(scenario, base_seed);
-                let summary = churn_phase_min_summary(&outcome);
-                table.push_row(vec![
-                    size.to_string(),
-                    k.to_string(),
-                    churn.label(),
-                    format!("{:.2}", summary.mean()),
-                    format!("{:.2}", summary.relative_variance()),
-                ]);
+                rows.push((size, k, churn));
+                scenarios.push(seeded(scenario, base_seed));
             }
         }
+    }
+    for ((size, k, churn), outcome) in rows.into_iter().zip(run_grid(scenarios)) {
+        let summary = churn_phase_min_summary(&outcome);
+        table.push_row(vec![
+            size.to_string(),
+            k.to_string(),
+            churn.label(),
+            format!("{:.2}", summary.mean()),
+            format!("{:.2}", summary.relative_variance()),
+        ]);
     }
     ExperimentResult {
         name: "tab2".into(),
@@ -355,18 +379,29 @@ fn figure10(scale: Scale, base_seed: u64) -> ExperimentResult {
                 "Figure 10{}: mean min connectivity during churn — size {size}",
                 if large { "b" } else { "a" }
             ),
-            &["k", "churn 1/1 (α=3)", "churn 10/10 (α=3)", "churn 10/10 (α=5)"],
+            &[
+                "k",
+                "churn 1/1 (α=3)",
+                "churn 10/10 (α=3)",
+                "churn 10/10 (α=5)",
+            ],
         );
-        for k in K_SWEEP {
-            let configs: [(&str, Scenario); 3] = [
-                ("1/1 α3", paper::sim_ef(scale, large, k)),
-                ("10/10 α3", paper::sim_gh(scale, large, k, 3)),
-                ("10/10 α5", paper::sim_gh(scale, large, k, 5)),
-            ];
+        let scenarios: Vec<Scenario> = K_SWEEP
+            .into_iter()
+            .flat_map(|k| {
+                [
+                    paper::sim_ef(scale, large, k),
+                    paper::sim_gh(scale, large, k, 3),
+                    paper::sim_gh(scale, large, k, 5),
+                ]
+            })
+            .map(|scenario| seeded(scenario, base_seed))
+            .collect();
+        let outcomes = run_grid(scenarios);
+        for (row, k) in K_SWEEP.into_iter().enumerate() {
             let mut cells = vec![k.to_string()];
-            for (_, scenario) in configs {
-                let outcome = run_with_seed(scenario, base_seed);
-                cells.push(format!("{:.2}", churn_phase_min_summary(&outcome).mean()));
+            for outcome in &outcomes[3 * row..3 * row + 3] {
+                cells.push(format!("{:.2}", churn_phase_min_summary(outcome).mean()));
             }
             table.push_row(cells);
         }
@@ -385,7 +420,13 @@ fn figure10(scale: Scale, base_seed: u64) -> ExperimentResult {
 fn bitlength(scale: Scale, base_seed: u64) -> ExperimentResult {
     let mut table = TableData::new(
         "Bit-length b=160 vs b=80 (Simulation C/D, k=20)",
-        &["size", "b", "final κ_min", "final κ_avg", "churn-phase mean κ_min"],
+        &[
+            "size",
+            "b",
+            "final κ_min",
+            "final κ_avg",
+            "churn-phase mean κ_min",
+        ],
     );
     let mut figures = Vec::new();
     for large in [false, true] {
@@ -395,9 +436,12 @@ fn bitlength(scale: Scale, base_seed: u64) -> ExperimentResult {
             scale.config().small_size
         };
         let mut figure = FigureData::new(format!("§5.7: b sweep — size {size}"));
-        for bits in [160u16, 80] {
-            let scenario = paper::sim_bitlength(scale, large, 20, bits);
-            let outcome = run_with_seed(scenario, base_seed);
+        let bit_variants = [160u16, 80];
+        let scenarios: Vec<Scenario> = bit_variants
+            .into_iter()
+            .map(|bits| seeded(paper::sim_bitlength(scale, large, 20, bits), base_seed))
+            .collect();
+        for (bits, outcome) in bit_variants.into_iter().zip(run_grid(scenarios)) {
             let last = outcome.final_snapshot().cloned();
             let summary = churn_phase_min_summary(&outcome);
             if let Some(last) = last {
@@ -430,8 +474,12 @@ fn figure11(scale: Scale, base_seed: u64) -> ExperimentResult {
             "fig11: Simulation I — churn {}, loss none, k=20",
             churn.label()
         ));
-        for s in [1u32, 5] {
-            let outcome = run_with_seed(paper::sim_i(scale, churn, s), base_seed);
+        let staleness = [1u32, 5];
+        let scenarios: Vec<Scenario> = staleness
+            .into_iter()
+            .map(|s| seeded(paper::sim_i(scale, churn, s), base_seed))
+            .collect();
+        for (s, outcome) in staleness.into_iter().zip(run_grid(scenarios)) {
             figure.add_outcome(format!("s={s}"), &outcome);
         }
         figures.push(figure);
@@ -457,13 +505,25 @@ fn loss_figure(
     let sim = if !churn.is_active() {
         "J (no churn)".to_string()
     } else {
-        format!("{} (churn {})", if churn == ChurnRate::ONE_ONE { "K" } else { "L" }, churn.label())
+        format!(
+            "{} (churn {})",
+            if churn == ChurnRate::ONE_ONE {
+                "K"
+            } else {
+                "L"
+            },
+            churn.label()
+        )
     };
     let mut figures = Vec::new();
     for s in [1u32, 5] {
         let mut figure = FigureData::new(format!("{id}: Simulation {sim}, s={s}, k=20"));
-        for loss in [LossScenario::Low, LossScenario::Medium, LossScenario::High] {
-            let outcome = run_with_seed(paper::sim_jkl(scale, churn, loss, s), base_seed);
+        let losses = [LossScenario::Low, LossScenario::Medium, LossScenario::High];
+        let scenarios: Vec<Scenario> = losses
+            .into_iter()
+            .map(|loss| seeded(paper::sim_jkl(scale, churn, loss, s), base_seed))
+            .collect();
+        for (loss, outcome) in losses.into_iter().zip(run_grid(scenarios)) {
             figure.add_outcome(format!("l={loss}"), &outcome);
         }
         figures.push(figure);
@@ -473,7 +533,8 @@ fn loss_figure(
         figures,
         tables: Vec::new(),
         notes: vec![
-            "paper: more loss ⇒ higher connectivity (s=1); s=5 damps the effect; churn counters it".into(),
+            "paper: more loss ⇒ higher connectivity (s=1); s=5 damps the effect; churn counters it"
+                .into(),
         ],
     }
 }
@@ -486,7 +547,9 @@ fn sampling_validation(_scale: Scale, base_seed: u64) -> ExperimentResult {
 
     let mut table = TableData::new(
         "Sampling validation: smallest-out-degree c-sampling vs full analysis",
-        &["graph", "n", "exact κ", "c=0.01", "c=0.02", "c=0.05", "c=0.10"],
+        &[
+            "graph", "n", "exact κ", "c=0.01", "c=0.02", "c=0.05", "c=0.10",
+        ],
     );
     let mut agree = 0usize;
     let mut total = 0usize;
@@ -505,7 +568,8 @@ fn sampling_validation(_scale: Scale, base_seed: u64) -> ExperimentResult {
         let n = 80;
         let scenario = {
             let mut b = crate::scenario::ScenarioBuilder::quick(n, 8);
-            b.name("sampling-net").seed(seed_for(base_seed, "sampling-net"));
+            b.name("sampling-net")
+                .seed(seed_for(base_seed, "sampling-net"));
             b.build()
         };
         let transport = dessim::transport::Transport::new(
@@ -575,7 +639,10 @@ mod tests {
     #[test]
     fn experiment_ids_roundtrip() {
         for id in ExperimentId::ALL {
-            assert_eq!(id.to_string().parse::<ExperimentId>().expect("roundtrip"), id);
+            assert_eq!(
+                id.to_string().parse::<ExperimentId>().expect("roundtrip"),
+                id
+            );
         }
         assert!("fig99".parse::<ExperimentId>().is_err());
     }
@@ -610,7 +677,10 @@ mod tests {
             // miniature graph may legitimately miss by a little, which the
             // table makes visible.)
             assert_eq!(
-                row.last().expect("c=0.10 column").parse::<u64>().expect("κ"),
+                row.last()
+                    .expect("c=0.10 column")
+                    .parse::<u64>()
+                    .expect("κ"),
                 exact,
                 "row {row:?}"
             );

@@ -11,6 +11,10 @@
 //!   full durations — hours to days of compute, as in the paper).
 //! * [`scenario`] — the [`scenario::Scenario`] type and constructors for
 //!   each of the paper's simulations.
+//! * [`matrix`] — the [`matrix::MatrixRunner`]: executes a grid of
+//!   scenarios in parallel (scenario-level workers above the pair-level
+//!   rayon parallelism, with a configurable split) and streams outcomes as
+//!   they finish; the figure/table registry runs its sweeps through it.
 //! * [`runner`] — drives a [`kademlia::SimNetwork`] through the setup /
 //!   stabilization / churn phases, applying joins, silent departures and
 //!   data traffic at random instants within each minute (Section 5.3), and
@@ -26,6 +30,7 @@
 
 pub mod ascii_chart;
 pub mod figures;
+pub mod matrix;
 pub mod runner;
 pub mod scale;
 pub mod scenario;
@@ -33,6 +38,7 @@ pub mod series;
 pub mod table;
 
 pub use figures::{run_experiment, ExperimentId, ExperimentResult};
+pub use matrix::{MatrixRunner, SplitPolicy};
 pub use runner::{run_scenario, ScenarioOutcome, SnapshotResult};
 pub use scale::Scale;
 pub use scenario::{Scenario, ScenarioBuilder};

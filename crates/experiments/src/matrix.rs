@@ -1,0 +1,277 @@
+//! Parallel scenario matrix: many scenarios, streamed as they finish.
+//!
+//! The paper's evaluation is a *grid* — simulations A–L swept over `k`,
+//! churn, loss, staleness and network size. Each cell is an independent
+//! [`run_scenario`] call, so the grid parallelizes perfectly at the
+//! scenario level, **above** the pair-level rayon parallelism inside each
+//! connectivity sweep. [`MatrixRunner`] owns that outer level:
+//!
+//! * scenarios are claimed work-stealing style by a configurable number of
+//!   worker threads ([`SplitPolicy`] picks the split between scenario- and
+//!   pair-level parallelism, or [`MatrixRunner::scenario_threads`] sets it
+//!   explicitly);
+//! * outcomes stream to a callback the moment they finish (progress
+//!   reporting, incremental CSV writes), and are also returned in input
+//!   order;
+//! * results are **identical** to running [`run_scenario`] serially on the
+//!   same scenarios: the runner never mutates a scenario, and every
+//!   scenario seeds all of its own randomness. That equivalence is tested.
+
+use crate::runner::{run_scenario, ScenarioOutcome};
+use crate::scale::Scale;
+use crate::scenario::{paper, Scenario};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// How the core budget is split between the scenario and pair levels.
+///
+/// Whatever the split, each scenario worker runs its scenario under a
+/// rayon thread budget of `cores / workers` (at least 1), so the inner
+/// pair-level sweeps and the outer workers share the core budget instead
+/// of multiplying it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// Scenario-level first: one worker per core, inner sweeps serial.
+    /// Best when the grid has at least as many cells as cores.
+    Scenarios,
+    /// Pair-level only: scenarios run one at a time, each sweep fanning
+    /// out across cores. Best for a handful of large scenarios.
+    Pairs,
+    /// Half the cores at the scenario level (at least one), the other
+    /// half to each worker's inner sweeps — a robust default for mixed
+    /// grids.
+    #[default]
+    Auto,
+}
+
+impl SplitPolicy {
+    /// Number of scenario-level workers for `scenario_count` scenarios.
+    fn scenario_threads(self, scenario_count: usize) -> usize {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let raw = match self {
+            SplitPolicy::Scenarios => cores,
+            SplitPolicy::Pairs => 1,
+            SplitPolicy::Auto => (cores / 2).max(1),
+        };
+        raw.min(scenario_count.max(1))
+    }
+}
+
+/// Executes a grid of scenarios in parallel. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use kad_experiments::matrix::MatrixRunner;
+/// use kad_experiments::scenario::ScenarioBuilder;
+///
+/// let scenarios: Vec<_> = (0..2)
+///     .map(|i| {
+///         let mut b = ScenarioBuilder::quick(12, 4);
+///         b.seed(40 + i);
+///         b.build()
+///     })
+///     .collect();
+/// let outcomes = MatrixRunner::new().run(&scenarios);
+/// assert_eq!(outcomes.len(), 2);
+/// assert_eq!(outcomes[0].scenario.seed, 40);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MatrixRunner {
+    split: SplitPolicy,
+    explicit_threads: Option<usize>,
+}
+
+impl MatrixRunner {
+    /// Runner with the default [`SplitPolicy::Auto`] split.
+    pub fn new() -> Self {
+        MatrixRunner::default()
+    }
+
+    /// Sets the split policy.
+    pub fn split(mut self, split: SplitPolicy) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Overrides the number of scenario-level worker threads directly
+    /// (values are clamped to at least 1; the policy is ignored).
+    pub fn scenario_threads(mut self, threads: usize) -> Self {
+        self.explicit_threads = Some(threads.max(1));
+        self
+    }
+
+    fn worker_count(&self, scenario_count: usize) -> usize {
+        match self.explicit_threads {
+            Some(threads) => threads.min(scenario_count.max(1)),
+            None => self.split.scenario_threads(scenario_count),
+        }
+    }
+
+    /// Runs every scenario and returns the outcomes in input order.
+    pub fn run(&self, scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
+        self.run_streaming(scenarios, |_, _| {})
+    }
+
+    /// Runs every scenario; `on_outcome(index, outcome)` fires on the
+    /// calling thread as each scenario completes (completion order, not
+    /// input order). The returned vector is in input order regardless.
+    pub fn run_streaming(
+        &self,
+        scenarios: &[Scenario],
+        mut on_outcome: impl FnMut(usize, &ScenarioOutcome),
+    ) -> Vec<ScenarioOutcome> {
+        if scenarios.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.worker_count(scenarios.len());
+        if workers <= 1 {
+            return scenarios
+                .iter()
+                .enumerate()
+                .map(|(index, scenario)| {
+                    let outcome = run_scenario(scenario);
+                    on_outcome(index, &outcome);
+                    outcome
+                })
+                .collect();
+        }
+
+        // Split the core budget: `workers` scenario threads, each allowed
+        // `cores / workers` rayon threads for its inner pair sweeps.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let inner_budget = (cores / workers).max(1);
+        let next = AtomicUsize::new(0);
+        let (sender, receiver) = mpsc::channel::<(usize, ScenarioOutcome)>();
+        let mut slots: Vec<Option<ScenarioOutcome>> = Vec::new();
+        slots.resize_with(scenarios.len(), || None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let sender = sender.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= scenarios.len() {
+                        break;
+                    }
+                    let outcome =
+                        rayon::with_thread_budget(inner_budget, || run_scenario(&scenarios[index]));
+                    if sender.send((index, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(sender);
+            for (index, outcome) in receiver {
+                on_outcome(index, &outcome);
+                slots[index] = Some(outcome);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every scenario produces an outcome"))
+            .collect()
+    }
+}
+
+/// The paper's full A–H scenario grid (both sizes × the `k` sweep), seeded
+/// exactly like the figure harness — the workload `repro matrix` runs.
+pub fn paper_matrix(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+    for large in [false, true] {
+        for k in crate::figures::K_SWEEP {
+            scenarios.push(paper::sim_ab(scale, large, k));
+            scenarios.push(paper::sim_cd(scale, large, k));
+            scenarios.push(paper::sim_ef(scale, large, k));
+            scenarios.push(paper::sim_gh(scale, large, k, 3));
+        }
+    }
+    for scenario in &mut scenarios {
+        scenario.seed = crate::figures::seed_for(base_seed, &scenario.name);
+    }
+    scenarios
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ChurnRate, ScenarioBuilder};
+
+    fn small_grid() -> Vec<Scenario> {
+        let mut scenarios = Vec::new();
+        for (i, k) in [4usize, 6].into_iter().enumerate() {
+            let mut b = ScenarioBuilder::quick(14, k);
+            b.name(format!("grid-{k}")).seed(90 + i as u64);
+            scenarios.push(b.build());
+        }
+        let mut churny = ScenarioBuilder::quick(12, 4);
+        churny
+            .name("grid-churn")
+            .seed(97)
+            .churn(ChurnRate::ONE_ONE)
+            .churn_minutes(10)
+            .snapshot_minutes(10);
+        scenarios.push(churny.build());
+        scenarios
+    }
+
+    #[test]
+    fn matrix_matches_serial_exactly() {
+        let scenarios = small_grid();
+        let serial: Vec<ScenarioOutcome> = scenarios.iter().map(run_scenario).collect();
+        for runner in [
+            MatrixRunner::new(),
+            MatrixRunner::new().split(SplitPolicy::Scenarios),
+            MatrixRunner::new().split(SplitPolicy::Pairs),
+            MatrixRunner::new().scenario_threads(2),
+            MatrixRunner::new().scenario_threads(8),
+        ] {
+            let parallel = runner.run(&scenarios);
+            assert_eq!(parallel, serial, "runner {runner:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_reports_every_scenario_once() {
+        let scenarios = small_grid();
+        let mut seen = Vec::new();
+        let outcomes =
+            MatrixRunner::new()
+                .scenario_threads(3)
+                .run_streaming(&scenarios, |index, outcome| {
+                    seen.push((index, outcome.scenario.name.clone()));
+                });
+        assert_eq!(outcomes.len(), scenarios.len());
+        let mut indices: Vec<usize> = seen.iter().map(|&(i, _)| i).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..scenarios.len()).collect::<Vec<_>>());
+        for (index, name) in seen {
+            assert_eq!(name, scenarios[index].name, "callback index matches");
+        }
+        // Returned order is input order.
+        for (outcome, scenario) in outcomes.iter().zip(&scenarios) {
+            assert_eq!(outcome.scenario.name, scenario.name);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_empty() {
+        assert!(MatrixRunner::new().run(&[]).is_empty());
+    }
+
+    #[test]
+    fn paper_matrix_is_seeded_and_named() {
+        let scenarios = paper_matrix(Scale::Bench, 7);
+        // 2 sizes × 4 k values × 4 simulation families.
+        assert_eq!(scenarios.len(), 32);
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 32, "scenario names are unique");
+        // Seeds derive from the name, so they differ across the grid.
+        let mut seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 32, "scenario seeds are unique");
+    }
+}

@@ -39,7 +39,7 @@ pub struct SnapshotResult {
 }
 
 /// The full result of one scenario run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioOutcome {
     /// The scenario that was run.
     pub scenario: Scenario,
@@ -105,9 +105,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         let mut actions: Vec<(u64, Action)> = Vec::new();
 
         // Initial joins falling into this minute.
-        while join_cursor < join_times.len()
-            && join_times[join_cursor] < minute_start_ms + 60_000
-        {
+        while join_cursor < join_times.len() && join_times[join_cursor] < minute_start_ms + 60_000 {
             actions.push((join_times[join_cursor], Action::JoinInitial));
             join_cursor += 1;
         }
@@ -263,10 +261,7 @@ mod tests {
             assert_eq!(x.report, y.report);
             assert_eq!(x.network_size, y.network_size);
         }
-        assert_eq!(
-            a.counters.get("msg_sent"),
-            b.counters.get("msg_sent")
-        );
+        assert_eq!(a.counters.get("msg_sent"), b.counters.get("msg_sent"));
     }
 
     #[test]
@@ -314,7 +309,9 @@ mod tests {
     #[test]
     fn churn_phase_filter() {
         let mut b = ScenarioBuilder::quick(16, 4);
-        b.churn(ChurnRate::ONE_ONE).churn_minutes(20).snapshot_minutes(10);
+        b.churn(ChurnRate::ONE_ONE)
+            .churn_minutes(20)
+            .snapshot_minutes(10);
         let outcome = run_scenario(&b.build());
         let churn_count = outcome.churn_phase().count();
         assert!(churn_count >= 2, "got {churn_count}");

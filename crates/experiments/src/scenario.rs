@@ -20,13 +20,25 @@ pub struct ChurnRate {
 
 impl ChurnRate {
     /// No churn at all.
-    pub const NONE: ChurnRate = ChurnRate { remove_per_min: 0, add_per_min: 0 };
+    pub const NONE: ChurnRate = ChurnRate {
+        remove_per_min: 0,
+        add_per_min: 0,
+    };
     /// The paper's `0/1` scenario: one departure per minute, no joins.
-    pub const ZERO_ONE: ChurnRate = ChurnRate { remove_per_min: 1, add_per_min: 0 };
+    pub const ZERO_ONE: ChurnRate = ChurnRate {
+        remove_per_min: 1,
+        add_per_min: 0,
+    };
     /// The paper's `1/1` scenario.
-    pub const ONE_ONE: ChurnRate = ChurnRate { remove_per_min: 1, add_per_min: 1 };
+    pub const ONE_ONE: ChurnRate = ChurnRate {
+        remove_per_min: 1,
+        add_per_min: 1,
+    };
     /// The paper's `10/10` scenario.
-    pub const TEN_TEN: ChurnRate = ChurnRate { remove_per_min: 10, add_per_min: 10 };
+    pub const TEN_TEN: ChurnRate = ChurnRate {
+        remove_per_min: 10,
+        add_per_min: 10,
+    };
 
     /// Whether any churn happens.
     pub fn is_active(&self) -> bool {
@@ -278,7 +290,11 @@ pub mod paper {
         let cfg: ScaleConfig = scale.config();
         let mut b = ScenarioBuilder::default();
         b.name(name)
-            .size(if large { cfg.large_size } else { cfg.small_size })
+            .size(if large {
+                cfg.large_size
+            } else {
+                cfg.small_size
+            })
             .churn_minutes(cfg.churn_minutes)
             .snapshot_minutes(cfg.snapshot_minutes)
             .refresh_policy(cfg.refresh_policy);
@@ -432,11 +448,26 @@ mod tests {
 
     #[test]
     fn sim_jkl_tags() {
-        let j = paper::sim_jkl(Scale::Bench, ChurnRate::NONE, dessim::loss::LossScenario::Low, 1);
+        let j = paper::sim_jkl(
+            Scale::Bench,
+            ChurnRate::NONE,
+            dessim::loss::LossScenario::Low,
+            1,
+        );
         assert!(j.name.contains("sim-J"));
-        let k = paper::sim_jkl(Scale::Bench, ChurnRate::ONE_ONE, dessim::loss::LossScenario::Medium, 5);
+        let k = paper::sim_jkl(
+            Scale::Bench,
+            ChurnRate::ONE_ONE,
+            dessim::loss::LossScenario::Medium,
+            5,
+        );
         assert!(k.name.contains("sim-K"));
-        let l = paper::sim_jkl(Scale::Bench, ChurnRate::TEN_TEN, dessim::loss::LossScenario::High, 5);
+        let l = paper::sim_jkl(
+            Scale::Bench,
+            ChurnRate::TEN_TEN,
+            dessim::loss::LossScenario::High,
+            5,
+        );
         assert!(l.name.contains("sim-L"));
         assert_eq!(l.protocol.staleness_limit, 5);
     }

@@ -54,7 +54,8 @@ impl FigureData {
 
     /// Renders the figure as CSV: one row per (series, point).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("series,time_min,network_size,min_connectivity,avg_connectivity\n");
+        let mut out =
+            String::from("series,time_min,network_size,min_connectivity,avg_connectivity\n");
         for (label, points) in &self.series {
             for p in points {
                 let _ = writeln!(

@@ -226,7 +226,9 @@ impl DiGraph {
     /// old index. Used by attack simulations (remove up to `a` compromised
     /// nodes and re-examine connectivity).
     pub fn remove_vertices(&self, removed: &HashSet<u32>) -> (DiGraph, Vec<u32>) {
-        let keep: Vec<u32> = (0..self.n as u32).filter(|v| !removed.contains(v)).collect();
+        let keep: Vec<u32> = (0..self.n as u32)
+            .filter(|v| !removed.contains(v))
+            .collect();
         let mut old_to_new = vec![u32::MAX; self.n];
         for (new, &old) in keep.iter().enumerate() {
             old_to_new[old as usize] = new as u32;

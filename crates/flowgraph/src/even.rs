@@ -22,8 +22,9 @@
 //! offered via [`EdgeCapacity`]; their equivalence is property-tested.
 
 use crate::digraph::DiGraph;
-use crate::maxflow::{FlowNetwork, MaxFlow, INF_CAP};
+use crate::maxflow::{FlowNetwork, FlowWorkspace, MaxFlow, INF_CAP};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Capacity assigned to transformed edge arcs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -52,10 +53,13 @@ pub enum EdgeCapacity {
 /// // Adjacent pairs have no defined vertex connectivity.
 /// assert_eq!(even.vertex_connectivity(&Dinic::new(), 0, 1, None), None);
 /// ```
+/// Cloning an `EvenNetwork` — e.g. to hand each sweep worker its own
+/// mutable residual state — shares the original graph behind an [`Arc`]
+/// and only duplicates the flow network itself.
 #[derive(Clone, Debug)]
 pub struct EvenNetwork {
     net: FlowNetwork,
-    graph: DiGraph,
+    graph: Arc<DiGraph>,
     edge_cap: EdgeCapacity,
 }
 
@@ -68,6 +72,12 @@ impl EvenNetwork {
 
     /// Builds the transformation with a chosen edge-arc capacity.
     pub fn with_edge_capacity(graph: &DiGraph, edge_cap: EdgeCapacity) -> Self {
+        Self::from_shared(Arc::new(graph.clone()), edge_cap)
+    }
+
+    /// Builds the transformation around an already-shared graph, avoiding
+    /// the graph clone of [`EvenNetwork::with_edge_capacity`].
+    pub fn from_shared(graph: Arc<DiGraph>, edge_cap: EdgeCapacity) -> Self {
         let n = graph.node_count();
         let mut net = FlowNetwork::new(2 * n);
         // Internal arcs x' -> x'' with capacity 1 (vertex capacity).
@@ -83,7 +93,7 @@ impl EvenNetwork {
         }
         EvenNetwork {
             net,
-            graph: graph.clone(),
+            graph,
             edge_cap,
         }
     }
@@ -164,6 +174,22 @@ impl EvenNetwork {
         w: u32,
         cutoff: Option<u64>,
     ) -> Option<u64> {
+        let mut workspace = FlowWorkspace::new();
+        self.vertex_connectivity_with(solver, v, w, cutoff, &mut workspace)
+    }
+
+    /// [`EvenNetwork::vertex_connectivity`] with caller-owned scratch: the
+    /// network is retargeted to the new `(v, w)` pair in place (its journal
+    /// undoes only the arcs the previous run touched) and the solver runs
+    /// against `workspace`, so sweeping many pairs allocates nothing.
+    pub fn vertex_connectivity_with<S: MaxFlow + ?Sized>(
+        &mut self,
+        solver: &S,
+        v: u32,
+        w: u32,
+        cutoff: Option<u64>,
+        workspace: &mut FlowWorkspace,
+    ) -> Option<u64> {
         assert!(
             (v as usize) < self.graph.node_count() && (w as usize) < self.graph.node_count(),
             "vertex out of range"
@@ -172,11 +198,12 @@ impl EvenNetwork {
             return None;
         }
         self.net.reset();
-        Some(solver.max_flow(
+        Some(solver.max_flow_with(
             &mut self.net,
             Self::out_vertex(v),
             Self::in_vertex(w),
             cutoff,
+            workspace,
         ))
     }
 }

@@ -55,4 +55,4 @@ pub mod scc;
 
 pub use digraph::DiGraph;
 pub use even::EvenNetwork;
-pub use maxflow::{Dinic, EdmondsKarp, FlowNetwork, MaxFlow, PushRelabel};
+pub use maxflow::{Dinic, EdmondsKarp, FlowNetwork, FlowWorkspace, MaxFlow, PushRelabel, Solver};

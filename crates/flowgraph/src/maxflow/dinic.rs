@@ -7,7 +7,7 @@
 //! that stops after `k` augmenting paths. The experiment harness uses it as
 //! the default solver.
 
-use super::{check_endpoints, FlowNetwork, MaxFlow};
+use super::{check_endpoints, FlowNetwork, FlowWorkspace, MaxFlow};
 use std::collections::VecDeque;
 
 /// Dinic's maximum-flow algorithm.
@@ -37,7 +37,13 @@ impl Dinic {
 
     /// BFS over the residual graph, filling `level`. Returns `true` if the
     /// sink is reachable.
-    fn bfs(net: &FlowNetwork, s: u32, t: u32, level: &mut [u32], queue: &mut VecDeque<u32>) -> bool {
+    fn bfs(
+        net: &FlowNetwork,
+        s: u32,
+        t: u32,
+        level: &mut [u32],
+        queue: &mut VecDeque<u32>,
+    ) -> bool {
         level.iter_mut().for_each(|l| *l = u32::MAX);
         queue.clear();
         level[s as usize] = 0;
@@ -63,15 +69,24 @@ impl Dinic {
 }
 
 impl MaxFlow for Dinic {
-    fn max_flow(&self, net: &mut FlowNetwork, s: u32, t: u32, cutoff: Option<u64>) -> u64 {
+    fn max_flow_with(
+        &self,
+        net: &mut FlowNetwork,
+        s: u32,
+        t: u32,
+        cutoff: Option<u64>,
+        workspace: &mut FlowWorkspace,
+    ) -> u64 {
         check_endpoints(net, s, t);
         let n = net.node_count();
         let mut flow: u64 = 0;
-        let mut level: Vec<u32> = vec![u32::MAX; n];
-        let mut cur: Vec<usize> = vec![0; n];
-        let mut queue = VecDeque::new();
+        workspace.ensure_basic(n);
+        let level = &mut workspace.label[..n];
+        let cur = &mut workspace.cur[..n];
+        let queue = &mut workspace.queue;
         // Stack of arc ids forming the current partial path from `s`.
-        let mut path: Vec<u32> = Vec::new();
+        let path = &mut workspace.path;
+        path.clear();
 
         'phases: loop {
             if let Some(c) = cutoff {
@@ -79,7 +94,7 @@ impl MaxFlow for Dinic {
                     return flow;
                 }
             }
-            if !Self::bfs(net, s, t, &mut level, &mut queue) {
+            if !Self::bfs(net, s, t, level, queue) {
                 return flow;
             }
             cur.iter_mut().for_each(|c| *c = 0);
@@ -90,10 +105,10 @@ impl MaxFlow for Dinic {
                 if u == t {
                     // Found an augmenting path; push the bottleneck.
                     let mut bottleneck = u64::MAX;
-                    for &a in &path {
+                    for &a in path.iter() {
                         bottleneck = bottleneck.min(net.residual(a));
                     }
-                    for &a in &path {
+                    for &a in path.iter() {
                         net.push(a, bottleneck);
                     }
                     flow += bottleneck;

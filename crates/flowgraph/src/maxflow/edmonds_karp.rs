@@ -6,8 +6,7 @@
 //! obviously-correct baseline that the fancier solvers are validated
 //! against.
 
-use super::{check_endpoints, FlowNetwork, MaxFlow};
-use std::collections::VecDeque;
+use super::{check_endpoints, FlowNetwork, FlowWorkspace, MaxFlow};
 
 /// The Edmonds–Karp maximum-flow algorithm.
 ///
@@ -34,13 +33,21 @@ impl EdmondsKarp {
 }
 
 impl MaxFlow for EdmondsKarp {
-    fn max_flow(&self, net: &mut FlowNetwork, s: u32, t: u32, cutoff: Option<u64>) -> u64 {
+    fn max_flow_with(
+        &self,
+        net: &mut FlowNetwork,
+        s: u32,
+        t: u32,
+        cutoff: Option<u64>,
+        workspace: &mut FlowWorkspace,
+    ) -> u64 {
         check_endpoints(net, s, t);
         let n = net.node_count();
         let mut flow: u64 = 0;
+        workspace.ensure_basic(n);
         // pred[v] = arc id used to reach v in the current BFS.
-        let mut pred: Vec<u32> = vec![u32::MAX; n];
-        let mut queue = VecDeque::new();
+        let pred = &mut workspace.label[..n];
+        let queue = &mut workspace.queue;
 
         loop {
             if let Some(c) = cutoff {

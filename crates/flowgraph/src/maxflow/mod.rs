@@ -19,6 +19,25 @@
 //! cutoff. When scanning thousands of vertex pairs for the *minimum*
 //! connectivity, pairs that cannot lower the current minimum are abandoned
 //! almost immediately.
+//!
+//! # Workspaces
+//!
+//! A `κ(D)` measurement is `n(n−1)` max-flow runs over the *same* network,
+//! so per-run allocation dominates once the flows themselves are cheap.
+//! Two mechanisms remove it:
+//!
+//! * [`FlowWorkspace`] owns every scratch buffer a solver needs (levels,
+//!   BFS queues, excess arrays, label buckets). Passing one through
+//!   [`MaxFlow::max_flow_with`] makes repeated runs allocation-free; the
+//!   plain [`MaxFlow::max_flow`] entry point allocates a fresh workspace
+//!   per call for one-shot convenience.
+//! * [`FlowNetwork`] journals the arcs each run actually pushes flow over,
+//!   so [`FlowNetwork::reset`] restores residual capacities in `O(touched)`
+//!   instead of `O(m)` — on sparse connectivity graphs with small cuts the
+//!   touched set is a tiny fraction of the arcs.
+//!
+//! [`Solver`] is the enum-dispatched selector used by the analysis crates:
+//! `Copy`, serializable, and statically dispatched in the inner loop.
 
 mod dinic;
 mod edmonds_karp;
@@ -29,6 +48,8 @@ pub use edmonds_karp::EdmondsKarp;
 pub use push_relabel::PushRelabel;
 
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
 
 /// Residual capacity value treated as "infinite".
 ///
@@ -41,6 +62,11 @@ pub const INF_CAP: u64 = u64::MAX / 4;
 /// Arcs are stored in pairs: arc `i` and arc `i ^ 1` are mutual reverses, so
 /// pushing flow over `i` adds residual capacity to `i ^ 1`. This is the
 /// standard representation used by HIPR and virtually every max-flow code.
+///
+/// Every [`push`](FlowNetwork::push) journals the touched arc pair, which
+/// makes [`reset`](FlowNetwork::reset) proportional to the flow actually
+/// routed rather than to the network size — the key to cheap per-pair reuse
+/// in connectivity sweeps.
 ///
 /// # Example
 ///
@@ -56,14 +82,32 @@ pub const INF_CAP: u64 = u64::MAX / 4;
 /// let flow = Dinic::new().max_flow(&mut net, 0, 3, None);
 /// assert_eq!(flow, 2);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FlowNetwork {
     n: usize,
     head: Vec<u32>,
     cap: Vec<u64>,
     orig_cap: Vec<u64>,
     adj: Vec<Vec<u32>>,
+    /// Even-numbered ids of arc pairs pushed over since the last reset.
+    /// May contain duplicates; restoring is idempotent.
+    touched: Vec<u32>,
 }
+
+impl PartialEq for FlowNetwork {
+    fn eq(&self, other: &Self) -> bool {
+        // The touched journal is bookkeeping, not network state: two
+        // networks with equal capacities are equal regardless of how the
+        // flow that produced those capacities was routed.
+        self.n == other.n
+            && self.head == other.head
+            && self.cap == other.cap
+            && self.orig_cap == other.orig_cap
+            && self.adj == other.adj
+    }
+}
+
+impl Eq for FlowNetwork {}
 
 impl FlowNetwork {
     /// Creates an empty network with `n` vertices.
@@ -74,6 +118,7 @@ impl FlowNetwork {
             cap: Vec::new(),
             orig_cap: Vec::new(),
             adj: vec![Vec::new(); n],
+            touched: Vec::new(),
         }
     }
 
@@ -94,7 +139,10 @@ impl FlowNetwork {
     ///
     /// Panics if `u` or `v` is out of range.
     pub fn add_arc(&mut self, u: u32, v: u32, cap: u64) -> u32 {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "arc endpoint out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "arc endpoint out of range"
+        );
         let id = self.head.len() as u32;
         self.head.push(v);
         self.cap.push(cap);
@@ -142,12 +190,32 @@ impl FlowNetwork {
         debug_assert!(self.cap[i as usize] >= amount, "push exceeds residual");
         self.cap[i as usize] -= amount;
         self.cap[(i ^ 1) as usize] += amount;
+        self.touched.push(i & !1);
     }
 
     /// Restores all residual capacities to their original values so the
     /// network can be reused for another (source, sink) pair.
+    ///
+    /// Costs `O(touched arcs)` — proportional to the flow the last runs
+    /// actually routed — falling back to a full `O(m)` copy only when most
+    /// of the network was touched.
     pub fn reset(&mut self) {
-        self.cap.copy_from_slice(&self.orig_cap);
+        if self.touched.len() >= self.cap.len() / 2 {
+            self.cap.copy_from_slice(&self.orig_cap);
+        } else {
+            for &arc in &self.touched {
+                let arc = arc as usize;
+                self.cap[arc] = self.orig_cap[arc];
+                self.cap[arc + 1] = self.orig_cap[arc + 1];
+            }
+        }
+        self.touched.clear();
+    }
+
+    /// Number of journal entries since the last reset (test/bench hook for
+    /// asserting the `O(touched)` reset path is taken).
+    pub fn touched_len(&self) -> usize {
+        self.touched.len()
     }
 
     /// Net flow out of `v` (outgoing minus incoming flow on forward arcs).
@@ -196,12 +264,94 @@ impl FlowNetwork {
     }
 }
 
+/// Reusable scratch buffers for max-flow computations.
+///
+/// One workspace serves any number of sequential [`MaxFlow::max_flow_with`]
+/// calls over networks of any size (buffers grow to the largest network
+/// seen and are then reused). A workspace is cheap to create empty and is
+/// *not* shared across threads: give each worker its own.
+///
+/// # Example
+///
+/// ```
+/// use flowgraph::maxflow::{Dinic, FlowNetwork, FlowWorkspace, MaxFlow};
+///
+/// let mut net = FlowNetwork::new(3);
+/// net.add_arc(0, 1, 2);
+/// net.add_arc(1, 2, 1);
+/// let mut ws = FlowWorkspace::new();
+/// let solver = Dinic::new();
+/// // Many runs, zero allocation after the first:
+/// for _ in 0..10 {
+///     net.reset();
+///     assert_eq!(solver.max_flow_with(&mut net, 0, 2, None, &mut ws), 1);
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FlowWorkspace {
+    /// Vertex labels: Dinic levels, Edmonds–Karp predecessor arcs,
+    /// push-relabel distance labels.
+    pub(crate) label: Vec<u32>,
+    /// Current-arc pointers.
+    pub(crate) cur: Vec<usize>,
+    /// BFS queue.
+    pub(crate) queue: VecDeque<u32>,
+    /// Dinic's partial augmenting path (arc ids).
+    pub(crate) path: Vec<u32>,
+    /// Push-relabel per-vertex excess.
+    pub(crate) excess: Vec<u64>,
+    /// Push-relabel active-vertex buckets by label (lazy deletion).
+    pub(crate) buckets: Vec<Vec<u32>>,
+    /// Push-relabel label occupancy counts.
+    pub(crate) label_count: Vec<u32>,
+}
+
+impl FlowWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        FlowWorkspace::default()
+    }
+
+    /// Creates a workspace pre-sized for `net`: the buffers every solver
+    /// uses are allocated up front, so the first Dinic/Edmonds–Karp run
+    /// allocates nothing. Push-relabel's extra buffers (excess, label
+    /// buckets) are sized lazily on its first run instead of here — most
+    /// evaluators never run it, and per-worker workspace clones would
+    /// duplicate the dead weight.
+    pub fn for_network(net: &FlowNetwork) -> Self {
+        let mut ws = FlowWorkspace::new();
+        ws.ensure_basic(net.node_count());
+        ws
+    }
+
+    /// Grows the label/cur buffers (used by every solver) to `n` vertices.
+    pub(crate) fn ensure_basic(&mut self, n: usize) {
+        if self.label.len() < n {
+            self.label.resize(n, u32::MAX);
+            self.cur.resize(n, 0);
+        }
+    }
+
+    /// Grows the push-relabel-specific buffers for `n` vertices.
+    pub(crate) fn ensure_push_relabel(&mut self, n: usize) {
+        self.ensure_basic(n);
+        if self.excess.len() < n {
+            self.excess.resize(n, 0);
+        }
+        if self.buckets.len() < 2 * n + 1 {
+            self.buckets.resize_with(2 * n + 1, Vec::new);
+            self.label_count.resize(2 * n + 1, 0);
+        }
+    }
+}
+
 /// A maximum-flow algorithm.
 ///
 /// Implementations mutate the residual capacities of the given network; call
 /// [`FlowNetwork::reset`] to reuse the network for another pair.
 pub trait MaxFlow {
-    /// Computes the maximum `s -> t` flow value.
+    /// Computes the maximum `s -> t` flow value using caller-owned scratch
+    /// buffers, so repeated calls perform no allocation.
     ///
     /// If `cutoff` is `Some(c)`, the solver may stop as soon as the achieved
     /// flow is `>= c`; the returned value is then a certified lower bound
@@ -211,10 +361,81 @@ pub trait MaxFlow {
     /// # Panics
     ///
     /// Panics if `s == t` or either vertex is out of range.
-    fn max_flow(&self, net: &mut FlowNetwork, s: u32, t: u32, cutoff: Option<u64>) -> u64;
+    fn max_flow_with(
+        &self,
+        net: &mut FlowNetwork,
+        s: u32,
+        t: u32,
+        cutoff: Option<u64>,
+        workspace: &mut FlowWorkspace,
+    ) -> u64;
+
+    /// One-shot convenience: like [`MaxFlow::max_flow_with`] with a fresh
+    /// workspace allocated for this call.
+    fn max_flow(&self, net: &mut FlowNetwork, s: u32, t: u32, cutoff: Option<u64>) -> u64 {
+        let mut workspace = FlowWorkspace::new();
+        self.max_flow_with(net, s, t, cutoff, &mut workspace)
+    }
 
     /// Human-readable solver name for reports and benches.
     fn name(&self) -> &'static str;
+}
+
+/// Enum-dispatched solver selection: `Copy`, serializable, and statically
+/// dispatched — the analysis crates use this instead of `Box<dyn MaxFlow>`
+/// so per-worker evaluators are trivially `Clone` and the per-pair inner
+/// loop has no virtual calls.
+///
+/// The paper ran HIPR (highest-label push-relabel); [`Solver::Dinic`] is
+/// the default here because on the unit-capacity networks produced by
+/// Even's transform it is both asymptotically right and empirically fastest
+/// (see the `perf_maxflow` bench). All solvers produce identical values —
+/// that equivalence is property-tested.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Solver {
+    /// Dinic's level-graph algorithm (default).
+    #[default]
+    Dinic,
+    /// HIPR-style highest-label push-relabel — the paper's solver.
+    PushRelabel,
+    /// Edmonds–Karp BFS augmenting paths — the baseline.
+    EdmondsKarp,
+}
+
+impl Solver {
+    /// All solver kinds, for cross-checking tests and benches.
+    pub const ALL: [Solver; 3] = [Solver::Dinic, Solver::PushRelabel, Solver::EdmondsKarp];
+}
+
+impl MaxFlow for Solver {
+    fn max_flow_with(
+        &self,
+        net: &mut FlowNetwork,
+        s: u32,
+        t: u32,
+        cutoff: Option<u64>,
+        workspace: &mut FlowWorkspace,
+    ) -> u64 {
+        match self {
+            Solver::Dinic => Dinic::new().max_flow_with(net, s, t, cutoff, workspace),
+            Solver::PushRelabel => PushRelabel::new().max_flow_with(net, s, t, cutoff, workspace),
+            Solver::EdmondsKarp => EdmondsKarp::new().max_flow_with(net, s, t, cutoff, workspace),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Solver::Dinic => "dinic",
+            Solver::PushRelabel => "push-relabel-hi",
+            Solver::EdmondsKarp => "edmonds-karp",
+        }
+    }
+}
+
+impl fmt::Display for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(MaxFlow::name(self))
+    }
 }
 
 pub(crate) fn check_endpoints(net: &FlowNetwork, s: u32, t: u32) {
@@ -267,7 +488,12 @@ mod tests {
         for solver in solvers() {
             let mut net = FlowNetwork::new(3);
             net.add_arc(0, 1, 5);
-            assert_eq!(solver.max_flow(&mut net, 0, 2, None), 0, "{}", solver.name());
+            assert_eq!(
+                solver.max_flow(&mut net, 0, 2, None),
+                0,
+                "{}",
+                solver.name()
+            );
         }
     }
 
@@ -276,7 +502,12 @@ mod tests {
         for solver in solvers() {
             let mut net = FlowNetwork::new(2);
             net.add_arc(0, 1, 7);
-            assert_eq!(solver.max_flow(&mut net, 0, 1, None), 7, "{}", solver.name());
+            assert_eq!(
+                solver.max_flow(&mut net, 0, 1, None),
+                7,
+                "{}",
+                solver.name()
+            );
         }
     }
 
@@ -286,7 +517,12 @@ mod tests {
             let mut net = FlowNetwork::new(2);
             net.add_arc(0, 1, 3);
             net.add_arc(0, 1, 4);
-            assert_eq!(solver.max_flow(&mut net, 0, 1, None), 7, "{}", solver.name());
+            assert_eq!(
+                solver.max_flow(&mut net, 0, 1, None),
+                7,
+                "{}",
+                solver.name()
+            );
         }
     }
 
@@ -317,6 +553,72 @@ mod tests {
             net.reset();
             let b = solver.max_flow(&mut net, 0, 5, None);
             assert_eq!(a, b, "solver {}", solver.name());
+        }
+    }
+
+    #[test]
+    fn journaled_reset_restores_exactly() {
+        // After reset, the network must be indistinguishable from a fresh
+        // build, regardless of which solver ran or how much flow it pushed.
+        let fresh = clrs_network();
+        for solver in solvers() {
+            let mut net = clrs_network();
+            solver.max_flow(&mut net, 0, 5, None);
+            net.reset();
+            assert_eq!(net, fresh, "solver {}", solver.name());
+            assert_eq!(net.touched_len(), 0);
+        }
+    }
+
+    #[test]
+    fn journal_tracks_pushes() {
+        let mut net = FlowNetwork::new(3);
+        let a = net.add_arc(0, 1, 5);
+        net.add_arc(1, 2, 5);
+        assert_eq!(net.touched_len(), 0);
+        net.push(a, 3);
+        assert_eq!(net.touched_len(), 1);
+        net.reset();
+        assert_eq!(net.touched_len(), 0);
+        assert_eq!(net.residual(a), 5);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh() {
+        // One workspace across many runs and network sizes must match
+        // fresh-workspace results bit for bit.
+        let mut ws = FlowWorkspace::new();
+        for solver in solvers() {
+            for n in [2usize, 6, 4] {
+                let mut net = if n == 6 {
+                    clrs_network()
+                } else {
+                    let mut net = FlowNetwork::new(n);
+                    for v in 0..n as u32 - 1 {
+                        net.add_arc(v, v + 1, 3);
+                    }
+                    net
+                };
+                let t = n as u32 - 1;
+                let fresh = solver.max_flow(&mut net, 0, t, None);
+                net.reset();
+                let reused = solver.max_flow_with(&mut net, 0, t, None, &mut ws);
+                assert_eq!(fresh, reused, "solver {} n {}", solver.name(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn solver_enum_matches_concrete_solvers() {
+        for kind in Solver::ALL {
+            let mut via_enum = clrs_network();
+            let mut direct = clrs_network();
+            let expected = match kind {
+                Solver::Dinic => Dinic::new().max_flow(&mut direct, 0, 5, None),
+                Solver::PushRelabel => PushRelabel::new().max_flow(&mut direct, 0, 5, None),
+                Solver::EdmondsKarp => EdmondsKarp::new().max_flow(&mut direct, 0, 5, None),
+            };
+            assert_eq!(kind.max_flow(&mut via_enum, 0, 5, None), expected, "{kind}");
         }
     }
 

@@ -19,8 +19,11 @@
 //!   lifted straight to `n + 1`.
 //! * **Global relabeling** — periodically recompute exact distance labels
 //!   with a reverse BFS from the sink.
+//!
+//! All per-run state (labels, excess, buckets) lives in the caller's
+//! [`FlowWorkspace`], so sweeping many pairs performs no allocation.
 
-use super::{check_endpoints, FlowNetwork, MaxFlow};
+use super::{check_endpoints, FlowNetwork, FlowWorkspace, MaxFlow};
 use std::collections::VecDeque;
 
 /// How many relabel operations happen between global relabelings, as a
@@ -47,30 +50,46 @@ pub struct PushRelabel {
     _priv: (),
 }
 
-struct State {
+/// Borrowed view of the workspace buffers push-relabel uses. All slices
+/// are sized for the current network (`n` vertices, `2n + 1` labels).
+struct State<'ws> {
     n: usize,
-    d: Vec<u32>,
-    excess: Vec<u64>,
-    cur: Vec<usize>,
+    d: &'ws mut [u32],
+    excess: &'ws mut [u64],
+    cur: &'ws mut [usize],
     /// Active-vertex buckets indexed by label (lazy deletion).
-    buckets: Vec<Vec<u32>>,
+    buckets: &'ws mut [Vec<u32>],
     highest: usize,
     /// Number of vertices currently carrying each label `< 2n`.
-    label_count: Vec<u32>,
+    label_count: &'ws mut [u32],
     relabels_since_global: usize,
+    queue: &'ws mut VecDeque<u32>,
 }
 
-impl State {
-    fn new(n: usize) -> Self {
+impl<'ws> State<'ws> {
+    fn new(n: usize, workspace: &'ws mut FlowWorkspace) -> Self {
+        workspace.ensure_push_relabel(n);
+        let FlowWorkspace {
+            label,
+            cur,
+            queue,
+            excess,
+            buckets,
+            label_count,
+            ..
+        } = workspace;
+        let excess = &mut excess[..n];
+        excess.fill(0);
         State {
             n,
-            d: vec![0; n],
-            excess: vec![0; n],
-            cur: vec![0; n],
-            buckets: vec![Vec::new(); 2 * n + 1],
+            d: &mut label[..n],
+            excess,
+            cur: &mut cur[..n],
+            buckets: &mut buckets[..2 * n + 1],
             highest: 0,
-            label_count: vec![0; 2 * n + 1],
+            label_count: &mut label_count[..2 * n + 1],
             relabels_since_global: 0,
+            queue,
         }
     }
 
@@ -113,11 +132,11 @@ impl State {
     /// that cannot reach the sink get label `n`; the source keeps `n`.
     fn global_relabel(&mut self, net: &FlowNetwork, s: u32, t: u32) {
         let n = self.n;
-        self.d.iter_mut().for_each(|d| *d = n as u32);
+        self.d.fill(n as u32);
         self.d[t as usize] = 0;
-        let mut queue = VecDeque::new();
-        queue.push_back(t);
-        while let Some(v) = queue.pop_front() {
+        self.queue.clear();
+        self.queue.push_back(t);
+        while let Some(v) = self.queue.pop_front() {
             for &a in net.arcs_from(v) {
                 // Arc a is v -> u; its pair a^1 is u -> v. u can push to v
                 // if the residual of u -> v is positive.
@@ -125,22 +144,22 @@ impl State {
                     let u = net.arc_head(a);
                     if u != s && self.d[u as usize] == n as u32 {
                         self.d[u as usize] = self.d[v as usize] + 1;
-                        queue.push_back(u);
+                        self.queue.push_back(u);
                     }
                 }
             }
         }
         self.d[s as usize] = n as u32;
         // Rebuild bookkeeping.
-        self.label_count.iter_mut().for_each(|c| *c = 0);
+        self.label_count.fill(0);
         for v in 0..n {
             self.label_count[self.d[v] as usize] += 1;
         }
-        for b in &mut self.buckets {
-            b.clear();
+        for bucket in self.buckets.iter_mut() {
+            bucket.clear();
         }
         self.highest = 0;
-        self.cur.iter_mut().for_each(|c| *c = 0);
+        self.cur.fill(0);
         for v in 0..n as u32 {
             self.activate(v, s, t);
         }
@@ -169,14 +188,22 @@ impl PushRelabel {
 }
 
 impl MaxFlow for PushRelabel {
-    fn max_flow(&self, net: &mut FlowNetwork, s: u32, t: u32, cutoff: Option<u64>) -> u64 {
+    fn max_flow_with(
+        &self,
+        net: &mut FlowNetwork,
+        s: u32,
+        t: u32,
+        cutoff: Option<u64>,
+        workspace: &mut FlowWorkspace,
+    ) -> u64 {
         check_endpoints(net, s, t);
         let n = net.node_count();
-        let mut st = State::new(n);
+        let mut st = State::new(n, workspace);
 
-        // Saturate all source arcs to form the initial preflow.
-        let source_arcs: Vec<u32> = net.arcs_from(s).to_vec();
-        for a in source_arcs {
+        // Saturate all source arcs to form the initial preflow (by index,
+        // so no arc list needs to be copied out of the network).
+        for idx in 0..net.arcs_from(s).len() {
+            let a = net.arcs_from(s)[idx];
             let c = net.residual(a);
             if c > 0 {
                 let v = net.arc_head(a);
@@ -341,5 +368,30 @@ mod tests {
         }
         let flow = PushRelabel::new().max_flow(&mut net, 0, 51, Some(3));
         assert!(flow >= 3);
+    }
+
+    #[test]
+    fn workspace_reuse_across_sizes() {
+        // A workspace sized by a large run must still be correct for a
+        // smaller network afterwards (stale labels/buckets beyond the
+        // active slice must not leak in).
+        let mut ws = FlowWorkspace::new();
+        let mut large = FlowNetwork::new(300);
+        for v in 0..299u32 {
+            large.add_arc(v, v + 1, 2);
+        }
+        assert_eq!(
+            PushRelabel::new().max_flow_with(&mut large, 0, 299, None, &mut ws),
+            2
+        );
+        let mut small = FlowNetwork::new(4);
+        small.add_arc(0, 1, 1);
+        small.add_arc(0, 2, 1);
+        small.add_arc(1, 3, 1);
+        small.add_arc(2, 3, 1);
+        assert_eq!(
+            PushRelabel::new().max_flow_with(&mut small, 0, 3, None, &mut ws),
+            2
+        );
     }
 }

@@ -64,7 +64,11 @@ pub fn min_vertex_cut(graph: &DiGraph, v: u32, w: u32) -> Option<VertexCut> {
             vertices.push(x);
         }
     }
-    debug_assert_eq!(vertices.len() as u64, connectivity, "cut size != flow value");
+    debug_assert_eq!(
+        vertices.len() as u64,
+        connectivity,
+        "cut size != flow value"
+    );
     Some(VertexCut {
         connectivity,
         vertices,

@@ -95,7 +95,10 @@ pub fn validate_disjoint_paths(
         }
         for pair in path.windows(2) {
             if !graph.has_edge(pair[0], pair[1]) {
-                return Err(format!("path {i} uses missing edge ({}, {})", pair[0], pair[1]));
+                return Err(format!(
+                    "path {i} uses missing edge ({}, {})",
+                    pair[0], pair[1]
+                ));
             }
         }
         for &x in &path[1..path.len() - 1] {

@@ -165,10 +165,7 @@ mod tests {
     #[test]
     fn two_cycles_with_bridge() {
         // {0,1,2} cycle -> bridge -> {3,4,5} cycle: 2 SCCs.
-        let g = DiGraph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        );
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
         let scc = strongly_connected_components(&g);
         assert_eq!(scc.count, 2);
         assert_eq!(scc.component[0], scc.component[1]);
@@ -197,6 +194,8 @@ mod tests {
     #[test]
     fn outside_largest_empty_when_connected() {
         let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
-        assert!(strongly_connected_components(&g).outside_largest().is_empty());
+        assert!(strongly_connected_components(&g)
+            .outside_largest()
+            .is_empty());
     }
 }

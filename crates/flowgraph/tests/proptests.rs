@@ -8,7 +8,9 @@
 use flowgraph::digraph::DiGraph;
 use flowgraph::even::{EdgeCapacity, EvenNetwork};
 use flowgraph::generators;
-use flowgraph::maxflow::{Dinic, EdmondsKarp, FlowNetwork, MaxFlow, PushRelabel};
+use flowgraph::maxflow::{
+    Dinic, EdmondsKarp, FlowNetwork, FlowWorkspace, MaxFlow, PushRelabel, Solver,
+};
 use flowgraph::mincut::{cut_disconnects, min_vertex_cut};
 use flowgraph::paths::{validate_disjoint_paths, vertex_disjoint_paths};
 use flowgraph::scc::{is_strongly_connected, strongly_connected_components};
@@ -17,9 +19,8 @@ use proptest::prelude::*;
 /// Strategy: a random digraph with up to `n` vertices and arbitrary edges.
 fn arb_digraph(max_n: usize) -> impl Strategy<Value = DiGraph> {
     (2..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 4).prop_map(
-            move |edges| DiGraph::from_edges(n, edges),
-        )
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 4)
+            .prop_map(move |edges| DiGraph::from_edges(n, edges))
     })
 }
 
@@ -193,6 +194,62 @@ proptest! {
         prop_assert_eq!(sym.reciprocity(), 1.0);
         let cyc = generators::bidirected_cycle(n);
         prop_assert!(is_strongly_connected(&cyc));
+    }
+
+    /// All three solvers agree on random digraphs when driven through the
+    /// enum `Solver` and a shared, reused `FlowWorkspace` — the exact code
+    /// path the connectivity sweeps use.
+    #[test]
+    fn workspace_solvers_agree(g in arb_digraph(10)) {
+        let mut workspace = FlowWorkspace::new();
+        let mut evens: Vec<EvenNetwork> =
+            Solver::ALL.iter().map(|_| EvenNetwork::from_graph(&g)).collect();
+        for v in 0..g.node_count() as u32 {
+            for w in 0..g.node_count() as u32 {
+                let results: Vec<Option<u64>> = Solver::ALL
+                    .iter()
+                    .zip(evens.iter_mut())
+                    .map(|(solver, even)| {
+                        even.vertex_connectivity_with(solver, v, w, None, &mut workspace)
+                    })
+                    .collect();
+                prop_assert_eq!(results[0], results[1], "dinic vs push-relabel ({}, {})", v, w);
+                prop_assert_eq!(results[1], results[2], "push-relabel vs edmonds-karp ({}, {})", v, w);
+            }
+        }
+    }
+
+    /// Workspace reuse across many pairs matches fresh-solver results: one
+    /// network + one workspace swept over every pair must equal a brand-new
+    /// network and workspace per pair.
+    #[test]
+    fn workspace_reuse_matches_fresh(g in arb_digraph(9)) {
+        let mut reused_net = EvenNetwork::from_graph(&g);
+        let mut reused_ws = FlowWorkspace::for_network(reused_net.network());
+        for v in 0..g.node_count() as u32 {
+            for w in 0..g.node_count() as u32 {
+                let reused =
+                    reused_net.vertex_connectivity_with(&Solver::Dinic, v, w, None, &mut reused_ws);
+                let mut fresh_net = EvenNetwork::from_graph(&g);
+                let mut fresh_ws = FlowWorkspace::new();
+                let fresh =
+                    fresh_net.vertex_connectivity_with(&Solver::Dinic, v, w, None, &mut fresh_ws);
+                prop_assert_eq!(reused, fresh, "pair ({}, {})", v, w);
+            }
+        }
+    }
+
+    /// The journaled O(touched) reset is exact: after any flow computation,
+    /// reset restores the network to its freshly-built state.
+    #[test]
+    fn journaled_reset_is_exact((net, s, t) in arb_network(12)) {
+        let mut work = net.clone();
+        Dinic::new().max_flow(&mut work, s, t, None);
+        work.reset();
+        prop_assert_eq!(&work, &net);
+        PushRelabel::new().max_flow(&mut work, s, t, None);
+        work.reset();
+        prop_assert_eq!(&work, &net);
     }
 
     /// Graph mutation invariants: removing an edge never increases

@@ -180,7 +180,10 @@ mod tests {
         );
         let order: Vec<u32> = b.contacts().map(|c| c.addr.0).collect();
         assert_eq!(order, vec![2, 1]);
-        assert_eq!(b.iter().last().expect("entry").last_seen, SimTime::from_secs(5));
+        assert_eq!(
+            b.iter().last().expect("entry").last_seen,
+            SimTime::from_secs(5)
+        );
     }
 
     #[test]

@@ -242,17 +242,27 @@ mod tests {
         assert!(KademliaConfig::builder().bits(161).build().is_err());
         assert!(KademliaConfig::builder().k(0).build().is_err());
         assert!(KademliaConfig::builder().alpha(0).build().is_err());
-        assert!(KademliaConfig::builder().staleness_limit(0).build().is_err());
+        assert!(KademliaConfig::builder()
+            .staleness_limit(0)
+            .build()
+            .is_err());
         assert!(KademliaConfig::builder()
             .rpc_timeout(SimDuration::ZERO)
             .build()
             .is_err());
-        assert!(KademliaConfig::builder().shortlist_factor(0).build().is_err());
+        assert!(KademliaConfig::builder()
+            .shortlist_factor(0)
+            .build()
+            .is_err());
     }
 
     #[test]
     fn shortlist_capacity_scales_with_k() {
-        let c = KademliaConfig::builder().k(10).shortlist_factor(3).build().unwrap();
+        let c = KademliaConfig::builder()
+            .k(10)
+            .shortlist_factor(3)
+            .build()
+            .unwrap();
         assert_eq!(c.shortlist_capacity(), 30);
     }
 

@@ -9,9 +9,7 @@ use std::fmt;
 /// table. Addresses are never reused, so a dead node's address stays dead —
 /// exactly like the paper's model where a departed node silently stops
 /// answering.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeAddr(pub u32);
 
 impl NodeAddr {

@@ -113,7 +113,12 @@ impl NodeId {
     /// # Panics
     ///
     /// Panics if `index >= bits`.
-    pub fn random_in_bucket<R: Rng + ?Sized>(&self, rng: &mut R, index: usize, bits: u16) -> NodeId {
+    pub fn random_in_bucket<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        index: usize,
+        bits: u16,
+    ) -> NodeId {
         assert!((index as u16) < bits, "bucket index out of range");
         // Distance must have bit `index` set and bits above `index` clear:
         // copy own prefix above `index`, flip bit `index`, randomize below.
@@ -262,7 +267,10 @@ mod tests {
         assert_eq!(base.bucket_index_of(&NodeId::from_u64(2, 16)), Some(1));
         assert_eq!(base.bucket_index_of(&NodeId::from_u64(3, 16)), Some(1));
         assert_eq!(base.bucket_index_of(&NodeId::from_u64(4, 16)), Some(2));
-        assert_eq!(base.bucket_index_of(&NodeId::from_u64(0x8000, 16)), Some(15));
+        assert_eq!(
+            base.bucket_index_of(&NodeId::from_u64(0x8000, 16)),
+            Some(15)
+        );
         assert_eq!(base.bucket_index_of(&base), None);
     }
 

@@ -286,7 +286,10 @@ mod tests {
         assert!(!s.is_finished());
         s.on_response(&NodeId::from_u64(2, 32), vec![]);
         assert!(s.is_finished(), "k=2 successes reached");
-        assert!(s.next_queries().is_empty(), "finished lookups stop querying");
+        assert!(
+            s.next_queries().is_empty(),
+            "finished lookups stop querying"
+        );
     }
 
     #[test]
@@ -384,7 +387,10 @@ mod tests {
         s.on_response(&NodeId::from_u64(77, 32), vec![contact(5)]);
         // 77 wasn't a candidate; its contacts still merge.
         assert_eq!(s.responded(), 0);
-        assert!(s.next_queries().is_empty(), "alpha=1 and 1 already in flight");
+        assert!(
+            s.next_queries().is_empty(),
+            "alpha=1 and 1 already in flight"
+        );
     }
 
     #[test]

@@ -247,7 +247,9 @@ impl SimNetwork {
         let id = self.next_lookup_id;
         self.next_lookup_id += 1;
         let node = &mut self.nodes[addr.index()];
-        let mut seeds = node.routing.closest(&target, self.config.shortlist_capacity());
+        let mut seeds = node
+            .routing
+            .closest(&target, self.config.shortlist_capacity());
         if seeds.is_empty() {
             // Empty routing table (join request lost, or heavy loss evicted
             // everything): fall back to the remembered bootstrap contact so
@@ -310,10 +312,9 @@ impl SimNetwork {
     ) {
         let rpc_id = self.next_rpc_id;
         self.next_rpc_id += 1;
-        let timeout_event = self.queue.schedule_after(
-            self.config.rpc_timeout,
-            SimEvent::RpcTimeout { rpc_id },
-        );
+        let timeout_event = self
+            .queue
+            .schedule_after(self.config.rpc_timeout, SimEvent::RpcTimeout { rpc_id });
         self.pending.insert(
             rpc_id,
             PendingRpc {
@@ -334,10 +335,7 @@ impl SimNetwork {
 
     fn send_message(&mut self, to: NodeAddr, msg: Message) {
         let now = self.now();
-        match self
-            .transport
-            .delivery_time(&mut self.transport_rng, now)
-        {
+        match self.transport.delivery_time(&mut self.transport_rng, now) {
             Some(at) => {
                 self.queue.schedule_at(at, SimEvent::Deliver { to, msg });
                 self.counters.incr("msg_sent");
@@ -400,9 +398,7 @@ impl SimNetwork {
                         ResponseBody::Nodes(nodes) => nodes,
                         _ => Vec::new(),
                     };
-                    if let Some(state) =
-                        self.nodes[to.index()].lookups.get_mut(&lookup_id)
-                    {
+                    if let Some(state) = self.nodes[to.index()].lookups.get_mut(&lookup_id) {
                         state.on_response(&from.id, contacts);
                     }
                     self.drive_lookup(to, lookup_id);
@@ -509,7 +505,10 @@ mod tests {
         net.run_until(SimTime::from_secs(10));
         let (ida, idb) = (net.node(a).id(), net.node(b).id());
         assert!(net.node(b).routing.contains(&ida), "b bootstrapped off a");
-        assert!(net.node(a).routing.contains(&idb), "a learned b from its lookup");
+        assert!(
+            net.node(a).routing.contains(&idb),
+            "a learned b from its lookup"
+        );
     }
 
     #[test]
@@ -594,7 +593,10 @@ mod tests {
         net.start_lookup(origin, NodeId::from_u64(99, 32));
         net.run_until(net.now() + SimDuration::from_secs(30));
         assert!(net.counters().get("lookup_started") == started + 1);
-        assert!(net.node(origin).lookups.is_empty(), "lookup state cleaned up");
+        assert!(
+            net.node(origin).lookups.is_empty(),
+            "lookup state cleaned up"
+        );
     }
 
     #[test]
@@ -614,10 +616,7 @@ mod tests {
         let snap_a = a.snapshot();
         let snap_b = b.snapshot();
         assert_eq!(snap_a.edges(), snap_b.edges());
-        assert_eq!(
-            a.counters().get("msg_sent"),
-            b.counters().get("msg_sent")
-        );
+        assert_eq!(a.counters().get("msg_sent"), b.counters().get("msg_sent"));
     }
 
     #[test]
@@ -645,7 +644,10 @@ mod tests {
         }
         net.run_until(SimTime::from_minutes(10));
         assert!(net.counters().get("msg_lost") > 0, "loss should occur");
-        assert!(net.counters().get("rpc_timeout") > 0, "loss causes timeouts");
+        assert!(
+            net.counters().get("rpc_timeout") > 0,
+            "loss causes timeouts"
+        );
     }
 
     #[test]

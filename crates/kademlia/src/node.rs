@@ -79,7 +79,11 @@ mod tests {
     use crate::contact::NodeAddr;
 
     fn node() -> KademliaNode {
-        let config = KademliaConfig::builder().bits(32).k(2).build().expect("valid");
+        let config = KademliaConfig::builder()
+            .bits(32)
+            .k(2)
+            .build()
+            .expect("valid");
         KademliaNode::new(
             Contact::new(NodeId::from_u64(0, 32), NodeAddr(0)),
             &config,
@@ -97,8 +101,10 @@ mod tests {
     fn find_node_returns_closest() {
         let mut n = node();
         for v in [1u64, 9, 200] {
-            n.routing
-                .offer(Contact::new(NodeId::from_u64(v, 32), NodeAddr(v as u32)), SimTime::ZERO);
+            n.routing.offer(
+                Contact::new(NodeId::from_u64(v, 32), NodeAddr(v as u32)),
+                SimTime::ZERO,
+            );
         }
         let body = n.handle_request(&RequestKind::FindNode(NodeId::from_u64(8, 32)), 2);
         match body {

@@ -160,7 +160,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn config(bits: u16, k: usize) -> KademliaConfig {
-        KademliaConfig::builder().bits(bits).k(k).build().expect("valid")
+        KademliaConfig::builder()
+            .bits(bits)
+            .k(k)
+            .build()
+            .expect("valid")
     }
 
     fn contact(v: u64) -> Contact {
@@ -183,7 +187,10 @@ mod tests {
     #[test]
     fn own_id_is_never_stored() {
         let mut t = RoutingTable::new(NodeId::from_u64(7, 16), &config(16, 20));
-        t.offer(Contact::new(NodeId::from_u64(7, 16), NodeAddr(9)), SimTime::ZERO);
+        t.offer(
+            Contact::new(NodeId::from_u64(7, 16), NodeAddr(9)),
+            SimTime::ZERO,
+        );
         assert_eq!(t.contact_count(), 0);
         assert!(!t.contains(&NodeId::from_u64(7, 16)));
     }

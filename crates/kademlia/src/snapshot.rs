@@ -104,7 +104,11 @@ mod tests {
     use crate::contact::Contact;
 
     fn make_nodes(n: u64, k: usize) -> Vec<KademliaNode> {
-        let config = KademliaConfig::builder().bits(32).k(k).build().expect("valid");
+        let config = KademliaConfig::builder()
+            .bits(32)
+            .k(k)
+            .build()
+            .expect("valid");
         (0..n)
             .map(|v| {
                 KademliaNode::new(

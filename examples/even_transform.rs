@@ -22,7 +22,11 @@ fn main() {
     let names = ["a", "b", "c", "d", "e", "f", "g", "h", "i"];
     let (a, i) = (0u32, 8u32);
 
-    println!("Figure 1 example graph: {} vertices, {} edges", g.node_count(), g.edge_count());
+    println!(
+        "Figure 1 example graph: {} vertices, {} edges",
+        g.node_count(),
+        g.edge_count()
+    );
     for (u, v) in g.edges() {
         print!("{}→{} ", names[u as usize], names[v as usize]);
     }

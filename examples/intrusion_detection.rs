@@ -62,7 +62,9 @@ fn main() {
             let addr = net.spawn_node();
             net.join(addr, prev);
             prev = Some(addr);
-            net.run_until(net.now() + kademlia_resilience::dessim::time::SimDuration::from_secs(15));
+            net.run_until(
+                net.now() + kademlia_resilience::dessim::time::SimDuration::from_secs(15),
+            );
         }
         net.run_until(SimTime::from_minutes(120));
         snapshot_to_digraph(&net.snapshot())
@@ -73,8 +75,13 @@ fn main() {
     let mut survived_random = 0;
     let mut survived_hubs = 0;
     for _ in 0..trials {
-        if simulate_attack(&graph, attacker_budget as usize, AttackStrategy::Random, &mut rng)
-            .survivors_connected
+        if simulate_attack(
+            &graph,
+            attacker_budget as usize,
+            AttackStrategy::Random,
+            &mut rng,
+        )
+        .survivors_connected
         {
             survived_random += 1;
         }

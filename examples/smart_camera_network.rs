@@ -10,8 +10,8 @@
 //! cargo run --release --example smart_camera_network
 //! ```
 
-use kademlia_resilience::kad_experiments::scenario::{ChurnRate, ScenarioBuilder, TrafficModel};
 use kademlia_resilience::kad_experiments::runner::run_scenario;
+use kademlia_resilience::kad_experiments::scenario::{ChurnRate, ScenarioBuilder, TrafficModel};
 use kademlia_resilience::kad_resilience::resilience;
 
 fn main() {

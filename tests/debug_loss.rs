@@ -23,7 +23,10 @@ fn dump_low_loss_series() {
                 .seed(seed)
                 .loss(loss)
                 .staleness_limit(1)
-                .traffic(TrafficModel { lookups_per_min: 10, stores_per_min: 1 })
+                .traffic(TrafficModel {
+                    lookups_per_min: 10,
+                    stores_per_min: 1,
+                })
                 .churn_minutes(40)
                 .snapshot_minutes(20);
             let mut scenario = builder.build();
@@ -104,8 +107,7 @@ fn inspect_straggler_tables() {
     println!("outside count: {}", scc.outside_largest().len());
 
     // Cross-cluster edge structure.
-    let outside: std::collections::HashSet<u32> =
-        scc.outside_largest().into_iter().collect();
+    let outside: std::collections::HashSet<u32> = scc.outside_largest().into_iter().collect();
     let (mut oo, mut oy, mut yo, mut yy) = (0, 0, 0, 0);
     for (u, v) in g.edges() {
         match (outside.contains(&u), outside.contains(&v)) {

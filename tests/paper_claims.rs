@@ -30,10 +30,7 @@ fn connectivity_tracks_bucket_size() {
     // Monotone non-decreasing in k, and roughly ≥ k once stabilized.
     assert!(mins[0].1 <= mins[1].1 && mins[1].1 <= mins[2].1, "{mins:?}");
     for (k, min) in mins {
-        assert!(
-            min as usize >= k / 2,
-            "κ_min = {min} too far below k = {k}"
-        );
+        assert!(min as usize >= k / 2, "κ_min = {min} too far below k = {k}");
     }
 }
 
@@ -63,9 +60,15 @@ fn traffic_improves_connectivity() {
 #[test]
 fn stronger_churn_lowers_min_connectivity() {
     let mut light = base(60, 8, 42);
-    light.churn(ChurnRate::ONE_ONE).churn_minutes(40).snapshot_minutes(10);
+    light
+        .churn(ChurnRate::ONE_ONE)
+        .churn_minutes(40)
+        .snapshot_minutes(10);
     let mut heavy = base(60, 8, 42);
-    heavy.churn(ChurnRate::TEN_TEN).churn_minutes(40).snapshot_minutes(10);
+    heavy
+        .churn(ChurnRate::TEN_TEN)
+        .churn_minutes(40)
+        .snapshot_minutes(10);
 
     let light_mean = churn_phase_min_summary(&run_scenario(&light.build())).mean();
     let heavy_mean = churn_phase_min_summary(&run_scenario(&heavy.build())).mean();
@@ -103,8 +106,18 @@ fn message_loss_increases_connectivity_with_s1() {
 
     let clean = run_scenario(&lossless.build());
     let noisy = run_scenario(&lossy.build());
-    let clean_avg = clean.snapshots.last().expect("snapshots").report.avg_connectivity;
-    let noisy_avg = noisy.snapshots.last().expect("snapshots").report.avg_connectivity;
+    let clean_avg = clean
+        .snapshots
+        .last()
+        .expect("snapshots")
+        .report
+        .avg_connectivity;
+    let noisy_avg = noisy
+        .snapshots
+        .last()
+        .expect("snapshots")
+        .report
+        .avg_connectivity;
     assert!(
         noisy_avg > clean_avg,
         "loss should improve avg connectivity: {noisy_avg} vs {clean_avg}"
@@ -139,8 +152,18 @@ fn staleness_limit_damps_loss_effect() {
 
     let fast = run_scenario(&fast_eviction.build());
     let slow = run_scenario(&slow_eviction.build());
-    let fast_avg = fast.snapshots.last().expect("snapshots").report.avg_connectivity;
-    let slow_avg = slow.snapshots.last().expect("snapshots").report.avg_connectivity;
+    let fast_avg = fast
+        .snapshots
+        .last()
+        .expect("snapshots")
+        .report
+        .avg_connectivity;
+    let slow_avg = slow
+        .snapshots
+        .last()
+        .expect("snapshots")
+        .report
+        .avg_connectivity;
     assert!(
         slow_avg < fast_avg,
         "s=5 should damp the loss-driven gain: s5 {slow_avg} vs s1 {fast_avg}"
@@ -178,7 +201,9 @@ fn bit_length_has_no_significant_effect() {
 #[test]
 fn departure_churn_can_raise_connectivity() {
     let mut b = base(60, 6, 46);
-    b.churn(ChurnRate::ZERO_ONE).churn_minutes(25).snapshot_minutes(5);
+    b.churn(ChurnRate::ZERO_ONE)
+        .churn_minutes(25)
+        .snapshot_minutes(5);
     let outcome = run_scenario(&b.build());
     let stabilized = outcome
         .snapshots
