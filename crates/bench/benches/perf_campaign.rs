@@ -1,0 +1,122 @@
+//! Campaign cost: incremental dirty-pair recomputation vs naive per-step
+//! full re-sweeps.
+//!
+//! A `T`-step attack campaign needs the exact survivor connectivity after
+//! every removal. The naive approach re-runs the full non-adjacent-pair
+//! sweep `T` times; the incremental tracker re-solves only the pairs whose
+//! recorded flow witness used the removed vertex. Both paths produce
+//! byte-identical results (asserted here against each other and tested in
+//! `kad_resilience::attack::incremental`); this bench quantifies the
+//! speedup on Bench-preset-sized overlay graphs and prints the flow-solve
+//! counts behind it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kad_bench::support::overlay_graph;
+use kad_resilience::attack::{Campaign, CampaignConfig, CampaignStrategy, IncrementalConnectivity};
+use kad_resilience::sampled::sampled_connectivity;
+use kad_resilience::AnalysisConfig;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+/// The deterministic victim schedule: replay the same campaign's victims so
+/// the naive baseline removes the identical sequence.
+fn victim_schedule(g: &flowgraph::DiGraph, budget: usize, seed: u64) -> Vec<u32> {
+    Campaign::new(
+        g,
+        CampaignConfig {
+            strategy: CampaignStrategy::Random,
+            budget,
+            seed,
+        },
+    )
+    .expect("valid config")
+    .run()
+    .steps
+    .iter()
+    .map(|s| s.victim)
+    .collect()
+}
+
+/// Serial exact sweep over the survivor graph — what a naive campaign runs
+/// after every removal.
+fn full_resweep(g: &flowgraph::DiGraph, removed: &HashSet<u32>) -> u64 {
+    let (survivor, _) = g.remove_vertices(removed);
+    sampled_connectivity(
+        &survivor,
+        &AnalysisConfig {
+            parallel: false,
+            ..AnalysisConfig::exact()
+        },
+    )
+    .min
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    for &(n, k, budget) in &[(32usize, 8usize, 8usize), (64, 8, 12)] {
+        let g = overlay_graph(n, k, 11);
+        let victims = victim_schedule(&g, budget, 17);
+        assert_eq!(victims.len(), budget);
+
+        // One-off instrumentation: count flow solves on both paths and
+        // assert they agree on every step's κ.
+        {
+            let mut tracker = IncrementalConnectivity::new(&g);
+            let initial_flows = tracker.flows_computed();
+            let mut removed = HashSet::new();
+            for &v in &victims {
+                tracker.remove(v).expect("victim alive");
+                removed.insert(v);
+                assert_eq!(
+                    tracker.summary().min,
+                    full_resweep(&g, &removed),
+                    "incremental diverged from full re-sweep"
+                );
+            }
+            let step_flows = tracker.flows_computed() - initial_flows;
+            println!(
+                "  n={n} k={k} budget={budget}: initial sweep {initial_flows} flows, \
+                 {step_flows} incremental re-solves over {budget} steps \
+                 (naive would re-solve ≈ {} flows)",
+                initial_flows as usize * budget
+            );
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental_campaign", format!("n{n}-T{budget}")),
+            &g,
+            |bencher, g| {
+                bencher.iter(|| {
+                    let mut tracker = IncrementalConnectivity::new(g);
+                    let mut series = Vec::with_capacity(victims.len());
+                    for &v in &victims {
+                        tracker.remove(v).expect("victim alive");
+                        series.push(tracker.summary().min);
+                    }
+                    black_box(series)
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("naive_resweep_campaign", format!("n{n}-T{budget}")),
+            &g,
+            |bencher, g| {
+                bencher.iter(|| {
+                    let mut removed = HashSet::new();
+                    let mut series = Vec::with_capacity(victims.len());
+                    for &v in &victims {
+                        removed.insert(v);
+                        series.push(full_resweep(g, &removed));
+                    }
+                    black_box(series)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

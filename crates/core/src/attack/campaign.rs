@@ -1,0 +1,473 @@
+//! Temporal attack campaigns: an adversary compromising one node per step.
+//!
+//! Equation 2 (`κ(D) > r ≥ a`) speaks about an attacker acting *over time*
+//! on a network, not a single post-hoc cut. A [`Campaign`] replays that
+//! process on a connectivity graph: each step the strategy picks a victim
+//! against the current survivor graph (hub degrees and minimum cuts are
+//! **recomputed** as the graph shrinks), the victim is removed, and the
+//! exact survivor connectivity is re-established by the
+//! [`IncrementalConnectivity`] tracker — only the pairs whose recorded flow
+//! witness used the victim are re-solved.
+//!
+//! Determinism: all randomness derives from [`CampaignConfig::seed`] via
+//! the same labelled [`dessim::rng::RngFactory`] streams the simulator
+//! uses, so identical configurations replay byte-identical campaigns
+//! (compromise schedule *and* κ series) — property-tested.
+//!
+//! # Example
+//!
+//! ```
+//! use flowgraph::generators::bidirected_cycle;
+//! use kad_resilience::attack::{Campaign, CampaignConfig, CampaignStrategy};
+//!
+//! let g = bidirected_cycle(10);
+//! let outcome = Campaign::new(
+//!     &g,
+//!     CampaignConfig {
+//!         strategy: CampaignStrategy::HighestDegree,
+//!         budget: 3,
+//!         seed: 1,
+//!     },
+//! )
+//! .expect("valid config")
+//! .run();
+//! // κ(t): one value per compromise, never increasing.
+//! let series: Vec<u64> = outcome.steps.iter().map(|s| s.kappa_min).collect();
+//! assert_eq!(series.len(), 3);
+//! assert!(series.windows(2).all(|w| w[1] <= w[0]));
+//! ```
+
+use super::incremental::IncrementalConnectivity;
+use super::AttackError;
+use crate::sampled::SampledConnectivity;
+use dessim::rng::RngFactory;
+use flowgraph::DiGraph;
+use kademlia::id::NodeId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How the campaign adversary picks its next victim. Unlike the one-shot
+/// [`AttackStrategy`](super::AttackStrategy), every choice is re-planned
+/// against the current survivor graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignStrategy {
+    /// Uniformly random alive victim — sustained failures/maintenance.
+    Random,
+    /// The alive vertex of highest in+out degree in the *current* survivor
+    /// graph (ties broken by lowest index) — a hub hunter that re-scouts
+    /// after every kill.
+    HighestDegree,
+    /// Work through a minimum vertex cut of a vulnerable surviving pair;
+    /// when the queued cut is exhausted (or its members churned away), probe
+    /// for a fresh cut on the current graph. The optimal adversary Equation
+    /// 2 defends against, acting incrementally.
+    MinCutGuided,
+    /// Eclipse a key: remove alive nodes in ascending XOR distance to the
+    /// victim identifier, i.e. the `k` closest nodes first — the
+    /// data-availability attack on a DHT key or node id. Requires an id
+    /// table ([`Campaign::with_ids`]).
+    Eclipse {
+        /// The identifier whose neighborhood is destroyed.
+        victim: NodeId,
+    },
+}
+
+impl CampaignStrategy {
+    /// Short label for CSV columns and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CampaignStrategy::Random => "random",
+            CampaignStrategy::HighestDegree => "highest-degree",
+            CampaignStrategy::MinCutGuided => "min-cut",
+            CampaignStrategy::Eclipse { .. } => "eclipse",
+        }
+    }
+}
+
+/// Everything a campaign needs besides the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Victim-selection strategy.
+    pub strategy: CampaignStrategy,
+    /// Total compromises the attacker may spend.
+    pub budget: usize,
+    /// Master seed; labelled streams derive from it exactly as in the
+    /// simulator, so campaigns are replayable.
+    pub seed: u64,
+}
+
+/// One step of a campaign: the victim and the survivor connectivity right
+/// after its removal.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignStep {
+    /// 1-based step number (= attacker budget spent so far).
+    pub step: usize,
+    /// The compromised vertex (original index).
+    pub victim: u32,
+    /// Alive vertices after the removal.
+    pub survivors: usize,
+    /// Minimum survivor connectivity `κ` after the removal.
+    pub kappa_min: u64,
+    /// Mean survivor connectivity after the removal.
+    pub kappa_avg: f64,
+    /// Surviving ordered pairs with zero flow.
+    pub zero_pairs: usize,
+    /// Pairs the incremental tracker re-solved for this step.
+    pub pairs_reevaluated: usize,
+}
+
+impl CampaignStep {
+    /// Resilience after this step: `r = κ − 1`, saturating at 0.
+    pub fn resilience(&self) -> u64 {
+        self.kappa_min.saturating_sub(1)
+    }
+}
+
+/// A finished campaign: the initial sweep and the per-step `κ(t)` series.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// The configuration that ran.
+    pub config: CampaignConfig,
+    /// Connectivity of the intact graph (budget spent = 0).
+    pub initial: SampledConnectivity,
+    /// One entry per compromise, in order.
+    pub steps: Vec<CampaignStep>,
+    /// Total max-flow computations across initial sweep and all steps.
+    pub flows_computed: u64,
+}
+
+/// The campaign driver. Create with [`Campaign::new`] (or
+/// [`Campaign::with_ids`] for [`CampaignStrategy::Eclipse`]), then either
+/// [`run`](Campaign::run) to completion or advance manually with
+/// [`step`](Campaign::step).
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    config: CampaignConfig,
+    tracker: IncrementalConnectivity,
+    rng: SmallRng,
+    /// Remaining members of the currently targeted minimum cut.
+    cut_queue: VecDeque<u32>,
+    /// Eclipse victim ranking: all vertices ascending by XOR distance.
+    eclipse_ranking: Vec<u32>,
+    spent: usize,
+}
+
+impl Campaign {
+    /// Builds a campaign over a connectivity graph.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::BudgetExceedsNetwork`] when the budget would not
+    /// leave a survivor, and [`AttackError::MissingIds`] for
+    /// [`CampaignStrategy::Eclipse`] (which needs [`Campaign::with_ids`]).
+    pub fn new(g: &DiGraph, config: CampaignConfig) -> Result<Self, AttackError> {
+        if matches!(config.strategy, CampaignStrategy::Eclipse { .. }) {
+            return Err(AttackError::MissingIds);
+        }
+        Self::build(g, &[], config)
+    }
+
+    /// Builds a campaign with a node-id table (`ids[v]` is the overlay id of
+    /// vertex `v`, as recorded by a routing snapshot) — required for the
+    /// eclipse strategy, ignored by the others.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::IdCountMismatch`] when the table does not cover every
+    /// vertex, plus the errors of [`Campaign::new`].
+    pub fn with_ids(
+        g: &DiGraph,
+        ids: &[NodeId],
+        config: CampaignConfig,
+    ) -> Result<Self, AttackError> {
+        if ids.len() != g.node_count() {
+            return Err(AttackError::IdCountMismatch {
+                ids: ids.len(),
+                nodes: g.node_count(),
+            });
+        }
+        Self::build(g, ids, config)
+    }
+
+    fn build(g: &DiGraph, ids: &[NodeId], config: CampaignConfig) -> Result<Self, AttackError> {
+        let n = g.node_count();
+        if config.budget >= n {
+            return Err(AttackError::BudgetExceedsNetwork {
+                budget: config.budget,
+                nodes: n,
+            });
+        }
+        let eclipse_ranking = match config.strategy {
+            CampaignStrategy::Eclipse { victim } => {
+                let mut ranking: Vec<u32> = (0..n as u32).collect();
+                ranking.sort_by_key(|&v| ids[v as usize].distance(&victim));
+                ranking
+            }
+            _ => Vec::new(),
+        };
+        Ok(Campaign {
+            config,
+            tracker: IncrementalConnectivity::new(g),
+            rng: RngFactory::new(config.seed).stream("campaign"),
+            cut_queue: VecDeque::new(),
+            eclipse_ranking,
+            spent: 0,
+        })
+    }
+
+    /// The incremental tracker (current survivor graph + cached pairs).
+    pub fn tracker(&self) -> &IncrementalConnectivity {
+        &self.tracker
+    }
+
+    /// Budget spent so far.
+    pub fn spent(&self) -> usize {
+        self.spent
+    }
+
+    /// Executes one compromise; `None` once the budget is exhausted or no
+    /// alive vertex remains to attack.
+    pub fn step(&mut self) -> Option<CampaignStep> {
+        if self.spent >= self.config.budget || self.tracker.alive() <= 1 {
+            return None;
+        }
+        let victim = self.pick_victim()?;
+        let stats = self
+            .tracker
+            .remove(victim)
+            .expect("strategies only pick alive vertices");
+        self.spent += 1;
+        let summary = self.tracker.summary();
+        Some(CampaignStep {
+            step: self.spent,
+            victim,
+            survivors: self.tracker.alive(),
+            kappa_min: summary.min,
+            kappa_avg: summary.avg,
+            zero_pairs: summary.zero_pairs,
+            pairs_reevaluated: stats.pairs_reevaluated,
+        })
+    }
+
+    /// Runs the campaign to completion.
+    pub fn run(mut self) -> CampaignOutcome {
+        let initial = self.tracker.summary();
+        let mut steps = Vec::with_capacity(self.config.budget);
+        while let Some(step) = self.step() {
+            steps.push(step);
+        }
+        CampaignOutcome {
+            config: self.config,
+            initial,
+            steps,
+            flows_computed: self.tracker.flows_computed(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Victim selection
+    // ------------------------------------------------------------------
+
+    fn pick_victim(&mut self) -> Option<u32> {
+        match self.config.strategy {
+            CampaignStrategy::Random => self.pick_random(),
+            CampaignStrategy::HighestDegree => self.pick_highest_degree(),
+            CampaignStrategy::MinCutGuided => self.pick_min_cut(),
+            CampaignStrategy::Eclipse { .. } => self.pick_eclipse(),
+        }
+    }
+
+    fn pick_random(&mut self) -> Option<u32> {
+        let alive = self.tracker.alive_vertices();
+        if alive.is_empty() {
+            return None;
+        }
+        Some(alive[self.rng.random_range(0..alive.len())])
+    }
+
+    fn pick_highest_degree(&mut self) -> Option<u32> {
+        let g = self.tracker.survivor_graph();
+        self.tracker
+            .alive_vertices()
+            .into_iter()
+            .max_by_key(|&v| (g.out_degree(v) + g.in_degree(v), std::cmp::Reverse(v)))
+    }
+
+    fn pick_min_cut(&mut self) -> Option<u32> {
+        // Drain queued cut members that are still alive.
+        while let Some(v) = self.cut_queue.pop_front() {
+            if !self.tracker.is_removed(v) {
+                return Some(v);
+            }
+        }
+        // Probe the current survivor graph for a fresh small cut.
+        let alive = self.tracker.alive_vertices();
+        if let Some(cut) =
+            super::probe_smallest_cut(self.tracker.survivor_graph(), &alive, 16, &mut self.rng)
+        {
+            self.cut_queue.extend(cut);
+            if let Some(v) = self.cut_queue.pop_front() {
+                return Some(v);
+            }
+        }
+        // Already fully disconnected (or too small to cut): mop up randomly.
+        self.pick_random()
+    }
+
+    fn pick_eclipse(&mut self) -> Option<u32> {
+        self.eclipse_ranking
+            .iter()
+            .copied()
+            .find(|&v| !self.tracker.is_removed(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgraph::generators::{bidirected_cycle, paper_figure1, random_k_out_symmetric};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn overlay(n: usize, k: usize, seed: u64) -> DiGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        random_k_out_symmetric(n, k, &mut rng)
+    }
+
+    fn run(g: &DiGraph, strategy: CampaignStrategy, budget: usize, seed: u64) -> CampaignOutcome {
+        Campaign::new(
+            g,
+            CampaignConfig {
+                strategy,
+                budget,
+                seed,
+            },
+        )
+        .expect("valid config")
+        .run()
+    }
+
+    #[test]
+    fn kappa_series_is_monotone_nonincreasing() {
+        let g = overlay(20, 4, 3);
+        for strategy in [
+            CampaignStrategy::Random,
+            CampaignStrategy::HighestDegree,
+            CampaignStrategy::MinCutGuided,
+        ] {
+            let outcome = run(&g, strategy, 8, 5);
+            assert_eq!(outcome.steps.len(), 8, "{strategy:?}");
+            let mut last = outcome.initial.min;
+            for step in &outcome.steps {
+                assert!(
+                    step.kappa_min <= last,
+                    "{strategy:?}: κ increased {last} -> {}",
+                    step.kappa_min
+                );
+                last = step.kappa_min;
+            }
+        }
+    }
+
+    #[test]
+    fn min_cut_guided_disconnects_within_kappa_steps() {
+        // Budget κ suffices for the guided attacker on the ring (κ = 2).
+        let g = bidirected_cycle(12);
+        let outcome = run(&g, CampaignStrategy::MinCutGuided, 2, 9);
+        assert_eq!(outcome.initial.min, 2);
+        assert_eq!(outcome.steps.last().expect("two steps").kappa_min, 0);
+    }
+
+    #[test]
+    fn min_cut_guided_kills_figure1_articulation_first() {
+        let g = paper_figure1();
+        let outcome = run(&g, CampaignStrategy::MinCutGuided, 1, 2);
+        assert_eq!(outcome.steps[0].victim, 4, "vertex e is the 1-cut");
+    }
+
+    #[test]
+    fn eclipse_removes_closest_ids_in_order() {
+        let g = bidirected_cycle(8);
+        // Vertex v gets id v: closest to id 3 are 3, 2 (xor 1), 1 (xor 2)…
+        let ids: Vec<NodeId> = (0..8).map(|v| NodeId::from_u64(v, 32)).collect();
+        let victim = NodeId::from_u64(3, 32);
+        let outcome = Campaign::with_ids(
+            &g,
+            &ids,
+            CampaignConfig {
+                strategy: CampaignStrategy::Eclipse { victim },
+                budget: 3,
+                seed: 1,
+            },
+        )
+        .expect("ids supplied")
+        .run();
+        let victims: Vec<u32> = outcome.steps.iter().map(|s| s.victim).collect();
+        assert_eq!(victims, vec![3, 2, 1], "ascending XOR distance to 3");
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        let g = overlay(18, 4, 7);
+        for strategy in [CampaignStrategy::Random, CampaignStrategy::MinCutGuided] {
+            let a = run(&g, strategy, 6, 42);
+            let b = run(&g, strategy, 6, 42);
+            assert_eq!(a, b, "{strategy:?}");
+            let c = run(&g, strategy, 6, 43);
+            let removed_a: Vec<u32> = a.steps.iter().map(|s| s.victim).collect();
+            let removed_c: Vec<u32> = c.steps.iter().map(|s| s.victim).collect();
+            if strategy == CampaignStrategy::Random {
+                assert_ne!(removed_a, removed_c, "different seeds diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn config_errors_are_typed() {
+        let g = bidirected_cycle(5);
+        assert_eq!(
+            Campaign::new(
+                &g,
+                CampaignConfig {
+                    strategy: CampaignStrategy::Random,
+                    budget: 5,
+                    seed: 0,
+                },
+            )
+            .err(),
+            Some(AttackError::BudgetExceedsNetwork {
+                budget: 5,
+                nodes: 5
+            })
+        );
+        let eclipse = CampaignConfig {
+            strategy: CampaignStrategy::Eclipse {
+                victim: NodeId::from_u64(1, 32),
+            },
+            budget: 2,
+            seed: 0,
+        };
+        assert_eq!(
+            Campaign::new(&g, eclipse).err(),
+            Some(AttackError::MissingIds)
+        );
+        assert_eq!(
+            Campaign::with_ids(&g, &[NodeId::from_u64(1, 32)], eclipse).err(),
+            Some(AttackError::IdCountMismatch { ids: 1, nodes: 5 })
+        );
+    }
+
+    #[test]
+    fn highest_degree_hits_the_hub() {
+        // Star + ring: vertex 0 is the hub.
+        let mut g = bidirected_cycle(9);
+        for v in 2..8 {
+            g.add_edge(0, v);
+            g.add_edge(v, 0);
+        }
+        let outcome = run(&g, CampaignStrategy::HighestDegree, 1, 1);
+        assert_eq!(outcome.steps[0].victim, 0);
+    }
+}

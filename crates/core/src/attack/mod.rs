@@ -1,10 +1,48 @@
-//! Attack simulation: empirical validation of Equation 2.
+//! Attack simulation: empirical validation of Equation 2, one-shot and
+//! temporal.
 //!
 //! The paper's system model assumes an attacker who compromises up to `a`
 //! nodes; a compromised node can drop all traffic, so from a connectivity
-//! standpoint it is *removed*. This module removes node sets under several
-//! strategies and checks whether the survivors can still all communicate —
-//! the operational meaning of r-resilience.
+//! standpoint it is *removed*. This module answers two questions:
+//!
+//! * **One-shot** ([`simulate_attack`]): remove a victim set in a single
+//!   blow and check whether the survivors can still all communicate — the
+//!   operational meaning of r-resilience.
+//! * **Temporal** ([`campaign::Campaign`]): let the attacker compromise
+//!   nodes *one per step* under a strategy that re-plans against the
+//!   shrinking survivor graph, and watch `κ` degrade step by step. The
+//!   per-step connectivity is maintained by [`incremental`]: after each
+//!   removal only the pairs whose recorded flow witness used the removed
+//!   vertex are re-solved, so a `T`-step campaign costs far less than `T`
+//!   full `n(n−1)`-pair sweeps.
+//!
+//! # Example
+//!
+//! A minimal campaign: a 12-node bidirected ring (κ = 2) attacked by a
+//! min-cut-guided adversary. Two compromises suffice to disconnect it:
+//!
+//! ```
+//! use flowgraph::generators::bidirected_cycle;
+//! use kad_resilience::attack::{Campaign, CampaignConfig, CampaignStrategy};
+//!
+//! let g = bidirected_cycle(12);
+//! let config = CampaignConfig {
+//!     strategy: CampaignStrategy::MinCutGuided,
+//!     budget: 2,
+//!     seed: 7,
+//! };
+//! let outcome = Campaign::new(&g, config).expect("valid config").run();
+//! assert_eq!(outcome.initial.min, 2);
+//! assert_eq!(outcome.steps.len(), 2);
+//! // After spending κ(D) = 2 compromises the ring is severed.
+//! assert_eq!(outcome.steps.last().unwrap().kappa_min, 0);
+//! ```
+
+pub mod campaign;
+pub mod incremental;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignOutcome, CampaignStep, CampaignStrategy};
+pub use incremental::{IncrementalConnectivity, RemovalStats};
 
 use crate::graph::exact_connectivity;
 use crate::AnalysisConfig;
@@ -15,6 +53,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::fmt;
 
 /// How the attacker picks victims.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -29,6 +68,58 @@ pub enum AttackStrategy {
     /// optimal attacker the `κ > a` guarantee defends against.
     MinimumCut,
 }
+
+/// Typed failure of an attack simulation or campaign — returned instead of
+/// panicking so a degenerate cell (e.g. a budget larger than the network
+/// after heavy churn) cannot abort a whole scenario-matrix run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackError {
+    /// The attacker budget would not leave a single survivor.
+    BudgetExceedsNetwork {
+        /// Requested number of compromises.
+        budget: usize,
+        /// Vertices in the graph.
+        nodes: usize,
+    },
+    /// [`CampaignStrategy::Eclipse`] needs a node-id table; build the
+    /// campaign with [`Campaign::with_ids`].
+    MissingIds,
+    /// The id table does not cover every vertex.
+    IdCountMismatch {
+        /// Ids supplied.
+        ids: usize,
+        /// Vertices in the graph.
+        nodes: usize,
+    },
+    /// The vertex does not exist in the graph.
+    VertexOutOfRange(u32),
+    /// The vertex was already removed earlier in the campaign.
+    AlreadyRemoved(u32),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::BudgetExceedsNetwork { budget, nodes } => write!(
+                f,
+                "attacker budget {budget} must leave at least one of {nodes} nodes"
+            ),
+            AttackError::MissingIds => {
+                write!(
+                    f,
+                    "eclipse strategy needs node ids (use Campaign::with_ids)"
+                )
+            }
+            AttackError::IdCountMismatch { ids, nodes } => {
+                write!(f, "{ids} ids supplied for {nodes} vertices")
+            }
+            AttackError::VertexOutOfRange(v) => write!(f, "vertex {v} out of range"),
+            AttackError::AlreadyRemoved(v) => write!(f, "vertex {v} already removed"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
 
 /// Result of one attack experiment.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,17 +140,25 @@ pub struct AttackOutcome {
 /// the budget `a` (padding with random victims); otherwise it falls back to
 /// random victims.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `a >= n` (the attacker may not remove the whole network).
+/// Returns [`AttackError::BudgetExceedsNetwork`] when `a >= n` — the
+/// attacker may not remove the whole network. (Earlier versions asserted;
+/// the typed error lets campaign grids skip degenerate cells instead of
+/// aborting the run.)
 pub fn simulate_attack<R: Rng + ?Sized>(
     g: &DiGraph,
     a: usize,
     strategy: AttackStrategy,
     rng: &mut R,
-) -> AttackOutcome {
+) -> Result<AttackOutcome, AttackError> {
     let n = g.node_count();
-    assert!(a < n, "attacker budget must leave at least one node");
+    if a >= n {
+        return Err(AttackError::BudgetExceedsNetwork {
+            budget: a,
+            nodes: n,
+        });
+    }
     let mut victims: Vec<u32> = match strategy {
         AttackStrategy::Random => {
             let mut all: Vec<u32> = (0..n as u32).collect();
@@ -83,11 +182,11 @@ pub fn simulate_attack<R: Rng + ?Sized>(
     victims.truncate(a);
     let removed_set: HashSet<u32> = victims.iter().copied().collect();
     let (survivor_graph, _) = g.remove_vertices(&removed_set);
-    AttackOutcome {
+    Ok(AttackOutcome {
         survivors_connected: is_strongly_connected(&survivor_graph),
         survivors: survivor_graph.node_count(),
         removed: victims,
-    }
+    })
 }
 
 /// Finds a minimum vertex cut of size `<= budget` by probing a handful of
@@ -124,6 +223,44 @@ fn best_cut_within_budget<R: Rng + ?Sized>(
     best
 }
 
+/// The min-cut-guided adversary's scouting probe: samples `probes` random
+/// pairs from `candidates`, computes their minimum vertex cuts on `g`, and
+/// returns the smallest non-empty cut found (`None` when every probed pair
+/// was adjacent, identical, or already disconnected).
+///
+/// Shared by the static [`CampaignStrategy::MinCutGuided`] attacker and the
+/// live `kad_experiments` campaign, so both adversaries stay behaviorally
+/// identical.
+pub fn probe_smallest_cut<R: Rng + ?Sized>(
+    g: &DiGraph,
+    candidates: &[u32],
+    probes: usize,
+    rng: &mut R,
+) -> Option<Vec<u32>> {
+    if candidates.len() < 3 {
+        return None;
+    }
+    let mut best: Option<Vec<u32>> = None;
+    for _ in 0..probes {
+        let v = candidates[rng.random_range(0..candidates.len())];
+        let w = candidates[rng.random_range(0..candidates.len())];
+        let Some(cut) = min_vertex_cut(g, v, w) else {
+            continue;
+        };
+        if cut.vertices.is_empty() {
+            continue; // pair already disconnected
+        }
+        if best
+            .as_ref()
+            .map(|b| cut.vertices.len() < b.len())
+            .unwrap_or(true)
+        {
+            best = Some(cut.vertices);
+        }
+    }
+    best
+}
+
 /// Property check behind Equation 2: removing **any** set of fewer than
 /// `κ(D)` vertices leaves the graph strongly connected. Probes `trials`
 /// random sets; returns `true` if none disconnects the survivors.
@@ -139,7 +276,8 @@ pub fn equation2_holds<R: Rng + ?Sized>(
     }
     let budget = (kappa - 1) as usize;
     for _ in 0..trials {
-        let outcome = simulate_attack(g, budget, AttackStrategy::Random, rng);
+        let outcome = simulate_attack(g, budget, AttackStrategy::Random, rng)
+            .expect("budget κ−1 ≤ n−2 always leaves survivors");
         if !outcome.survivors_connected {
             return false;
         }
@@ -177,7 +315,8 @@ mod tests {
         // attacker with budget 1 kills it.
         let mut rng = SmallRng::seed_from_u64(2);
         let g = paper_figure1();
-        let outcome = simulate_attack(&g, 1, AttackStrategy::MinimumCut, &mut rng);
+        let outcome =
+            simulate_attack(&g, 1, AttackStrategy::MinimumCut, &mut rng).expect("budget < n");
         assert_eq!(outcome.removed, vec![4]);
         assert!(!outcome.survivors_connected);
         assert_eq!(outcome.survivors, 8);
@@ -192,9 +331,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut disconnected = false;
         for _ in 0..50 {
-            let o = simulate_attack(&g, 2, AttackStrategy::Random, &mut rng);
+            let o = simulate_attack(&g, 2, AttackStrategy::Random, &mut rng).expect("budget < n");
             disconnected |= !o.survivors_connected;
-            let o1 = simulate_attack(&g, 1, AttackStrategy::Random, &mut rng);
+            let o1 = simulate_attack(&g, 1, AttackStrategy::Random, &mut rng).expect("budget < n");
             assert!(o1.survivors_connected, "budget 1 < κ=2 cannot disconnect");
         }
         assert!(disconnected, "budget κ should disconnect eventually");
@@ -209,7 +348,8 @@ mod tests {
             g.add_edge(v, 0);
         }
         let mut rng = SmallRng::seed_from_u64(4);
-        let outcome = simulate_attack(&g, 1, AttackStrategy::HighestDegree, &mut rng);
+        let outcome =
+            simulate_attack(&g, 1, AttackStrategy::HighestDegree, &mut rng).expect("budget < n");
         assert_eq!(outcome.removed, vec![0]);
         assert!(!outcome.survivors_connected);
     }
@@ -218,18 +358,30 @@ mod tests {
     fn attack_outcome_counts_survivors() {
         let g = complete(6);
         let mut rng = SmallRng::seed_from_u64(5);
-        let outcome = simulate_attack(&g, 2, AttackStrategy::Random, &mut rng);
+        let outcome = simulate_attack(&g, 2, AttackStrategy::Random, &mut rng).expect("budget < n");
         assert_eq!(outcome.survivors, 4);
         assert_eq!(outcome.removed.len(), 2);
         assert!(outcome.survivors_connected, "complete graph survives");
     }
 
     #[test]
-    #[should_panic(expected = "attacker budget")]
     fn budget_must_leave_a_node() {
         let g = complete(3);
         let mut rng = SmallRng::seed_from_u64(6);
-        simulate_attack(&g, 3, AttackStrategy::Random, &mut rng);
+        assert_eq!(
+            simulate_attack(&g, 3, AttackStrategy::Random, &mut rng),
+            Err(AttackError::BudgetExceedsNetwork {
+                budget: 3,
+                nodes: 3
+            })
+        );
+        // The error formats without panicking (it feeds matrix logs).
+        let message = AttackError::BudgetExceedsNetwork {
+            budget: 3,
+            nodes: 3,
+        }
+        .to_string();
+        assert!(message.contains("budget 3"), "{message}");
     }
 
     #[test]

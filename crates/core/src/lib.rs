@@ -16,7 +16,9 @@
 //!   ships the same validation as a reproducible experiment),
 //! * minimum & average connectivity reports ([`report`]), the resilience
 //!   arithmetic of Equation 2 ([`resilience`]), and attack simulations that
-//!   empirically validate it ([`attack`]).
+//!   empirically validate it ([`attack`]) — both one-shot removals and
+//!   temporal [`attack::Campaign`]s whose per-step `κ` is maintained by an
+//!   incremental dirty-pair tracker ([`attack::incremental`]).
 //!
 //! The per-pair flow computations parallelize with rayon — the stand-in for
 //! the 24-node Opteron cluster the authors used.

@@ -2,7 +2,10 @@
 
 use flowgraph::generators;
 use flowgraph::DiGraph;
-use kad_resilience::attack::{simulate_attack, AttackStrategy};
+use kad_resilience::attack::{
+    simulate_attack, AttackStrategy, Campaign, CampaignConfig, CampaignStrategy,
+    IncrementalConnectivity,
+};
 use kad_resilience::graph::{exact_connectivity, has_connectivity_at_least};
 use kad_resilience::sampled::sampled_connectivity;
 use kad_resilience::{analyze_graph, AnalysisConfig, SolverKind};
@@ -80,7 +83,8 @@ proptest! {
                 (kappa - 1) as usize,
                 AttackStrategy::Random,
                 &mut rng,
-            );
+            )
+            .expect("budget κ−1 < n");
             prop_assert!(outcome.survivors_connected, "κ={} attack disconnected", kappa);
         }
     }
@@ -119,6 +123,51 @@ proptest! {
         let exact = sampled_connectivity(&g, &AnalysisConfig::exact());
         let sampled = sampled_connectivity(&g, &AnalysisConfig::default());
         prop_assert_eq!(sampled.min, exact.min);
+    }
+
+    /// A campaign replayed from the same RNG stream seed is byte-identical:
+    /// same compromise schedule, same κ series, same flow counts.
+    #[test]
+    fn campaign_replay_is_byte_identical(g in arb_digraph(12), seed in any::<u64>()) {
+        for strategy in [
+            CampaignStrategy::Random,
+            CampaignStrategy::HighestDegree,
+            CampaignStrategy::MinCutGuided,
+        ] {
+            let budget = (g.node_count() / 2).max(1);
+            let config = CampaignConfig { strategy, budget, seed };
+            let a = Campaign::new(&g, config).expect("budget < n").run();
+            let b = Campaign::new(&g, config).expect("budget < n").run();
+            prop_assert_eq!(a, b, "{:?}", strategy);
+        }
+    }
+
+    /// The incremental dirty-pair tracker agrees exactly with a full
+    /// re-sweep after every removal.
+    #[test]
+    fn incremental_matches_full_resweep(g in arb_digraph(10), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut tracker = IncrementalConnectivity::new(&g);
+        let mut removed = std::collections::HashSet::new();
+        for _ in 0..g.node_count().min(4) {
+            let alive = tracker.alive_vertices();
+            if alive.len() <= 1 {
+                break;
+            }
+            let victim = alive[rand::Rng::random_range(&mut rng, 0..alive.len())];
+            tracker.remove(victim).expect("alive victim");
+            removed.insert(victim);
+            let (survivor, _) = g.remove_vertices(&removed);
+            let oracle = sampled_connectivity(
+                &survivor,
+                &AnalysisConfig { parallel: false, ..AnalysisConfig::exact() },
+            );
+            let got = tracker.summary();
+            prop_assert_eq!(got.min, oracle.min);
+            prop_assert_eq!(got.pairs_evaluated, oracle.pairs_evaluated);
+            prop_assert_eq!(got.zero_pairs, oracle.zero_pairs);
+            prop_assert!((got.avg - oracle.avg).abs() < 1e-12);
+        }
     }
 
     /// Densification never lowers exact connectivity.

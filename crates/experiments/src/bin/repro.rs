@@ -1,10 +1,11 @@
 //! `repro` — regenerate any table or figure from the paper.
 //!
 //! ```text
-//! repro fig2                 # Simulation A at laptop scale
-//! repro tab2 --scale bench   # quick smoke-scale Table 2
-//! repro all --out results/   # everything, CSVs written to results/
-//! repro matrix --scale bench # the full scenario matrix, run in parallel
+//! repro fig2                   # Simulation A at laptop scale
+//! repro tab2 --scale bench     # quick smoke-scale Table 2
+//! repro all --out results/     # everything, CSVs written to results/
+//! repro matrix --scale bench   # the full scenario matrix, run in parallel
+//! repro campaign --out results/ # attack campaigns: κ(t) per strategy
 //! ```
 //!
 //! Arguments are parsed by hand (the build environment has no clap):
@@ -27,8 +28,9 @@ struct Args {
 
 const USAGE: &str =
     "usage: repro <experiment> [--scale bench|laptop|paper] [--seed N] [--out DIR] [--jobs N]\n\
-    experiments: all, matrix, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
-    --jobs sets the scenario-level worker count (matrix only; other experiments auto-split)";
+    experiments: all, matrix, campaign, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
+    campaign: attack-during-churn grid (random/highest-degree/min-cut/eclipse), κ(t) CSV\n\
+    --jobs sets the scenario-level worker count (matrix/campaign; others auto-split)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -88,6 +90,10 @@ fn main() {
 
     if args.experiment.eq_ignore_ascii_case("matrix") {
         run_matrix(&args);
+        return;
+    }
+    if args.experiment.eq_ignore_ascii_case("campaign") {
+        run_campaign_cells(&args);
         return;
     }
 
@@ -182,6 +188,60 @@ fn run_matrix(args: &Args) {
         }
     }
     eprintln!("== matrix done in {:.1?} ==", started.elapsed());
+}
+
+/// Runs the attack-campaign grid (four strategies × churn on/off) through
+/// the MatrixRunner and emits the `κ(t)` time series per strategy — to the
+/// terminal as charts, to `--out DIR` as `campaign-timeseries.csv`.
+fn run_campaign_cells(args: &Args) {
+    use kad_experiments::campaign::{
+        campaign_csv, campaign_figure, campaign_grid, run_campaign_grid,
+    };
+
+    let grid = campaign_grid(args.scale, args.seed);
+    eprintln!(
+        "== running {} attack campaigns at {} scale (seed {}) ==",
+        grid.len(),
+        args.scale,
+        args.seed
+    );
+    let mut runner = MatrixRunner::new();
+    if let Some(jobs) = args.jobs {
+        runner = runner.scenario_threads(jobs);
+    }
+    let started = Instant::now();
+    let outcomes = run_campaign_grid(&runner, &grid, |index, outcome| {
+        let last = outcome.points.last();
+        eprintln!(
+            "[{}/{}] {}: spent {} compromises, final honest n={} κ_min={}",
+            index + 1,
+            grid.len(),
+            outcome.scenario.name(),
+            outcome.budget_spent,
+            last.map_or(0, |p| p.honest_size),
+            last.map_or(0, |p| p.report.min_connectivity),
+        );
+    });
+    let figure = campaign_figure(&outcomes);
+    println!(
+        "{}",
+        kad_experiments::ascii_chart::render_min_connectivity(&figure)
+    );
+    let csv = campaign_csv(&outcomes);
+    if let Some(dir) = &args.out {
+        let write = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join("campaign-timeseries.csv"), &csv));
+        match write {
+            Ok(()) => eprintln!("wrote {}", dir.join("campaign-timeseries.csv").display()),
+            Err(err) => {
+                eprintln!("error writing campaign CSV: {err}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("{csv}");
+    }
+    eprintln!("== campaign done in {:.1?} ==", started.elapsed());
 }
 
 fn write_csvs(dir: &PathBuf, result: &ExperimentResult) -> std::io::Result<()> {

@@ -19,6 +19,11 @@
 //!   stabilization / churn phases, applying joins, silent departures and
 //!   data traffic at random instants within each minute (Section 5.3), and
 //!   snapshotting connectivity on a fixed grid.
+//! * [`campaign`] — live attack campaigns: an adversary compromising nodes
+//!   *during* churn and traffic via scheduled
+//!   [`kademlia::network::SimNetwork::schedule_compromise`] events, with
+//!   the `κ(t)` / `r(t)` series per strategy; `repro campaign` runs the
+//!   grid.
 //! * [`series`] / [`table`] / [`ascii_chart`] — figure and table data
 //!   structures with CSV and terminal renderings.
 //! * [`figures`] — the experiment registry: one entry per paper
@@ -29,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod ascii_chart;
+pub mod campaign;
 pub mod figures;
 pub mod matrix;
 pub mod runner;
@@ -37,6 +43,7 @@ pub mod scenario;
 pub mod series;
 pub mod table;
 
+pub use campaign::{run_campaign, AttackPlan, CampaignOutcome, CampaignScenario};
 pub use figures::{run_experiment, ExperimentId, ExperimentResult};
 pub use matrix::{MatrixRunner, SplitPolicy};
 pub use runner::{run_scenario, ScenarioOutcome, SnapshotResult};

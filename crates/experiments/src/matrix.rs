@@ -16,6 +16,26 @@
 //! * results are **identical** to running [`run_scenario`] serially on the
 //!   same scenarios: the runner never mutates a scenario, and every
 //!   scenario seeds all of its own randomness. That equivalence is tested.
+//! * the engine is generic ([`MatrixRunner::run_tasks`]): attack-campaign
+//!   grids and other non-[`Scenario`] workloads share the same worker pool
+//!   and thread-budget split.
+//!
+//! # Example
+//!
+//! Any grid of independent cells parallelizes the same way — here a plain
+//! function over inputs, streamed as cells finish:
+//!
+//! ```
+//! use kad_experiments::matrix::MatrixRunner;
+//!
+//! let inputs: Vec<u64> = (1..=6).collect();
+//! let mut finished = 0;
+//! let squares = MatrixRunner::new()
+//!     .scenario_threads(3)
+//!     .run_tasks(&inputs, |&x| x * x, |_, _| finished += 1);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25, 36]);
+//! assert_eq!(finished, 6);
+//! ```
 
 use crate::runner::{run_scenario, ScenarioOutcome};
 use crate::scale::Scale;
@@ -119,20 +139,41 @@ impl MatrixRunner {
     pub fn run_streaming(
         &self,
         scenarios: &[Scenario],
-        mut on_outcome: impl FnMut(usize, &ScenarioOutcome),
+        on_outcome: impl FnMut(usize, &ScenarioOutcome),
     ) -> Vec<ScenarioOutcome> {
-        if scenarios.is_empty() {
+        self.run_tasks(scenarios, run_scenario, on_outcome)
+    }
+
+    /// The generic engine behind [`MatrixRunner::run_streaming`]: executes
+    /// `run` over any grid of task values with the same worker pool,
+    /// work-stealing claim order, per-worker rayon thread budget and
+    /// streamed completions. Attack-campaign grids (and any future workload
+    /// whose cells are not plain [`Scenario`]s) run through this directly.
+    ///
+    /// `on_done(index, result)` fires on the calling thread in completion
+    /// order; the returned vector is in input order regardless.
+    pub fn run_tasks<T, R>(
+        &self,
+        tasks: &[T],
+        run: impl Fn(&T) -> R + Sync,
+        mut on_done: impl FnMut(usize, &R),
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        if tasks.is_empty() {
             return Vec::new();
         }
-        let workers = self.worker_count(scenarios.len());
+        let workers = self.worker_count(tasks.len());
         if workers <= 1 {
-            return scenarios
+            return tasks
                 .iter()
                 .enumerate()
-                .map(|(index, scenario)| {
-                    let outcome = run_scenario(scenario);
-                    on_outcome(index, &outcome);
-                    outcome
+                .map(|(index, task)| {
+                    let result = run(task);
+                    on_done(index, &result);
+                    result
                 })
                 .collect();
         }
@@ -142,34 +183,34 @@ impl MatrixRunner {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let inner_budget = (cores / workers).max(1);
         let next = AtomicUsize::new(0);
-        let (sender, receiver) = mpsc::channel::<(usize, ScenarioOutcome)>();
-        let mut slots: Vec<Option<ScenarioOutcome>> = Vec::new();
-        slots.resize_with(scenarios.len(), || None);
+        let (sender, receiver) = mpsc::channel::<(usize, R)>();
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(tasks.len(), || None);
+        let run = &run;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let sender = sender.clone();
                 let next = &next;
                 scope.spawn(move || loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= scenarios.len() {
+                    if index >= tasks.len() {
                         break;
                     }
-                    let outcome =
-                        rayon::with_thread_budget(inner_budget, || run_scenario(&scenarios[index]));
-                    if sender.send((index, outcome)).is_err() {
+                    let result = rayon::with_thread_budget(inner_budget, || run(&tasks[index]));
+                    if sender.send((index, result)).is_err() {
                         break;
                     }
                 });
             }
             drop(sender);
-            for (index, outcome) in receiver {
-                on_outcome(index, &outcome);
-                slots[index] = Some(outcome);
+            for (index, result) in receiver {
+                on_done(index, &result);
+                slots[index] = Some(result);
             }
         });
         slots
             .into_iter()
-            .map(|slot| slot.expect("every scenario produces an outcome"))
+            .map(|slot| slot.expect("every task produces a result"))
             .collect()
     }
 }
@@ -257,6 +298,26 @@ mod tests {
     #[test]
     fn empty_matrix_is_empty() {
         assert!(MatrixRunner::new().run(&[]).is_empty());
+    }
+
+    #[test]
+    fn generic_tasks_return_in_input_order() {
+        // The generic engine must behave exactly like the scenario path:
+        // results in input order, every index reported once.
+        let tasks: Vec<u64> = (0..17).collect();
+        let mut seen = Vec::new();
+        let results = MatrixRunner::new().scenario_threads(4).run_tasks(
+            &tasks,
+            |&t| t * t,
+            |index, &r| seen.push((index, r)),
+        );
+        assert_eq!(results, tasks.iter().map(|t| t * t).collect::<Vec<_>>());
+        seen.sort_unstable();
+        assert_eq!(seen.len(), tasks.len());
+        for (i, (index, r)) in seen.into_iter().enumerate() {
+            assert_eq!(index, i);
+            assert_eq!(r, tasks[i] * tasks[i]);
+        }
     }
 
     #[test]

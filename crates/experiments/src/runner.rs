@@ -13,6 +13,23 @@
 //!   disseminations per minute, again at random instants.
 //! * **Snapshots**: on a fixed grid; each snapshot is converted into a
 //!   connectivity graph and analysed (minimum + average connectivity).
+//!
+//! # Example
+//!
+//! Run a miniature scenario end to end and read the final connectivity:
+//!
+//! ```
+//! use kad_experiments::runner::run_scenario;
+//! use kad_experiments::scenario::ScenarioBuilder;
+//!
+//! let mut b = ScenarioBuilder::quick(12, 4);
+//! b.name("doc-run").seed(9);
+//! let outcome = run_scenario(&b.build());
+//! let last = outcome.final_snapshot().expect("snapshots on the grid");
+//! assert_eq!(last.network_size, 12);
+//! // Deterministic: the same scenario replays the same series.
+//! assert_eq!(run_scenario(&b.build()).snapshots, outcome.snapshots);
+//! ```
 
 use crate::scenario::Scenario;
 use dessim::metrics::Counters;
@@ -77,6 +94,10 @@ enum Action {
 ///
 /// Deterministic: the scenario's `seed` fixes node ids, latencies, loss,
 /// action instants and all node/target choices.
+///
+/// [`crate::campaign::run_campaign`] mirrors this minute loop (same stream
+/// labels, same action-drawing order) with an attacker woven in; behavioral
+/// changes to the event loop must be applied to both.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     let factory = RngFactory::new(scenario.seed);
     let mut schedule_rng = factory.stream("harness-schedule");

@@ -5,6 +5,18 @@
 //! cluster. Reproducing the *shape* of every result does not need that
 //! budget, so the harness ships three presets. The substitutions are
 //! documented in DESIGN.md; `--scale paper` restores the original numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use kad_experiments::scale::Scale;
+//!
+//! let bench = Scale::Bench.config();
+//! let paper = Scale::Paper.config();
+//! assert!(bench.small_size < paper.small_size);
+//! assert_eq!(paper.small_size, 250); // the paper's "small network"
+//! assert_eq!("laptop".parse::<Scale>(), Ok(Scale::Laptop));
+//! ```
 
 use kademlia::config::RefreshPolicy;
 use serde::{Deserialize, Serialize};

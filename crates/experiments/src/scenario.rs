@@ -232,6 +232,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the end of the setup phase in minutes.
+    pub fn setup_minutes(&mut self, minutes: u64) -> &mut Self {
+        self.scenario.setup_minutes = minutes;
+        self
+    }
+
+    /// Sets the end of the stabilization phase in minutes.
+    pub fn stabilization_minutes(&mut self, minutes: u64) -> &mut Self {
+        self.scenario.stabilization_minutes = minutes;
+        self
+    }
+
     /// Sets the churn-phase length in minutes.
     pub fn churn_minutes(&mut self, minutes: u64) -> &mut Self {
         self.scenario.churn_minutes = minutes;

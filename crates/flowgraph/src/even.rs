@@ -104,6 +104,20 @@ impl EvenNetwork {
         2 * x
     }
 
+    /// Arc id of the internal arc `x' -> x''` in the transformed network.
+    ///
+    /// Internal arcs are created first during construction, one per original
+    /// vertex in ascending order, and every arc consumes two residual slots
+    /// (forward + reverse), so vertex `x`'s internal arc is id `2x`. The
+    /// mapping is an invariant of the constructor and is asserted by tests;
+    /// incremental connectivity tracking uses it to delete vertices in place
+    /// (zero the internal arc's base capacity) and to read which vertices a
+    /// computed flow crossed.
+    #[inline]
+    pub fn internal_arc(x: u32) -> u32 {
+        2 * x
+    }
+
     /// Outgoing copy `x''` of original vertex `x`.
     #[inline]
     pub fn out_vertex(x: u32) -> u32 {
@@ -300,6 +314,32 @@ mod tests {
             assert!(EvenNetwork::is_in_copy(EvenNetwork::in_vertex(x)));
             assert!(!EvenNetwork::is_in_copy(EvenNetwork::out_vertex(x)));
         }
+    }
+
+    #[test]
+    fn internal_arc_ids_match_construction() {
+        let g = paper_figure1();
+        let even = EvenNetwork::from_graph(&g);
+        for x in 0..g.node_count() as u32 {
+            let arc = EvenNetwork::internal_arc(x);
+            // The internal arc runs x' -> x'' with unit capacity.
+            assert_eq!(even.network().arc_head(arc), EvenNetwork::out_vertex(x));
+            assert_eq!(even.network().residual(arc), 1, "unit vertex capacity");
+        }
+    }
+
+    #[test]
+    fn internal_arcs_witness_disjoint_paths() {
+        // Two vertex-disjoint paths 0 -> 1 -> 3 and 0 -> 2 -> 3: after the
+        // flow, exactly the interior vertices 1 and 2 carry flow through
+        // their internal arcs (the invariant incremental tracking reads).
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let mut even = EvenNetwork::from_graph(&g);
+        assert_eq!(even.vertex_connectivity(&Dinic::new(), 0, 3, None), Some(2));
+        let crossed: Vec<u32> = (0..4u32)
+            .filter(|&x| even.network().flow(EvenNetwork::internal_arc(x)) > 0)
+            .collect();
+        assert_eq!(crossed, vec![1, 2]);
     }
 
     #[test]

@@ -218,6 +218,23 @@ impl FlowNetwork {
         self.touched.len()
     }
 
+    /// Permanently changes the base capacity of arc `i`: both the current
+    /// residual and the value [`FlowNetwork::reset`] restores. Callers
+    /// should reset first so no in-flight flow is mixed into the new base.
+    ///
+    /// This is how a vertex is deleted from an Even network *in place*:
+    /// zeroing its internal arc removes it from every future flow while
+    /// every other arc id stays stable — which incremental connectivity
+    /// tracking relies on to replay recorded path decompositions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_base_capacity(&mut self, i: u32, cap: u64) {
+        self.orig_cap[i as usize] = cap;
+        self.cap[i as usize] = cap;
+    }
+
     /// Net flow out of `v` (outgoing minus incoming flow on forward arcs).
     /// Zero for all vertices except source (positive) and sink (negative)
     /// once a valid flow has been computed.

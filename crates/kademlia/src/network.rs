@@ -3,9 +3,18 @@
 //! `SimNetwork` is the PeerSim-equivalent driver. It owns every node, the
 //! deterministic event queue, the transport (latency + loss) and the RPC
 //! bookkeeping (pending requests, timeouts). The experiment harness applies
-//! *scenario* actions — joins, silent departures, lookups, disseminations —
-//! between calls to [`SimNetwork::run_until`], and takes routing-table
-//! snapshots that the analysis layer turns into connectivity graphs.
+//! *scenario* actions — joins, silent departures, lookups, disseminations,
+//! scheduled compromises — between calls to [`SimNetwork::run_until`], and
+//! takes routing-table snapshots that the analysis layer turns into
+//! connectivity graphs.
+//!
+//! Two distinct failure modes exist: a **silent departure**
+//! ([`SimNetwork::remove_node`]) stops answering and is eventually evicted
+//! by the staleness limit, while a **compromise**
+//! ([`SimNetwork::compromise_node`], schedulable through the event kernel
+//! via [`SimNetwork::schedule_compromise`]) keeps answering — so it is
+//! never evicted — but is excluded from the connectivity graph, per the
+//! paper's system model in which a compromised node may drop all traffic.
 
 use crate::config::{KademliaConfig, RefreshPolicy};
 use crate::contact::{Contact, NodeAddr};
@@ -43,6 +52,12 @@ pub enum SimEvent {
         /// The refreshing node.
         node: NodeAddr,
     },
+    /// The attacker's scheduled compromise of a node fires (see
+    /// [`SimNetwork::schedule_compromise`]).
+    Compromise {
+        /// The node being compromised.
+        node: NodeAddr,
+    },
 }
 
 /// A request awaiting its response.
@@ -69,6 +84,7 @@ pub struct SimNetwork {
     id_rng: SmallRng,
     counters: Counters,
     alive_count: usize,
+    compromised_count: usize,
 }
 
 impl SimNetwork {
@@ -92,6 +108,7 @@ impl SimNetwork {
             id_rng: factory.stream("node-ids"),
             counters: Counters::new(),
             alive_count: 0,
+            compromised_count: 0,
         }
     }
 
@@ -110,9 +127,21 @@ impl SimNetwork {
         &self.counters
     }
 
-    /// Number of alive nodes.
+    /// Number of alive nodes (compromised nodes are alive on the wire and
+    /// therefore included — see [`SimNetwork::honest_count`]).
     pub fn alive_count(&self) -> usize {
         self.alive_count
+    }
+
+    /// Number of alive **compromised** nodes.
+    pub fn compromised_count(&self) -> usize {
+        self.compromised_count
+    }
+
+    /// Number of honest alive nodes — the vertex count of the connectivity
+    /// graph the next [`SimNetwork::snapshot`] captures.
+    pub fn honest_count(&self) -> usize {
+        self.alive_count - self.compromised_count
     }
 
     /// Total nodes ever spawned (alive and departed).
@@ -129,11 +158,23 @@ impl SimNetwork {
         &self.nodes[addr.index()]
     }
 
-    /// Addresses of all currently alive nodes, ascending.
+    /// Addresses of all currently alive nodes, ascending (compromised nodes
+    /// included — they are alive on the wire).
     pub fn alive_addrs(&self) -> Vec<NodeAddr> {
         self.nodes
             .iter()
             .filter(|n| n.alive)
+            .map(|n| n.contact.addr)
+            .collect()
+    }
+
+    /// Addresses of the honest alive nodes, ascending — the attack surface
+    /// an adversary picks fresh victims from, and the vertex set of the
+    /// next snapshot.
+    pub fn honest_addrs(&self) -> Vec<NodeAddr> {
+        self.nodes
+            .iter()
+            .filter(|n| n.participates())
             .map(|n| n.contact.addr)
             .collect()
     }
@@ -174,9 +215,9 @@ impl SimNetwork {
         self.counters.incr("node_joined");
     }
 
-    /// Removes a node silently (churn / failure / compromise): it stops
-    /// answering but remains in other nodes' routing tables until the
-    /// staleness limit evicts it.
+    /// Removes a node silently (churn / failure): it stops answering but
+    /// remains in other nodes' routing tables until the staleness limit
+    /// evicts it.
     ///
     /// Returns `false` if the node was already gone.
     pub fn remove_node(&mut self, addr: NodeAddr) -> bool {
@@ -187,8 +228,52 @@ impl SimNetwork {
         node.alive = false;
         node.lookups.clear();
         self.alive_count -= 1;
+        if node.compromised {
+            // A compromised machine can still churn away; it stops counting
+            // against the attacker's live foothold.
+            self.compromised_count -= 1;
+        }
         self.counters.incr("node_removed");
         true
+    }
+
+    /// Compromises a node immediately (the attack equivalent of
+    /// [`SimNetwork::remove_node`], but with different semantics): the node
+    /// **keeps answering** requests — mimicking honest behavior so it is
+    /// never evicted and keeps occupying routing-table slots — yet it is
+    /// excluded from snapshots and all `κ` accounting, because the paper's
+    /// system model lets a compromised node drop all traffic at will.
+    ///
+    /// Returns `false` if the node is dead or already compromised.
+    pub fn compromise_node(&mut self, addr: NodeAddr) -> bool {
+        let node = &mut self.nodes[addr.index()];
+        if !node.alive || node.compromised {
+            return false;
+        }
+        node.compromised = true;
+        self.compromised_count += 1;
+        self.counters.incr("node_compromised");
+        true
+    }
+
+    /// Schedules a compromise of `addr` at simulated time `at` through the
+    /// event queue — the hook attack campaigns use to interleave compromises
+    /// with protocol traffic and churn at exact instants. The event is a
+    /// no-op if the node departs (or is compromised) before it fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past of the simulation clock.
+    pub fn schedule_compromise(&mut self, at: SimTime, addr: NodeAddr) -> EventId {
+        self.counters.incr("compromise_scheduled");
+        self.queue
+            .schedule_at(at, SimEvent::Compromise { node: addr })
+    }
+
+    /// Whether `addr` is currently alive and compromised.
+    pub fn is_compromised(&self, addr: NodeAddr) -> bool {
+        let node = &self.nodes[addr.index()];
+        node.alive && node.compromised
     }
 
     /// Starts a lookup for `target` at `addr` (the paper's "lookup
@@ -228,8 +313,10 @@ impl SimNetwork {
         }
     }
 
-    /// Captures the connectivity snapshot: every alive node and one edge
-    /// per routing-table entry pointing at another alive node.
+    /// Captures the connectivity snapshot: every honest alive node and one
+    /// edge per routing-table entry pointing at another honest alive node
+    /// (compromised nodes are excluded from `κ` accounting — see
+    /// [`SimNetwork::compromise_node`]).
     pub fn snapshot(&self) -> RoutingSnapshot {
         RoutingSnapshot::capture(self.now(), &self.nodes)
     }
@@ -349,6 +436,9 @@ impl SimNetwork {
             SimEvent::Deliver { to, msg } => self.on_deliver(to, msg),
             SimEvent::RpcTimeout { rpc_id } => self.on_timeout(rpc_id),
             SimEvent::RefreshTick { node } => self.on_refresh(node),
+            SimEvent::Compromise { node } => {
+                self.compromise_node(node);
+            }
         }
     }
 
@@ -607,6 +697,73 @@ mod tests {
         assert!(net.start_lookup(victim, NodeId::from_u64(1, 32)).is_none());
         assert!(net.start_store(victim, NodeId::from_u64(1, 32)).is_none());
         assert!(!net.remove_node(victim), "double removal reports false");
+    }
+
+    #[test]
+    fn compromised_nodes_answer_but_vanish_from_snapshots() {
+        let mut net = build_network(10, 4, 21);
+        let victim = net.alive_addrs()[2];
+        let victim_id = net.node(victim).id();
+        assert!(net.compromise_node(victim));
+        assert!(!net.compromise_node(victim), "double compromise is a no-op");
+        assert!(net.is_compromised(victim));
+        assert_eq!(net.alive_count(), 10, "still alive on the wire");
+        assert_eq!(net.compromised_count(), 1);
+        assert_eq!(net.honest_count(), 9);
+        assert_eq!(net.honest_addrs().len(), 9);
+        // Excluded from κ accounting…
+        let snap = net.snapshot();
+        assert_eq!(snap.node_count(), 9);
+        // …but unlike a departed node it keeps answering: pinging it
+        // succeeds, so it is never evicted.
+        let knowers: Vec<NodeAddr> = net
+            .alive_addrs()
+            .into_iter()
+            .filter(|&a| a != victim && net.node(a).routing.contains(&victim_id))
+            .collect();
+        assert!(!knowers.is_empty());
+        let knower = knowers[0];
+        net.send_request(
+            knower,
+            Contact::new(victim_id, victim),
+            RequestKind::Ping,
+            None,
+        );
+        net.run_until(net.now() + SimDuration::from_secs(5));
+        assert!(
+            net.node(knower).routing.contains(&victim_id),
+            "compromised node answered the ping and stays in the table"
+        );
+        assert!(net.counters().get("node_compromised") == 1);
+    }
+
+    #[test]
+    fn scheduled_compromise_fires_through_the_event_queue() {
+        let mut net = build_network(8, 4, 22);
+        let victim = net.alive_addrs()[1];
+        let at = net.now() + SimDuration::from_secs(90);
+        net.schedule_compromise(at, victim);
+        assert!(!net.is_compromised(victim), "not yet fired");
+        net.run_until(at + SimDuration::from_secs(1));
+        assert!(net.is_compromised(victim));
+        assert_eq!(net.counters().get("compromise_scheduled"), 1);
+        assert_eq!(net.counters().get("node_compromised"), 1);
+    }
+
+    #[test]
+    fn churned_compromised_node_leaves_both_counts() {
+        let mut net = build_network(6, 4, 23);
+        let victim = net.alive_addrs()[0];
+        net.compromise_node(victim);
+        assert_eq!(net.compromised_count(), 1);
+        assert!(net.remove_node(victim), "compromised nodes can still churn");
+        assert_eq!(net.alive_count(), 5);
+        assert_eq!(net.compromised_count(), 0);
+        assert_eq!(net.honest_count(), 5);
+        assert!(
+            !net.is_compromised(victim),
+            "gone nodes are not compromised"
+        );
     }
 
     #[test]

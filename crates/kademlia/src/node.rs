@@ -24,9 +24,16 @@ pub struct KademliaNode {
     /// Keys of data objects stored at this node via STORE.
     pub storage: HashSet<NodeId>,
     /// Whether the node is part of the network. Dead nodes silently drop
-    /// everything — indistinguishable from a crashed or compromised node,
-    /// exactly as the paper's system model prescribes.
+    /// everything — indistinguishable from a crashed node.
     pub alive: bool,
+    /// Whether the node has been compromised by the attacker. Unlike a
+    /// silent departure, a compromised node **keeps answering** protocol
+    /// requests (mimicking honest behavior so it is never evicted and keeps
+    /// occupying routing-table slots), but the paper's system model says it
+    /// may drop all traffic at will — so it is excluded from the
+    /// connectivity graph and all `κ` accounting
+    /// ([`crate::snapshot::RoutingSnapshot`] skips it).
+    pub compromised: bool,
     /// When the node joined the network.
     pub joined_at: SimTime,
     /// The bootstrap contact this node joined through. Kept as a recovery
@@ -47,6 +54,7 @@ impl KademliaNode {
             routing: RoutingTable::new(contact.id, config),
             storage: HashSet::new(),
             alive: true,
+            compromised: false,
             joined_at: now,
             bootstrap: None,
             lookups: HashMap::new(),
@@ -56,6 +64,13 @@ impl KademliaNode {
     /// The node's identifier.
     pub fn id(&self) -> NodeId {
         self.contact.id
+    }
+
+    /// Whether the node counts as an honest participant of the overlay:
+    /// alive and not compromised. Exactly the nodes that become vertices of
+    /// the connectivity graph.
+    pub fn participates(&self) -> bool {
+        self.alive && !self.compromised
     }
 
     /// Handles an incoming request, updating local state, and produces the

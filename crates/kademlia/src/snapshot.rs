@@ -3,11 +3,15 @@
 //! The paper's methodology (Section 5.2): "we interrupt the simulation and
 //! save the current contents of the routing tables of all network nodes to
 //! disk into a snapshot file", from which the connectivity graph is built.
-//! [`RoutingSnapshot`] is that snapshot file as a value: the alive nodes
-//! (densely re-indexed) and one directed edge per routing-table entry that
-//! points at another *alive* node. Departed nodes are not part of the
-//! network, hence not vertices; routing-table entries referring to them are
-//! dangling pointers, not edges.
+//! [`RoutingSnapshot`] is that snapshot file as a value: the *honest alive*
+//! nodes (densely re-indexed) and one directed edge per routing-table entry
+//! that points at another honest alive node. Departed nodes are not part of
+//! the network, hence not vertices; routing-table entries referring to them
+//! are dangling pointers, not edges. **Compromised** nodes are excluded the
+//! same way — per the paper's system model they may drop all traffic, so
+//! neither they nor the routing entries pointing at them contribute to the
+//! connectivity `κ` accounts (even though, unlike departed nodes, they keep
+//! answering on the wire).
 
 use crate::contact::NodeAddr;
 use crate::id::NodeId;
@@ -25,19 +29,19 @@ pub struct RoutingSnapshot {
 }
 
 impl RoutingSnapshot {
-    /// Captures a snapshot from the node table. Alive nodes are assigned
-    /// dense indices in address order.
+    /// Captures a snapshot from the node table. Participating nodes (alive
+    /// and not compromised) are assigned dense indices in address order.
     pub fn capture(time: SimTime, nodes: &[KademliaNode]) -> Self {
         let mut index_of = vec![u32::MAX; nodes.len()];
         let mut addrs = Vec::new();
         let mut ids = Vec::new();
-        for node in nodes.iter().filter(|n| n.alive) {
+        for node in nodes.iter().filter(|n| n.participates()) {
             index_of[node.contact.addr.index()] = addrs.len() as u32;
             addrs.push(node.contact.addr);
             ids.push(node.contact.id);
         }
         let mut edges = Vec::new();
-        for node in nodes.iter().filter(|n| n.alive) {
+        for node in nodes.iter().filter(|n| n.participates()) {
             let from = index_of[node.contact.addr.index()];
             for contact in node.routing.contacts() {
                 let to = index_of
@@ -140,6 +144,22 @@ mod tests {
         nodes[2].alive = false;
         let snap = RoutingSnapshot::capture(SimTime::ZERO, &nodes);
         // Only the edge 0 -> 1 survives; node 2 is gone.
+        assert_eq!(snap.edges(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn compromised_nodes_are_excluded_like_dead_ones() {
+        let mut nodes = make_nodes(4, 4);
+        let c1 = nodes[1].contact;
+        let c2 = nodes[2].contact;
+        nodes[0].routing.offer(c1, SimTime::ZERO);
+        nodes[0].routing.offer(c2, SimTime::ZERO);
+        nodes[2].compromised = true;
+        let snap = RoutingSnapshot::capture(SimTime::ZERO, &nodes);
+        // Node 2 is alive on the wire but not a vertex, and the edge 0 -> 2
+        // is dropped with it.
+        assert_eq!(snap.node_count(), 3);
+        assert!(!snap.addrs().contains(&NodeAddr(2)));
         assert_eq!(snap.edges(), &[(0, 1)]);
     }
 

@@ -38,7 +38,8 @@ fn main() {
     let trials = 100;
     let mut survived = 0;
     for _ in 0..trials {
-        let outcome = simulate_attack(&g, resilience as usize, AttackStrategy::Random, &mut rng);
+        let outcome = simulate_attack(&g, resilience as usize, AttackStrategy::Random, &mut rng)
+            .expect("budget r < n");
         if outcome.survivors_connected {
             survived += 1;
         }

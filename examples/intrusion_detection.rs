@@ -81,6 +81,7 @@ fn main() {
             AttackStrategy::Random,
             &mut rng,
         )
+        .expect("budget < n")
         .survivors_connected
         {
             survived_random += 1;
@@ -91,6 +92,7 @@ fn main() {
             AttackStrategy::HighestDegree,
             &mut rng,
         )
+        .expect("budget < n")
         .survivors_connected
         {
             survived_hubs += 1;

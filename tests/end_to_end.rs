@@ -131,7 +131,8 @@ fn even_transform_agrees_with_attack_reality_on_snapshot() {
     assert!(kappa > 0);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
     for _ in 0..25 {
-        let outcome = simulate_attack(&g, (kappa - 1) as usize, AttackStrategy::Random, &mut rng);
+        let outcome = simulate_attack(&g, (kappa - 1) as usize, AttackStrategy::Random, &mut rng)
+            .expect("budget κ−1 < n");
         assert!(
             outcome.survivors_connected,
             "attack below κ disconnected the network"
