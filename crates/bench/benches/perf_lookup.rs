@@ -1,0 +1,93 @@
+//! Lookup throughput and the telemetry instrumentation's overhead.
+//!
+//! The service-telemetry subsystem sits on the lookup hot path: every
+//! terminating lookup crosses the `TelemetrySink` seam, and `LookupState`
+//! tracks hop depths and message counts unconditionally. This bench pins
+//! both costs so they are *measured, not assumed*:
+//!
+//! * `locate_no_sink` — the baseline: lookups with no sink installed
+//!   (one `Option` discriminant check per completion);
+//! * `locate_aggregating_sink` — the realistic instrumented path: the
+//!   same lookups with an O(1) histogram-aggregating sink installed
+//!   (what `kad_experiments::service` does);
+//! * `find_value_retrieval` — the FIND_VALUE round trip the durability
+//!   probe drives (store once, retrieve repeatedly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dessim::time::SimDuration;
+use kad_bench::support::stabilized_network;
+use kad_telemetry::{LogHistogram, LookupRecord, TelemetrySink, TracePurpose};
+use kademlia::id::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+/// The aggregating sink the experiment harness installs: O(1) per record,
+/// no growth with the number of lookups. Shared with the measurement loop
+/// via the `Rc<RefCell<_>>` blanket sink impl.
+#[derive(Debug, Default)]
+struct AggSink {
+    hops: LogHistogram,
+}
+
+impl TelemetrySink for AggSink {
+    fn on_lookup(&mut self, record: &LookupRecord) {
+        if record.purpose == TracePurpose::Locate {
+            self.hops.record(record.hops as u64);
+        }
+    }
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    group.sample_size(10);
+
+    group.bench_function("locate_no_sink", |bencher| {
+        let mut net = stabilized_network(100, 20, 3);
+        let origin = net.alive_addrs()[0];
+        let mut rng = SmallRng::seed_from_u64(1);
+        bencher.iter(|| {
+            let target = NodeId::random(&mut rng, net.config().bits);
+            net.start_lookup(origin, target);
+            net.run_until(net.now() + SimDuration::from_secs(30));
+            black_box(net.counters().get("lookup_finished"))
+        });
+    });
+
+    group.bench_function("locate_aggregating_sink", |bencher| {
+        let mut net = stabilized_network(100, 20, 3);
+        let sink = Rc::new(RefCell::new(AggSink::default()));
+        net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+        let origin = net.alive_addrs()[0];
+        let mut rng = SmallRng::seed_from_u64(1);
+        bencher.iter(|| {
+            let target = NodeId::random(&mut rng, net.config().bits);
+            net.start_lookup(origin, target);
+            net.run_until(net.now() + SimDuration::from_secs(30));
+            black_box(sink.borrow().hops.count())
+        });
+    });
+
+    group.bench_function("find_value_retrieval", |bencher| {
+        let mut net = stabilized_network(100, 20, 3);
+        let origin = net.alive_addrs()[0];
+        let mut rng = SmallRng::seed_from_u64(2);
+        let key = NodeId::random(&mut rng, net.config().bits);
+        net.start_store(origin, key);
+        net.run_until(net.now() + SimDuration::from_secs(60));
+        let alive = net.alive_addrs();
+        bencher.iter(|| {
+            let from = alive[rng.random_range(0..alive.len())];
+            net.start_find_value(from, key);
+            net.run_until(net.now() + SimDuration::from_secs(30));
+            black_box(net.counters().get("value_hit"))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

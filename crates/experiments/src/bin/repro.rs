@@ -28,9 +28,23 @@ struct Args {
 
 const USAGE: &str =
     "usage: repro <experiment> [--scale bench|laptop|paper] [--seed N] [--out DIR] [--jobs N]\n\
-    experiments: all, matrix, campaign, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
+    experiments: all, matrix, campaign, service, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
     campaign: attack-during-churn grid (random/highest-degree/min-cut/eclipse), κ(t) CSV\n\
-    --jobs sets the scenario-level worker count (matrix/campaign; others auto-split)";
+    service: κ(t) × lookup success × hop counts × retrievability grid, two CSVs\n\
+    --jobs sets the scenario-level worker count (matrix/campaign/service; others auto-split)";
+
+/// The grid subcommands registered outside the figure/table registry.
+const GRID_SUBCOMMANDS: [&str; 4] = ["all", "matrix", "campaign", "service"];
+
+/// Every registered subcommand, for the unknown-experiment error message.
+fn registered_subcommands() -> String {
+    GRID_SUBCOMMANDS
+        .iter()
+        .map(|s| s.to_string())
+        .chain(ExperimentId::ALL.iter().map(|i| i.to_string()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -96,6 +110,10 @@ fn main() {
         run_campaign_cells(&args);
         return;
     }
+    if args.experiment.eq_ignore_ascii_case("service") {
+        run_service_cells(&args);
+        return;
+    }
 
     let ids: Vec<ExperimentId> = if args.experiment.eq_ignore_ascii_case("all") {
         ExperimentId::ALL.to_vec()
@@ -104,14 +122,7 @@ fn main() {
             Ok(id) => vec![id],
             Err(err) => {
                 eprintln!("error: {err}");
-                eprintln!(
-                    "available: all, matrix, {}",
-                    ExperimentId::ALL
-                        .iter()
-                        .map(|i| i.to_string())
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                );
+                eprintln!("available: {}", registered_subcommands());
                 std::process::exit(2);
             }
         }
@@ -242,6 +253,72 @@ fn run_campaign_cells(args: &Args) {
         println!("{csv}");
     }
     eprintln!("== campaign done in {:.1?} ==", started.elapsed());
+}
+
+/// Runs the service-telemetry grid (baseline + four attack strategies ×
+/// churn on/off) and emits the aligned κ/lookup/retrievability series as
+/// `service-timeseries.csv` plus the hop-count distributions as
+/// `service-hops.csv` (to `--out DIR`, or stdout without it).
+fn run_service_cells(args: &Args) {
+    use kad_experiments::service::{
+        run_service_grid, service_grid, service_hops_csv, service_timeseries_csv,
+    };
+
+    let grid = service_grid(args.scale, args.seed);
+    eprintln!(
+        "== running {} service cells at {} scale (seed {}) ==",
+        grid.len(),
+        args.scale,
+        args.seed
+    );
+    let mut runner = MatrixRunner::new();
+    if let Some(jobs) = args.jobs {
+        runner = runner.scenario_threads(jobs);
+    }
+    let started = Instant::now();
+    let outcomes = run_service_grid(&runner, &grid, |index, outcome| {
+        let last = outcome.points.last();
+        // Retrievability of the last window that actually ran probes
+        // (windows without a probe round report `retrieves = 0`).
+        let retrievability = outcome
+            .points
+            .iter()
+            .rev()
+            .find(|p| p.retrieves > 0)
+            .map_or(0.0, |p| p.retrievability);
+        eprintln!(
+            "[{}/{}] {}: κ_min={} lookup_ok={:.0}% hops p50={} retrievable={:.0}%",
+            index + 1,
+            grid.len(),
+            outcome.scenario.name(),
+            last.map_or(0, |p| p.report.min_connectivity),
+            last.map_or(0.0, |p| p.lookup_success_rate * 100.0),
+            outcome.hops.percentile(0.5),
+            retrievability * 100.0,
+        );
+    });
+    let timeseries = service_timeseries_csv(&outcomes);
+    let hops = service_hops_csv(&outcomes);
+    if let Some(dir) = &args.out {
+        let write = std::fs::create_dir_all(dir).and_then(|()| {
+            std::fs::write(dir.join("service-timeseries.csv"), &timeseries)?;
+            std::fs::write(dir.join("service-hops.csv"), &hops)
+        });
+        match write {
+            Ok(()) => {
+                eprintln!("wrote {}", dir.join("service-timeseries.csv").display());
+                eprintln!("wrote {}", dir.join("service-hops.csv").display());
+            }
+            Err(err) => {
+                eprintln!("error writing service CSVs: {err}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("{timeseries}");
+        println!("{hops}");
+    }
+    eprintln!("== service done in {:.1?} ==", started.elapsed());
 }
 
 fn write_csvs(dir: &PathBuf, result: &ExperimentResult) -> std::io::Result<()> {

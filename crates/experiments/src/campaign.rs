@@ -170,9 +170,11 @@ pub struct CampaignOutcome {
 
 /// Harness actions applied at random instants within a minute (the
 /// attacker's compromises are scheduled through the event queue instead, so
-/// they interleave with deliveries at exact simulated times).
+/// they interleave with deliveries at exact simulated times). Shared with
+/// the service-telemetry runner ([`crate::service`]), which drives the same
+/// minute loop with instrumentation attached.
 #[derive(Clone, Copy, Debug)]
-enum Action {
+pub(crate) enum Action {
     Join,
     Remove,
     Lookup(NodeAddr),
@@ -327,7 +329,8 @@ pub fn run_campaign(scenario: &CampaignScenario) -> CampaignOutcome {
 
 /// Picks the next victim under `plan` from the honest nodes of `snap`,
 /// excluding nodes already targeted. Returns `None` when nobody is left.
-fn pick_victim(
+/// Shared with the service-telemetry runner.
+pub(crate) fn pick_victim(
     plan: AttackPlan,
     net: &SimNetwork,
     snap: &RoutingSnapshot,
@@ -390,7 +393,7 @@ fn pick_victim(
     }
 }
 
-fn random_alive(net: &SimNetwork, rng: &mut SmallRng) -> Option<NodeAddr> {
+pub(crate) fn random_alive(net: &SimNetwork, rng: &mut SmallRng) -> Option<NodeAddr> {
     let alive = net.alive_addrs();
     if alive.is_empty() {
         None
@@ -399,7 +402,7 @@ fn random_alive(net: &SimNetwork, rng: &mut SmallRng) -> Option<NodeAddr> {
     }
 }
 
-fn apply_action(
+pub(crate) fn apply_action(
     net: &mut SimNetwork,
     action: Action,
     base: &Scenario,

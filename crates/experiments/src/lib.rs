@@ -24,6 +24,11 @@
 //!   [`kademlia::network::SimNetwork::schedule_compromise`] events, with
 //!   the `κ(t)` / `r(t)` series per strategy; `repro campaign` runs the
 //!   grid.
+//! * [`service`] — service-level telemetry: the campaign minute loop with
+//!   the protocol's [`kad_telemetry`] sink installed and a dissemination-
+//!   durability probe, correlating `κ(t)` with lookup success rates,
+//!   hop-count distributions and retrievability; `repro service` runs the
+//!   grid.
 //! * [`series`] / [`table`] / [`ascii_chart`] — figure and table data
 //!   structures with CSV and terminal renderings.
 //! * [`figures`] — the experiment registry: one entry per paper
@@ -41,6 +46,7 @@ pub mod runner;
 pub mod scale;
 pub mod scenario;
 pub mod series;
+pub mod service;
 pub mod table;
 
 pub use campaign::{run_campaign, AttackPlan, CampaignOutcome, CampaignScenario};
@@ -49,3 +55,4 @@ pub use matrix::{MatrixRunner, SplitPolicy};
 pub use runner::{run_scenario, ScenarioOutcome, SnapshotResult};
 pub use scale::Scale;
 pub use scenario::{Scenario, ScenarioBuilder};
+pub use service::{run_service, ServiceOutcome, ServicePoint, ServiceScenario};

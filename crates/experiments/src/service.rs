@@ -1,0 +1,660 @@
+//! Service-level telemetry experiments: what the overlay *delivers* while
+//! `κ` degrades.
+//!
+//! The paper's connection resilience `κ(D)` is a structural proxy for the
+//! service operators actually care about — do lookups still succeed, and
+//! does disseminated data stay reachable? This module closes that gap: it
+//! drives the same minute loop as the attack campaigns
+//! ([`crate::campaign`]) with the protocol's telemetry sink installed
+//! ([`kademlia::network::SimNetwork::set_telemetry_sink`]) and a
+//! [`DurabilityProbe`] disseminating and re-retrieving objects, producing
+//! for every snapshot instant:
+//!
+//! * the connectivity report `κ(t)` / `r(t)` (the paper's axis),
+//! * the data-lookup success rate and hop statistics in the window since
+//!   the previous snapshot (the Roos / Salah axis: hop distributions and
+//!   lookup performance are how Kademlia deployments are judged),
+//! * the fraction of probe retrievals that found their object —
+//!   dissemination durability under churn and compromise.
+//!
+//! The grid ([`service_grid`]) crosses churn with every attack strategy
+//! (plus an attack-free baseline); `repro service` runs it through the
+//! [`MatrixRunner`] and emits `service-timeseries.csv` (aligned series)
+//! and `service-hops.csv` (hop-count distributions).
+//!
+//! The minute loop deliberately mirrors [`crate::campaign::run_campaign`]
+//! (same stream labels, same action-drawing order) with the probe and the
+//! telemetry sink woven in; behavioral changes to one loop must be
+//! mirrored in the other (and in [`crate::runner::run_scenario`]).
+//!
+//! # Example
+//!
+//! ```
+//! use kad_experiments::service::{run_service, ServiceScenario};
+//! use kad_experiments::scenario::ScenarioBuilder;
+//!
+//! let mut b = ScenarioBuilder::quick(16, 4);
+//! b.name("doc-service").seed(5).stabilization_minutes(40).churn_minutes(6);
+//! let scenario = ServiceScenario::unattacked(b.build());
+//! let outcome = run_service(&scenario);
+//! let last = outcome.points.last().expect("snapshot grid");
+//! assert!(last.lookup_success_rate > 0.5, "healthy overlay serves lookups");
+//! assert!(!outcome.hops.is_empty(), "hop distribution collected");
+//! ```
+
+use crate::campaign::{apply_action, pick_victim, Action, AttackPlan};
+use crate::matrix::MatrixRunner;
+use crate::scale::Scale;
+use crate::scenario::{ChurnRate, Scenario, ScenarioBuilder, TrafficModel};
+use dessim::metrics::Counters;
+use dessim::rng::RngFactory;
+use dessim::time::SimTime;
+use kad_resilience::{analyze_snapshot, ConnectivityReport};
+use kad_telemetry::{LogHistogram, LookupRecord, MinuteSeries, TelemetrySink, TracePurpose};
+use kademlia::id::NodeId;
+use kademlia::network::SimNetwork;
+use kademlia::probe::DurabilityProbe;
+use kademlia::NodeAddr;
+use rand::Rng;
+use std::cell::RefCell;
+use std::collections::{HashSet, VecDeque};
+use std::rc::Rc;
+
+/// The attacker of a service scenario (a subset of
+/// [`crate::campaign::CampaignScenario`]'s knobs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceAttack {
+    /// Victim-selection policy, re-planned each attack minute.
+    pub plan: AttackPlan,
+    /// Total compromises the attacker may schedule.
+    pub budget: usize,
+    /// Compromises scheduled per attack minute.
+    pub compromises_per_min: u32,
+    /// Simulated minute the attack starts.
+    pub start_minute: u64,
+}
+
+/// A fully specified service-telemetry run: a base [`Scenario`] plus the
+/// durability probe's cadence and an optional attacker.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceScenario {
+    /// The overlay scenario (size, churn, traffic, loss, protocol, seed).
+    pub base: Scenario,
+    /// The attacker, if any.
+    pub attack: Option<ServiceAttack>,
+    /// Objects disseminated per store round.
+    pub objects_per_round: usize,
+    /// Minutes between store rounds (first at the end of setup).
+    pub store_every_min: u64,
+    /// Minutes between retrieval probe rounds.
+    pub probe_every_min: u64,
+}
+
+impl ServiceScenario {
+    /// A scenario with the default probe cadence and no attacker.
+    pub fn unattacked(base: Scenario) -> Self {
+        ServiceScenario {
+            base,
+            attack: None,
+            objects_per_round: 4,
+            store_every_min: 10,
+            probe_every_min: 5,
+        }
+    }
+
+    /// Display name: base scenario name + attack plan (or `baseline`).
+    pub fn name(&self) -> String {
+        match &self.attack {
+            Some(a) => format!("{}+{}", self.base.name, a.plan.label()),
+            None => format!("{}+baseline", self.base.name),
+        }
+    }
+
+    /// Label of the attack strategy column (`baseline` when unattacked).
+    pub fn strategy_label(&self) -> &'static str {
+        self.attack.as_ref().map_or("baseline", |a| a.plan.label())
+    }
+}
+
+/// One point of the service time series: κ and the service metrics over
+/// the window since the previous point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServicePoint {
+    /// Simulated minutes.
+    pub time_min: f64,
+    /// Compromises scheduled so far.
+    pub budget_spent: usize,
+    /// Honest alive nodes at the snapshot.
+    pub honest_size: usize,
+    /// Connectivity analysis of the honest subgraph.
+    pub report: ConnectivityReport,
+    /// Data lookups (purpose `Locate`) completed in the window.
+    pub lookups: u64,
+    /// Fraction of those that converged (0 when none completed).
+    pub lookup_success_rate: f64,
+    /// Mean hop count of converged lookups in the window (0 when none).
+    pub hop_mean: f64,
+    /// Retrieval probes completed in the window.
+    pub retrieves: u64,
+    /// Fraction of those that found their object (0 when none ran).
+    pub retrievability: f64,
+    /// Objects disseminated by the probe so far.
+    pub stored_objects: usize,
+}
+
+/// The result of one service run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceOutcome {
+    /// The scenario that ran.
+    pub scenario: ServiceScenario,
+    /// Time series on the snapshot grid, ascending.
+    pub points: Vec<ServicePoint>,
+    /// Hop-count distribution of all converged data lookups.
+    pub hops: LogHistogram,
+    /// Messages-per-lookup distribution of all data lookups.
+    pub messages: LogHistogram,
+    /// Total compromises the attacker scheduled.
+    pub budget_spent: usize,
+    /// Protocol/transport counters accumulated over the run.
+    pub counters: Counters,
+}
+
+/// The telemetry aggregates one run collects, shared between the sink
+/// installed in the simulator and the minute loop via `Rc<RefCell>`.
+#[derive(Debug, Default)]
+struct ServiceTelemetry {
+    /// Per-minute locate completions: sample 1.0 = converged, 0.0 = not.
+    lookups: MinuteSeries,
+    /// Per-minute converged-locate hop counts.
+    hop_series: MinuteSeries,
+    /// Per-minute retrievals: sample 1.0 = value found, 0.0 = missing.
+    retrieves: MinuteSeries,
+    /// Hop counts of converged locates, whole run.
+    hops: LogHistogram,
+    /// Messages per locate, whole run.
+    messages: LogHistogram,
+}
+
+/// Aggregation is O(1) per record; the simulator holds the recorder
+/// behind `Rc<RefCell>` (the blanket sink impl in [`kad_telemetry`]) and
+/// the minute loop keeps the other handle.
+impl TelemetrySink for ServiceTelemetry {
+    fn on_lookup(&mut self, record: &LookupRecord) {
+        let minute = record.completed_minute();
+        match record.purpose {
+            TracePurpose::Locate => {
+                let ok = record.outcome.is_success();
+                self.lookups.record(minute, if ok { 1.0 } else { 0.0 });
+                self.messages.record(record.messages as u64);
+                if ok {
+                    self.hops.record(record.hops as u64);
+                    self.hop_series.record(minute, record.hops as f64);
+                }
+            }
+            TracePurpose::Retrieve => {
+                let hit = record.outcome.is_success();
+                self.retrieves.record(minute, if hit { 1.0 } else { 0.0 });
+            }
+            // Maintenance traffic (refresh/bootstrap) and dissemination
+            // control lookups are not service observations.
+            _ => {}
+        }
+    }
+}
+
+/// Runs a service scenario to completion. Deterministic: the base
+/// scenario's seed fixes the overlay, the attacker and the probe (labelled
+/// streams), so identical scenarios replay identical outcomes.
+pub fn run_service(scenario: &ServiceScenario) -> ServiceOutcome {
+    let base = &scenario.base;
+    let factory = RngFactory::new(base.seed);
+    let mut schedule_rng = factory.stream("harness-schedule");
+    let mut choice_rng = factory.stream("harness-choices");
+    let mut target_rng = factory.stream("harness-targets");
+    let mut attacker_rng = factory.stream("attacker");
+    let mut probe_rng = factory.stream("service-probe");
+    let eclipse_key = NodeId::random(
+        &mut factory.stream("attacker-eclipse-target"),
+        base.protocol.bits,
+    );
+
+    let transport = dessim::transport::Transport::new(
+        dessim::latency::LatencyModel::default_uniform(),
+        base.loss.to_model(),
+    );
+    let mut net = SimNetwork::new(base.protocol, transport, base.seed);
+    let sink = Rc::new(RefCell::new(ServiceTelemetry::default()));
+    net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+    let mut probe = DurabilityProbe::new();
+
+    let setup_ms = base.setup_minutes.max(1) * 60_000;
+    let mut join_times: Vec<u64> = (0..base.size)
+        .map(|_| schedule_rng.random_range(0..setup_ms))
+        .collect();
+    join_times.sort_unstable();
+
+    let mut points = Vec::new();
+    let mut targeted: HashSet<NodeAddr> = HashSet::new();
+    let mut cut_queue: VecDeque<NodeAddr> = VecDeque::new();
+    let mut spent = 0usize;
+    let end_min = base.end_minutes();
+    let mut join_cursor = 0usize;
+    let mut window_start_min = 0u64;
+
+    for minute in 0..end_min {
+        let minute_start_ms = minute * 60_000;
+
+        // Probe rounds fire at the minute boundary, retrievals before
+        // fresh stores so a probe never races the dissemination it just
+        // scheduled (keys stored in earlier minutes have long settled —
+        // lookups complete in simulated seconds).
+        if minute >= base.setup_minutes {
+            if minute % scenario.probe_every_min.max(1) == 0 && !probe.keys().is_empty() {
+                probe.probe_round(&mut net, &mut probe_rng);
+            }
+            if minute % scenario.store_every_min.max(1) == 0 {
+                probe.store_round(&mut net, scenario.objects_per_round, &mut probe_rng);
+            }
+        }
+
+        let mut actions: Vec<(u64, Action)> = Vec::new();
+        while join_cursor < join_times.len() && join_times[join_cursor] < minute_start_ms + 60_000 {
+            actions.push((join_times[join_cursor], Action::Join));
+            join_cursor += 1;
+        }
+
+        if base.churn.is_active() && minute >= base.stabilization_minutes {
+            for _ in 0..base.churn.remove_per_min {
+                actions.push((
+                    minute_start_ms + schedule_rng.random_range(0..60_000),
+                    Action::Remove,
+                ));
+            }
+            for _ in 0..base.churn.add_per_min {
+                actions.push((
+                    minute_start_ms + schedule_rng.random_range(0..60_000),
+                    Action::Join,
+                ));
+            }
+        }
+
+        // Traffic originates from *honest* nodes only: `lookup_success_rate`
+        // is the honest-user service quantity κ(t) is correlated against,
+        // and the sink cannot tell an attacker-originated lookup apart.
+        // (The campaign runner draws from all alive nodes — compromised
+        // ones mimic honest behavior — but it measures only κ; here the
+        // origin set *is* the metric's population.)
+        if let Some(traffic) = base.traffic {
+            for addr in net.honest_addrs() {
+                for _ in 0..traffic.lookups_per_min {
+                    actions.push((
+                        minute_start_ms + schedule_rng.random_range(0..60_000),
+                        Action::Lookup(addr),
+                    ));
+                }
+                for _ in 0..traffic.stores_per_min {
+                    actions.push((
+                        minute_start_ms + schedule_rng.random_range(0..60_000),
+                        Action::Store(addr),
+                    ));
+                }
+            }
+        }
+
+        // The attacker re-plans at the minute boundary against the current
+        // routing state (same protocol as the campaign engine).
+        if let Some(attack) = &scenario.attack {
+            if minute >= attack.start_minute && spent < attack.budget {
+                let snap = net.snapshot();
+                for _ in 0..attack.compromises_per_min {
+                    if spent >= attack.budget {
+                        break;
+                    }
+                    let Some(victim) = pick_victim(
+                        attack.plan,
+                        &net,
+                        &snap,
+                        &targeted,
+                        &mut cut_queue,
+                        &eclipse_key,
+                        &mut attacker_rng,
+                    ) else {
+                        break;
+                    };
+                    targeted.insert(victim);
+                    let at = minute_start_ms + attacker_rng.random_range(0..60_000);
+                    net.schedule_compromise(SimTime::from_millis(at), victim);
+                    spent += 1;
+                }
+            }
+        }
+
+        actions.sort_by_key(|&(t, _)| t);
+        for (t, action) in actions {
+            net.run_until(SimTime::from_millis(t));
+            apply_action(&mut net, action, base, &mut choice_rng, &mut target_rng);
+        }
+        let minute_end = SimTime::from_minutes(minute + 1);
+        net.run_until(minute_end);
+
+        let at_minute = minute + 1;
+        let attack_phase = scenario
+            .attack
+            .as_ref()
+            .is_some_and(|a| at_minute >= a.start_minute);
+        let grid = if attack_phase {
+            // Denser grid during the attack so the service series resolves
+            // each budget increment, like the campaign engine's.
+            2
+        } else {
+            base.snapshot_minutes.max(1)
+        };
+        if at_minute % grid == 0 || at_minute == end_min {
+            let snap = net.snapshot();
+            let report = analyze_snapshot(&snap, &base.analysis);
+            let t = sink.borrow();
+            let lookups = t.lookups.range_stats(window_start_min, at_minute);
+            let hops_window = t.hop_series.range_stats(window_start_min, at_minute);
+            let retrieves = t.retrieves.range_stats(window_start_min, at_minute);
+            points.push(ServicePoint {
+                time_min: minute_end.as_minutes_f64(),
+                budget_spent: spent,
+                honest_size: snap.node_count(),
+                report,
+                lookups: lookups.count,
+                lookup_success_rate: lookups.mean(),
+                hop_mean: hops_window.mean(),
+                retrieves: retrieves.count,
+                retrievability: retrieves.mean(),
+                stored_objects: probe.keys().len(),
+            });
+            window_start_min = at_minute;
+        }
+    }
+
+    let counters = net.counters().clone();
+    drop(net); // releases the simulator's sink handle
+    let telemetry = Rc::try_unwrap(sink)
+        .expect("simulator dropped, recorder uniquely owned")
+        .into_inner();
+    ServiceOutcome {
+        scenario: scenario.clone(),
+        points,
+        hops: telemetry.hops,
+        messages: telemetry.messages,
+        budget_spent: spent,
+        counters,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Analytic hop-count expectation
+// ----------------------------------------------------------------------
+
+/// Roos-style analytic expectation of the mean lookup hop count on a
+/// stabilized, churn-free overlay of `n` nodes with bucket size `k`.
+///
+/// Derivation (the integer core of Roos et al.'s hop-distribution model,
+/// "Comprehending Kademlia Routing", arXiv:1307.7000): a lookup for a
+/// uniform target starts at XOR distance ≈ `2^(b-1)`; querying a node at
+/// distance `d` returns the `k` contacts of its bucket covering the
+/// target, which are uniform over a range of size ≈ `d`, so the closest
+/// of them sits at expected distance ≈ `d / (k + 1)` — each hop resolves
+/// ≈ `log2(k + 1)` bits. The lookup is over once the queried node's
+/// distance falls inside the target's `k`-closest set, whose radius is
+/// ≈ `k/n` of the id space; the seed hop out of the local routing table
+/// is hop 1. Hence
+///
+/// ```text
+/// E[hops] ≈ 1 + max(0, log2(n / 2k)) / log2(k + 1)
+/// ```
+///
+/// This is a *mean-field* model: it ignores routing-table fullness
+/// (simulated tables at small `n` hold most of the network, biasing hops
+/// down) and α-parallelism racing (which can only shorten the winning
+/// chain). The integration test `hop_validation.rs` therefore checks the
+/// measured mean against this expectation within the documented tolerance
+/// [`ANALYTIC_HOP_TOLERANCE`], and the distribution's upper tail against
+/// `log2(n)` — both properties Roos et al. establish for real deployments.
+pub fn analytic_hop_mean(n: usize, k: usize) -> f64 {
+    let n = n as f64;
+    let k = k as f64;
+    1.0 + (n / (2.0 * k)).max(1.0).log2() / (k + 1.0).log2()
+}
+
+/// Absolute tolerance on the mean hop count used by the hop-distribution
+/// validation test (in hops). The mean-field model above is exact only in
+/// the limit of sparse routing tables; at simulable scales its bias stays
+/// well under one hop.
+pub const ANALYTIC_HOP_TOLERANCE: f64 = 0.75;
+
+// ----------------------------------------------------------------------
+// Grid + rendering
+// ----------------------------------------------------------------------
+
+/// The grid `repro service` runs: churn off/`1/1` crossed with an
+/// attack-free baseline plus all four [`AttackPlan`]s, at the given scale.
+/// Seeds derive from `base_seed` and the cell name, like every other grid.
+pub fn service_grid(scale: Scale, base_seed: u64) -> Vec<ServiceScenario> {
+    let cfg = scale.config();
+    let size = cfg.small_size;
+    let budget = (size / 4).max(2);
+    let mut grid = Vec::new();
+    for churn in [ChurnRate::NONE, ChurnRate::ONE_ONE] {
+        for plan in std::iter::once(None).chain(AttackPlan::ALL.into_iter().map(Some)) {
+            let strategy = plan.map_or("baseline", |p| p.label());
+            let name = format!("service-{}-churn{}", strategy, churn.label());
+            let mut b = ScenarioBuilder::quick(size, 8);
+            b.name(name.clone())
+                .churn(churn)
+                .churn_minutes(budget as u64 + 10)
+                .snapshot_minutes(cfg.snapshot_minutes)
+                .traffic(TrafficModel {
+                    lookups_per_min: cfg.lookups_per_min,
+                    stores_per_min: cfg.stores_per_min,
+                })
+                .seed(crate::figures::seed_for(base_seed, &name));
+            let base = b.build();
+            let start_minute = base.stabilization_minutes;
+            grid.push(ServiceScenario {
+                attack: plan.map(|plan| ServiceAttack {
+                    plan,
+                    budget,
+                    compromises_per_min: 1,
+                    start_minute,
+                }),
+                // Probe every 2 minutes: the attack-phase snapshot grid is
+                // 2 minutes, so every window contains a retrievability
+                // sample (a sparser cadence leaves hollow `retrieves = 0`
+                // windows in the series).
+                probe_every_min: 2,
+                ..ServiceScenario::unattacked(base)
+            });
+        }
+    }
+    grid
+}
+
+/// Runs a service grid through the [`MatrixRunner`], streaming one
+/// callback per finished cell. Outcomes return in input order.
+pub fn run_service_grid(
+    runner: &MatrixRunner,
+    grid: &[ServiceScenario],
+    on_done: impl FnMut(usize, &ServiceOutcome),
+) -> Vec<ServiceOutcome> {
+    runner.run_tasks(grid, run_service, on_done)
+}
+
+/// The aligned time-series CSV: κ(t) next to lookup success, hop mean and
+/// retrievability, one row per (cell, snapshot).
+pub fn service_timeseries_csv(outcomes: &[ServiceOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "strategy,churn,time_min,budget_spent,honest_size,kappa_min,kappa_avg,resilience,\
+         lookups,lookup_success_rate,hop_mean,retrieves,retrievability,stored_objects\n",
+    );
+    for outcome in outcomes {
+        let strategy = outcome.scenario.strategy_label();
+        let churn = outcome.scenario.base.churn.label();
+        for p in &outcome.points {
+            let _ = writeln!(
+                out,
+                "{strategy},{churn},{:.1},{},{},{},{:.3},{},{},{:.4},{:.3},{},{:.4},{}",
+                p.time_min,
+                p.budget_spent,
+                p.honest_size,
+                p.report.min_connectivity,
+                p.report.avg_connectivity,
+                p.report.resilience(),
+                p.lookups,
+                p.lookup_success_rate,
+                p.hop_mean,
+                p.retrieves,
+                p.retrievability,
+                p.stored_objects,
+            );
+        }
+    }
+    out
+}
+
+/// The hop-count distribution CSV: one row per (cell, hop bucket), with
+/// the per-cell p50/p90/mean repeated for convenience.
+pub fn service_hops_csv(outcomes: &[ServiceOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("strategy,churn,hops,count,share,mean,p50,p90\n");
+    for outcome in outcomes {
+        let strategy = outcome.scenario.strategy_label();
+        let churn = outcome.scenario.base.churn.label();
+        let h = &outcome.hops;
+        let total = h.count().max(1) as f64;
+        for (hops, count) in h.iter() {
+            let _ = writeln!(
+                out,
+                "{strategy},{churn},{hops},{count},{:.4},{:.3},{},{}",
+                count as f64 / total,
+                h.mean(),
+                h.percentile(0.5),
+                h.percentile(0.9),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn quick_service(attack: Option<AttackPlan>, seed: u64) -> ServiceScenario {
+        let mut b = ScenarioBuilder::quick(18, 4);
+        b.name(format!(
+            "test-service-{}",
+            attack.map_or("baseline", |p| p.label())
+        ))
+        .seed(seed)
+        .stabilization_minutes(40)
+        .churn_minutes(12)
+        .snapshot_minutes(20);
+        let base = b.build();
+        ServiceScenario {
+            attack: attack.map(|plan| ServiceAttack {
+                plan,
+                budget: 5,
+                compromises_per_min: 1,
+                start_minute: 40,
+            }),
+            objects_per_round: 3,
+            store_every_min: 5,
+            probe_every_min: 5,
+            ..ServiceScenario::unattacked(base)
+        }
+    }
+
+    #[test]
+    fn healthy_overlay_serves_lookups_and_retrievals() {
+        let outcome = run_service(&quick_service(None, 3));
+        assert_eq!(outcome.budget_spent, 0);
+        let last = outcome.points.last().expect("points");
+        assert!(last.lookups > 0, "traffic produced lookups");
+        assert!(
+            last.lookup_success_rate > 0.8,
+            "healthy lossless overlay converges: {last:?}"
+        );
+        assert!(last.retrieves > 0, "probe ran");
+        assert!(
+            last.retrievability > 0.8,
+            "stored objects stay reachable: {last:?}"
+        );
+        assert!(last.stored_objects >= 3);
+        assert!(outcome.hops.mean() >= 1.0, "hop counts start at the seed");
+        assert!(outcome.messages.count() >= outcome.hops.count());
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = run_service(&quick_service(Some(AttackPlan::Random), 7));
+        let b = run_service(&quick_service(Some(AttackPlan::Random), 7));
+        assert_eq!(a, b);
+        let c = run_service(&quick_service(Some(AttackPlan::Random), 8));
+        assert_ne!(a.points, c.points, "seeds diverge");
+    }
+
+    #[test]
+    fn attack_spends_budget_and_is_visible_in_kappa() {
+        let outcome = run_service(&quick_service(Some(AttackPlan::HighestDegree), 11));
+        assert_eq!(outcome.budget_spent, 5);
+        let last = outcome.points.last().expect("points");
+        assert_eq!(last.honest_size, 18 - 5);
+        let baseline = &outcome.points[0];
+        assert!(baseline.budget_spent == 0, "pre-attack baseline point");
+        assert!(
+            last.report.min_connectivity <= baseline.report.min_connectivity,
+            "κ does not improve while the attacker works: {} -> {}",
+            baseline.report.min_connectivity,
+            last.report.min_connectivity
+        );
+    }
+
+    #[test]
+    fn eclipse_attack_degrades_retrievability_of_eclipsed_keys() {
+        // Not asserting a specific drop (the eclipse key is independent of
+        // the probe keys), only that the pipeline runs end to end and the
+        // probe keeps reporting while nodes fall.
+        let outcome = run_service(&quick_service(Some(AttackPlan::Eclipse), 13));
+        assert_eq!(outcome.budget_spent, 5);
+        let last = outcome.points.last().expect("points");
+        assert!(last.retrieves > 0, "probe still runs under attack");
+    }
+
+    #[test]
+    fn grid_covers_baseline_and_all_plans_and_csvs_render() {
+        let grid = service_grid(Scale::Bench, 5);
+        assert_eq!(grid.len(), 10, "(1 baseline + 4 plans) × 2 churn levels");
+        let strategies: HashSet<&str> = grid.iter().map(|c| c.strategy_label()).collect();
+        assert_eq!(strategies.len(), 5);
+        let mut seeds: Vec<u64> = grid.iter().map(|c| c.base.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 10, "unique seed per cell");
+        // Smoke-run the two cheapest cells through the MatrixRunner.
+        let sample: Vec<ServiceScenario> =
+            grid.into_iter().filter(|c| c.attack.is_none()).collect();
+        let mut done = 0usize;
+        let outcomes =
+            run_service_grid(&MatrixRunner::new().scenario_threads(2), &sample, |_, _| {
+                done += 1;
+            });
+        assert_eq!(done, sample.len());
+        let ts = service_timeseries_csv(&outcomes);
+        assert!(ts.starts_with("strategy,churn,time_min"));
+        assert!(ts.contains("baseline,1/1"));
+        let hops = service_hops_csv(&outcomes);
+        assert!(hops.starts_with("strategy,churn,hops,count"));
+        assert!(
+            hops.lines().count() > 2,
+            "hop distribution has rows: {hops}"
+        );
+    }
+}

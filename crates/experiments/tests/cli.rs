@@ -1,0 +1,63 @@
+//! CLI contract tests for the `repro` binary.
+//!
+//! These spawn the real binary (cargo points at it via
+//! `CARGO_BIN_EXE_repro`), so they pin the exit codes and error output the
+//! CI scripts and REPRODUCING.md rely on.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn unknown_subcommand_lists_the_registry_and_exits_2() {
+    let output = repro()
+        .arg("not-an-experiment")
+        .output()
+        .expect("spawn repro");
+    assert_eq!(output.status.code(), Some(2), "unknown experiment exits 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("unknown experiment"),
+        "names the problem: {stderr}"
+    );
+    // Every registered subcommand appears in the error message, the grid
+    // workloads included.
+    for subcommand in [
+        "all", "matrix", "campaign", "service", "tab1", "fig2", "sampling",
+    ] {
+        assert!(
+            stderr.contains(subcommand),
+            "error must list {subcommand:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn missing_experiment_prints_usage_and_exits_2() {
+    let output = repro().output().expect("spawn repro");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("usage: repro"), "{stderr}");
+    assert!(stderr.contains("service"), "usage lists service: {stderr}");
+}
+
+#[test]
+fn help_exits_0_on_stdout() {
+    let output = repro().arg("--help").output().expect("spawn repro");
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("usage: repro"), "{stdout}");
+}
+
+#[test]
+fn bad_flag_exits_2() {
+    let output = repro()
+        .args(["service", "--scale", "galaxy"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown scale"), "{stderr}");
+}

@@ -1,0 +1,124 @@
+//! Validation of the measured hop-count distribution against the
+//! Roos-style analytic expectation (ISSUE acceptance criterion).
+//!
+//! On a churn-free, loss-free, stabilized overlay the iterative lookup's
+//! hop count is the textbook quantity Roos et al. model analytically
+//! ("Comprehending Kademlia Routing", arXiv:1307.7000): each hop resolves
+//! ≈ `log2(k+1)` bits of XOR distance, so the mean is
+//! `1 + log2(n/2k)/log2(k+1)` hops (see
+//! [`kad_experiments::service::analytic_hop_mean`] for the derivation).
+//! This test measures the distribution through the real telemetry pathway
+//! — sink installed in the simulator, records from the lookup state
+//! machine — and checks:
+//!
+//! * the mean matches the analytic expectation within the documented
+//!   tolerance ([`kad_experiments::service::ANALYTIC_HOP_TOLERANCE`]);
+//! * the upper tail stays logarithmic: p99 ≤ `log2(n)` + 2;
+//! * the mean grows with `n` at fixed `k` (the qualitative Roos property).
+
+use dessim::latency::LatencyModel;
+use dessim::time::{SimDuration, SimTime};
+use dessim::transport::Transport;
+use kad_experiments::service::{analytic_hop_mean, ANALYTIC_HOP_TOLERANCE};
+use kad_telemetry::{LogHistogram, LookupRecord, TelemetrySink, TracePurpose};
+use kademlia::config::{KademliaConfig, RefreshPolicy};
+use kademlia::id::NodeId;
+use kademlia::network::SimNetwork;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Debug, Default)]
+struct HopCollector(LogHistogram);
+
+impl TelemetrySink for HopCollector {
+    fn on_lookup(&mut self, record: &LookupRecord) {
+        // Only converged data lookups: maintenance traffic and partial
+        // lookups are not part of the analytic model's population.
+        if record.purpose == TracePurpose::Locate && record.outcome.is_success() {
+            self.0.record(record.hops as u64);
+        }
+    }
+}
+
+/// Builds a stabilized churn-free overlay and measures the hop-count
+/// distribution of `lookups` uniform-target lookups from uniform origins.
+fn measure_hops(n: usize, k: usize, seed: u64, lookups: usize) -> LogHistogram {
+    let config = KademliaConfig::builder()
+        .k(k)
+        .staleness_limit(1)
+        .refresh_policy(RefreshPolicy::OccupiedWithMargin(2))
+        .build()
+        .expect("valid config");
+    let transport = Transport::lossless(LatencyModel::default_uniform());
+    let mut net = SimNetwork::new(config, transport, seed);
+    let mut prev = None;
+    for _ in 0..n {
+        let addr = net.spawn_node();
+        net.join(addr, prev);
+        prev = Some(addr);
+        net.run_until(net.now() + SimDuration::from_secs(10));
+    }
+    // Stabilize past one full refresh round.
+    net.run_until(SimTime::from_minutes(120));
+
+    let sink = Rc::new(RefCell::new(HopCollector::default()));
+    net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD15EA5E);
+    let alive = net.alive_addrs();
+    let bits = net.config().bits;
+    for _ in 0..lookups {
+        let origin = alive[rng.random_range(0..alive.len())];
+        let target = NodeId::random(&mut rng, bits);
+        net.start_lookup(origin, target);
+        // Let each lookup finish before the next starts so the records
+        // are a clean i.i.d. sample.
+        net.run_until(net.now() + SimDuration::from_secs(30));
+    }
+    let hist = sink.borrow().0.clone();
+    net.clear_telemetry_sink();
+    hist
+}
+
+#[test]
+fn hop_distribution_matches_analytic_expectation() {
+    // Two network scales at the same k: validates level and growth.
+    let cases = [(48usize, 8usize, 400usize), (128, 8, 400)];
+    let mut means = Vec::new();
+    for &(n, k, lookups) in &cases {
+        let hist = measure_hops(n, k, 42, lookups);
+        assert!(
+            hist.count() >= lookups as u64 * 9 / 10,
+            "almost every lookup on a healthy overlay converges: {} of {lookups}",
+            hist.count()
+        );
+        let measured = hist.mean();
+        let expected = analytic_hop_mean(n, k);
+        eprintln!(
+            "n={n} k={k}: measured mean {measured:.3} (p50={} p90={} p99={} max={}), \
+             analytic {expected:.3}",
+            hist.percentile(0.5),
+            hist.percentile(0.9),
+            hist.percentile(0.99),
+            hist.max(),
+        );
+        assert!(
+            (measured - expected).abs() <= ANALYTIC_HOP_TOLERANCE,
+            "n={n} k={k}: measured mean {measured:.3} deviates from analytic \
+             {expected:.3} by more than {ANALYTIC_HOP_TOLERANCE}"
+        );
+        // Logarithmic tail: Roos et al.'s qualitative bound.
+        let tail_bound = (n as f64).log2().ceil() as u64 + 2;
+        assert!(
+            hist.percentile(0.99) <= tail_bound,
+            "n={n}: p99 {} exceeds log2(n)+2 = {tail_bound}",
+            hist.percentile(0.99)
+        );
+        means.push(measured);
+    }
+    assert!(
+        means[1] > means[0],
+        "mean hops grow with n at fixed k: {means:?}"
+    );
+}

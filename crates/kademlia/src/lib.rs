@@ -51,6 +51,7 @@ pub mod lookup;
 pub mod messages;
 pub mod network;
 pub mod node;
+pub mod probe;
 pub mod routing;
 pub mod snapshot;
 
@@ -58,4 +59,5 @@ pub use config::KademliaConfig;
 pub use contact::{Contact, NodeAddr};
 pub use id::{Distance, NodeId};
 pub use network::SimNetwork;
+pub use probe::DurabilityProbe;
 pub use snapshot::RoutingSnapshot;

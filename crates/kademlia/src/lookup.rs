@@ -29,6 +29,16 @@ pub enum LookupPurpose {
     /// Locate the `k` closest nodes and then store a data object on them
     /// (the paper's "dissemination procedure").
     Disseminate,
+    /// Retrieve a stored data object: like `Locate`, but queried nodes
+    /// that hold the key answer with the value, which ends the lookup
+    /// early (FIND_VALUE semantics).
+    Retrieve,
+    /// Maintenance: a periodic bucket-refresh lookup. Protocol-identical
+    /// to `Locate`; kept distinct so service telemetry can separate
+    /// maintenance traffic from data traffic.
+    Refresh,
+    /// Maintenance: the self-lookup a node performs when joining.
+    Bootstrap,
 }
 
 /// State of one shortlist candidate.
@@ -44,6 +54,11 @@ enum CandidateState {
 struct Candidate {
     contact: Contact,
     state: CandidateState,
+    /// Hop depth: seeds from the local routing table are hop 1; a contact
+    /// learned from the response of a hop-`h` node is hop `h + 1`. The hop
+    /// depth of the closest responder is the lookup's hop count — the
+    /// quantity the Roos-style analytic hop distribution predicts.
+    hop: u32,
 }
 
 /// The iterative α-parallel lookup state machine.
@@ -60,6 +75,10 @@ pub struct LookupState {
     alpha: usize,
     in_flight: usize,
     responded: usize,
+    /// FIND_NODE / FIND_VALUE queries handed out so far.
+    messages_sent: u32,
+    /// Whether a `Retrieve` lookup has hit a node holding the value.
+    value_found: bool,
 }
 
 impl LookupState {
@@ -83,8 +102,10 @@ impl LookupState {
             alpha: config.alpha,
             in_flight: 0,
             responded: 0,
+            messages_sent: 0,
+            value_found: false,
         };
-        state.merge_candidates(seeds);
+        state.merge_candidates(seeds, 1);
         state
     }
 
@@ -113,11 +134,39 @@ impl LookupState {
         self.responded
     }
 
+    /// Queries handed out over the lookup's lifetime (each becomes one
+    /// FIND_NODE / FIND_VALUE RPC).
+    pub fn messages_sent(&self) -> u32 {
+        self.messages_sent
+    }
+
+    /// Whether a `Retrieve` lookup found its value.
+    pub fn value_found(&self) -> bool {
+        self.value_found
+    }
+
+    /// Marks the value as found (a queried node answered with it). Ends
+    /// the lookup: [`LookupState::is_finished`] becomes true and no
+    /// further queries are handed out.
+    pub fn mark_value_found(&mut self) {
+        self.value_found = true;
+    }
+
+    /// Hop depth of the closest responding node — the lookup's hop count
+    /// (see [`LookupState::new`]'s seeding: routing-table seeds are hop 1).
+    /// 0 when nothing responded.
+    pub fn result_hops(&self) -> u32 {
+        self.shortlist
+            .iter()
+            .find(|c| c.state == CandidateState::Responded)
+            .map_or(0, |c| c.hop)
+    }
+
     /// Marks up to `α − in_flight` closest untried candidates as in-flight
     /// and returns them for the driver to query.
     pub fn next_queries(&mut self) -> Vec<Contact> {
         let mut queries = Vec::new();
-        if self.responded >= self.k {
+        if self.responded >= self.k || self.value_found {
             return queries;
         }
         for cand in self.shortlist.iter_mut() {
@@ -130,12 +179,14 @@ impl LookupState {
                 queries.push(cand.contact);
             }
         }
+        self.messages_sent += queries.len() as u32;
         queries
     }
 
     /// Feeds a successful response from `from`, merging the returned
     /// contacts into the shortlist.
     pub fn on_response(&mut self, from: &NodeId, returned: Vec<Contact>) {
+        let mut from_hop = 1;
         if let Some(pos) = self.candidate_position(from) {
             if self.shortlist[pos].state == CandidateState::InFlight {
                 self.in_flight -= 1;
@@ -144,8 +195,9 @@ impl LookupState {
                 self.shortlist[pos].state = CandidateState::Responded;
                 self.responded += 1;
             }
+            from_hop = self.shortlist[pos].hop;
         }
-        self.merge_candidates(returned);
+        self.merge_candidates(returned, from_hop.saturating_add(1));
     }
 
     /// Feeds a failure (timeout or lost round trip) for `from`.
@@ -160,10 +212,11 @@ impl LookupState {
         }
     }
 
-    /// Whether the lookup is done: `k` successful contacts, or candidates
-    /// exhausted (nothing untried, nothing in flight).
+    /// Whether the lookup is done: `k` successful contacts, the value
+    /// found (for `Retrieve`), or candidates exhausted (nothing untried,
+    /// nothing in flight).
     pub fn is_finished(&self) -> bool {
-        if self.responded >= self.k {
+        if self.responded >= self.k || self.value_found {
             return true;
         }
         self.in_flight == 0
@@ -188,9 +241,10 @@ impl LookupState {
         self.shortlist.iter().position(|c| c.contact.id == *id)
     }
 
-    /// Inserts new candidates keeping the list sorted by distance and
-    /// pruning the farthest *untried* entries beyond capacity.
-    fn merge_candidates(&mut self, contacts: Vec<Contact>) {
+    /// Inserts new candidates at hop depth `hop`, keeping the list sorted
+    /// by distance and pruning the farthest *untried* entries beyond
+    /// capacity.
+    fn merge_candidates(&mut self, contacts: Vec<Contact>, hop: u32) {
         for contact in contacts {
             if contact.id == self.own_id {
                 continue;
@@ -207,6 +261,7 @@ impl LookupState {
                 Candidate {
                     contact,
                     state: CandidateState::Untried,
+                    hop,
                 },
             );
         }
@@ -399,5 +454,122 @@ mod tests {
         assert_eq!(s.id(), 1);
         assert_eq!(s.target(), NodeId::from_u64(7, 32));
         assert_eq!(s.purpose(), LookupPurpose::Locate);
+    }
+
+    #[test]
+    fn no_progress_terminates_short_of_k() {
+        // k = 10 can never be reached: the only contacts in the system are
+        // the three seeds, and every response returns already-known nodes.
+        let mut s = lookup(0, &[1, 2, 3], 10, 2);
+        while !s.is_finished() {
+            for c in s.next_queries() {
+                s.on_response(&c.id, vec![contact(1), contact(2), contact(3)]);
+            }
+        }
+        assert_eq!(s.responded(), 3, "all three seeds responded");
+        assert!(s.is_finished(), "no untried candidates left");
+        assert!(s.next_queries().is_empty(), "finished lookups stay quiet");
+        assert_eq!(s.closest_responded(10).len(), 3);
+    }
+
+    #[test]
+    fn alpha_cap_never_exceeded_mid_lookup() {
+        // Drive a lookup whose responses keep feeding fresh candidates and
+        // check the α cap after every single state transition.
+        let alpha = 3;
+        let mut s = lookup(0, &[10, 20, 30, 40, 50], 100, alpha);
+        let mut next_new = 1000u64;
+        let mut round = 0;
+        while !s.is_finished() && round < 50 {
+            round += 1;
+            let queries = s.next_queries();
+            assert!(
+                s.in_flight() <= alpha,
+                "in_flight {} exceeds alpha after next_queries",
+                s.in_flight()
+            );
+            if !queries.is_empty() {
+                assert_eq!(
+                    s.in_flight(),
+                    alpha,
+                    "next_queries tops the window back up to exactly alpha \
+                     while untried candidates remain"
+                );
+            }
+            for (i, c) in queries.iter().enumerate() {
+                // Alternate: responses (bearing two new candidates each)
+                // and failures.
+                if i % 2 == 0 {
+                    let fresh = vec![contact(next_new), contact(next_new + 1)];
+                    next_new += 2;
+                    s.on_response(&c.id, fresh);
+                } else {
+                    s.on_failure(&c.id);
+                }
+                assert!(
+                    s.in_flight() <= alpha,
+                    "in_flight {} exceeds alpha mid-round",
+                    s.in_flight()
+                );
+            }
+        }
+        assert!(s.responded() > 0);
+    }
+
+    #[test]
+    fn every_shortlist_member_failing_yields_empty_result() {
+        let mut s = lookup(0, &[1, 2, 3, 4], 5, 2);
+        let mut failed = 0;
+        while !s.is_finished() {
+            let queries = s.next_queries();
+            assert!(!queries.is_empty(), "unfinished lookup must make progress");
+            for c in queries {
+                s.on_failure(&c.id);
+                failed += 1;
+            }
+        }
+        assert_eq!(failed, 4, "all four candidates were tried and failed");
+        assert_eq!(s.responded(), 0);
+        assert_eq!(s.result_hops(), 0, "no responder, no hop count");
+        assert!(s.closest_responded(5).is_empty());
+        assert!(s.next_queries().is_empty());
+    }
+
+    #[test]
+    fn hop_depth_tracks_discovery_chain() {
+        let mut s = lookup(0, &[100], 20, 1);
+        let q = s.next_queries();
+        assert_eq!(q, vec![contact(100)]);
+        // Seed (hop 1) responds with a closer node -> that node is hop 2.
+        s.on_response(&NodeId::from_u64(100, 32), vec![contact(4)]);
+        let q = s.next_queries();
+        assert_eq!(q, vec![contact(4)]);
+        s.on_response(&NodeId::from_u64(4, 32), vec![contact(1)]);
+        let q = s.next_queries();
+        assert_eq!(q, vec![contact(1)]);
+        // Hop-3 node is now the closest responder.
+        s.on_response(&NodeId::from_u64(1, 32), vec![]);
+        assert_eq!(s.result_hops(), 3);
+        assert_eq!(s.messages_sent(), 3);
+    }
+
+    #[test]
+    fn value_found_ends_retrieve_lookups() {
+        let mut s = LookupState::new(
+            1,
+            NodeId::from_u64(0, 32),
+            LookupPurpose::Retrieve,
+            NodeId::from_u64(u32::MAX as u64, 32),
+            vec![contact(1), contact(2), contact(3)],
+            &config(20, 1),
+        );
+        let _ = s.next_queries();
+        assert!(!s.is_finished());
+        s.on_response(&NodeId::from_u64(1, 32), vec![]);
+        s.mark_value_found();
+        assert!(s.value_found());
+        assert!(s.is_finished(), "value hit terminates the lookup");
+        assert!(s.next_queries().is_empty(), "no queries after the hit");
+        assert_eq!(s.result_hops(), 1);
     }
 }

@@ -22,6 +22,11 @@ pub enum RequestKind {
     /// Store a data object (identified by its key) at the receiver; the
     /// dissemination procedure sends this to the `k` closest nodes.
     Store(NodeId),
+    /// "Give me the object for `key`, or your closest contacts to it" —
+    /// the retrieval workhorse (FIND_VALUE). Holders answer
+    /// [`ResponseBody::Value`] with `found = true`; everyone else behaves
+    /// exactly like [`RequestKind::FindNode`].
+    FindValue(NodeId),
 }
 
 /// Response payloads.
@@ -34,6 +39,14 @@ pub enum ResponseBody {
     Nodes(Vec<Contact>),
     /// Answer to [`RequestKind::Store`].
     StoreOk,
+    /// Answer to [`RequestKind::FindValue`].
+    Value {
+        /// Whether the responder holds (and is willing to serve) the key.
+        found: bool,
+        /// The responder's closest contacts to the key when it does not
+        /// serve the value (empty on a hit).
+        nodes: Vec<Contact>,
+    },
 }
 
 /// A simulated datagram.

@@ -15,6 +15,13 @@
 //! via [`SimNetwork::schedule_compromise`]) keeps answering — so it is
 //! never evicted — but is excluded from the connectivity graph, per the
 //! paper's system model in which a compromised node may drop all traffic.
+//! Compromised nodes additionally **withhold stored values** from
+//! FIND_VALUE retrievals, the service-level face of the same model.
+//!
+//! Service telemetry: installing a [`TelemetrySink`] via
+//! [`SimNetwork::set_telemetry_sink`] makes every terminating lookup emit
+//! one [`LookupRecord`] (purpose, outcome, hop depth, messages, simulated
+//! latency). Without a sink the cost is one `Option` check per lookup.
 
 use crate::config::{KademliaConfig, RefreshPolicy};
 use crate::contact::{Contact, NodeAddr};
@@ -29,8 +36,10 @@ use dessim::rng::RngFactory;
 use dessim::scheduler::EventQueue;
 use dessim::time::SimTime;
 use dessim::transport::Transport;
+use kad_telemetry::{LookupOutcome, LookupRecord, TelemetrySink, TracePurpose};
 use rand::rngs::SmallRng;
 use std::collections::HashMap;
+use std::fmt;
 
 /// Events processed by the network driver.
 #[derive(Clone, Debug)]
@@ -60,6 +69,21 @@ pub enum SimEvent {
     },
 }
 
+/// The (optional) telemetry sink. A newtype so [`SimNetwork`] can keep
+/// deriving `Debug` without requiring `Debug` of sink implementations.
+#[derive(Default)]
+struct TelemetrySlot(Option<Box<dyn TelemetrySink>>);
+
+impl fmt::Debug for TelemetrySlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "TelemetrySlot(installed)"
+        } else {
+            "TelemetrySlot(none)"
+        })
+    }
+}
+
 /// A request awaiting its response.
 #[derive(Clone, Debug)]
 struct PendingRpc {
@@ -85,6 +109,12 @@ pub struct SimNetwork {
     counters: Counters,
     alive_count: usize,
     compromised_count: usize,
+    /// Telemetry sink; `None` (the default) costs one discriminant check
+    /// per lookup completion.
+    sink: TelemetrySlot,
+    /// Start instants of in-progress lookups, tracked only while a sink is
+    /// installed (the trace record needs the simulated latency).
+    lookup_started: HashMap<LookupId, SimTime>,
 }
 
 impl SimNetwork {
@@ -109,7 +139,23 @@ impl SimNetwork {
             counters: Counters::new(),
             alive_count: 0,
             compromised_count: 0,
+            sink: TelemetrySlot(None),
+            lookup_started: HashMap::new(),
         }
+    }
+
+    /// Installs a telemetry sink: every lookup that terminates from now on
+    /// emits one [`LookupRecord`] through it. Install the sink *before*
+    /// starting the traffic to be measured — lookups already in flight
+    /// have no tracked start instant and report a zero start time.
+    pub fn set_telemetry_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sink = TelemetrySlot(Some(sink));
+    }
+
+    /// Removes the telemetry sink, returning to no-op accounting.
+    pub fn clear_telemetry_sink(&mut self) {
+        self.sink = TelemetrySlot(None);
+        self.lookup_started.clear();
     }
 
     /// The protocol configuration.
@@ -207,7 +253,7 @@ impl SimNetwork {
             self.nodes[addr.index()].bootstrap = Some(bc);
         }
         let own_id = self.nodes[addr.index()].id();
-        self.start_lookup_internal(addr, own_id, LookupPurpose::Locate);
+        self.start_lookup_internal(addr, own_id, LookupPurpose::Bootstrap);
         self.queue.schedule_after(
             self.config.refresh_interval,
             SimEvent::RefreshTick { node: addr },
@@ -226,6 +272,9 @@ impl SimNetwork {
             return false;
         }
         node.alive = false;
+        for id in node.lookups.keys() {
+            self.lookup_started.remove(id);
+        }
         node.lookups.clear();
         self.alive_count -= 1;
         if node.compromised {
@@ -296,6 +345,19 @@ impl SimNetwork {
         Some(self.start_lookup_internal(addr, key, LookupPurpose::Disseminate))
     }
 
+    /// Starts a retrieval of `key` at `addr` (FIND_VALUE): an iterative
+    /// lookup that ends as soon as a queried node serves the value. The
+    /// dissemination-durability probe drives this to measure whether
+    /// stored objects are still reachable. Returns the lookup id, or
+    /// `None` if the node is dead.
+    pub fn start_find_value(&mut self, addr: NodeAddr, key: NodeId) -> Option<LookupId> {
+        if !self.nodes[addr.index()].alive {
+            return None;
+        }
+        self.counters.incr("retrieve_started");
+        Some(self.start_lookup_internal(addr, key, LookupPurpose::Retrieve))
+    }
+
     /// Runs the event loop until simulated time `t`, then advances the
     /// clock to exactly `t` (convenient for aligning snapshots).
     pub fn run_until(&mut self, t: SimTime) {
@@ -348,6 +410,9 @@ impl SimNetwork {
         }
         let state = LookupState::new(id, target, purpose, node.id(), seeds, &self.config);
         node.lookups.insert(id, state);
+        if self.sink.0.is_some() {
+            self.lookup_started.insert(id, self.queue.now());
+        }
         self.drive_lookup(addr, id);
         id
     }
@@ -369,6 +434,7 @@ impl SimNetwork {
                 .remove(&lookup_id)
                 .expect("finished lookup present");
             self.counters.incr("lookup_finished");
+            self.emit_lookup_record(&state);
             if state.purpose() == LookupPurpose::Disseminate {
                 let key = state.target();
                 for c in state.closest_responded(self.config.k) {
@@ -378,16 +444,65 @@ impl SimNetwork {
             }
             return;
         }
-        let target = {
+        let (target, purpose) = {
             let node = &self.nodes[addr.index()];
             match node.lookups.get(&lookup_id) {
-                Some(s) => s.target(),
+                Some(s) => (s.target(), s.purpose()),
                 None => return,
             }
         };
+        let kind = if purpose == LookupPurpose::Retrieve {
+            RequestKind::FindValue(target)
+        } else {
+            RequestKind::FindNode(target)
+        };
         for c in queries {
-            self.send_request(addr, c, RequestKind::FindNode(target), Some(lookup_id));
+            self.send_request(addr, c, kind, Some(lookup_id));
         }
+    }
+
+    /// Builds and emits the trace record of a terminated lookup, if a
+    /// telemetry sink is installed.
+    fn emit_lookup_record(&mut self, state: &LookupState) {
+        let Some(sink) = self.sink.0.as_mut() else {
+            return;
+        };
+        let started = self
+            .lookup_started
+            .remove(&state.id())
+            .unwrap_or(SimTime::ZERO);
+        let purpose = match state.purpose() {
+            LookupPurpose::Locate => TracePurpose::Locate,
+            LookupPurpose::Disseminate => TracePurpose::Disseminate,
+            LookupPurpose::Retrieve => TracePurpose::Retrieve,
+            LookupPurpose::Refresh => TracePurpose::Refresh,
+            LookupPurpose::Bootstrap => TracePurpose::Bootstrap,
+        };
+        let outcome = if state.purpose() == LookupPurpose::Retrieve {
+            if state.value_found() {
+                LookupOutcome::ValueFound
+            } else {
+                LookupOutcome::ValueMissing
+            }
+        } else if state.responded() >= self.config.k {
+            LookupOutcome::Converged
+        } else if state.responded() > 0 {
+            LookupOutcome::Partial
+        } else {
+            LookupOutcome::Failed
+        };
+        let record = LookupRecord {
+            lookup_id: state.id(),
+            target: *state.target().as_bytes(),
+            purpose,
+            outcome,
+            hops: state.result_hops(),
+            messages: state.messages_sent(),
+            responded: state.responded() as u32,
+            started_ms: started.as_millis(),
+            completed_ms: self.queue.now().as_millis(),
+        };
+        sink.on_lookup(&record);
     }
 
     fn send_request(
@@ -484,12 +599,17 @@ impl SimNetwork {
                 }
                 self.counters.incr("response_received");
                 if let Some(lookup_id) = pending.lookup {
-                    let contacts = match body {
-                        ResponseBody::Nodes(nodes) => nodes,
-                        _ => Vec::new(),
+                    let (contacts, value_found) = match body {
+                        ResponseBody::Nodes(nodes) => (nodes, false),
+                        ResponseBody::Value { found, nodes } => (nodes, found),
+                        _ => (Vec::new(), false),
                     };
                     if let Some(state) = self.nodes[to.index()].lookups.get_mut(&lookup_id) {
                         state.on_response(&from.id, contacts);
+                        if value_found {
+                            self.counters.incr("value_hit");
+                            state.mark_value_found();
+                        }
                     }
                     self.drive_lookup(to, lookup_id);
                 }
@@ -541,7 +661,7 @@ impl SimNetwork {
                 .routing
                 .random_id_in_bucket(&mut self.refresh_rng, i);
             self.counters.incr("refresh_lookup");
-            self.start_lookup_internal(addr, target, LookupPurpose::Locate);
+            self.start_lookup_internal(addr, target, LookupPurpose::Refresh);
         }
         self.queue.schedule_after(
             self.config.refresh_interval,
@@ -804,6 +924,87 @@ mod tests {
         assert!(
             net.counters().get("rpc_timeout") > 0,
             "loss causes timeouts"
+        );
+    }
+
+    #[test]
+    fn telemetry_records_traffic_lookups() {
+        use kad_telemetry::{LookupOutcome, TracePurpose, VecSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut net = build_network(12, 4, 33);
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+        let origin = net.alive_addrs()[0];
+        let target = NodeId::from_u64(0x77, 32);
+        let started_at = net.now();
+        net.start_lookup(origin, target);
+        net.run_until(net.now() + SimDuration::from_secs(30));
+        let records = sink.borrow();
+        let r = records
+            .records
+            .iter()
+            .find(|r| r.purpose == TracePurpose::Locate)
+            .expect("traffic lookup recorded");
+        assert_eq!(r.target, *target.as_bytes());
+        assert_eq!(r.outcome, LookupOutcome::Converged, "k=4 out of 11 peers");
+        assert!(r.hops >= 1, "at least the seed hop");
+        assert!(r.responded >= 4);
+        assert!(r.messages >= r.responded, "every response cost a query");
+        assert_eq!(r.started_ms, started_at.as_millis());
+        assert!(r.completed_ms > r.started_ms, "lookups take simulated time");
+    }
+
+    #[test]
+    fn maintenance_lookups_carry_their_own_purposes() {
+        use kad_telemetry::{TracePurpose, VecSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut net = SimNetwork::new(test_config(4), lossless(), 34);
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+        let a = net.spawn_node();
+        net.join(a, None);
+        let b = net.spawn_node();
+        net.join(b, Some(a));
+        // Past one refresh interval: bootstrap and refresh lookups ran.
+        net.run_until(SimTime::from_minutes(70));
+        let records = sink.borrow();
+        let purposes: Vec<TracePurpose> = records.records.iter().map(|r| r.purpose).collect();
+        assert!(purposes.contains(&TracePurpose::Bootstrap));
+        assert!(purposes.contains(&TracePurpose::Refresh));
+        assert!(!purposes.contains(&TracePurpose::Locate));
+    }
+
+    #[test]
+    fn without_a_sink_no_start_times_are_tracked() {
+        let mut net = build_network(10, 4, 35);
+        let origin = net.alive_addrs()[0];
+        net.start_lookup(origin, NodeId::from_u64(5, 32));
+        assert!(
+            net.lookup_started.is_empty(),
+            "no sink, no per-lookup tracking overhead"
+        );
+        net.run_until(net.now() + SimDuration::from_secs(30));
+        assert!(net.lookup_started.is_empty());
+    }
+
+    #[test]
+    fn find_value_round_trips_through_the_overlay() {
+        let mut net = build_network(12, 4, 36);
+        let origin = net.alive_addrs()[0];
+        let key = NodeId::from_u64(0xBEEF, 32);
+        net.start_store(origin, key);
+        net.run_until(net.now() + SimDuration::from_secs(30));
+        let retriever = net.alive_addrs()[5];
+        net.start_find_value(retriever, key);
+        net.run_until(net.now() + SimDuration::from_secs(30));
+        assert!(net.counters().get("retrieve_started") == 1);
+        assert!(
+            net.counters().get("value_hit") >= 1,
+            "a holder served the value"
         );
     }
 

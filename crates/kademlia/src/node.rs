@@ -84,6 +84,25 @@ impl KademliaNode {
                 self.storage.insert(*key);
                 ResponseBody::StoreOk
             }
+            RequestKind::FindValue(key) => {
+                // A compromised node keeps mimicking honest *routing*
+                // behavior (so it is never evicted — the eclipse
+                // mechanics), but **withholds stored values**: the paper's
+                // system model lets it drop traffic at will, and denying
+                // retrievals is exactly the service-level attack the
+                // dissemination-durability probe measures.
+                if !self.compromised && self.storage.contains(key) {
+                    ResponseBody::Value {
+                        found: true,
+                        nodes: Vec::new(),
+                    }
+                } else {
+                    ResponseBody::Value {
+                        found: false,
+                        nodes: self.routing.closest(key, k),
+                    }
+                }
+            }
         }
     }
 }

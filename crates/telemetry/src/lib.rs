@@ -1,0 +1,36 @@
+//! Service-level telemetry instruments for the overlay simulations.
+//!
+//! The resilience paper argues that connection resilience `κ(D)` is a
+//! *proxy* for the service the overlay delivers: whether lookups still
+//! succeed and stored data stays reachable. This crate provides the
+//! measurement side of that argument — dependency-free streaming
+//! instruments that the protocol layer feeds and the experiment harness
+//! reads:
+//!
+//! * [`histogram::LogHistogram`] — a log-bucketed histogram with exact
+//!   counts for small values, percentile queries, and a
+//!   [`histogram::LogHistogram::merge`] so parallel scenario runners can
+//!   combine per-worker histograms without loss.
+//! * [`trace`] — per-lookup trace records ([`trace::LookupRecord`]: target,
+//!   purpose, hops, messages, simulated latency, outcome) and the
+//!   [`trace::TelemetrySink`] hook the simulator emits them through. The
+//!   default is a no-op ([`trace::NoopSink`]); simulations that do not
+//!   install a sink pay one `Option` discriminant check per lookup.
+//! * [`timeseries::MinuteSeries`] — windowed aggregation keyed by simulated
+//!   minute, with the same merge-for-parallel-runners contract.
+//!
+//! The crate is dependency-free (std only) on purpose: the instruments sit
+//! on the lookup hot path, and keeping them self-contained makes the
+//! overhead measurable (see the `perf_lookup` bench) and the arithmetic
+//! auditable in isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod timeseries;
+pub mod trace;
+
+pub use histogram::LogHistogram;
+pub use timeseries::{MinuteSeries, WindowStats};
+pub use trace::{LookupOutcome, LookupRecord, NoopSink, TelemetrySink, TracePurpose, VecSink};

@@ -1,0 +1,229 @@
+//! Per-lookup trace records and the sink the simulator emits them through.
+//!
+//! The protocol layer knows everything a service-level metric needs — how
+//! many hops a lookup took, how many RPCs it cost, whether it converged —
+//! but the analysis layer must not live inside the protocol crate. The
+//! [`TelemetrySink`] trait is the seam: the simulator calls
+//! [`TelemetrySink::on_lookup`] once per completed lookup with a
+//! [`LookupRecord`]; experiment harnesses install whatever sink they need
+//! (aggregating, recording, forwarding). Simulations that install nothing
+//! use [`NoopSink`] semantics and pay a single `Option` check per lookup.
+
+/// Why a lookup ran. Mirrors the protocol layer's lookup purposes but
+/// stays independent of it so this crate remains dependency-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TracePurpose {
+    /// Data-traffic lookup: locate the k closest nodes to a target.
+    Locate,
+    /// Dissemination: locate the k closest, then STORE on them.
+    Disseminate,
+    /// Value retrieval: locate the key and ask holders for it.
+    Retrieve,
+    /// Maintenance: periodic bucket-refresh lookup.
+    Refresh,
+    /// Maintenance: the self-lookup performed on join.
+    Bootstrap,
+}
+
+impl TracePurpose {
+    /// Short label for CSV cells and series names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TracePurpose::Locate => "locate",
+            TracePurpose::Disseminate => "disseminate",
+            TracePurpose::Retrieve => "retrieve",
+            TracePurpose::Refresh => "refresh",
+            TracePurpose::Bootstrap => "bootstrap",
+        }
+    }
+}
+
+/// How a lookup ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LookupOutcome {
+    /// `k` nodes responded — the lookup fully converged.
+    Converged,
+    /// Some nodes responded, but fewer than `k` and no candidates remain.
+    Partial,
+    /// Not a single node responded.
+    Failed,
+    /// A retrieval found the value.
+    ValueFound,
+    /// A retrieval exhausted its candidates without finding the value.
+    ValueMissing,
+}
+
+impl LookupOutcome {
+    /// Whether the lookup delivered its service: full convergence for
+    /// locate/disseminate-style lookups, a value hit for retrievals.
+    pub fn is_success(&self) -> bool {
+        matches!(self, LookupOutcome::Converged | LookupOutcome::ValueFound)
+    }
+
+    /// Short label for CSV cells.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LookupOutcome::Converged => "converged",
+            LookupOutcome::Partial => "partial",
+            LookupOutcome::Failed => "failed",
+            LookupOutcome::ValueFound => "value-found",
+            LookupOutcome::ValueMissing => "value-missing",
+        }
+    }
+}
+
+/// Byte length of a trace target (matches the protocol's 160-bit ids).
+pub const TARGET_BYTES: usize = 20;
+
+/// One completed lookup, as observed by the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LookupRecord {
+    /// The simulator-unique lookup id.
+    pub lookup_id: u64,
+    /// The lookup target / key, big-endian (the protocol's id bytes).
+    pub target: [u8; TARGET_BYTES],
+    /// Why the lookup ran.
+    pub purpose: TracePurpose,
+    /// How it ended.
+    pub outcome: LookupOutcome,
+    /// Hop depth of the closest responding node: seeds from the local
+    /// routing table are hop 1, contacts learned from a hop-`h` response
+    /// are hop `h + 1`. 0 when nothing responded.
+    pub hops: u32,
+    /// FIND_NODE / FIND_VALUE RPCs this lookup sent.
+    pub messages: u32,
+    /// Nodes that responded before termination.
+    pub responded: u32,
+    /// Simulated start time in milliseconds.
+    pub started_ms: u64,
+    /// Simulated completion time in milliseconds.
+    pub completed_ms: u64,
+}
+
+impl LookupRecord {
+    /// Simulated wall time the lookup took, in milliseconds.
+    pub fn latency_ms(&self) -> u64 {
+        self.completed_ms.saturating_sub(self.started_ms)
+    }
+
+    /// The simulated minute the lookup completed in — the key used by
+    /// [`crate::MinuteSeries`].
+    pub fn completed_minute(&self) -> u64 {
+        self.completed_ms / 60_000
+    }
+}
+
+/// Receiver for trace events. The simulator holds the sink as a trait
+/// object and calls it from the event loop; implementations should be
+/// O(1) per event (aggregate, don't analyse).
+pub trait TelemetrySink {
+    /// Called once when a lookup terminates (converges, exhausts its
+    /// candidates, or finds its value).
+    fn on_lookup(&mut self, record: &LookupRecord);
+}
+
+/// Sharing a sink between the simulator (which owns it as a boxed trait
+/// object) and the harness that reads the aggregates afterwards: any sink
+/// works behind `Rc<RefCell<_>>`, so harnesses keep one handle and hand
+/// the simulator a clone.
+///
+/// ```
+/// use kad_telemetry::{TelemetrySink, VecSink};
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let shared = Rc::new(RefCell::new(VecSink::default()));
+/// let for_simulator: Box<dyn TelemetrySink> = Box::new(Rc::clone(&shared));
+/// drop(for_simulator);
+/// assert!(shared.borrow().records.is_empty());
+/// ```
+impl<S: TelemetrySink> TelemetrySink for std::rc::Rc<std::cell::RefCell<S>> {
+    fn on_lookup(&mut self, record: &LookupRecord) {
+        self.borrow_mut().on_lookup(record);
+    }
+}
+
+/// A sink that discards everything — the semantics of running with no sink
+/// installed. Exists so benches can measure the dispatch cost itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    fn on_lookup(&mut self, _record: &LookupRecord) {}
+}
+
+/// A sink that stores every record, for tests and benches.
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    /// The records received, in completion order.
+    pub records: Vec<LookupRecord>,
+}
+
+impl TelemetrySink for VecSink {
+    fn on_lookup(&mut self, record: &LookupRecord) {
+        self.records.push(*record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(purpose: TracePurpose, outcome: LookupOutcome) -> LookupRecord {
+        LookupRecord {
+            lookup_id: 7,
+            target: [0xAB; TARGET_BYTES],
+            purpose,
+            outcome,
+            hops: 3,
+            messages: 9,
+            responded: 8,
+            started_ms: 61_000,
+            completed_ms: 62_500,
+        }
+    }
+
+    #[test]
+    fn latency_and_minute() {
+        let r = record(TracePurpose::Locate, LookupOutcome::Converged);
+        assert_eq!(r.latency_ms(), 1_500);
+        assert_eq!(r.completed_minute(), 1);
+    }
+
+    #[test]
+    fn success_classification() {
+        assert!(LookupOutcome::Converged.is_success());
+        assert!(LookupOutcome::ValueFound.is_success());
+        assert!(!LookupOutcome::Partial.is_success());
+        assert!(!LookupOutcome::Failed.is_success());
+        assert!(!LookupOutcome::ValueMissing.is_success());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TracePurpose::Retrieve.label(), "retrieve");
+        assert_eq!(LookupOutcome::ValueMissing.label(), "value-missing");
+    }
+
+    #[test]
+    fn shared_rc_refcell_sink_delegates() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let shared = Rc::new(RefCell::new(VecSink::default()));
+        let mut handle: Box<dyn TelemetrySink> = Box::new(Rc::clone(&shared));
+        handle.on_lookup(&record(TracePurpose::Locate, LookupOutcome::Converged));
+        drop(handle);
+        assert_eq!(shared.borrow().records.len(), 1);
+    }
+
+    #[test]
+    fn sinks_receive_records() {
+        let mut noop = NoopSink;
+        noop.on_lookup(&record(TracePurpose::Refresh, LookupOutcome::Partial));
+        let mut vec_sink = VecSink::default();
+        vec_sink.on_lookup(&record(TracePurpose::Locate, LookupOutcome::Failed));
+        vec_sink.on_lookup(&record(TracePurpose::Retrieve, LookupOutcome::ValueFound));
+        assert_eq!(vec_sink.records.len(), 2);
+        assert_eq!(vec_sink.records[1].outcome, LookupOutcome::ValueFound);
+    }
+}

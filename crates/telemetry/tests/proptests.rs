@@ -1,0 +1,154 @@
+//! Property tests for the telemetry instruments.
+//!
+//! The two contracts the experiment harness leans on:
+//!
+//! * **merge is lossless** — recording a stream into one instrument equals
+//!   splitting the stream across several instruments and merging them
+//!   (this is what makes per-worker aggregation in parallel runners exact);
+//! * **percentiles are monotone** in the quantile, and exact in the
+//!   small-value region where hop and message counts live.
+
+use kad_telemetry::{LogHistogram, MinuteSeries};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Histogram merge() equals single-stream recording, for arbitrary
+    /// samples and an arbitrary split point.
+    #[test]
+    fn histogram_merge_equals_single_stream(
+        samples in proptest::collection::vec(any::<u64>(), 0..256),
+        split in any::<u64>(),
+    ) {
+        let cut = (split % (samples.len() as u64 + 1)) as usize;
+        let mut all = LogHistogram::new();
+        for &v in &samples {
+            all.record(v);
+        }
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        for &v in &samples[..cut] {
+            left.record(v);
+        }
+        for &v in &samples[cut..] {
+            right.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &all);
+        // Merging in the opposite order is identical too (commutative).
+        let mut left2 = LogHistogram::new();
+        for &v in &samples[cut..] {
+            left2.record(v);
+        }
+        let mut right2 = LogHistogram::new();
+        for &v in &samples[..cut] {
+            right2.record(v);
+        }
+        left2.merge(&right2);
+        prop_assert_eq!(&left2, &all);
+    }
+
+    /// Percentiles never decrease as the quantile grows, and stay inside
+    /// the recorded range (up to bucket resolution below the max).
+    #[test]
+    fn histogram_percentiles_monotone(
+        samples in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut prev = 0u64;
+        for step in 0..=50 {
+            let q = step as f64 / 50.0;
+            let p = h.percentile(q);
+            prop_assert!(p >= prev, "percentile decreased at q={}: {} < {}", q, p, prev);
+            prop_assert!(p <= h.max(), "percentile {} above max {}", p, h.max());
+            prev = p;
+        }
+    }
+
+    /// In the exact region (values < 64) the percentile is the true
+    /// order statistic.
+    #[test]
+    fn small_value_percentiles_are_exact(
+        samples in proptest::collection::vec(0u64..64, 1..150),
+        q_scaled in 0u64..=100,
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let q = q_scaled as f64 / 100.0;
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        prop_assert_eq!(h.percentile(q), sorted[rank - 1]);
+    }
+
+    /// Histogram count/sum bookkeeping survives arbitrary splits.
+    #[test]
+    fn histogram_mean_is_exact(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut h = LogHistogram::new();
+        let mut sum = 0u64;
+        for &v in &samples {
+            h.record(v);
+            sum += v;
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let expected = sum as f64 / samples.len() as f64;
+        prop_assert!((h.mean() - expected).abs() < 1e-9);
+    }
+
+    /// MinuteSeries merge() equals single-stream recording. Values are
+    /// small integers so f64 summation is exact in any order.
+    #[test]
+    fn minute_series_merge_equals_single_stream(
+        samples in proptest::collection::vec((0u64..50, 0u64..1000), 0..150),
+        split in any::<u64>(),
+    ) {
+        let cut = (split % (samples.len() as u64 + 1)) as usize;
+        let mut all = MinuteSeries::new();
+        for &(m, v) in &samples {
+            all.record(m, v as f64);
+        }
+        let mut left = MinuteSeries::new();
+        let mut right = MinuteSeries::new();
+        for &(m, v) in &samples[..cut] {
+            left.record(m, v as f64);
+        }
+        for &(m, v) in &samples[cut..] {
+            right.record(m, v as f64);
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &all);
+    }
+
+    /// Range aggregation equals the sum of the per-window aggregates.
+    #[test]
+    fn minute_series_range_consistency(
+        samples in proptest::collection::vec((0u64..30, 0u64..1000), 1..120),
+        bounds in (0u64..30, 0u64..=30),
+    ) {
+        let (from, to) = (bounds.0.min(bounds.1), bounds.0.max(bounds.1));
+        let mut s = MinuteSeries::new();
+        for &(m, v) in &samples {
+            s.record(m, v as f64);
+        }
+        let agg = s.range_stats(from, to);
+        let expected: u64 = samples
+            .iter()
+            .filter(|&&(m, _)| m >= from && m < to)
+            .count() as u64;
+        prop_assert_eq!(agg.count, expected);
+        let expected_sum: u64 = samples
+            .iter()
+            .filter(|&&(m, _)| m >= from && m < to)
+            .map(|&(_, v)| v)
+            .sum();
+        prop_assert!((agg.sum - expected_sum as f64).abs() < 1e-9);
+    }
+}
