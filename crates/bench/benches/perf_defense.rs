@@ -1,0 +1,66 @@
+//! Defense-hook overhead on the lookup and maintenance paths.
+//!
+//! The defense seam sits on two hot paths: every routing-table insert
+//! crosses one `Option` check (plus a virtual `decide_insert` call while
+//! a policy is installed), and — with a probing policy — every node runs
+//! a periodic liveness tick. This bench pins those costs so the ≤ ~5 %
+//! overhead budget is *measured, not assumed*:
+//!
+//! * `locate_no_policy` — the baseline: lookups with no policy installed
+//!   (the pre-defense hot path, one discriminant check per insert);
+//! * `locate_none_policy` — the dispatch cost itself: the `NoDefense`
+//!   policy admits everything through the virtual call;
+//! * `locate_diversify` — the realistic hardened path: prefix-group
+//!   counting on full buckets;
+//! * `maintenance_evict_unresponsive` — simulated idle minutes under the
+//!   probing policy (ticks + PINGs, no data traffic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dessim::time::SimDuration;
+use kad_bench::support::stabilized_network;
+use kad_defense::PolicyKind;
+use kademlia::id::NodeId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn lookup_loop(c: &mut Criterion, id: &str, policy: Option<PolicyKind>) {
+    let mut group = c.benchmark_group("defense");
+    group.sample_size(10);
+    group.bench_function(id, |bencher| {
+        let mut net = stabilized_network(100, 20, 3);
+        if let Some(kind) = policy {
+            net.set_defense_policy(kind.build());
+        }
+        let origin = net.alive_addrs()[0];
+        let mut rng = SmallRng::seed_from_u64(1);
+        bencher.iter(|| {
+            let target = NodeId::random(&mut rng, net.config().bits);
+            net.start_lookup(origin, target);
+            net.run_until(net.now() + SimDuration::from_secs(30));
+            black_box(net.counters().get("lookup_finished"))
+        });
+    });
+    group.finish();
+}
+
+fn bench_defense(c: &mut Criterion) {
+    lookup_loop(c, "locate_no_policy", None);
+    lookup_loop(c, "locate_none_policy", Some(PolicyKind::None));
+    lookup_loop(c, "locate_diversify", Some(PolicyKind::DiversifyBuckets));
+
+    let mut group = c.benchmark_group("defense");
+    group.sample_size(10);
+    group.bench_function("maintenance_evict_unresponsive", |bencher| {
+        let mut net = stabilized_network(100, 20, 5);
+        net.set_defense_policy(PolicyKind::EvictUnresponsive.build());
+        bencher.iter(|| {
+            net.run_until(net.now() + SimDuration::from_minutes(2));
+            black_box(net.counters().get("defense_probe"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_defense);
+criterion_main!(benches);

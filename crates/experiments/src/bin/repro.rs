@@ -28,13 +28,15 @@ struct Args {
 
 const USAGE: &str =
     "usage: repro <experiment> [--scale bench|laptop|paper] [--seed N] [--out DIR] [--jobs N]\n\
-    experiments: all, matrix, campaign, service, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
+    experiments: all, matrix, campaign, service, defend, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
     campaign: attack-during-churn grid (random/highest-degree/min-cut/eclipse), κ(t) CSV\n\
     service: κ(t) × lookup success × hop counts × retrievability grid, two CSVs\n\
-    --jobs sets the scenario-level worker count (matrix/campaign/service; others auto-split)";
+    defend: defense-policy grid (none/evict-unresponsive/diversify/self-heal × attacks × churn), two CSVs\n\
+    --seed N makes every CSV bit-identically reproducible (all subcommands)\n\
+    --jobs sets the scenario-level worker count (matrix/campaign/service/defend; others auto-split)";
 
 /// The grid subcommands registered outside the figure/table registry.
-const GRID_SUBCOMMANDS: [&str; 4] = ["all", "matrix", "campaign", "service"];
+const GRID_SUBCOMMANDS: [&str; 5] = ["all", "matrix", "campaign", "service", "defend"];
 
 /// Every registered subcommand, for the unknown-experiment error message.
 fn registered_subcommands() -> String {
@@ -112,6 +114,10 @@ fn main() {
     }
     if args.experiment.eq_ignore_ascii_case("service") {
         run_service_cells(&args);
+        return;
+    }
+    if args.experiment.eq_ignore_ascii_case("defend") {
+        run_defense_cells(&args);
         return;
     }
 
@@ -319,6 +325,66 @@ fn run_service_cells(args: &Args) {
         println!("{hops}");
     }
     eprintln!("== service done in {:.1?} ==", started.elapsed());
+}
+
+/// Runs the defense grid (4 policies × 4 attack strategies × churn
+/// on/off) and emits `defense-timeseries.csv` (κ/lookup/retrievability
+/// series with per-policy activity counters) plus `defense-summary.csv`
+/// (time-to-κ-collapse, recovery slope and message overhead per cell) —
+/// to `--out DIR`, or stdout without it.
+fn run_defense_cells(args: &Args) {
+    use kad_experiments::defense::{
+        defense_grid, defense_summary_csv, defense_timeseries_csv, run_defense_grid,
+    };
+
+    let grid = defense_grid(args.scale, args.seed);
+    eprintln!(
+        "== running {} defense cells at {} scale (seed {}) ==",
+        grid.len(),
+        args.scale,
+        args.seed
+    );
+    let mut runner = MatrixRunner::new();
+    if let Some(jobs) = args.jobs {
+        runner = runner.scenario_threads(jobs);
+    }
+    let started = Instant::now();
+    let outcomes = run_defense_grid(&runner, &grid, |index, outcome| {
+        let last = outcome.points.last();
+        eprintln!(
+            "[{}/{}] {}: κ_min={} retrievable={:.0}% (d-path {:.0}%) repairs={} rejects={}",
+            index + 1,
+            grid.len(),
+            outcome.scenario.name(),
+            last.map_or(0, |p| p.report.min_connectivity),
+            last.map_or(0.0, |p| p.retrievability * 100.0),
+            last.map_or(0.0, |p| p.retrievability_disjoint * 100.0),
+            last.map_or(0, |p| p.repairs),
+            last.map_or(0, |p| p.diversity_rejects),
+        );
+    });
+    let timeseries = defense_timeseries_csv(&outcomes);
+    let summary = defense_summary_csv(&outcomes);
+    if let Some(dir) = &args.out {
+        let write = std::fs::create_dir_all(dir).and_then(|()| {
+            std::fs::write(dir.join("defense-timeseries.csv"), &timeseries)?;
+            std::fs::write(dir.join("defense-summary.csv"), &summary)
+        });
+        match write {
+            Ok(()) => {
+                eprintln!("wrote {}", dir.join("defense-timeseries.csv").display());
+                eprintln!("wrote {}", dir.join("defense-summary.csv").display());
+            }
+            Err(err) => {
+                eprintln!("error writing defense CSVs: {err}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("{timeseries}");
+        println!("{summary}");
+    }
+    eprintln!("== defend done in {:.1?} ==", started.elapsed());
 }
 
 fn write_csvs(dir: &PathBuf, result: &ExperimentResult) -> std::io::Result<()> {

@@ -168,6 +168,40 @@ pub struct CampaignOutcome {
     pub counters: Counters,
 }
 
+/// The eclipse attacker's moving anchor.
+///
+/// The attack wipes out the neighborhood of a *victim*: initially the
+/// honest node closest (XOR) to a random key. Victims are re-resolved
+/// every step; if the current victim **churns out** of the network before
+/// (or after) its compromise fires, the attacker re-anchors on the
+/// nearest surviving honest node instead of forever grinding the stale
+/// id's now-empty neighborhood. (A victim the attacker *compromised*
+/// stays the anchor — its replica neighborhood is exactly what the
+/// attack keeps dismantling.)
+#[derive(Clone, Debug)]
+pub(crate) struct EclipseState {
+    /// The id whose k-closest neighborhood is being wiped.
+    anchor: NodeId,
+    /// The resolved victim node owning the anchor neighborhood.
+    victim: Option<NodeAddr>,
+}
+
+impl EclipseState {
+    /// Starts anchored at the attacker's chosen key.
+    pub(crate) fn new(key: NodeId) -> Self {
+        EclipseState {
+            anchor: key,
+            victim: None,
+        }
+    }
+
+    /// The current anchor id (exposed for the regression tests).
+    #[cfg(test)]
+    pub(crate) fn anchor(&self) -> NodeId {
+        self.anchor
+    }
+}
+
 /// Harness actions applied at random instants within a minute (the
 /// attacker's compromises are scheduled through the event queue instead, so
 /// they interleave with deliveries at exact simulated times). Shared with
@@ -197,10 +231,10 @@ pub fn run_campaign(scenario: &CampaignScenario) -> CampaignOutcome {
     let mut choice_rng = factory.stream("harness-choices");
     let mut target_rng = factory.stream("harness-targets");
     let mut attacker_rng = factory.stream("attacker");
-    let eclipse_key = NodeId::random(
+    let mut eclipse = EclipseState::new(NodeId::random(
         &mut factory.stream("attacker-eclipse-target"),
         base.protocol.bits,
-    );
+    ));
 
     let transport = dessim::transport::Transport::new(
         dessim::latency::LatencyModel::default_uniform(),
@@ -278,7 +312,7 @@ pub fn run_campaign(scenario: &CampaignScenario) -> CampaignOutcome {
                     &snap,
                     &targeted,
                     &mut cut_queue,
-                    &eclipse_key,
+                    &mut eclipse,
                     &mut attacker_rng,
                 ) else {
                     break; // no honest victim left
@@ -336,7 +370,7 @@ pub(crate) fn pick_victim(
     snap: &RoutingSnapshot,
     targeted: &HashSet<NodeAddr>,
     cut_queue: &mut VecDeque<NodeAddr>,
-    eclipse_key: &NodeId,
+    eclipse: &mut EclipseState,
     rng: &mut SmallRng,
 ) -> Option<NodeAddr> {
     let candidates: Vec<NodeAddr> = snap
@@ -387,9 +421,31 @@ pub(crate) fn pick_victim(
             // Disconnected or tiny: mop up randomly.
             Some(candidates[rng.random_range(0..candidates.len())])
         }
-        AttackPlan::Eclipse => candidates
-            .into_iter()
-            .min_by_key(|addr| net.node(*addr).id().distance(eclipse_key)),
+        AttackPlan::Eclipse => {
+            // Re-resolve the victim each step. A victim that churned out
+            // (departed, not compromised) leaves a neighborhood the
+            // attack budget would be wasted on: re-anchor on the nearest
+            // surviving honest node and wipe *its* neighborhood instead.
+            let victim_churned = eclipse.victim.is_some_and(|addr| !net.node(addr).alive);
+            if victim_churned {
+                let stale = eclipse.anchor;
+                let next = candidates
+                    .iter()
+                    .copied()
+                    .min_by_key(|addr| net.node(*addr).id().distance(&stale))?;
+                eclipse.anchor = net.node(next).id();
+                eclipse.victim = Some(next);
+            }
+            let pick = candidates
+                .into_iter()
+                .min_by_key(|addr| net.node(*addr).id().distance(&eclipse.anchor));
+            if eclipse.victim.is_none() {
+                // First resolution: the closest honest node *is* the
+                // victim whose neighborhood the key denotes.
+                eclipse.victim = pick;
+            }
+            pick
+        }
     }
 }
 
@@ -634,6 +690,111 @@ mod tests {
         assert!(csv.contains("random,1/1"), "{}", &csv[..200.min(csv.len())]);
         let figure = campaign_figure(&outcomes);
         assert_eq!(figure.series.len(), 2);
+    }
+
+    #[test]
+    fn eclipse_reanchors_when_the_victim_churns_out() {
+        use dessim::latency::LatencyModel;
+        use dessim::time::{SimDuration, SimTime};
+        use dessim::transport::Transport;
+        use rand::SeedableRng;
+
+        // Build a small stabilized overlay by hand so we can churn the
+        // victim out between picks.
+        let config = kademlia::config::KademliaConfig::builder()
+            .bits(32)
+            .k(4)
+            .staleness_limit(1)
+            .build()
+            .expect("valid");
+        let transport = Transport::lossless(LatencyModel::Constant(SimDuration::from_millis(10)));
+        let mut net = SimNetwork::new(config, transport, 77);
+        let mut prev = None;
+        for i in 0..12 {
+            let addr = net.spawn_node();
+            net.join(addr, prev);
+            prev = Some(addr);
+            net.run_until(SimTime::from_secs((i + 1) * 10));
+        }
+        net.run_until(SimTime::from_minutes(30));
+
+        let key = NodeId::from_u64(0x5A5A_5A5A, 32);
+        let mut eclipse = EclipseState::new(key);
+        let mut targeted = HashSet::new();
+        let mut cut_queue = VecDeque::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+
+        let snap = net.snapshot();
+        let first = pick_victim(
+            AttackPlan::Eclipse,
+            &net,
+            &snap,
+            &targeted,
+            &mut cut_queue,
+            &mut eclipse,
+            &mut rng,
+        )
+        .expect("victim");
+        // First pick: the honest node closest to the key, which becomes
+        // the anchored victim.
+        let expected_first = net
+            .honest_addrs()
+            .into_iter()
+            .min_by_key(|a| net.node(*a).id().distance(&key))
+            .unwrap();
+        assert_eq!(first, expected_first);
+        assert_eq!(eclipse.anchor(), key, "anchor untouched while victim lives");
+
+        // The victim churns out *without* being compromised. The next
+        // pick must re-anchor on the nearest surviving honest node — not
+        // keep grinding the stale id's neighborhood.
+        net.remove_node(first);
+        let stale_anchor = net.node(first).id();
+        let snap = net.snapshot();
+        let survivor = net
+            .honest_addrs()
+            .into_iter()
+            .min_by_key(|a| net.node(*a).id().distance(&stale_anchor))
+            .unwrap();
+        let second = pick_victim(
+            AttackPlan::Eclipse,
+            &net,
+            &snap,
+            &targeted,
+            &mut cut_queue,
+            &mut eclipse,
+            &mut rng,
+        )
+        .expect("victim");
+        assert_eq!(
+            eclipse.anchor(),
+            net.node(survivor).id(),
+            "anchor moved to the nearest surviving honest node"
+        );
+        assert_eq!(second, survivor, "and that node is the next victim");
+
+        // A victim the attacker *compromises* keeps the anchor: its
+        // neighborhood is exactly what the attack dismantles next.
+        targeted.insert(second);
+        net.compromise_node(second);
+        let anchor_before = eclipse.anchor();
+        let snap = net.snapshot();
+        let third = pick_victim(
+            AttackPlan::Eclipse,
+            &net,
+            &snap,
+            &targeted,
+            &mut cut_queue,
+            &mut eclipse,
+            &mut rng,
+        )
+        .expect("victim");
+        assert_eq!(
+            eclipse.anchor(),
+            anchor_before,
+            "compromise keeps the anchor"
+        );
+        assert_ne!(third, second, "targeted nodes are never re-picked");
     }
 
     #[test]

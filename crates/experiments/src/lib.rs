@@ -29,6 +29,10 @@
 //!   durability probe, correlating `κ(t)` with lookup success rates,
 //!   hop-count distributions and retrievability; `repro service` runs the
 //!   grid.
+//! * [`defense`] — the defense side of the ledger: the campaign minute
+//!   loop with a [`kad_defense`] routing-table hardening policy installed
+//!   and single- vs disjoint-path retrieval probes, crossing every policy
+//!   with every attack strategy and churn; `repro defend` runs the grid.
 //! * [`series`] / [`table`] / [`ascii_chart`] — figure and table data
 //!   structures with CSV and terminal renderings.
 //! * [`figures`] — the experiment registry: one entry per paper
@@ -40,6 +44,7 @@
 
 pub mod ascii_chart;
 pub mod campaign;
+pub mod defense;
 pub mod figures;
 pub mod matrix;
 pub mod runner;
@@ -50,6 +55,7 @@ pub mod service;
 pub mod table;
 
 pub use campaign::{run_campaign, AttackPlan, CampaignOutcome, CampaignScenario};
+pub use defense::{run_defense, DefenseOutcome, DefensePoint, DefenseScenario};
 pub use figures::{run_experiment, ExperimentId, ExperimentResult};
 pub use matrix::{MatrixRunner, SplitPolicy};
 pub use runner::{run_scenario, ScenarioOutcome, SnapshotResult};

@@ -42,7 +42,7 @@
 //! assert!(!outcome.hops.is_empty(), "hop distribution collected");
 //! ```
 
-use crate::campaign::{apply_action, pick_victim, Action, AttackPlan};
+use crate::campaign::{apply_action, pick_victim, Action, AttackPlan, EclipseState};
 use crate::matrix::MatrixRunner;
 use crate::scale::Scale;
 use crate::scenario::{ChurnRate, Scenario, ScenarioBuilder, TrafficModel};
@@ -213,10 +213,10 @@ pub fn run_service(scenario: &ServiceScenario) -> ServiceOutcome {
     let mut target_rng = factory.stream("harness-targets");
     let mut attacker_rng = factory.stream("attacker");
     let mut probe_rng = factory.stream("service-probe");
-    let eclipse_key = NodeId::random(
+    let mut eclipse = EclipseState::new(NodeId::random(
         &mut factory.stream("attacker-eclipse-target"),
         base.protocol.bits,
-    );
+    ));
 
     let transport = dessim::transport::Transport::new(
         dessim::latency::LatencyModel::default_uniform(),
@@ -316,7 +316,7 @@ pub fn run_service(scenario: &ServiceScenario) -> ServiceOutcome {
                         &snap,
                         &targeted,
                         &mut cut_queue,
-                        &eclipse_key,
+                        &mut eclipse,
                         &mut attacker_rng,
                     ) else {
                         break;

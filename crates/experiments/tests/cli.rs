@@ -25,7 +25,7 @@ fn unknown_subcommand_lists_the_registry_and_exits_2() {
     // Every registered subcommand appears in the error message, the grid
     // workloads included.
     for subcommand in [
-        "all", "matrix", "campaign", "service", "tab1", "fig2", "sampling",
+        "all", "matrix", "campaign", "service", "defend", "tab1", "fig2", "sampling",
     ] {
         assert!(
             stderr.contains(subcommand),
@@ -49,6 +49,44 @@ fn help_exits_0_on_stdout() {
     assert_eq!(output.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("usage: repro"), "{stdout}");
+}
+
+#[test]
+fn same_seed_regenerates_bit_identical_csvs() {
+    let scratch = std::env::temp_dir().join(format!("repro-seed-test-{}", std::process::id()));
+    let (dir_a, dir_b) = (scratch.join("a"), scratch.join("b"));
+    for dir in [&dir_a, &dir_b] {
+        let output = repro()
+            .args(["fig2", "--scale", "bench", "--seed", "41", "--out"])
+            .arg(dir)
+            .output()
+            .expect("spawn repro");
+        assert!(
+            output.status.success(),
+            "repro fig2 failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+    let csv_a = std::fs::read(dir_a.join("fig2-figure0.csv")).expect("first CSV");
+    let csv_b = std::fs::read(dir_b.join("fig2-figure0.csv")).expect("second CSV");
+    assert!(!csv_a.is_empty());
+    assert_eq!(
+        csv_a, csv_b,
+        "--seed pins every random stream: identical invocations must \
+         regenerate byte-identical CSVs"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn usage_documents_the_defend_grid_and_seed_flag() {
+    let output = repro().arg("--help").output().expect("spawn repro");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("defend"), "usage lists defend: {stdout}");
+    assert!(
+        stdout.contains("--seed"),
+        "usage documents --seed: {stdout}"
+    );
 }
 
 #[test]

@@ -179,6 +179,18 @@ impl Distance {
     pub fn is_zero(&self) -> bool {
         self.0.iter().all(|&b| b == 0)
     }
+
+    /// The bit at position `pos`, counting from the least significant bit
+    /// (`pos = 0`). Positions at or above the id width are zero. Diversity
+    /// policies read the refinement bits just below a bucket's leading bit
+    /// through this accessor.
+    pub fn bit(&self, pos: usize) -> bool {
+        if pos >= ID_BYTES * 8 {
+            return false;
+        }
+        let byte = ID_BYTES - 1 - pos / 8;
+        (self.0[byte] >> (pos % 8)) & 1 == 1
+    }
 }
 
 fn mask_to_bits(bytes: &mut [u8; ID_BYTES], bits: u16) {
@@ -236,6 +248,16 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn distance_bits_match_the_u64_value() {
+        let d = NodeId::from_u64(0b1011_0100, 16).distance(&NodeId::ZERO);
+        for pos in 0..16 {
+            assert_eq!(d.bit(pos), (0b1011_0100 >> pos) & 1 == 1, "bit {pos}");
+        }
+        assert!(!d.bit(ID_BYTES * 8), "out-of-range bits read as zero");
+        assert!(!d.bit(ID_BYTES * 8 + 40));
+    }
 
     #[test]
     fn distance_is_symmetric_and_zero_on_self() {

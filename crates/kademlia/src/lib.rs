@@ -46,6 +46,7 @@
 pub mod bucket;
 pub mod config;
 pub mod contact;
+pub mod defense;
 pub mod id;
 pub mod lookup;
 pub mod messages;

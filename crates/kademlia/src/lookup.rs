@@ -39,6 +39,30 @@ pub enum LookupPurpose {
     Refresh,
     /// Maintenance: the self-lookup a node performs when joining.
     Bootstrap,
+    /// Defense: a self-healing repair lookup launched after a neighbor
+    /// was evicted, targeting the lost contact's id region so surviving
+    /// neighbors' closest sets refill the hole. Protocol-identical to
+    /// `Locate`; kept distinct so defense overhead is attributable.
+    Repair,
+}
+
+/// Splits lookup seeds into `d` disjoint first-hop sets for a
+/// disjoint-path lookup ([`crate::network::SimNetwork::start_find_value_disjoint`]).
+///
+/// Seeds are dealt round-robin in distance order, so every path starts
+/// with a similar distance profile (path 0 gets the closest seed, path 1
+/// the second-closest, …) instead of one privileged path hoarding all the
+/// close contacts. Empty paths are dropped: with fewer than `d` seeds the
+/// lookup degrades gracefully to as many paths as it can seed.
+pub fn partition_seeds(seeds: Vec<Contact>, d: usize) -> Vec<Vec<Contact>> {
+    let d = d.max(1);
+    let mut paths: Vec<Vec<Contact>> = vec![Vec::new(); d.min(seeds.len().max(1))];
+    for (i, seed) in seeds.into_iter().enumerate() {
+        let slot = i % paths.len();
+        paths[slot].push(seed);
+    }
+    paths.retain(|p| !p.is_empty());
+    paths
 }
 
 /// State of one shortlist candidate.
@@ -551,6 +575,35 @@ mod tests {
         s.on_response(&NodeId::from_u64(1, 32), vec![]);
         assert_eq!(s.result_hops(), 3);
         assert_eq!(s.messages_sent(), 3);
+    }
+
+    #[test]
+    fn partition_seeds_is_disjoint_and_balanced() {
+        let seeds: Vec<Contact> = (1..=7).map(contact).collect();
+        let paths = partition_seeds(seeds.clone(), 3);
+        assert_eq!(paths.len(), 3);
+        // Round-robin: sizes differ by at most one, closest seeds spread
+        // across paths.
+        assert_eq!(paths[0].len(), 3);
+        assert_eq!(paths[1].len(), 2);
+        assert_eq!(paths[2].len(), 2);
+        assert_eq!(paths[0][0], contact(1));
+        assert_eq!(paths[1][0], contact(2));
+        assert_eq!(paths[2][0], contact(3));
+        // Disjoint: every seed appears in exactly one path.
+        let mut all: Vec<Contact> = paths.into_iter().flatten().collect();
+        all.sort_by_key(|c| c.addr.0);
+        assert_eq!(all, seeds);
+    }
+
+    #[test]
+    fn partition_seeds_handles_degenerate_inputs() {
+        assert!(partition_seeds(Vec::new(), 3).is_empty());
+        let one = partition_seeds(vec![contact(1)], 4);
+        assert_eq!(one, vec![vec![contact(1)]], "one seed, one path");
+        let d_zero = partition_seeds(vec![contact(1), contact(2)], 0);
+        assert_eq!(d_zero.len(), 1, "d = 0 clamps to a single path");
+        assert_eq!(d_zero[0].len(), 2);
     }
 
     #[test]

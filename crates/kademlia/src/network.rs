@@ -25,8 +25,9 @@
 
 use crate::config::{KademliaConfig, RefreshPolicy};
 use crate::contact::{Contact, NodeAddr};
+use crate::defense::{DefensePolicy, InsertDecision};
 use crate::id::NodeId;
-use crate::lookup::{LookupId, LookupPurpose, LookupState};
+use crate::lookup::{partition_seeds, LookupId, LookupPurpose, LookupState};
 use crate::messages::{Message, RequestKind, ResponseBody, RpcId};
 use crate::node::KademliaNode;
 use crate::snapshot::RoutingSnapshot;
@@ -36,9 +37,9 @@ use dessim::rng::RngFactory;
 use dessim::scheduler::EventQueue;
 use dessim::time::SimTime;
 use dessim::transport::Transport;
-use kad_telemetry::{LookupOutcome, LookupRecord, TelemetrySink, TracePurpose};
+use kad_telemetry::{DefenseAction, LookupOutcome, LookupRecord, TelemetrySink, TracePurpose};
 use rand::rngs::SmallRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Events processed by the network driver.
@@ -67,6 +68,13 @@ pub enum SimEvent {
         /// The node being compromised.
         node: NodeAddr,
     },
+    /// A node's periodic defense liveness-probe tick is due (only
+    /// scheduled while a [`DefensePolicy`] with a probe interval is
+    /// installed — see [`SimNetwork::set_defense_policy`]).
+    DefenseTick {
+        /// The probing node.
+        node: NodeAddr,
+    },
 }
 
 /// The (optional) telemetry sink. A newtype so [`SimNetwork`] can keep
@@ -82,6 +90,48 @@ impl fmt::Debug for TelemetrySlot {
             "TelemetrySlot(none)"
         })
     }
+}
+
+/// The (optional) defense policy. A newtype so [`SimNetwork`] can keep
+/// deriving `Debug` without requiring `Debug` of policy implementations.
+#[derive(Default)]
+struct DefenseSlot(Option<Box<dyn DefensePolicy>>);
+
+impl fmt::Debug for DefenseSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.as_ref() {
+            Some(policy) => write!(f, "DefenseSlot({})", policy.label()),
+            None => f.write_str("DefenseSlot(none)"),
+        }
+    }
+}
+
+/// One in-flight disjoint-path retrieval: `d` independent sub-lookups
+/// over disjoint candidate sets, reported as a single
+/// [`TracePurpose::RetrieveDisjoint`] record once every path terminated.
+#[derive(Debug)]
+struct DisjointGroup {
+    /// The node running every path.
+    origin: NodeAddr,
+    /// The retrieved key.
+    key: NodeId,
+    /// Sub-lookup ids (used to early-terminate siblings on a hit).
+    members: Vec<LookupId>,
+    /// Paths that have not terminated yet.
+    remaining: usize,
+    /// Whether any path found the value.
+    value_found: bool,
+    /// Hop depth of the first value hit (or of the closest responder).
+    hops: u32,
+    /// Queries handed out across all paths.
+    messages: u32,
+    /// Responses received across all paths.
+    responded: u32,
+    /// When the group started (for the synthesized record's latency).
+    started: SimTime,
+    /// Node ids claimed by some path: candidates are filtered against
+    /// this set when merged, which keeps the paths vertex-disjoint.
+    claimed: HashSet<NodeId>,
 }
 
 /// A request awaiting its response.
@@ -115,6 +165,14 @@ pub struct SimNetwork {
     /// Start instants of in-progress lookups, tracked only while a sink is
     /// installed (the trace record needs the simulated latency).
     lookup_started: HashMap<LookupId, SimTime>,
+    /// Defense policy; `None` (the default) costs one discriminant check
+    /// per routing-table insert.
+    defense: DefenseSlot,
+    /// Sub-lookup → disjoint-group membership.
+    disjoint: HashMap<LookupId, u64>,
+    /// In-flight disjoint-path retrieval groups by group id.
+    groups: HashMap<u64, DisjointGroup>,
+    next_group_id: u64,
 }
 
 impl SimNetwork {
@@ -141,6 +199,10 @@ impl SimNetwork {
             compromised_count: 0,
             sink: TelemetrySlot(None),
             lookup_started: HashMap::new(),
+            defense: DefenseSlot(None),
+            disjoint: HashMap::new(),
+            groups: HashMap::new(),
+            next_group_id: 0,
         }
     }
 
@@ -156,6 +218,31 @@ impl SimNetwork {
     pub fn clear_telemetry_sink(&mut self) {
         self.sink = TelemetrySlot(None);
         self.lookup_started.clear();
+    }
+
+    /// Installs a defense policy. Every node of the network shares the
+    /// instance: new routing-table inserts run through
+    /// [`DefensePolicy::decide_insert`], evictions consult
+    /// [`DefensePolicy::repair_target`], and — when the policy declares a
+    /// [`DefensePolicy::probe_interval`] — each alive node gets a
+    /// periodic [`SimEvent::DefenseTick`] sending liveness PINGs at the
+    /// contacts the policy picks. Nodes spawned later are scheduled at
+    /// spawn time, so installing before or after building the overlay
+    /// both work.
+    pub fn set_defense_policy(&mut self, policy: Box<dyn DefensePolicy>) {
+        let interval = policy.probe_interval();
+        self.defense = DefenseSlot(Some(policy));
+        if let Some(iv) = interval {
+            for addr in self.alive_addrs() {
+                self.queue
+                    .schedule_after(iv, SimEvent::DefenseTick { node: addr });
+            }
+        }
+    }
+
+    /// Label of the installed defense policy, if any.
+    pub fn defense_label(&self) -> Option<&'static str> {
+        self.defense.0.as_ref().map(|p| p.label())
     }
 
     /// The protocol configuration.
@@ -235,6 +322,13 @@ impl SimNetwork {
             .push(KademliaNode::new(contact, &self.config, self.now()));
         self.alive_count += 1;
         self.counters.incr("node_spawned");
+        // A node's defense-tick chain starts exactly once: here for nodes
+        // spawned after the policy was installed, in `set_defense_policy`
+        // for nodes alive at install time.
+        if let Some(iv) = self.defense.0.as_ref().and_then(|p| p.probe_interval()) {
+            self.queue
+                .schedule_after(iv, SimEvent::DefenseTick { node: addr });
+        }
         addr
     }
 
@@ -246,10 +340,9 @@ impl SimNetwork {
     ///
     /// Panics if `addr` or the bootstrap address was never spawned.
     pub fn join(&mut self, addr: NodeAddr, bootstrap: Option<NodeAddr>) {
-        let now = self.now();
         if let Some(b) = bootstrap {
             let bc = self.nodes[b.index()].contact;
-            self.nodes[addr.index()].routing.offer(bc, now);
+            self.offer_contact(addr, bc);
             self.nodes[addr.index()].bootstrap = Some(bc);
         }
         let own_id = self.nodes[addr.index()].id();
@@ -274,6 +367,11 @@ impl SimNetwork {
         node.alive = false;
         for id in node.lookups.keys() {
             self.lookup_started.remove(id);
+            // Disjoint-path groups die with their origin: drop the group
+            // (all members run at the same node) without emitting.
+            if let Some(gid) = self.disjoint.remove(id) {
+                self.groups.remove(&gid);
+            }
         }
         node.lookups.clear();
         self.alive_count -= 1;
@@ -358,6 +456,82 @@ impl SimNetwork {
         Some(self.start_lookup_internal(addr, key, LookupPurpose::Retrieve))
     }
 
+    /// Starts a **disjoint-path** retrieval of `key` at `addr`: up to `d`
+    /// independent α-lookups over disjoint first-hop sets (seeds dealt
+    /// round-robin in distance order; merged candidates are filtered
+    /// against the contacts claimed by sibling paths, keeping the paths
+    /// vertex-disjoint). The retrieval succeeds if **any** path reaches
+    /// an honest holder — the S/Kademlia countermeasure against
+    /// value-withholding compromised nodes sitting on the single best
+    /// path. One [`TracePurpose::RetrieveDisjoint`] record is emitted
+    /// when the last path terminates; sub-lookups stay silent.
+    ///
+    /// `d <= 1` degrades to a plain [`SimNetwork::start_find_value`].
+    /// Returns the id carried by the emitted record (`d > 1`: the first
+    /// sub-lookup's), or `None` if the node is dead.
+    pub fn start_find_value_disjoint(
+        &mut self,
+        addr: NodeAddr,
+        key: NodeId,
+        d: usize,
+    ) -> Option<LookupId> {
+        if d <= 1 {
+            return self.start_find_value(addr, key);
+        }
+        if !self.nodes[addr.index()].alive {
+            return None;
+        }
+        self.counters.incr("retrieve_disjoint_started");
+        let node = &mut self.nodes[addr.index()];
+        let mut seeds = node.routing.closest(&key, self.config.shortlist_capacity());
+        if seeds.is_empty() {
+            if let Some(b) = node.bootstrap {
+                seeds.push(b);
+                self.counters.incr("bootstrap_reseed");
+            }
+        }
+        let mut paths = partition_seeds(seeds, d);
+        if paths.is_empty() {
+            // Not a single seed: run one empty path so the group still
+            // terminates (immediately, as ValueMissing).
+            paths.push(Vec::new());
+        }
+        let mut claimed: HashSet<NodeId> = HashSet::new();
+        for path in &paths {
+            claimed.extend(path.iter().map(|c| c.id));
+        }
+        let remaining = paths.len();
+        let members: Vec<LookupId> = paths
+            .into_iter()
+            .map(|path| self.create_lookup(addr, key, LookupPurpose::Retrieve, path, false))
+            .collect();
+        let gid = self.next_group_id;
+        self.next_group_id += 1;
+        for &id in &members {
+            self.disjoint.insert(id, gid);
+        }
+        let first = members[0];
+        self.groups.insert(
+            gid,
+            DisjointGroup {
+                origin: addr,
+                key,
+                members: members.clone(),
+                remaining,
+                value_found: false,
+                hops: 0,
+                messages: 0,
+                responded: 0,
+                started: self.queue.now(),
+                claimed,
+            },
+        );
+        for id in members {
+            self.drive_lookup(addr, id);
+        }
+        Some(first)
+    }
+
     /// Runs the event loop until simulated time `t`, then advances the
     /// clock to exactly `t` (convenient for aligning snapshots).
     pub fn run_until(&mut self, t: SimTime) {
@@ -393,8 +567,6 @@ impl SimNetwork {
         target: NodeId,
         purpose: LookupPurpose,
     ) -> LookupId {
-        let id = self.next_lookup_id;
-        self.next_lookup_id += 1;
         let node = &mut self.nodes[addr.index()];
         let mut seeds = node
             .routing
@@ -408,12 +580,31 @@ impl SimNetwork {
                 self.counters.incr("bootstrap_reseed");
             }
         }
+        let id = self.create_lookup(addr, target, purpose, seeds, true);
+        self.drive_lookup(addr, id);
+        id
+    }
+
+    /// Registers a lookup without driving it (disjoint-path groups must
+    /// register every member before the first one makes progress).
+    /// `track_start` records the start instant for the telemetry record;
+    /// sub-lookups pass `false` (their group tracks its own start).
+    fn create_lookup(
+        &mut self,
+        addr: NodeAddr,
+        target: NodeId,
+        purpose: LookupPurpose,
+        seeds: Vec<Contact>,
+        track_start: bool,
+    ) -> LookupId {
+        let id = self.next_lookup_id;
+        self.next_lookup_id += 1;
+        let node = &mut self.nodes[addr.index()];
         let state = LookupState::new(id, target, purpose, node.id(), seeds, &self.config);
         node.lookups.insert(id, state);
-        if self.sink.0.is_some() {
+        if track_start && self.sink.0.is_some() {
             self.lookup_started.insert(id, self.queue.now());
         }
-        self.drive_lookup(addr, id);
         id
     }
 
@@ -434,7 +625,7 @@ impl SimNetwork {
                 .remove(&lookup_id)
                 .expect("finished lookup present");
             self.counters.incr("lookup_finished");
-            self.emit_lookup_record(&state);
+            self.finalize_lookup(&state);
             if state.purpose() == LookupPurpose::Disseminate {
                 let key = state.target();
                 for c in state.closest_responded(self.config.k) {
@@ -461,6 +652,82 @@ impl SimNetwork {
         }
     }
 
+    /// Routes a terminated lookup to its accounting: disjoint-path
+    /// members are absorbed into their group, everything else emits its
+    /// own trace record.
+    fn finalize_lookup(&mut self, state: &LookupState) {
+        if let Some(gid) = self.disjoint.remove(&state.id()) {
+            self.absorb_into_group(gid, state);
+        } else {
+            self.emit_lookup_record(state);
+        }
+    }
+
+    /// Folds a terminated disjoint-path member into its group; the last
+    /// member to terminate emits the group's single synthesized record.
+    /// The first value hit marks every sibling found, terminating them
+    /// early ("any path returns the value" semantics).
+    fn absorb_into_group(&mut self, gid: u64, state: &LookupState) {
+        let Some(group) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        group.remaining -= 1;
+        group.messages += state.messages_sent();
+        group.responded += state.responded() as u32;
+        let newly_found = state.value_found() && !group.value_found;
+        if newly_found {
+            group.value_found = true;
+            group.hops = state.result_hops();
+            self.counters.incr("disjoint_value_hit");
+        } else if !group.value_found {
+            let hops = state.result_hops();
+            if hops > 0 && (group.hops == 0 || hops < group.hops) {
+                group.hops = hops;
+            }
+        }
+        let done = group.remaining == 0;
+        if newly_found {
+            let origin = group.origin;
+            let members = group.members.clone();
+            let finished_id = state.id();
+            for member in members {
+                if member != finished_id {
+                    if let Some(sibling) = self.nodes[origin.index()].lookups.get_mut(&member) {
+                        sibling.mark_value_found();
+                    }
+                }
+            }
+        }
+        if done {
+            let group = self.groups.remove(&gid).expect("group still registered");
+            self.emit_group_record(&group);
+        }
+    }
+
+    /// Emits the synthesized record of a completed disjoint-path group,
+    /// if a telemetry sink is installed.
+    fn emit_group_record(&mut self, group: &DisjointGroup) {
+        let Some(sink) = self.sink.0.as_mut() else {
+            return;
+        };
+        let record = LookupRecord {
+            lookup_id: group.members[0],
+            target: *group.key.as_bytes(),
+            purpose: TracePurpose::RetrieveDisjoint,
+            outcome: if group.value_found {
+                LookupOutcome::ValueFound
+            } else {
+                LookupOutcome::ValueMissing
+            },
+            hops: group.hops,
+            messages: group.messages,
+            responded: group.responded,
+            started_ms: group.started.as_millis(),
+            completed_ms: self.queue.now().as_millis(),
+        };
+        sink.on_lookup(&record);
+    }
+
     /// Builds and emits the trace record of a terminated lookup, if a
     /// telemetry sink is installed.
     fn emit_lookup_record(&mut self, state: &LookupState) {
@@ -477,6 +744,7 @@ impl SimNetwork {
             LookupPurpose::Retrieve => TracePurpose::Retrieve,
             LookupPurpose::Refresh => TracePurpose::Refresh,
             LookupPurpose::Bootstrap => TracePurpose::Bootstrap,
+            LookupPurpose::Repair => TracePurpose::Repair,
         };
         let outcome = if state.purpose() == LookupPurpose::Retrieve {
             if state.value_found() {
@@ -503,6 +771,71 @@ impl SimNetwork {
             completed_ms: self.queue.now().as_millis(),
         };
         sink.on_lookup(&record);
+    }
+
+    /// Offers a learned contact to `addr`'s routing table, with the
+    /// installed defense policy vetting inserts of contacts not already
+    /// stored (refreshes of known contacts always pass). Without a policy
+    /// this is exactly `routing.offer` plus one `Option` check.
+    fn offer_contact(&mut self, addr: NodeAddr, contact: Contact) {
+        let now = self.queue.now();
+        let node = &mut self.nodes[addr.index()];
+        if let Some(policy) = self.defense.0.as_mut() {
+            if !node.routing.contains(&contact.id) {
+                if let Some(idx) = node.routing.bucket_index(&contact.id) {
+                    let own = node.routing.own_id();
+                    match policy.decide_insert(&own, node.routing.bucket(idx), idx, &contact) {
+                        InsertDecision::Admit => {}
+                        InsertDecision::Reject => {
+                            self.counters.incr("defense_diversity_reject");
+                            if let Some(sink) = self.sink.0.as_mut() {
+                                sink.on_defense(DefenseAction::DiversityReject);
+                            }
+                            return;
+                        }
+                        InsertDecision::Replace(old) => {
+                            node.routing.remove(&old);
+                            self.counters.incr("defense_diversity_replace");
+                            if let Some(sink) = self.sink.0.as_mut() {
+                                sink.on_defense(DefenseAction::DiversityReplace);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        node.routing.offer(contact, now);
+    }
+
+    /// A node's defense liveness-probe tick: the policy picks stale
+    /// contacts, each gets a PING (whose timeout feeds the staleness
+    /// limit and so evicts silently-departed contacts), and the chain
+    /// reschedules itself while the node stays alive.
+    fn on_defense_tick(&mut self, addr: NodeAddr) {
+        if !self.nodes[addr.index()].alive {
+            return; // the chain ends with the node
+        }
+        let now = self.queue.now();
+        let (interval, targets) = {
+            let Some(policy) = self.defense.0.as_mut() else {
+                return;
+            };
+            let Some(interval) = policy.probe_interval() else {
+                return;
+            };
+            let targets = policy.probe_targets(&self.nodes[addr.index()].routing, now);
+            (interval, targets)
+        };
+        self.counters.incr("defense_tick");
+        for contact in targets {
+            self.counters.incr("defense_probe");
+            if let Some(sink) = self.sink.0.as_mut() {
+                sink.on_defense(DefenseAction::Probe);
+            }
+            self.send_request(addr, contact, RequestKind::Ping, None);
+        }
+        self.queue
+            .schedule_after(interval, SimEvent::DefenseTick { node: addr });
     }
 
     fn send_request(
@@ -554,6 +887,7 @@ impl SimNetwork {
             SimEvent::Compromise { node } => {
                 self.compromise_node(node);
             }
+            SimEvent::DefenseTick { node } => self.on_defense_tick(node),
         }
     }
 
@@ -564,13 +898,12 @@ impl SimNetwork {
         }
         match msg {
             Message::Request { rpc_id, from, kind } => {
-                let now = self.now();
+                // "The nodes in Kademlia attempt to add each other to
+                // their respective routing tables": requests advertise
+                // the requester.
+                self.offer_contact(to, from);
                 let (response, responder) = {
                     let node = &mut self.nodes[to.index()];
-                    // "The nodes in Kademlia attempt to add each other to
-                    // their respective routing tables": requests advertise
-                    // the requester.
-                    node.routing.offer(from, now);
                     (node.handle_request(&kind, self.config.k), node.contact)
                 };
                 self.counters.incr("request_handled");
@@ -592,17 +925,26 @@ impl SimNetwork {
                 self.queue.cancel(pending.timeout_event);
                 debug_assert_eq!(pending.requester, to, "response routed to requester");
                 let now = self.now();
-                {
-                    let node = &mut self.nodes[to.index()];
-                    node.routing.offer(from, now);
-                    node.routing.record_success(&from.id, now);
-                }
+                self.offer_contact(to, from);
+                self.nodes[to.index()].routing.record_success(&from.id, now);
                 self.counters.incr("response_received");
                 if let Some(lookup_id) = pending.lookup {
                     let (contacts, value_found) = match body {
                         ResponseBody::Nodes(nodes) => (nodes, false),
                         ResponseBody::Value { found, nodes } => (nodes, found),
                         _ => (Vec::new(), false),
+                    };
+                    // Disjoint-path members only merge candidates no
+                    // sibling path has claimed (vertex-disjointness).
+                    let contacts = match self.disjoint.get(&lookup_id) {
+                        Some(gid) => match self.groups.get_mut(gid) {
+                            Some(group) => contacts
+                                .into_iter()
+                                .filter(|c| group.claimed.insert(c.id))
+                                .collect(),
+                            None => contacts,
+                        },
+                        None => contacts,
                     };
                     if let Some(state) = self.nodes[to.index()].lookups.get_mut(&lookup_id) {
                         state.on_response(&from.id, contacts);
@@ -631,6 +973,26 @@ impl SimNetwork {
             .record_failure(&pending.to.id);
         if evicted {
             self.counters.incr("contact_evicted");
+            if let Some(sink) = self.sink.0.as_mut() {
+                sink.on_defense(DefenseAction::Eviction);
+            }
+            // Self-healing: the policy may turn the loss into a repair
+            // lookup toward the lost id's region, pulling replacement
+            // contacts from surviving neighbors' closest sets.
+            let repair = {
+                let own = self.nodes[requester.index()].id();
+                self.defense
+                    .0
+                    .as_mut()
+                    .and_then(|p| p.repair_target(&own, &pending.to))
+            };
+            if let Some(target) = repair {
+                self.counters.incr("defense_repair");
+                if let Some(sink) = self.sink.0.as_mut() {
+                    sink.on_defense(DefenseAction::Repair);
+                }
+                self.start_lookup_internal(requester, target, LookupPurpose::Repair);
+            }
         }
         if let Some(lookup_id) = pending.lookup {
             if let Some(state) = self.nodes[requester.index()].lookups.get_mut(&lookup_id) {
@@ -1006,6 +1368,208 @@ mod tests {
             net.counters().get("value_hit") >= 1,
             "a holder served the value"
         );
+    }
+
+    /// Test policy: rejects every new insert.
+    struct RejectAll;
+
+    impl crate::defense::DefensePolicy for RejectAll {
+        fn label(&self) -> &'static str {
+            "reject-all"
+        }
+
+        fn decide_insert(
+            &mut self,
+            _own: &NodeId,
+            _bucket: &crate::bucket::KBucket,
+            _index: usize,
+            _candidate: &Contact,
+        ) -> crate::defense::InsertDecision {
+            crate::defense::InsertDecision::Reject
+        }
+    }
+
+    /// Test policy: probes every stored contact each tick and repairs
+    /// every eviction with a lookup toward the lost id.
+    struct ProbeAndHeal;
+
+    impl crate::defense::DefensePolicy for ProbeAndHeal {
+        fn label(&self) -> &'static str {
+            "probe-and-heal"
+        }
+
+        fn probe_interval(&self) -> Option<SimDuration> {
+            Some(SimDuration::from_secs(30))
+        }
+
+        fn probe_targets(
+            &mut self,
+            table: &crate::routing::RoutingTable,
+            _now: SimTime,
+        ) -> Vec<Contact> {
+            table.contacts().copied().collect()
+        }
+
+        fn repair_target(&mut self, _own: &NodeId, lost: &Contact) -> Option<NodeId> {
+            Some(lost.id)
+        }
+    }
+
+    #[test]
+    fn reject_all_policy_blocks_every_insert() {
+        let mut net = SimNetwork::new(test_config(4), lossless(), 51);
+        net.set_defense_policy(Box::new(RejectAll));
+        assert_eq!(net.defense_label(), Some("reject-all"));
+        let a = net.spawn_node();
+        net.join(a, None);
+        let b = net.spawn_node();
+        net.join(b, Some(a));
+        net.run_until(SimTime::from_minutes(5));
+        assert_eq!(
+            net.node(b).routing.contact_count(),
+            0,
+            "even the bootstrap contact was vetted and rejected"
+        );
+        assert!(net.counters().get("defense_diversity_reject") >= 1);
+    }
+
+    #[test]
+    fn probe_ticks_evict_departed_contacts_without_traffic() {
+        use kad_telemetry::{DefenseAction, VecSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut net = build_network(10, 4, 52);
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+        net.set_defense_policy(Box::new(ProbeAndHeal));
+        let victim = net.alive_addrs()[2];
+        let victim_id = net.node(victim).id();
+        net.remove_node(victim);
+        // No lookups, no stores: only the defense ticks talk. One probe
+        // round (30 s) plus the RPC timeout is enough at s = 1.
+        net.run_until(net.now() + SimDuration::from_secs(120));
+        assert!(net.counters().get("defense_tick") >= 1);
+        assert!(net.counters().get("defense_probe") >= 1);
+        for addr in net.alive_addrs() {
+            assert!(
+                !net.node(addr).routing.contains(&victim_id),
+                "{addr} still references the departed victim"
+            );
+        }
+        let events = sink.borrow();
+        assert!(events.defense.contains(&DefenseAction::Probe));
+        assert!(events.defense.contains(&DefenseAction::Eviction));
+        assert!(
+            events.defense.contains(&DefenseAction::Repair),
+            "evictions triggered repairs: {:?}",
+            events.defense
+        );
+        assert!(net.counters().get("defense_repair") >= 1);
+    }
+
+    #[test]
+    fn repair_lookups_carry_their_own_trace_purpose() {
+        use kad_telemetry::{TracePurpose, VecSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut net = build_network(8, 4, 53);
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+        net.set_defense_policy(Box::new(ProbeAndHeal));
+        let victim = net.alive_addrs()[1];
+        net.remove_node(victim);
+        net.run_until(net.now() + SimDuration::from_secs(120));
+        let records = sink.borrow();
+        assert!(
+            records
+                .records
+                .iter()
+                .any(|r| r.purpose == TracePurpose::Repair),
+            "repair lookup emitted a Repair-purpose record"
+        );
+    }
+
+    #[test]
+    fn disjoint_retrieval_emits_one_group_record() {
+        use kad_telemetry::{LookupOutcome, TracePurpose, VecSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut net = build_network(14, 4, 54);
+        let origin = net.alive_addrs()[0];
+        let key = NodeId::from_u64(0xABCD, 32);
+        net.start_store(origin, key);
+        net.run_until(net.now() + SimDuration::from_secs(30));
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+        let retriever = net.alive_addrs()[7];
+        let id = net.start_find_value_disjoint(retriever, key, 3);
+        assert!(id.is_some());
+        net.run_until(net.now() + SimDuration::from_secs(60));
+        assert_eq!(net.counters().get("retrieve_disjoint_started"), 1);
+        let records = sink.borrow();
+        let groups: Vec<_> = records
+            .records
+            .iter()
+            .filter(|r| r.purpose == TracePurpose::RetrieveDisjoint)
+            .collect();
+        assert_eq!(groups.len(), 1, "exactly one synthesized group record");
+        assert_eq!(groups[0].outcome, LookupOutcome::ValueFound);
+        assert!(groups[0].hops >= 1);
+        assert!(groups[0].messages >= 1);
+        assert!(
+            !records
+                .records
+                .iter()
+                .any(|r| r.purpose == TracePurpose::Retrieve),
+            "sub-lookups stay silent"
+        );
+        assert!(net.node(retriever).lookups.is_empty(), "state cleaned up");
+    }
+
+    #[test]
+    fn disjoint_retrieval_beats_a_compromised_primary_path() {
+        use kad_telemetry::{LookupOutcome, TracePurpose, VecSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // d = 1 routes every query through the closest seeds; d = 3 has
+        // two more first-hop sets. Degenerate check: with no seeds at all
+        // the group still terminates as ValueMissing.
+        let config = test_config(4);
+        let mut net = SimNetwork::new(config, lossless(), 55);
+        let a = net.spawn_node();
+        net.join(a, None);
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+        let key = NodeId::from_u64(0x99, 32);
+        net.start_find_value_disjoint(a, key, 3);
+        net.run_until(net.now() + SimDuration::from_secs(60));
+        let records = sink.borrow();
+        let group = records
+            .records
+            .iter()
+            .find(|r| r.purpose == TracePurpose::RetrieveDisjoint)
+            .expect("group record emitted even without seeds");
+        assert_eq!(group.outcome, LookupOutcome::ValueMissing);
+    }
+
+    #[test]
+    fn disjoint_retrieval_degrades_to_plain_find_value_at_d1() {
+        let mut net = build_network(10, 4, 56);
+        let origin = net.alive_addrs()[0];
+        let key = NodeId::from_u64(0x42, 32);
+        net.start_store(origin, key);
+        net.run_until(net.now() + SimDuration::from_secs(30));
+        let retriever = net.alive_addrs()[3];
+        assert!(net.start_find_value_disjoint(retriever, key, 1).is_some());
+        assert_eq!(net.counters().get("retrieve_started"), 1);
+        assert_eq!(net.counters().get("retrieve_disjoint_started"), 0);
+        // Dead origins cannot start disjoint retrievals either.
+        net.remove_node(retriever);
+        assert!(net.start_find_value_disjoint(retriever, key, 3).is_none());
     }
 
     #[test]

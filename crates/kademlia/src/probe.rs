@@ -75,6 +75,25 @@ impl DurabilityProbe {
     /// random honest origin. Returns the number of retrievals started.
     /// Outcomes arrive through the network's telemetry sink.
     pub fn probe_round(&self, net: &mut SimNetwork, rng: &mut SmallRng) -> usize {
+        // d = 1 degrades to a plain FIND_VALUE per key — one shared loop
+        // keeps the single- and disjoint-path columns apples-to-apples.
+        self.probe_round_disjoint(net, 1, rng)
+    }
+
+    /// Like [`DurabilityProbe::probe_round`], but each retrieval runs as
+    /// a **disjoint-path** lookup with `d` independent paths
+    /// ([`SimNetwork::start_find_value_disjoint`]): the retrieval
+    /// succeeds if any path reaches an honest holder, countering
+    /// value-withholding compromised nodes on the primary path. Outcomes
+    /// arrive as [`kad_telemetry::TracePurpose::RetrieveDisjoint`]
+    /// records, so harnesses can report single- and disjoint-path
+    /// retrievability side by side from the same run.
+    pub fn probe_round_disjoint(
+        &self,
+        net: &mut SimNetwork,
+        d: usize,
+        rng: &mut SmallRng,
+    ) -> usize {
         let honest = net.honest_addrs();
         if honest.is_empty() {
             return 0;
@@ -82,7 +101,7 @@ impl DurabilityProbe {
         let mut started = 0;
         for &key in &self.keys {
             let origin = honest[rng.random_range(0..honest.len())];
-            if net.start_find_value(origin, key).is_some() {
+            if net.start_find_value_disjoint(origin, key, d).is_some() {
                 started += 1;
             }
         }

@@ -33,4 +33,6 @@ pub mod trace;
 
 pub use histogram::LogHistogram;
 pub use timeseries::{MinuteSeries, WindowStats};
-pub use trace::{LookupOutcome, LookupRecord, NoopSink, TelemetrySink, TracePurpose, VecSink};
+pub use trace::{
+    DefenseAction, LookupOutcome, LookupRecord, NoopSink, TelemetrySink, TracePurpose, VecSink,
+};

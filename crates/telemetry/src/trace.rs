@@ -23,6 +23,13 @@ pub enum TracePurpose {
     Refresh,
     /// Maintenance: the self-lookup performed on join.
     Bootstrap,
+    /// Defense: a self-healing repair lookup launched after a neighbor
+    /// was evicted, targeting the lost contact's id region.
+    Repair,
+    /// A disjoint-path retrieval group: `d` independent sub-lookups over
+    /// disjoint candidate sets, reported as **one** record once every
+    /// path terminated (value-withholding countermeasure).
+    RetrieveDisjoint,
 }
 
 impl TracePurpose {
@@ -34,6 +41,48 @@ impl TracePurpose {
             TracePurpose::Retrieve => "retrieve",
             TracePurpose::Refresh => "refresh",
             TracePurpose::Bootstrap => "bootstrap",
+            TracePurpose::Repair => "repair",
+            TracePurpose::RetrieveDisjoint => "retrieve-disjoint",
+        }
+    }
+}
+
+/// A defense-subsystem event, emitted through
+/// [`TelemetrySink::on_defense`] so harnesses can account per-policy
+/// activity (and its message overhead) without reaching into the
+/// simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DefenseAction {
+    /// A liveness-probe PING sent by an eviction policy.
+    Probe,
+    /// A stale contact was evicted after consecutive failures.
+    Eviction,
+    /// A self-healing repair lookup was launched for a lost neighbor.
+    Repair,
+    /// A routing-table insert was rejected by a diversity cap.
+    DiversityReject,
+    /// An overrepresented contact was replaced to admit a diverse one.
+    DiversityReplace,
+}
+
+impl DefenseAction {
+    /// All actions, in presentation order.
+    pub const ALL: [DefenseAction; 5] = [
+        DefenseAction::Probe,
+        DefenseAction::Eviction,
+        DefenseAction::Repair,
+        DefenseAction::DiversityReject,
+        DefenseAction::DiversityReplace,
+    ];
+
+    /// Short label for CSV cells.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DefenseAction::Probe => "probe",
+            DefenseAction::Eviction => "eviction",
+            DefenseAction::Repair => "repair",
+            DefenseAction::DiversityReject => "diversity-reject",
+            DefenseAction::DiversityReplace => "diversity-replace",
         }
     }
 }
@@ -120,6 +169,13 @@ pub trait TelemetrySink {
     /// Called once when a lookup terminates (converges, exhausts its
     /// candidates, or finds its value).
     fn on_lookup(&mut self, record: &LookupRecord);
+
+    /// Called once per defense-subsystem event (probe sent, contact
+    /// evicted, repair launched, diversity decision). Defaults to a
+    /// no-op so plain service sinks need not care.
+    fn on_defense(&mut self, action: DefenseAction) {
+        let _ = action;
+    }
 }
 
 /// Sharing a sink between the simulator (which owns it as a boxed trait
@@ -141,6 +197,10 @@ impl<S: TelemetrySink> TelemetrySink for std::rc::Rc<std::cell::RefCell<S>> {
     fn on_lookup(&mut self, record: &LookupRecord) {
         self.borrow_mut().on_lookup(record);
     }
+
+    fn on_defense(&mut self, action: DefenseAction) {
+        self.borrow_mut().on_defense(action);
+    }
 }
 
 /// A sink that discards everything — the semantics of running with no sink
@@ -157,11 +217,17 @@ impl TelemetrySink for NoopSink {
 pub struct VecSink {
     /// The records received, in completion order.
     pub records: Vec<LookupRecord>,
+    /// The defense events received, in emission order.
+    pub defense: Vec<DefenseAction>,
 }
 
 impl TelemetrySink for VecSink {
     fn on_lookup(&mut self, record: &LookupRecord) {
         self.records.push(*record);
+    }
+
+    fn on_defense(&mut self, action: DefenseAction) {
+        self.defense.push(action);
     }
 }
 
@@ -202,7 +268,35 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(TracePurpose::Retrieve.label(), "retrieve");
+        assert_eq!(TracePurpose::Repair.label(), "repair");
+        assert_eq!(TracePurpose::RetrieveDisjoint.label(), "retrieve-disjoint");
         assert_eq!(LookupOutcome::ValueMissing.label(), "value-missing");
+        assert_eq!(DefenseAction::DiversityReject.label(), "diversity-reject");
+    }
+
+    #[test]
+    fn defense_events_flow_through_sinks() {
+        let mut vec_sink = VecSink::default();
+        vec_sink.on_defense(DefenseAction::Probe);
+        vec_sink.on_defense(DefenseAction::Eviction);
+        assert_eq!(
+            vec_sink.defense,
+            vec![DefenseAction::Probe, DefenseAction::Eviction]
+        );
+        // The default impl is a no-op: NoopSink accepts them too.
+        let mut noop = NoopSink;
+        noop.on_defense(DefenseAction::Repair);
+        // And the Rc<RefCell<_>> blanket forwards them.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let shared = Rc::new(RefCell::new(VecSink::default()));
+        let mut handle: Box<dyn TelemetrySink> = Box::new(Rc::clone(&shared));
+        handle.on_defense(DefenseAction::DiversityReplace);
+        drop(handle);
+        assert_eq!(
+            shared.borrow().defense,
+            vec![DefenseAction::DiversityReplace]
+        );
     }
 
     #[test]
