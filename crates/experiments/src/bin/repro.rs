@@ -28,15 +28,17 @@ struct Args {
 
 const USAGE: &str =
     "usage: repro <experiment> [--scale bench|laptop|paper] [--seed N] [--out DIR] [--jobs N]\n\
-    experiments: all, matrix, campaign, service, defend, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
+    experiments: all, matrix, campaign, service, defend, sweep, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
+    all: the full figure/table registry, then every grid (matrix, campaign, service, defend, sweep)\n\
     campaign: attack-during-churn grid (random/highest-degree/min-cut/eclipse), κ(t) CSV\n\
     service: κ(t) × lookup success × hop counts × retrievability grid, two CSVs\n\
     defend: defense-policy grid (none/evict-unresponsive/diversify/self-heal × attacks × churn), two CSVs\n\
+    sweep: mixed-phase attacker grid (strategy switches mid-campaign, e.g. eclipse→min-cut at the κ trough) × policies, one CSV\n\
     --seed N makes every CSV bit-identically reproducible (all subcommands)\n\
-    --jobs sets the scenario-level worker count (matrix/campaign/service/defend; others auto-split)";
+    --jobs sets the scenario-level worker count (matrix/campaign/service/defend/sweep; others auto-split)";
 
 /// The grid subcommands registered outside the figure/table registry.
-const GRID_SUBCOMMANDS: [&str; 5] = ["all", "matrix", "campaign", "service", "defend"];
+const GRID_SUBCOMMANDS: [&str; 6] = ["all", "matrix", "campaign", "service", "defend", "sweep"];
 
 /// Every registered subcommand, for the unknown-experiment error message.
 fn registered_subcommands() -> String {
@@ -104,6 +106,8 @@ fn main() {
         }
     };
 
+    let all = args.experiment.eq_ignore_ascii_case("all");
+
     if args.experiment.eq_ignore_ascii_case("matrix") {
         run_matrix(&args);
         return;
@@ -120,8 +124,12 @@ fn main() {
         run_defense_cells(&args);
         return;
     }
+    if args.experiment.eq_ignore_ascii_case("sweep") {
+        run_sweep_cells(&args);
+        return;
+    }
 
-    let ids: Vec<ExperimentId> = if args.experiment.eq_ignore_ascii_case("all") {
+    let ids: Vec<ExperimentId> = if all {
         ExperimentId::ALL.to_vec()
     } else {
         match args.experiment.parse::<ExperimentId>() {
@@ -149,6 +157,16 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    // `repro all` reproduces *everything*: after the figure/table
+    // registry, run every grid workload too.
+    if all {
+        run_matrix(&args);
+        run_campaign_cells(&args);
+        run_service_cells(&args);
+        run_defense_cells(&args);
+        run_sweep_cells(&args);
     }
 }
 
@@ -385,6 +403,58 @@ fn run_defense_cells(args: &Args) {
         println!("{summary}");
     }
     eprintln!("== defend done in {:.1?} ==", started.elapsed());
+}
+
+/// Runs the mixed-phase sweep grid (2 attacker phase scripts × 4 defense
+/// policies) and emits `sweep-timeseries.csv` — the κ/service series with
+/// the active attack phase per row — to `--out DIR`, or stdout without it.
+fn run_sweep_cells(args: &Args) {
+    use kad_experiments::sweep::{run_sweep_grid, sweep_grid, sweep_timeseries_csv};
+
+    let grid = sweep_grid(args.scale, args.seed);
+    eprintln!(
+        "== running {} mixed-phase sweep cells at {} scale (seed {}) ==",
+        grid.len(),
+        args.scale,
+        args.seed
+    );
+    let mut runner = MatrixRunner::new();
+    if let Some(jobs) = args.jobs {
+        runner = runner.scenario_threads(jobs);
+    }
+    let started = Instant::now();
+    let outcomes = run_sweep_grid(&runner, &grid, |index, outcome| {
+        let last = outcome.points.last();
+        let switches: Vec<String> = outcome
+            .phase_switches
+            .iter()
+            .map(|(minute, label)| format!("{label}@{minute}m"))
+            .collect();
+        eprintln!(
+            "[{}/{}] {}: κ_min={} switches=[{}] spent {}",
+            index + 1,
+            grid.len(),
+            outcome.scenario.name(),
+            last.map_or(0, |p| p.report.min_connectivity),
+            switches.join(", "),
+            outcome.budget_spent,
+        );
+    });
+    let csv = sweep_timeseries_csv(&outcomes);
+    if let Some(dir) = &args.out {
+        let write = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join("sweep-timeseries.csv"), &csv));
+        match write {
+            Ok(()) => eprintln!("wrote {}", dir.join("sweep-timeseries.csv").display()),
+            Err(err) => {
+                eprintln!("error writing sweep CSV: {err}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("{csv}");
+    }
+    eprintln!("== sweep done in {:.1?} ==", started.elapsed());
 }
 
 fn write_csvs(dir: &PathBuf, result: &ExperimentResult) -> std::io::Result<()> {

@@ -17,8 +17,14 @@
 //! occupying k-bucket slots — the eclipse mechanics) but are excluded from
 //! every snapshot and all `κ` accounting, per the paper's system model.
 //!
-//! The output is the `κ(t)` / `r(t)` time series against attacker budget
-//! spent, for each strategy — the temporal reading of Equation 2.
+//! The run itself is a composition over the shared
+//! [`crate::session::SessionDriver`]: joins, churn, traffic, the attacker
+//! and the κ sampler are the standard session actors, wired in the
+//! canonical order. The output is the `κ(t)` / `r(t)` time series against
+//! attacker budget spent, for each strategy — the temporal reading of
+//! Equation 2.
+//!
+//! [`SimNetwork::schedule_compromise`]: kademlia::network::SimNetwork::schedule_compromise
 //!
 //! # Example
 //!
@@ -46,67 +52,20 @@
 //! assert!(spent.windows(2).all(|w| w[0] <= w[1]));
 //! ```
 
+use crate::attack_plan::{grid_base_scenario, AttackSpec};
+pub use crate::attack_plan::{AttackPlan, EclipseState};
 use crate::matrix::MatrixRunner;
 use crate::scale::Scale;
-use crate::scenario::{ChurnRate, Scenario, ScenarioBuilder, TrafficModel};
+use crate::scenario::{ChurnRate, Scenario, TrafficModel};
 use crate::series::FigureData;
+use crate::session::{
+    AttackerActor, ChurnActor, JoinSchedule, Sampler, SessionDriver, SnapshotGrid, TrafficActor,
+    TrafficOrigins,
+};
 use dessim::metrics::Counters;
-use dessim::rng::RngFactory;
-use dessim::time::SimTime;
-use kad_resilience::attack::probe_smallest_cut;
-use kad_resilience::{analyze_snapshot, snapshot_to_digraph, ConnectivityReport};
-use kademlia::id::NodeId;
-use kademlia::network::SimNetwork;
-use kademlia::snapshot::RoutingSnapshot;
-use kademlia::NodeAddr;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use kad_resilience::{analyze_snapshot, ConnectivityReport};
+use kad_telemetry::{Cell, Recorder};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashSet, VecDeque};
-use std::fmt;
-
-/// The adversary's victim-selection policy, re-planned every attack minute
-/// against the current routing state.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum AttackPlan {
-    /// Uniformly random honest victims.
-    Random,
-    /// The honest node with the best-connected routing footprint (highest
-    /// in+out degree in the current connectivity snapshot).
-    HighestDegree,
-    /// Work through minimum vertex cuts of vulnerable snapshot pairs.
-    MinCut,
-    /// Eclipse a key: compromise the honest nodes closest (XOR) to a fixed
-    /// victim identifier, nearest first — wiping out the replica set the
-    /// `k`-closest dissemination relies on.
-    Eclipse,
-}
-
-impl AttackPlan {
-    /// All plans, in presentation order.
-    pub const ALL: [AttackPlan; 4] = [
-        AttackPlan::Random,
-        AttackPlan::HighestDegree,
-        AttackPlan::MinCut,
-        AttackPlan::Eclipse,
-    ];
-
-    /// Short label for series names and CSV cells.
-    pub fn label(&self) -> &'static str {
-        match self {
-            AttackPlan::Random => "random",
-            AttackPlan::HighestDegree => "highest-degree",
-            AttackPlan::MinCut => "min-cut",
-            AttackPlan::Eclipse => "eclipse",
-        }
-    }
-}
-
-impl fmt::Display for AttackPlan {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
-    }
-}
 
 /// A fully specified live campaign: a base [`Scenario`] (churn, traffic,
 /// loss, protocol, seed) plus the attacker.
@@ -168,326 +127,65 @@ pub struct CampaignOutcome {
     pub counters: Counters,
 }
 
-/// The eclipse attacker's moving anchor.
-///
-/// The attack wipes out the neighborhood of a *victim*: initially the
-/// honest node closest (XOR) to a random key. Victims are re-resolved
-/// every step; if the current victim **churns out** of the network before
-/// (or after) its compromise fires, the attacker re-anchors on the
-/// nearest surviving honest node instead of forever grinding the stale
-/// id's now-empty neighborhood. (A victim the attacker *compromised*
-/// stays the anchor — its replica neighborhood is exactly what the
-/// attack keeps dismantling.)
-#[derive(Clone, Debug)]
-pub(crate) struct EclipseState {
-    /// The id whose k-closest neighborhood is being wiped.
-    anchor: NodeId,
-    /// The resolved victim node owning the anchor neighborhood.
-    victim: Option<NodeAddr>,
-}
-
-impl EclipseState {
-    /// Starts anchored at the attacker's chosen key.
-    pub(crate) fn new(key: NodeId) -> Self {
-        EclipseState {
-            anchor: key,
-            victim: None,
-        }
-    }
-
-    /// The current anchor id (exposed for the regression tests).
-    #[cfg(test)]
-    pub(crate) fn anchor(&self) -> NodeId {
-        self.anchor
-    }
-}
-
-/// Harness actions applied at random instants within a minute (the
-/// attacker's compromises are scheduled through the event queue instead, so
-/// they interleave with deliveries at exact simulated times). Shared with
-/// the service-telemetry runner ([`crate::service`]), which drives the same
-/// minute loop with instrumentation attached.
-#[derive(Clone, Copy, Debug)]
-pub(crate) enum Action {
-    Join,
-    Remove,
-    Lookup(NodeAddr),
-    Store(NodeAddr),
-}
-
 /// Runs a live campaign to completion. Deterministic: the base scenario's
 /// seed fixes the overlay *and* the attacker (labelled streams), so
 /// identical scenarios replay byte-identical outcomes — schedule, series
 /// and counters.
 ///
-/// The minute loop deliberately mirrors [`crate::runner::run_scenario`]
-/// (same stream labels, same action-drawing order) with the attacker's
-/// planning and dual snapshot grids woven in; a behavioral change to the
-/// scenario runner's event loop must be mirrored here, and vice versa.
+/// The body is pure actor wiring over [`SessionDriver`]: joins, churn,
+/// traffic from all alive nodes (this runner measures only κ, and
+/// compromised nodes mimic honest behavior), the attacker, and a κ
+/// sampler on the dual snapshot grid.
 pub fn run_campaign(scenario: &CampaignScenario) -> CampaignOutcome {
     let base = &scenario.base;
-    let factory = RngFactory::new(base.seed);
-    let mut schedule_rng = factory.stream("harness-schedule");
-    let mut choice_rng = factory.stream("harness-choices");
-    let mut target_rng = factory.stream("harness-targets");
-    let mut attacker_rng = factory.stream("attacker");
-    let mut eclipse = EclipseState::new(NodeId::random(
-        &mut factory.stream("attacker-eclipse-target"),
-        base.protocol.bits,
-    ));
-
-    let transport = dessim::transport::Transport::new(
-        dessim::latency::LatencyModel::default_uniform(),
-        base.loss.to_model(),
+    let mut driver = SessionDriver::new(base);
+    let mut joins = JoinSchedule::new(&mut driver);
+    let mut churn = ChurnActor;
+    let mut traffic = TrafficActor::new(TrafficOrigins::AllAlive);
+    let mut attacker = AttackerActor::new(
+        AttackSpec {
+            plan: scenario.plan,
+            budget: scenario.budget,
+            compromises_per_min: scenario.compromises_per_min,
+            start_minute: scenario.start_minute,
+        },
+        &driver,
     );
-    let mut net = SimNetwork::new(base.protocol, transport, base.seed);
-
-    let setup_ms = base.setup_minutes.max(1) * 60_000;
-    let mut join_times: Vec<u64> = (0..base.size)
-        .map(|_| schedule_rng.random_range(0..setup_ms))
-        .collect();
-    join_times.sort_unstable();
-
-    let mut points = Vec::new();
-    let mut victims = Vec::new();
-    let mut targeted: HashSet<NodeAddr> = HashSet::new();
-    let mut cut_queue: VecDeque<NodeAddr> = VecDeque::new();
-    let mut spent = 0usize;
-    let end_min = base.end_minutes();
-    let mut join_cursor = 0usize;
-
-    for minute in 0..end_min {
-        let minute_start_ms = minute * 60_000;
-        let mut actions: Vec<(u64, Action)> = Vec::new();
-
-        while join_cursor < join_times.len() && join_times[join_cursor] < minute_start_ms + 60_000 {
-            actions.push((join_times[join_cursor], Action::Join));
-            join_cursor += 1;
-        }
-
-        if base.churn.is_active() && minute >= base.stabilization_minutes {
-            for _ in 0..base.churn.remove_per_min {
-                actions.push((
-                    minute_start_ms + schedule_rng.random_range(0..60_000),
-                    Action::Remove,
-                ));
-            }
-            for _ in 0..base.churn.add_per_min {
-                actions.push((
-                    minute_start_ms + schedule_rng.random_range(0..60_000),
-                    Action::Join,
-                ));
-            }
-        }
-
-        if let Some(traffic) = base.traffic {
-            for addr in net.alive_addrs() {
-                for _ in 0..traffic.lookups_per_min {
-                    actions.push((
-                        minute_start_ms + schedule_rng.random_range(0..60_000),
-                        Action::Lookup(addr),
-                    ));
-                }
-                for _ in 0..traffic.stores_per_min {
-                    actions.push((
-                        minute_start_ms + schedule_rng.random_range(0..60_000),
-                        Action::Store(addr),
-                    ));
-                }
-            }
-        }
-
-        // The attacker re-plans at the minute boundary against the current
-        // routing state, then schedules the compromises at random instants
-        // within the minute through the event kernel.
-        if minute >= scenario.start_minute && spent < scenario.budget {
+    let analysis = base.analysis;
+    let mut sampler = Sampler::new(
+        SnapshotGrid {
+            base_minutes: base.snapshot_minutes,
+            attack_start: Some(scenario.start_minute),
+            attack_minutes: scenario.attack_snapshot_minutes,
+        },
+        move |net, ctx| {
             let snap = net.snapshot();
-            for _ in 0..scenario.compromises_per_min {
-                if spent >= scenario.budget {
-                    break;
-                }
-                let Some(victim) = pick_victim(
-                    scenario.plan,
-                    &net,
-                    &snap,
-                    &targeted,
-                    &mut cut_queue,
-                    &mut eclipse,
-                    &mut attacker_rng,
-                ) else {
-                    break; // no honest victim left
-                };
-                targeted.insert(victim);
-                let at = minute_start_ms + attacker_rng.random_range(0..60_000);
-                net.schedule_compromise(SimTime::from_millis(at), victim);
-                victims.push((minute, victim.index() as u32));
-                spent += 1;
-            }
-        }
-
-        actions.sort_by_key(|&(t, _)| t);
-        for (t, action) in actions {
-            net.run_until(SimTime::from_millis(t));
-            apply_action(&mut net, action, base, &mut choice_rng, &mut target_rng);
-        }
-        let minute_end = SimTime::from_minutes(minute + 1);
-        net.run_until(minute_end);
-
-        let at_minute = minute + 1;
-        let attack_phase = at_minute >= scenario.start_minute;
-        let grid = if attack_phase {
-            scenario.attack_snapshot_minutes.max(1)
-        } else {
-            base.snapshot_minutes.max(1)
-        };
-        if at_minute % grid == 0 || at_minute == end_min {
-            let snap = net.snapshot();
-            let report = analyze_snapshot(&snap, &base.analysis);
-            points.push(CampaignPoint {
-                time_min: minute_end.as_minutes_f64(),
-                budget_spent: spent,
+            let report = analyze_snapshot(&snap, &analysis);
+            ctx.shared
+                .publish_kappa(ctx.at_minute, report.min_connectivity);
+            CampaignPoint {
+                time_min: ctx.time_min,
+                budget_spent: ctx.shared.budget_spent,
                 honest_size: snap.node_count(),
                 report,
-            });
-        }
-    }
+            }
+        },
+    );
 
+    driver.run(&mut [
+        &mut joins,
+        &mut churn,
+        &mut traffic,
+        &mut attacker,
+        &mut sampler,
+    ]);
+    let (net, shared) = driver.finish();
     CampaignOutcome {
         scenario: scenario.clone(),
-        points,
-        victims,
-        budget_spent: spent,
+        points: sampler.into_points(),
+        victims: shared.victims,
+        budget_spent: shared.budget_spent,
         counters: net.counters().clone(),
-    }
-}
-
-/// Picks the next victim under `plan` from the honest nodes of `snap`,
-/// excluding nodes already targeted. Returns `None` when nobody is left.
-/// Shared with the service-telemetry runner.
-pub(crate) fn pick_victim(
-    plan: AttackPlan,
-    net: &SimNetwork,
-    snap: &RoutingSnapshot,
-    targeted: &HashSet<NodeAddr>,
-    cut_queue: &mut VecDeque<NodeAddr>,
-    eclipse: &mut EclipseState,
-    rng: &mut SmallRng,
-) -> Option<NodeAddr> {
-    let candidates: Vec<NodeAddr> = snap
-        .addrs()
-        .iter()
-        .copied()
-        .filter(|addr| !targeted.contains(addr))
-        .collect();
-    if candidates.is_empty() {
-        return None;
-    }
-    match plan {
-        AttackPlan::Random => Some(candidates[rng.random_range(0..candidates.len())]),
-        AttackPlan::HighestDegree => {
-            let g = snapshot_to_digraph(snap);
-            snap.addrs()
-                .iter()
-                .enumerate()
-                .filter(|(_, addr)| !targeted.contains(addr))
-                .max_by_key(|&(dense, addr)| {
-                    (
-                        g.out_degree(dense as u32) + g.in_degree(dense as u32),
-                        std::cmp::Reverse(addr.index()),
-                    )
-                })
-                .map(|(_, addr)| *addr)
-        }
-        AttackPlan::MinCut => {
-            // Queued cut members from earlier minutes stay valid targets as
-            // long as they are still honest (present in the snapshot).
-            while let Some(queued) = cut_queue.pop_front() {
-                if !targeted.contains(&queued) && snap.addrs().contains(&queued) {
-                    return Some(queued);
-                }
-            }
-            // Same scouting probe as the static adversary, over the dense
-            // snapshot indices (every honest node is a candidate pair end).
-            let g = snapshot_to_digraph(snap);
-            let dense: Vec<u32> = (0..snap.node_count() as u32).collect();
-            if let Some(cut) = probe_smallest_cut(&g, &dense, 16, rng) {
-                cut_queue.extend(cut.into_iter().map(|dense| snap.addrs()[dense as usize]));
-                while let Some(queued) = cut_queue.pop_front() {
-                    if !targeted.contains(&queued) {
-                        return Some(queued);
-                    }
-                }
-            }
-            // Disconnected or tiny: mop up randomly.
-            Some(candidates[rng.random_range(0..candidates.len())])
-        }
-        AttackPlan::Eclipse => {
-            // Re-resolve the victim each step. A victim that churned out
-            // (departed, not compromised) leaves a neighborhood the
-            // attack budget would be wasted on: re-anchor on the nearest
-            // surviving honest node and wipe *its* neighborhood instead.
-            let victim_churned = eclipse.victim.is_some_and(|addr| !net.node(addr).alive);
-            if victim_churned {
-                let stale = eclipse.anchor;
-                let next = candidates
-                    .iter()
-                    .copied()
-                    .min_by_key(|addr| net.node(*addr).id().distance(&stale))?;
-                eclipse.anchor = net.node(next).id();
-                eclipse.victim = Some(next);
-            }
-            let pick = candidates
-                .into_iter()
-                .min_by_key(|addr| net.node(*addr).id().distance(&eclipse.anchor));
-            if eclipse.victim.is_none() {
-                // First resolution: the closest honest node *is* the
-                // victim whose neighborhood the key denotes.
-                eclipse.victim = pick;
-            }
-            pick
-        }
-    }
-}
-
-pub(crate) fn random_alive(net: &SimNetwork, rng: &mut SmallRng) -> Option<NodeAddr> {
-    let alive = net.alive_addrs();
-    if alive.is_empty() {
-        None
-    } else {
-        Some(alive[rng.random_range(0..alive.len())])
-    }
-}
-
-pub(crate) fn apply_action(
-    net: &mut SimNetwork,
-    action: Action,
-    base: &Scenario,
-    choice_rng: &mut SmallRng,
-    target_rng: &mut SmallRng,
-) {
-    match action {
-        Action::Join => {
-            let bootstrap = random_alive(net, choice_rng);
-            let addr = net.spawn_node();
-            net.join(addr, bootstrap);
-        }
-        Action::Remove => {
-            if let Some(addr) = random_alive(net, choice_rng) {
-                net.remove_node(addr);
-            }
-        }
-        Action::Lookup(addr) => {
-            // Draw the target before the liveness check (inside
-            // `start_lookup`) so the random stream stays aligned whether or
-            // not the node departed mid-minute — same rule as the scenario
-            // runner.
-            let target = NodeId::random(target_rng, base.protocol.bits);
-            net.start_lookup(addr, target);
-        }
-        Action::Store(addr) => {
-            let key = NodeId::random(target_rng, base.protocol.bits);
-            net.start_store(addr, key);
-        }
     }
 }
 
@@ -506,18 +204,20 @@ pub fn campaign_grid(scale: Scale, base_seed: u64) -> Vec<CampaignScenario> {
     let mut grid = Vec::new();
     for churn in [ChurnRate::NONE, ChurnRate::ONE_ONE] {
         for plan in AttackPlan::ALL {
-            let mut b = ScenarioBuilder::quick(size, 8);
             let name = format!("campaign-{}-churn{}", plan.label(), churn.label());
-            b.name(name.clone())
-                .churn(churn)
-                .churn_minutes(budget as u64 + 10)
-                .snapshot_minutes(cfg.snapshot_minutes)
-                .traffic(TrafficModel {
+            let base = grid_base_scenario(
+                &name,
+                size,
+                churn,
+                None,
+                budget as u64 + 10,
+                cfg.snapshot_minutes,
+                TrafficModel {
                     lookups_per_min: cfg.lookups_per_min,
                     stores_per_min: cfg.stores_per_min,
-                })
-                .seed(crate::figures::seed_for(base_seed, &name));
-            let base = b.build();
+                },
+                base_seed,
+            );
             let start_minute = base.stabilization_minutes;
             grid.push(CampaignScenario {
                 base,
@@ -533,8 +233,8 @@ pub fn campaign_grid(scale: Scale, base_seed: u64) -> Vec<CampaignScenario> {
 }
 
 /// Runs a campaign grid through the [`MatrixRunner`] (scenario-level
-/// parallelism above the pair-level sweeps), streaming one callback per
-/// finished campaign. Outcomes return in input order.
+/// parallelism above the pair-level parallelism), streaming one callback
+/// per finished campaign. Outcomes return in input order.
 pub fn run_campaign_grid(
     runner: &MatrixRunner,
     grid: &[CampaignScenario],
@@ -566,33 +266,42 @@ pub fn campaign_figure(outcomes: &[CampaignOutcome]) -> FigureData {
 /// The campaign CSV: one row per (campaign, point) with the attacker budget
 /// spent and the resilience `r(t) = κ(t) − 1` alongside the κ series.
 pub fn campaign_csv(outcomes: &[CampaignOutcome]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::from(
-        "strategy,churn,time_min,budget_spent,honest_size,kappa_min,kappa_avg,resilience,zero_pairs\n",
-    );
+    let mut rec = Recorder::new(&[
+        "strategy",
+        "churn",
+        "time_min",
+        "budget_spent",
+        "honest_size",
+        "kappa_min",
+        "kappa_avg",
+        "resilience",
+        "zero_pairs",
+    ]);
     for outcome in outcomes {
         let strategy = outcome.scenario.plan.label();
         let churn = outcome.scenario.base.churn.label();
         for p in &outcome.points {
-            let _ = writeln!(
-                out,
-                "{strategy},{churn},{:.1},{},{},{},{:.3},{},{}",
-                p.time_min,
-                p.budget_spent,
-                p.honest_size,
-                p.report.min_connectivity,
-                p.report.avg_connectivity,
-                p.report.resilience(),
-                p.report.zero_pairs,
-            );
+            rec.row(&[
+                strategy.into(),
+                churn.clone().into(),
+                Cell::f64(p.time_min, 1),
+                p.budget_spent.into(),
+                p.honest_size.into(),
+                p.report.min_connectivity.into(),
+                Cell::f64(p.report.avg_connectivity, 3),
+                p.report.resilience().into(),
+                p.report.zero_pairs.into(),
+            ]);
         }
     }
-    out
+    rec.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use std::collections::HashSet;
 
     fn quick_campaign(plan: AttackPlan, seed: u64) -> CampaignScenario {
         let mut b = ScenarioBuilder::quick(18, 4);
@@ -645,6 +354,9 @@ mod tests {
 
     #[test]
     fn eclipse_targets_nodes_closest_to_the_key() {
+        use dessim::rng::RngFactory;
+        use kademlia::id::NodeId;
+
         let scenario = quick_campaign(AttackPlan::Eclipse, 11);
         let outcome = run_campaign(&scenario);
         // Reconstruct the key the attacker derived from the seed and check
@@ -690,111 +402,6 @@ mod tests {
         assert!(csv.contains("random,1/1"), "{}", &csv[..200.min(csv.len())]);
         let figure = campaign_figure(&outcomes);
         assert_eq!(figure.series.len(), 2);
-    }
-
-    #[test]
-    fn eclipse_reanchors_when_the_victim_churns_out() {
-        use dessim::latency::LatencyModel;
-        use dessim::time::{SimDuration, SimTime};
-        use dessim::transport::Transport;
-        use rand::SeedableRng;
-
-        // Build a small stabilized overlay by hand so we can churn the
-        // victim out between picks.
-        let config = kademlia::config::KademliaConfig::builder()
-            .bits(32)
-            .k(4)
-            .staleness_limit(1)
-            .build()
-            .expect("valid");
-        let transport = Transport::lossless(LatencyModel::Constant(SimDuration::from_millis(10)));
-        let mut net = SimNetwork::new(config, transport, 77);
-        let mut prev = None;
-        for i in 0..12 {
-            let addr = net.spawn_node();
-            net.join(addr, prev);
-            prev = Some(addr);
-            net.run_until(SimTime::from_secs((i + 1) * 10));
-        }
-        net.run_until(SimTime::from_minutes(30));
-
-        let key = NodeId::from_u64(0x5A5A_5A5A, 32);
-        let mut eclipse = EclipseState::new(key);
-        let mut targeted = HashSet::new();
-        let mut cut_queue = VecDeque::new();
-        let mut rng = SmallRng::seed_from_u64(1);
-
-        let snap = net.snapshot();
-        let first = pick_victim(
-            AttackPlan::Eclipse,
-            &net,
-            &snap,
-            &targeted,
-            &mut cut_queue,
-            &mut eclipse,
-            &mut rng,
-        )
-        .expect("victim");
-        // First pick: the honest node closest to the key, which becomes
-        // the anchored victim.
-        let expected_first = net
-            .honest_addrs()
-            .into_iter()
-            .min_by_key(|a| net.node(*a).id().distance(&key))
-            .unwrap();
-        assert_eq!(first, expected_first);
-        assert_eq!(eclipse.anchor(), key, "anchor untouched while victim lives");
-
-        // The victim churns out *without* being compromised. The next
-        // pick must re-anchor on the nearest surviving honest node — not
-        // keep grinding the stale id's neighborhood.
-        net.remove_node(first);
-        let stale_anchor = net.node(first).id();
-        let snap = net.snapshot();
-        let survivor = net
-            .honest_addrs()
-            .into_iter()
-            .min_by_key(|a| net.node(*a).id().distance(&stale_anchor))
-            .unwrap();
-        let second = pick_victim(
-            AttackPlan::Eclipse,
-            &net,
-            &snap,
-            &targeted,
-            &mut cut_queue,
-            &mut eclipse,
-            &mut rng,
-        )
-        .expect("victim");
-        assert_eq!(
-            eclipse.anchor(),
-            net.node(survivor).id(),
-            "anchor moved to the nearest surviving honest node"
-        );
-        assert_eq!(second, survivor, "and that node is the next victim");
-
-        // A victim the attacker *compromises* keeps the anchor: its
-        // neighborhood is exactly what the attack dismantles next.
-        targeted.insert(second);
-        net.compromise_node(second);
-        let anchor_before = eclipse.anchor();
-        let snap = net.snapshot();
-        let third = pick_victim(
-            AttackPlan::Eclipse,
-            &net,
-            &snap,
-            &targeted,
-            &mut cut_queue,
-            &mut eclipse,
-            &mut rng,
-        )
-        .expect("victim");
-        assert_eq!(
-            eclipse.anchor(),
-            anchor_before,
-            "compromise keeps the anchor"
-        );
-        assert_ne!(third, second, "targeted nodes are never re-picked");
     }
 
     #[test]

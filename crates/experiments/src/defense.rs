@@ -3,10 +3,11 @@
 //! The campaign engine ([`crate::campaign`]) measures how fast each attack
 //! strategy destroys `κ(t)`; the service runner ([`crate::service`])
 //! measures what that costs the overlay's users. This module closes the
-//! loop with the *defense* side of the ledger: the same live minute loop,
-//! but with a [`kad_defense`] routing-table hardening policy installed
+//! loop with the *defense* side of the ledger: the same session engine
+//! ([`crate::session`]), but with a [`kad_defense`] routing-table
+//! hardening policy installed
 //! ([`kademlia::network::SimNetwork::set_defense_policy`]) and the
-//! durability probe retrieving both over a single path and over
+//! durability-probe actor retrieving both over a single path and over
 //! `d` disjoint paths
 //! ([`kademlia::probe::DurabilityProbe::probe_round_disjoint`], the
 //! value-withholding countermeasure).
@@ -23,11 +24,6 @@
 //! per-cell `defense-summary.csv` (time-to-κ-collapse, recovery slope,
 //! attack-phase retrievability, message overhead vs the `none` baseline).
 //!
-//! The minute loop deliberately mirrors [`crate::service::run_service`]
-//! (same stream labels, same action-drawing order) with the policy and
-//! the disjoint probe woven in; behavioral changes to one loop must be
-//! mirrored in the other.
-//!
 //! # Example
 //!
 //! ```
@@ -43,24 +39,22 @@
 //! assert!(outcome.points.last().expect("points").lookup_success_rate > 0.5);
 //! ```
 
-use crate::campaign::{apply_action, pick_victim, Action, AttackPlan, EclipseState};
+use crate::attack_plan::{grid_base_scenario, strategy_label, AttackPlan};
 use crate::matrix::MatrixRunner;
 use crate::scale::Scale;
-use crate::scenario::{ChurnRate, Scenario, ScenarioBuilder, TrafficModel};
+use crate::scenario::{ChurnRate, Scenario, TrafficModel};
 use crate::service::ServiceAttack;
+use crate::session::{
+    AttackerActor, ChurnActor, JoinSchedule, MinuteActor, ProbeActor, Sampler, SessionDriver,
+    SnapshotGrid, TrafficActor, TrafficOrigins,
+};
 use dessim::metrics::Counters;
-use dessim::rng::RngFactory;
-use dessim::time::SimTime;
 use kad_defense::PolicyKind;
 use kad_resilience::{analyze_snapshot, ConnectivityReport};
-use kad_telemetry::{DefenseAction, LookupRecord, MinuteSeries, TelemetrySink, TracePurpose};
-use kademlia::id::NodeId;
-use kademlia::network::SimNetwork;
-use kademlia::probe::DurabilityProbe;
-use kademlia::NodeAddr;
-use rand::Rng;
+use kad_telemetry::{
+    Cell, DefenseAction, LookupRecord, MinuteSeries, Recorder, TelemetrySink, TracePurpose,
+};
 use std::cell::RefCell;
-use std::collections::{HashSet, VecDeque};
 use std::rc::Rc;
 
 /// A fully specified defense run: a base [`Scenario`], the hardening
@@ -110,7 +104,7 @@ impl DefenseScenario {
 
     /// Label of the attack-strategy column (`baseline` when unattacked).
     pub fn strategy_label(&self) -> &'static str {
-        self.attack.as_ref().map_or("baseline", |a| a.plan.label())
+        strategy_label(&self.attack)
     }
 }
 
@@ -227,158 +221,63 @@ impl TelemetrySink for DefenseTelemetry {
 /// scenario's seed fixes the overlay, the attacker, the probe *and* the
 /// policy (policies are deterministic functions of protocol state), so
 /// identical scenarios replay identical outcomes.
+///
+/// The body is actor wiring over [`SessionDriver`] — identical to
+/// [`crate::service::run_service`]'s composition except that the policy
+/// is installed before the run, the probe actor also runs disjoint-path
+/// retrievals, and the measurement actor reads the defense-action
+/// counters next to the service metrics.
 pub fn run_defense(scenario: &DefenseScenario) -> DefenseOutcome {
     let base = &scenario.base;
-    let factory = RngFactory::new(base.seed);
-    let mut schedule_rng = factory.stream("harness-schedule");
-    let mut choice_rng = factory.stream("harness-choices");
-    let mut target_rng = factory.stream("harness-targets");
-    let mut attacker_rng = factory.stream("attacker");
-    let mut probe_rng = factory.stream("service-probe");
-    let mut eclipse = EclipseState::new(NodeId::random(
-        &mut factory.stream("attacker-eclipse-target"),
-        base.protocol.bits,
-    ));
-
-    let transport = dessim::transport::Transport::new(
-        dessim::latency::LatencyModel::default_uniform(),
-        base.loss.to_model(),
-    );
-    let mut net = SimNetwork::new(base.protocol, transport, base.seed);
-    net.set_defense_policy(scenario.policy.build());
+    let mut driver = SessionDriver::new(base);
+    driver
+        .network_mut()
+        .set_defense_policy(scenario.policy.build());
     let sink = Rc::new(RefCell::new(DefenseTelemetry::default()));
-    net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
-    let mut probe = DurabilityProbe::new();
+    driver
+        .network_mut()
+        .set_telemetry_sink(Box::new(Rc::clone(&sink)));
 
-    let setup_ms = base.setup_minutes.max(1) * 60_000;
-    let mut join_times: Vec<u64> = (0..base.size)
-        .map(|_| schedule_rng.random_range(0..setup_ms))
-        .collect();
-    join_times.sort_unstable();
+    let mut probe = ProbeActor::new(
+        &driver,
+        scenario.objects_per_round,
+        scenario.store_every_min,
+        scenario.probe_every_min,
+        scenario.disjoint_paths,
+    );
+    let mut joins = JoinSchedule::new(&mut driver);
+    let mut churn = ChurnActor;
+    // Honest origins only — same rule (and reason) as the service
+    // runner: the success rates are honest-user service quantities.
+    let mut traffic = TrafficActor::new(TrafficOrigins::HonestOnly);
+    let mut attacker = scenario
+        .attack
+        .map(|spec| AttackerActor::new(spec, &driver));
 
-    let mut points = Vec::new();
-    let mut targeted: HashSet<NodeAddr> = HashSet::new();
-    let mut cut_queue: VecDeque<NodeAddr> = VecDeque::new();
-    let mut spent = 0usize;
-    let end_min = base.end_minutes();
-    let mut join_cursor = 0usize;
+    let analysis = base.analysis;
+    let sink_handle = Rc::clone(&sink);
     let mut window_start_min = 0u64;
-
-    for minute in 0..end_min {
-        let minute_start_ms = minute * 60_000;
-
-        // Probe rounds fire at the minute boundary, retrievals before
-        // fresh stores (same ordering rule as the service runner). Each
-        // probe round runs the single-path and the disjoint-path
-        // retrieval side by side, from independent random origins.
-        if minute >= base.setup_minutes {
-            if minute % scenario.probe_every_min.max(1) == 0 && !probe.keys().is_empty() {
-                probe.probe_round(&mut net, &mut probe_rng);
-                if scenario.disjoint_paths > 1 {
-                    probe.probe_round_disjoint(&mut net, scenario.disjoint_paths, &mut probe_rng);
-                }
-            }
-            if minute % scenario.store_every_min.max(1) == 0 {
-                probe.store_round(&mut net, scenario.objects_per_round, &mut probe_rng);
-            }
-        }
-
-        let mut actions: Vec<(u64, Action)> = Vec::new();
-        while join_cursor < join_times.len() && join_times[join_cursor] < minute_start_ms + 60_000 {
-            actions.push((join_times[join_cursor], Action::Join));
-            join_cursor += 1;
-        }
-
-        if base.churn.is_active() && minute >= base.stabilization_minutes {
-            for _ in 0..base.churn.remove_per_min {
-                actions.push((
-                    minute_start_ms + schedule_rng.random_range(0..60_000),
-                    Action::Remove,
-                ));
-            }
-            for _ in 0..base.churn.add_per_min {
-                actions.push((
-                    minute_start_ms + schedule_rng.random_range(0..60_000),
-                    Action::Join,
-                ));
-            }
-        }
-
-        // Honest origins only — same rule (and reason) as the service
-        // runner: the success rates are honest-user service quantities.
-        if let Some(traffic) = base.traffic {
-            for addr in net.honest_addrs() {
-                for _ in 0..traffic.lookups_per_min {
-                    actions.push((
-                        minute_start_ms + schedule_rng.random_range(0..60_000),
-                        Action::Lookup(addr),
-                    ));
-                }
-                for _ in 0..traffic.stores_per_min {
-                    actions.push((
-                        minute_start_ms + schedule_rng.random_range(0..60_000),
-                        Action::Store(addr),
-                    ));
-                }
-            }
-        }
-
-        if let Some(attack) = &scenario.attack {
-            if minute >= attack.start_minute && spent < attack.budget {
-                let snap = net.snapshot();
-                for _ in 0..attack.compromises_per_min {
-                    if spent >= attack.budget {
-                        break;
-                    }
-                    let Some(victim) = pick_victim(
-                        attack.plan,
-                        &net,
-                        &snap,
-                        &targeted,
-                        &mut cut_queue,
-                        &mut eclipse,
-                        &mut attacker_rng,
-                    ) else {
-                        break;
-                    };
-                    targeted.insert(victim);
-                    let at = minute_start_ms + attacker_rng.random_range(0..60_000);
-                    net.schedule_compromise(SimTime::from_millis(at), victim);
-                    spent += 1;
-                }
-            }
-        }
-
-        actions.sort_by_key(|&(t, _)| t);
-        for (t, action) in actions {
-            net.run_until(SimTime::from_millis(t));
-            apply_action(&mut net, action, base, &mut choice_rng, &mut target_rng);
-        }
-        let minute_end = SimTime::from_minutes(minute + 1);
-        net.run_until(minute_end);
-
-        let at_minute = minute + 1;
-        let attack_phase = scenario
-            .attack
-            .as_ref()
-            .is_some_and(|a| at_minute >= a.start_minute);
-        let grid = if attack_phase {
-            2
-        } else {
-            base.snapshot_minutes.max(1)
-        };
-        if at_minute % grid == 0 || at_minute == end_min {
+    let mut sampler = Sampler::new(
+        SnapshotGrid {
+            base_minutes: base.snapshot_minutes,
+            attack_start: scenario.attack.map(|a| a.start_minute),
+            attack_minutes: 2,
+        },
+        move |net, ctx| {
             let snap = net.snapshot();
-            let report = analyze_snapshot(&snap, &base.analysis);
-            let t = sink.borrow();
-            let lookups = t.lookups.range_stats(window_start_min, at_minute);
-            let retrieves = t.retrieves.range_stats(window_start_min, at_minute);
+            let report = analyze_snapshot(&snap, &analysis);
+            ctx.shared
+                .publish_kappa(ctx.at_minute, report.min_connectivity);
+            let t = sink_handle.borrow();
+            let lookups = t.lookups.range_stats(window_start_min, ctx.at_minute);
+            let retrieves = t.retrieves.range_stats(window_start_min, ctx.at_minute);
             let disjoint = t
                 .retrieves_disjoint
-                .range_stats(window_start_min, at_minute);
-            points.push(DefensePoint {
-                time_min: minute_end.as_minutes_f64(),
-                budget_spent: spent,
+                .range_stats(window_start_min, ctx.at_minute);
+            window_start_min = ctx.at_minute;
+            DefensePoint {
+                time_min: ctx.time_min,
+                budget_spent: ctx.shared.budget_spent,
                 honest_size: snap.node_count(),
                 report,
                 lookups: lookups.count,
@@ -393,16 +292,25 @@ pub fn run_defense(scenario: &DefenseScenario) -> DefenseOutcome {
                 diversity_rejects: t.action_count(DefenseAction::DiversityReject),
                 diversity_replaces: t.action_count(DefenseAction::DiversityReplace),
                 rpc_sent: net.counters().get("rpc_sent"),
-            });
-            window_start_min = at_minute;
-        }
-    }
+            }
+        },
+    );
 
+    let mut actors: Vec<&mut dyn MinuteActor> =
+        vec![&mut probe, &mut joins, &mut churn, &mut traffic];
+    if let Some(attacker) = attacker.as_mut() {
+        actors.push(attacker);
+    }
+    actors.push(&mut sampler);
+    driver.run(&mut actors);
+
+    let (net, shared) = driver.finish();
+    let counters = net.counters().clone();
     DefenseOutcome {
         scenario: scenario.clone(),
-        points,
-        budget_spent: spent,
-        counters: net.counters().clone(),
+        points: sampler.into_points(),
+        budget_spent: shared.budget_spent,
+        counters,
     }
 }
 
@@ -438,18 +346,19 @@ pub fn defense_grid(scale: Scale, base_seed: u64) -> Vec<DefenseScenario> {
                     plan.label(),
                     churn.label()
                 );
-                let mut b = ScenarioBuilder::quick(size, 8);
-                b.name(name.clone())
-                    .churn(churn)
-                    .stabilization_minutes(40)
-                    .churn_minutes(attack_minutes + recovery_minutes)
-                    .snapshot_minutes(cfg.snapshot_minutes)
-                    .traffic(TrafficModel {
+                let base = grid_base_scenario(
+                    &name,
+                    size,
+                    churn,
+                    Some(40),
+                    attack_minutes + recovery_minutes,
+                    cfg.snapshot_minutes,
+                    TrafficModel {
                         lookups_per_min: (cfg.lookups_per_min / 2).max(1),
                         stores_per_min: cfg.stores_per_min,
-                    })
-                    .seed(crate::figures::seed_for(base_seed, &name));
-                let base = b.build();
+                    },
+                    base_seed,
+                );
                 let start_minute = base.stabilization_minutes;
                 grid.push(DefenseScenario {
                     policy,
@@ -480,43 +389,60 @@ pub fn run_defense_grid(
 
 /// The aligned time-series CSV: one row per (cell, snapshot).
 pub fn defense_timeseries_csv(outcomes: &[DefenseOutcome]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::from(
-        "policy,strategy,churn,time_min,budget_spent,honest_size,kappa_min,kappa_avg,resilience,\
-         lookups,lookup_success_rate,retrieves,retrievability,retrieves_disjoint,\
-         retrievability_disjoint,probes,evictions,repairs,diversity_rejects,\
-         diversity_replaces,rpc_sent\n",
-    );
+    let mut rec = Recorder::new(&[
+        "policy",
+        "strategy",
+        "churn",
+        "time_min",
+        "budget_spent",
+        "honest_size",
+        "kappa_min",
+        "kappa_avg",
+        "resilience",
+        "lookups",
+        "lookup_success_rate",
+        "retrieves",
+        "retrievability",
+        "retrieves_disjoint",
+        "retrievability_disjoint",
+        "probes",
+        "evictions",
+        "repairs",
+        "diversity_rejects",
+        "diversity_replaces",
+        "rpc_sent",
+    ]);
     for outcome in outcomes {
         let policy = outcome.scenario.policy.label();
         let strategy = outcome.scenario.strategy_label();
         let churn = outcome.scenario.base.churn.label();
         for p in &outcome.points {
-            let _ = writeln!(
-                out,
-                "{policy},{strategy},{churn},{:.1},{},{},{},{:.3},{},{},{:.4},{},{:.4},{},{:.4},{},{},{},{},{},{}",
-                p.time_min,
-                p.budget_spent,
-                p.honest_size,
-                p.report.min_connectivity,
-                p.report.avg_connectivity,
-                p.report.resilience(),
-                p.lookups,
-                p.lookup_success_rate,
-                p.retrieves,
-                p.retrievability,
-                p.retrieves_disjoint,
-                p.retrievability_disjoint,
-                p.probes,
-                p.evictions,
-                p.repairs,
-                p.diversity_rejects,
-                p.diversity_replaces,
-                p.rpc_sent,
-            );
+            rec.row(&[
+                policy.into(),
+                strategy.into(),
+                churn.clone().into(),
+                Cell::f64(p.time_min, 1),
+                p.budget_spent.into(),
+                p.honest_size.into(),
+                p.report.min_connectivity.into(),
+                Cell::f64(p.report.avg_connectivity, 3),
+                p.report.resilience().into(),
+                p.lookups.into(),
+                Cell::f64(p.lookup_success_rate, 4),
+                p.retrieves.into(),
+                Cell::f64(p.retrievability, 4),
+                p.retrieves_disjoint.into(),
+                Cell::f64(p.retrievability_disjoint, 4),
+                p.probes.into(),
+                p.evictions.into(),
+                p.repairs.into(),
+                p.diversity_rejects.into(),
+                p.diversity_replaces.into(),
+                p.rpc_sent.into(),
+            ]);
         }
     }
-    out
+    rec.finish()
 }
 
 /// Per-cell summary row derived from one outcome (see
@@ -660,37 +586,47 @@ pub fn summarize_defense(outcomes: &[DefenseOutcome]) -> Vec<DefenseSummary> {
 
 /// The per-cell summary CSV (one row per grid cell).
 pub fn defense_summary_csv(outcomes: &[DefenseOutcome]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::from(
-        "policy,strategy,churn,kappa_pre,kappa_trough,kappa_end,minutes_to_collapse,\
-         recovery_slope,retrievability,retrievability_disjoint,rpc_sent,overhead_pct\n",
-    );
+    let mut rec = Recorder::new(&[
+        "policy",
+        "strategy",
+        "churn",
+        "kappa_pre",
+        "kappa_trough",
+        "kappa_end",
+        "minutes_to_collapse",
+        "recovery_slope",
+        "retrievability",
+        "retrievability_disjoint",
+        "rpc_sent",
+        "overhead_pct",
+    ]);
     for s in summarize_defense(outcomes) {
         let collapse = s
             .minutes_to_collapse
             .map_or("never".to_string(), |m| format!("{m:.1}"));
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{collapse},{:.3},{:.4},{:.4},{},{:.1}",
-            s.policy,
-            s.strategy,
-            s.churn,
-            s.kappa_pre,
-            s.kappa_trough,
-            s.kappa_end,
-            s.recovery_slope,
-            s.retrievability,
-            s.retrievability_disjoint,
-            s.rpc_sent,
-            s.overhead_pct,
-        );
+        rec.row(&[
+            s.policy.into(),
+            s.strategy.into(),
+            s.churn.into(),
+            s.kappa_pre.into(),
+            s.kappa_trough.into(),
+            s.kappa_end.into(),
+            collapse.into(),
+            Cell::f64(s.recovery_slope, 3),
+            Cell::f64(s.retrievability, 4),
+            Cell::f64(s.retrievability_disjoint, 4),
+            s.rpc_sent.into(),
+            Cell::f64(s.overhead_pct, 1),
+        ]);
     }
-    out
+    rec.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use std::collections::HashSet;
 
     fn quick_defense(policy: PolicyKind, attack: Option<AttackPlan>, seed: u64) -> DefenseScenario {
         let mut b = ScenarioBuilder::quick(18, 4);

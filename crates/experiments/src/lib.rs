@@ -19,20 +19,32 @@
 //!   stabilization / churn phases, applying joins, silent departures and
 //!   data traffic at random instants within each minute (Section 5.3), and
 //!   snapshotting connectivity on a fixed grid.
+//! * [`session`] — the minute-loop session engine every live workload
+//!   composes over: a [`session::SessionDriver`] owning the network and
+//!   the minute clock, running an ordered set of
+//!   [`session::MinuteActor`]s (joins, churn, traffic, attacker,
+//!   durability probe, measurement sampler).
+//! * [`attack_plan`] — the shared adversary vocabulary: victim-selection
+//!   plans, the eclipse anchor, the attack spec every live grid embeds,
+//!   and the uniform grid-cell scenario construction.
 //! * [`campaign`] — live attack campaigns: an adversary compromising nodes
 //!   *during* churn and traffic via scheduled
 //!   [`kademlia::network::SimNetwork::schedule_compromise`] events, with
 //!   the `κ(t)` / `r(t)` series per strategy; `repro campaign` runs the
 //!   grid.
-//! * [`service`] — service-level telemetry: the campaign minute loop with
-//!   the protocol's [`kad_telemetry`] sink installed and a dissemination-
+//! * [`service`] — service-level telemetry: the session engine with the
+//!   protocol's [`kad_telemetry`] sink installed and a dissemination-
 //!   durability probe, correlating `κ(t)` with lookup success rates,
 //!   hop-count distributions and retrievability; `repro service` runs the
 //!   grid.
-//! * [`defense`] — the defense side of the ledger: the campaign minute
-//!   loop with a [`kad_defense`] routing-table hardening policy installed
+//! * [`defense`] — the defense side of the ledger: the session engine
+//!   with a [`kad_defense`] routing-table hardening policy installed
 //!   and single- vs disjoint-path retrieval probes, crossing every policy
 //!   with every attack strategy and churn; `repro defend` runs the grid.
+//! * [`sweep`] — the first driver-only workload: mixed-phase campaigns
+//!   whose attacker *switches strategy mid-run* (on a clock or on the
+//!   observed κ trough), crossed with defense policies; `repro sweep`
+//!   runs the grid.
 //! * [`series`] / [`table`] / [`ascii_chart`] — figure and table data
 //!   structures with CSV and terminal renderings.
 //! * [`figures`] — the experiment registry: one entry per paper
@@ -43,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod ascii_chart;
+pub mod attack_plan;
 pub mod campaign;
 pub mod defense;
 pub mod figures;
@@ -52,9 +65,12 @@ pub mod scale;
 pub mod scenario;
 pub mod series;
 pub mod service;
+pub mod session;
+pub mod sweep;
 pub mod table;
 
-pub use campaign::{run_campaign, AttackPlan, CampaignOutcome, CampaignScenario};
+pub use attack_plan::{AttackPlan, AttackSpec};
+pub use campaign::{run_campaign, CampaignOutcome, CampaignScenario};
 pub use defense::{run_defense, DefenseOutcome, DefensePoint, DefenseScenario};
 pub use figures::{run_experiment, ExperimentId, ExperimentResult};
 pub use matrix::{MatrixRunner, SplitPolicy};
@@ -62,3 +78,5 @@ pub use runner::{run_scenario, ScenarioOutcome, SnapshotResult};
 pub use scale::Scale;
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use service::{run_service, ServiceOutcome, ServicePoint, ServiceScenario};
+pub use session::{MinuteActor, SessionDriver};
+pub use sweep::{run_sweep, SweepOutcome, SweepScenario};

@@ -95,9 +95,10 @@ enum Action {
 /// Deterministic: the scenario's `seed` fixes node ids, latencies, loss,
 /// action instants and all node/target choices.
 ///
-/// [`crate::campaign::run_campaign`] mirrors this minute loop (same stream
-/// labels, same action-drawing order) with an attacker woven in; behavioral
-/// changes to the event loop must be applied to both.
+/// The live runners (campaign/service/defense/sweep) drive the same
+/// minute-loop semantics through [`crate::session::SessionDriver`] (same
+/// stream labels, same action-drawing order); a behavioral change to this
+/// event loop must be mirrored in the session engine, and vice versa.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     let factory = RngFactory::new(scenario.seed);
     let mut schedule_rng = factory.stream("harness-schedule");

@@ -4,11 +4,11 @@
 //! The paper's connection resilience `κ(D)` is a structural proxy for the
 //! service operators actually care about — do lookups still succeed, and
 //! does disseminated data stay reachable? This module closes that gap: it
-//! drives the same minute loop as the attack campaigns
-//! ([`crate::campaign`]) with the protocol's telemetry sink installed
+//! composes the shared session engine ([`crate::session`]) with the
+//! protocol's telemetry sink installed
 //! ([`kademlia::network::SimNetwork::set_telemetry_sink`]) and a
-//! [`DurabilityProbe`] disseminating and re-retrieving objects, producing
-//! for every snapshot instant:
+//! durability-probe actor disseminating and re-retrieving objects,
+//! producing for every snapshot instant:
 //!
 //! * the connectivity report `κ(t)` / `r(t)` (the paper's axis),
 //! * the data-lookup success rate and hop statistics in the window since
@@ -21,11 +21,6 @@
 //! (plus an attack-free baseline); `repro service` runs it through the
 //! [`MatrixRunner`] and emits `service-timeseries.csv` (aligned series)
 //! and `service-hops.csv` (hop-count distributions).
-//!
-//! The minute loop deliberately mirrors [`crate::campaign::run_campaign`]
-//! (same stream labels, same action-drawing order) with the probe and the
-//! telemetry sink woven in; behavioral changes to one loop must be
-//! mirrored in the other (and in [`crate::runner::run_scenario`]).
 //!
 //! # Example
 //!
@@ -42,37 +37,22 @@
 //! assert!(!outcome.hops.is_empty(), "hop distribution collected");
 //! ```
 
-use crate::campaign::{apply_action, pick_victim, Action, AttackPlan, EclipseState};
+pub use crate::attack_plan::AttackSpec as ServiceAttack;
+use crate::attack_plan::{grid_base_scenario, strategy_label, AttackPlan};
 use crate::matrix::MatrixRunner;
 use crate::scale::Scale;
-use crate::scenario::{ChurnRate, Scenario, ScenarioBuilder, TrafficModel};
+use crate::scenario::{ChurnRate, Scenario, TrafficModel};
+use crate::session::{
+    AttackerActor, ChurnActor, JoinSchedule, MinuteActor, ProbeActor, Sampler, SessionDriver,
+    SnapshotGrid, TrafficActor, TrafficOrigins,
+};
 use dessim::metrics::Counters;
-use dessim::rng::RngFactory;
-use dessim::time::SimTime;
 use kad_resilience::{analyze_snapshot, ConnectivityReport};
-use kad_telemetry::{LogHistogram, LookupRecord, MinuteSeries, TelemetrySink, TracePurpose};
-use kademlia::id::NodeId;
-use kademlia::network::SimNetwork;
-use kademlia::probe::DurabilityProbe;
-use kademlia::NodeAddr;
-use rand::Rng;
+use kad_telemetry::{
+    Cell, LogHistogram, LookupRecord, MinuteSeries, Recorder, TelemetrySink, TracePurpose,
+};
 use std::cell::RefCell;
-use std::collections::{HashSet, VecDeque};
 use std::rc::Rc;
-
-/// The attacker of a service scenario (a subset of
-/// [`crate::campaign::CampaignScenario`]'s knobs).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ServiceAttack {
-    /// Victim-selection policy, re-planned each attack minute.
-    pub plan: AttackPlan,
-    /// Total compromises the attacker may schedule.
-    pub budget: usize,
-    /// Compromises scheduled per attack minute.
-    pub compromises_per_min: u32,
-    /// Simulated minute the attack starts.
-    pub start_minute: u64,
-}
 
 /// A fully specified service-telemetry run: a base [`Scenario`] plus the
 /// durability probe's cadence and an optional attacker.
@@ -104,15 +84,12 @@ impl ServiceScenario {
 
     /// Display name: base scenario name + attack plan (or `baseline`).
     pub fn name(&self) -> String {
-        match &self.attack {
-            Some(a) => format!("{}+{}", self.base.name, a.plan.label()),
-            None => format!("{}+baseline", self.base.name),
-        }
+        format!("{}+{}", self.base.name, self.strategy_label())
     }
 
     /// Label of the attack strategy column (`baseline` when unattacked).
     pub fn strategy_label(&self) -> &'static str {
-        self.attack.as_ref().map_or("baseline", |a| a.plan.label())
+        strategy_label(&self.attack)
     }
 }
 
@@ -160,7 +137,7 @@ pub struct ServiceOutcome {
 }
 
 /// The telemetry aggregates one run collects, shared between the sink
-/// installed in the simulator and the minute loop via `Rc<RefCell>`.
+/// installed in the simulator and the measurement actor via `Rc<RefCell>`.
 #[derive(Debug, Default)]
 struct ServiceTelemetry {
     /// Per-minute locate completions: sample 1.0 = converged, 0.0 = not.
@@ -177,7 +154,7 @@ struct ServiceTelemetry {
 
 /// Aggregation is O(1) per record; the simulator holds the recorder
 /// behind `Rc<RefCell>` (the blanket sink impl in [`kad_telemetry`]) and
-/// the minute loop keeps the other handle.
+/// the measurement actor keeps the other handle.
 impl TelemetrySink for ServiceTelemetry {
     fn on_lookup(&mut self, record: &LookupRecord) {
         let minute = record.completed_minute();
@@ -205,160 +182,59 @@ impl TelemetrySink for ServiceTelemetry {
 /// Runs a service scenario to completion. Deterministic: the base
 /// scenario's seed fixes the overlay, the attacker and the probe (labelled
 /// streams), so identical scenarios replay identical outcomes.
+///
+/// The body is actor wiring over [`SessionDriver`]: the probe actor
+/// first (retrievals before fresh stores, both before the minute's
+/// actions), then joins, churn, traffic from *honest* origins only (the
+/// success rates are honest-user service quantities and the sink cannot
+/// tell an attacker-originated lookup apart), the optional attacker, and
+/// the measurement actor holding the sink handle.
 pub fn run_service(scenario: &ServiceScenario) -> ServiceOutcome {
     let base = &scenario.base;
-    let factory = RngFactory::new(base.seed);
-    let mut schedule_rng = factory.stream("harness-schedule");
-    let mut choice_rng = factory.stream("harness-choices");
-    let mut target_rng = factory.stream("harness-targets");
-    let mut attacker_rng = factory.stream("attacker");
-    let mut probe_rng = factory.stream("service-probe");
-    let mut eclipse = EclipseState::new(NodeId::random(
-        &mut factory.stream("attacker-eclipse-target"),
-        base.protocol.bits,
-    ));
-
-    let transport = dessim::transport::Transport::new(
-        dessim::latency::LatencyModel::default_uniform(),
-        base.loss.to_model(),
-    );
-    let mut net = SimNetwork::new(base.protocol, transport, base.seed);
+    let mut driver = SessionDriver::new(base);
     let sink = Rc::new(RefCell::new(ServiceTelemetry::default()));
-    net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
-    let mut probe = DurabilityProbe::new();
+    driver
+        .network_mut()
+        .set_telemetry_sink(Box::new(Rc::clone(&sink)));
 
-    let setup_ms = base.setup_minutes.max(1) * 60_000;
-    let mut join_times: Vec<u64> = (0..base.size)
-        .map(|_| schedule_rng.random_range(0..setup_ms))
-        .collect();
-    join_times.sort_unstable();
+    let mut probe = ProbeActor::new(
+        &driver,
+        scenario.objects_per_round,
+        scenario.store_every_min,
+        scenario.probe_every_min,
+        1, // single-path retrievals only
+    );
+    let mut joins = JoinSchedule::new(&mut driver);
+    let mut churn = ChurnActor;
+    let mut traffic = TrafficActor::new(TrafficOrigins::HonestOnly);
+    let mut attacker = scenario
+        .attack
+        .map(|spec| AttackerActor::new(spec, &driver));
 
-    let mut points = Vec::new();
-    let mut targeted: HashSet<NodeAddr> = HashSet::new();
-    let mut cut_queue: VecDeque<NodeAddr> = VecDeque::new();
-    let mut spent = 0usize;
-    let end_min = base.end_minutes();
-    let mut join_cursor = 0usize;
+    let analysis = base.analysis;
+    let sink_handle = Rc::clone(&sink);
     let mut window_start_min = 0u64;
-
-    for minute in 0..end_min {
-        let minute_start_ms = minute * 60_000;
-
-        // Probe rounds fire at the minute boundary, retrievals before
-        // fresh stores so a probe never races the dissemination it just
-        // scheduled (keys stored in earlier minutes have long settled —
-        // lookups complete in simulated seconds).
-        if minute >= base.setup_minutes {
-            if minute % scenario.probe_every_min.max(1) == 0 && !probe.keys().is_empty() {
-                probe.probe_round(&mut net, &mut probe_rng);
-            }
-            if minute % scenario.store_every_min.max(1) == 0 {
-                probe.store_round(&mut net, scenario.objects_per_round, &mut probe_rng);
-            }
-        }
-
-        let mut actions: Vec<(u64, Action)> = Vec::new();
-        while join_cursor < join_times.len() && join_times[join_cursor] < minute_start_ms + 60_000 {
-            actions.push((join_times[join_cursor], Action::Join));
-            join_cursor += 1;
-        }
-
-        if base.churn.is_active() && minute >= base.stabilization_minutes {
-            for _ in 0..base.churn.remove_per_min {
-                actions.push((
-                    minute_start_ms + schedule_rng.random_range(0..60_000),
-                    Action::Remove,
-                ));
-            }
-            for _ in 0..base.churn.add_per_min {
-                actions.push((
-                    minute_start_ms + schedule_rng.random_range(0..60_000),
-                    Action::Join,
-                ));
-            }
-        }
-
-        // Traffic originates from *honest* nodes only: `lookup_success_rate`
-        // is the honest-user service quantity κ(t) is correlated against,
-        // and the sink cannot tell an attacker-originated lookup apart.
-        // (The campaign runner draws from all alive nodes — compromised
-        // ones mimic honest behavior — but it measures only κ; here the
-        // origin set *is* the metric's population.)
-        if let Some(traffic) = base.traffic {
-            for addr in net.honest_addrs() {
-                for _ in 0..traffic.lookups_per_min {
-                    actions.push((
-                        minute_start_ms + schedule_rng.random_range(0..60_000),
-                        Action::Lookup(addr),
-                    ));
-                }
-                for _ in 0..traffic.stores_per_min {
-                    actions.push((
-                        minute_start_ms + schedule_rng.random_range(0..60_000),
-                        Action::Store(addr),
-                    ));
-                }
-            }
-        }
-
-        // The attacker re-plans at the minute boundary against the current
-        // routing state (same protocol as the campaign engine).
-        if let Some(attack) = &scenario.attack {
-            if minute >= attack.start_minute && spent < attack.budget {
-                let snap = net.snapshot();
-                for _ in 0..attack.compromises_per_min {
-                    if spent >= attack.budget {
-                        break;
-                    }
-                    let Some(victim) = pick_victim(
-                        attack.plan,
-                        &net,
-                        &snap,
-                        &targeted,
-                        &mut cut_queue,
-                        &mut eclipse,
-                        &mut attacker_rng,
-                    ) else {
-                        break;
-                    };
-                    targeted.insert(victim);
-                    let at = minute_start_ms + attacker_rng.random_range(0..60_000);
-                    net.schedule_compromise(SimTime::from_millis(at), victim);
-                    spent += 1;
-                }
-            }
-        }
-
-        actions.sort_by_key(|&(t, _)| t);
-        for (t, action) in actions {
-            net.run_until(SimTime::from_millis(t));
-            apply_action(&mut net, action, base, &mut choice_rng, &mut target_rng);
-        }
-        let minute_end = SimTime::from_minutes(minute + 1);
-        net.run_until(minute_end);
-
-        let at_minute = minute + 1;
-        let attack_phase = scenario
-            .attack
-            .as_ref()
-            .is_some_and(|a| at_minute >= a.start_minute);
-        let grid = if attack_phase {
+    let mut sampler = Sampler::new(
+        SnapshotGrid {
+            base_minutes: base.snapshot_minutes,
+            attack_start: scenario.attack.map(|a| a.start_minute),
             // Denser grid during the attack so the service series resolves
             // each budget increment, like the campaign engine's.
-            2
-        } else {
-            base.snapshot_minutes.max(1)
-        };
-        if at_minute % grid == 0 || at_minute == end_min {
+            attack_minutes: 2,
+        },
+        move |net, ctx| {
             let snap = net.snapshot();
-            let report = analyze_snapshot(&snap, &base.analysis);
-            let t = sink.borrow();
-            let lookups = t.lookups.range_stats(window_start_min, at_minute);
-            let hops_window = t.hop_series.range_stats(window_start_min, at_minute);
-            let retrieves = t.retrieves.range_stats(window_start_min, at_minute);
-            points.push(ServicePoint {
-                time_min: minute_end.as_minutes_f64(),
-                budget_spent: spent,
+            let report = analyze_snapshot(&snap, &analysis);
+            ctx.shared
+                .publish_kappa(ctx.at_minute, report.min_connectivity);
+            let t = sink_handle.borrow();
+            let lookups = t.lookups.range_stats(window_start_min, ctx.at_minute);
+            let hops_window = t.hop_series.range_stats(window_start_min, ctx.at_minute);
+            let retrieves = t.retrieves.range_stats(window_start_min, ctx.at_minute);
+            window_start_min = ctx.at_minute;
+            ServicePoint {
+                time_min: ctx.time_min,
+                budget_spent: ctx.shared.budget_spent,
                 honest_size: snap.node_count(),
                 report,
                 lookups: lookups.count,
@@ -366,13 +242,22 @@ pub fn run_service(scenario: &ServiceScenario) -> ServiceOutcome {
                 hop_mean: hops_window.mean(),
                 retrieves: retrieves.count,
                 retrievability: retrieves.mean(),
-                stored_objects: probe.keys().len(),
-            });
-            window_start_min = at_minute;
-        }
-    }
+                stored_objects: ctx.shared.stored_objects,
+            }
+        },
+    );
 
+    let mut actors: Vec<&mut dyn MinuteActor> =
+        vec![&mut probe, &mut joins, &mut churn, &mut traffic];
+    if let Some(attacker) = attacker.as_mut() {
+        actors.push(attacker);
+    }
+    actors.push(&mut sampler);
+    driver.run(&mut actors);
+
+    let (net, shared) = driver.finish();
     let counters = net.counters().clone();
+    let points = sampler.into_points(); // drops the sampler's sink handle
     drop(net); // releases the simulator's sink handle
     let telemetry = Rc::try_unwrap(sink)
         .expect("simulator dropped, recorder uniquely owned")
@@ -382,7 +267,7 @@ pub fn run_service(scenario: &ServiceScenario) -> ServiceOutcome {
         points,
         hops: telemetry.hops,
         messages: telemetry.messages,
-        budget_spent: spent,
+        budget_spent: shared.budget_spent,
         counters,
     }
 }
@@ -444,17 +329,19 @@ pub fn service_grid(scale: Scale, base_seed: u64) -> Vec<ServiceScenario> {
         for plan in std::iter::once(None).chain(AttackPlan::ALL.into_iter().map(Some)) {
             let strategy = plan.map_or("baseline", |p| p.label());
             let name = format!("service-{}-churn{}", strategy, churn.label());
-            let mut b = ScenarioBuilder::quick(size, 8);
-            b.name(name.clone())
-                .churn(churn)
-                .churn_minutes(budget as u64 + 10)
-                .snapshot_minutes(cfg.snapshot_minutes)
-                .traffic(TrafficModel {
+            let base = grid_base_scenario(
+                &name,
+                size,
+                churn,
+                None,
+                budget as u64 + 10,
+                cfg.snapshot_minutes,
+                TrafficModel {
                     lookups_per_min: cfg.lookups_per_min,
                     stores_per_min: cfg.stores_per_min,
-                })
-                .seed(crate::figures::seed_for(base_seed, &name));
-            let base = b.build();
+                },
+                base_seed,
+            );
             let start_minute = base.stabilization_minutes;
             grid.push(ServiceScenario {
                 attack: plan.map(|plan| ServiceAttack {
@@ -488,63 +375,78 @@ pub fn run_service_grid(
 /// The aligned time-series CSV: κ(t) next to lookup success, hop mean and
 /// retrievability, one row per (cell, snapshot).
 pub fn service_timeseries_csv(outcomes: &[ServiceOutcome]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::from(
-        "strategy,churn,time_min,budget_spent,honest_size,kappa_min,kappa_avg,resilience,\
-         lookups,lookup_success_rate,hop_mean,retrieves,retrievability,stored_objects\n",
-    );
+    let mut rec = Recorder::new(&[
+        "strategy",
+        "churn",
+        "time_min",
+        "budget_spent",
+        "honest_size",
+        "kappa_min",
+        "kappa_avg",
+        "resilience",
+        "lookups",
+        "lookup_success_rate",
+        "hop_mean",
+        "retrieves",
+        "retrievability",
+        "stored_objects",
+    ]);
     for outcome in outcomes {
         let strategy = outcome.scenario.strategy_label();
         let churn = outcome.scenario.base.churn.label();
         for p in &outcome.points {
-            let _ = writeln!(
-                out,
-                "{strategy},{churn},{:.1},{},{},{},{:.3},{},{},{:.4},{:.3},{},{:.4},{}",
-                p.time_min,
-                p.budget_spent,
-                p.honest_size,
-                p.report.min_connectivity,
-                p.report.avg_connectivity,
-                p.report.resilience(),
-                p.lookups,
-                p.lookup_success_rate,
-                p.hop_mean,
-                p.retrieves,
-                p.retrievability,
-                p.stored_objects,
-            );
+            rec.row(&[
+                strategy.into(),
+                churn.clone().into(),
+                Cell::f64(p.time_min, 1),
+                p.budget_spent.into(),
+                p.honest_size.into(),
+                p.report.min_connectivity.into(),
+                Cell::f64(p.report.avg_connectivity, 3),
+                p.report.resilience().into(),
+                p.lookups.into(),
+                Cell::f64(p.lookup_success_rate, 4),
+                Cell::f64(p.hop_mean, 3),
+                p.retrieves.into(),
+                Cell::f64(p.retrievability, 4),
+                p.stored_objects.into(),
+            ]);
         }
     }
-    out
+    rec.finish()
 }
 
 /// The hop-count distribution CSV: one row per (cell, hop bucket), with
 /// the per-cell p50/p90/mean repeated for convenience.
 pub fn service_hops_csv(outcomes: &[ServiceOutcome]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::from("strategy,churn,hops,count,share,mean,p50,p90\n");
+    let mut rec = Recorder::new(&[
+        "strategy", "churn", "hops", "count", "share", "mean", "p50", "p90",
+    ]);
     for outcome in outcomes {
         let strategy = outcome.scenario.strategy_label();
         let churn = outcome.scenario.base.churn.label();
         let h = &outcome.hops;
         let total = h.count().max(1) as f64;
         for (hops, count) in h.iter() {
-            let _ = writeln!(
-                out,
-                "{strategy},{churn},{hops},{count},{:.4},{:.3},{},{}",
-                count as f64 / total,
-                h.mean(),
-                h.percentile(0.5),
-                h.percentile(0.9),
-            );
+            rec.row(&[
+                strategy.into(),
+                churn.clone().into(),
+                hops.into(),
+                count.into(),
+                Cell::f64(count as f64 / total, 4),
+                Cell::f64(h.mean(), 3),
+                h.percentile(0.5).into(),
+                h.percentile(0.9).into(),
+            ]);
         }
     }
-    out
+    rec.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ScenarioBuilder;
     use std::collections::HashSet;
 
     fn quick_service(attack: Option<AttackPlan>, seed: u64) -> ServiceScenario {

@@ -1,0 +1,757 @@
+//! The minute-loop session engine: one composable driver for every live
+//! workload.
+//!
+//! The paper's method is temporal — measure `κ` and `r` minute by minute
+//! while churn, traffic, attackers and defenses act on the overlay. Three
+//! runners used to hand-mirror that minute loop (campaign, service,
+//! defense), each comment-pinned to the others; this module extracts the
+//! loop once. A [`SessionDriver`] owns the [`SimNetwork`] and the minute
+//! clock and runs an ordered set of [`MinuteActor`]s; the runners shrink
+//! to actor wiring plus point assembly, and new workload shapes (the
+//! mixed-phase `repro sweep`, for one) compose from the same parts
+//! instead of cloning an 800-line loop.
+//!
+//! # Actor ordering semantics
+//!
+//! Each simulated minute the driver fires two hook rounds, both in the
+//! order actors were passed to [`SessionDriver::run`]:
+//!
+//! 1. [`MinuteActor::on_minute`] at the minute boundary. Actors may
+//!    mutate the network directly (probe rounds, scheduled compromises)
+//!    and/or push timed [`Action`]s for this minute into the shared
+//!    action list. Nothing is applied yet: an actor planning against the
+//!    network (the attacker's snapshot) sees the state at the minute
+//!    boundary regardless of what earlier actors queued.
+//! 2. The driver sorts the queued actions by timestamp (stable, so
+//!    same-instant actions keep actor order), applies each at its instant
+//!    — advancing the event kernel between them — then drains the kernel
+//!    to the minute end.
+//! 3. [`MinuteActor::at_minute_end`] with the clock at `minute + 1`.
+//!    Measurement actors sample here ([`Sampler`]).
+//!
+//! The canonical order, matching the historical runners byte for byte:
+//! probes, joins, churn, traffic, attacker, sampler.
+//!
+//! # Determinism contract
+//!
+//! Every random draw comes from a labelled [`RngFactory`] stream, and
+//! streams are independent (label-keyed, not sequential), so *which*
+//! actors are wired only affects the streams they own:
+//!
+//! * `harness-schedule` — join instants (drawn in full by
+//!   [`JoinSchedule::new`]), then churn and traffic instants in actor
+//!   order within each minute;
+//! * `harness-choices` / `harness-targets` — drawn by the driver while
+//!   applying actions, in sorted-time order;
+//! * `attacker` / `attacker-eclipse-target` — owned by the attacker
+//!   actors; `service-probe` — owned by [`ProbeActor`].
+//!
+//! Identical scenario + identical actor wiring therefore replays
+//! byte-identical outcomes, and the golden-equivalence suite pins that
+//! the ported runners reproduce the pre-refactor CSVs exactly.
+
+use crate::attack_plan::{pick_victim, AttackPlan, AttackSpec, EclipseState};
+use crate::scenario::Scenario;
+use dessim::rng::RngFactory;
+use dessim::time::SimTime;
+use kademlia::id::NodeId;
+use kademlia::network::SimNetwork;
+use kademlia::NodeAddr;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::{HashSet, VecDeque};
+
+/// Harness actions applied at random instants within a minute. Attacker
+/// compromises are *not* actions — they are scheduled through the event
+/// queue directly so they interleave with deliveries at exact simulated
+/// times.
+#[derive(Clone, Copy, Debug)]
+pub enum Action {
+    /// Spawn a node and join it through a random alive bootstrap.
+    Join,
+    /// Silently remove a random alive node.
+    Remove,
+    /// Start a data lookup from this node for a random target.
+    Lookup(NodeAddr),
+    /// Start a dissemination from this node for a random key.
+    Store(NodeAddr),
+}
+
+/// The harness RNG streams shared between the driver and the schedule
+/// actors (see the module docs for the stream map).
+#[derive(Debug)]
+pub struct HarnessRngs {
+    /// Action instants: joins, churn, traffic (`harness-schedule`).
+    pub schedule: SmallRng,
+    /// Node choices while applying actions (`harness-choices`).
+    pub choice: SmallRng,
+    /// Lookup/store targets while applying actions (`harness-targets`).
+    pub target: SmallRng,
+}
+
+/// Cross-actor state: actors publish, later actors (and the final
+/// outcome assembly) read. Extending a workload means adding a field
+/// here, not threading another `Rc<RefCell<_>>` through a hand loop.
+#[derive(Clone, Debug, Default)]
+pub struct SessionShared {
+    /// Compromises scheduled so far (the attacker's spent budget).
+    pub budget_spent: usize,
+    /// Victims in scheduling order (`(minute, addr index)`), for
+    /// audit/replay comparisons.
+    pub victims: Vec<(u64, u32)>,
+    /// Objects disseminated by the durability probe so far.
+    pub stored_objects: usize,
+    /// The most recent `κ_min` a sampler observed, as `(at_minute,
+    /// κ_min)`, if it publishes one ([`SessionShared::publish_kappa`]) —
+    /// the feedback signal phase-switching attackers trigger on. The
+    /// sample minute travels with the value so consumers can reject
+    /// stale feedback (e.g. a pre-attack snapshot).
+    pub last_kappa: Option<(u64, u64)>,
+    /// Label of the attack phase currently active (phased attackers).
+    pub attack_label: &'static str,
+    /// Phase transitions a phased attacker performed: `(minute, label of
+    /// the plan switched to)`.
+    pub phase_switches: Vec<(u64, &'static str)>,
+}
+
+impl SessionShared {
+    /// Publishes a sampler's `κ_min` observation together with the
+    /// minute it was taken at (samplers call this from their
+    /// [`MinuteActor::at_minute_end`] hook).
+    pub fn publish_kappa(&mut self, at_minute: u64, kappa_min: u64) {
+        self.last_kappa = Some((at_minute, kappa_min));
+    }
+
+    /// The latest published `κ_min` sampled strictly *after* `minute` —
+    /// `None` when the only feedback available predates it. Phased
+    /// attackers use this so a stale pre-attack (or pre-phase) snapshot
+    /// can never trigger a switch.
+    pub fn kappa_since(&self, minute: u64) -> Option<u64> {
+        self.last_kappa
+            .filter(|&(at, _)| at > minute)
+            .map(|(_, kappa)| kappa)
+    }
+}
+
+/// Context handed to [`MinuteActor::on_minute`].
+pub struct MinuteCtx<'a> {
+    /// The minute about to run (clock is at its boundary).
+    pub minute: u64,
+    /// `minute * 60_000`.
+    pub minute_start_ms: u64,
+    /// Total session length in minutes.
+    pub end_min: u64,
+    /// The base scenario (churn, traffic, phases, protocol).
+    pub base: &'a Scenario,
+    /// The shared harness streams.
+    pub rngs: &'a mut HarnessRngs,
+    /// Cross-actor state.
+    pub shared: &'a mut SessionShared,
+    /// The minute's action list; the driver sorts and applies it after
+    /// every actor ran.
+    pub actions: &'a mut Vec<(u64, Action)>,
+}
+
+/// Context handed to [`MinuteActor::at_minute_end`].
+pub struct EndCtx<'a> {
+    /// The minute that just completed (`minute + 1`; the clock is here).
+    pub at_minute: u64,
+    /// `at_minute` as fractional minutes (the series x-axis).
+    pub time_min: f64,
+    /// Total session length in minutes.
+    pub end_min: u64,
+    /// The base scenario.
+    pub base: &'a Scenario,
+    /// Cross-actor state.
+    pub shared: &'a mut SessionShared,
+}
+
+/// One composable per-minute behavior. Both hooks default to no-ops so
+/// actors implement only the phase they act in.
+pub trait MinuteActor {
+    /// Called at the minute boundary, in actor order, before any of the
+    /// minute's actions are applied.
+    fn on_minute(&mut self, _net: &mut SimNetwork, _ctx: &mut MinuteCtx<'_>) {}
+
+    /// Called after the minute's events drained, clock at `minute + 1`.
+    fn at_minute_end(&mut self, _net: &mut SimNetwork, _ctx: &mut EndCtx<'_>) {}
+}
+
+/// Owns the network, the clock and the shared streams; runs the minute
+/// loop over an ordered actor set. See the module docs for the exact
+/// per-minute phase order.
+pub struct SessionDriver<'s> {
+    base: &'s Scenario,
+    factory: RngFactory,
+    net: SimNetwork,
+    rngs: HarnessRngs,
+    shared: SessionShared,
+}
+
+impl<'s> SessionDriver<'s> {
+    /// Builds the network (transport from the scenario's loss model) and
+    /// the harness streams for `base`.
+    pub fn new(base: &'s Scenario) -> SessionDriver<'s> {
+        let factory = RngFactory::new(base.seed);
+        let transport = dessim::transport::Transport::new(
+            dessim::latency::LatencyModel::default_uniform(),
+            base.loss.to_model(),
+        );
+        let net = SimNetwork::new(base.protocol, transport, base.seed);
+        let rngs = HarnessRngs {
+            schedule: factory.stream("harness-schedule"),
+            choice: factory.stream("harness-choices"),
+            target: factory.stream("harness-targets"),
+        };
+        SessionDriver {
+            base,
+            factory,
+            net,
+            rngs,
+            shared: SessionShared::default(),
+        }
+    }
+
+    /// The scenario this session runs.
+    pub fn base(&self) -> &'s Scenario {
+        self.base
+    }
+
+    /// The labelled stream factory (actors derive their own streams from
+    /// it at wiring time).
+    pub fn factory(&self) -> &RngFactory {
+        &self.factory
+    }
+
+    /// Mutable network access for pre-run wiring: telemetry sinks,
+    /// defense policies.
+    pub fn network_mut(&mut self) -> &mut SimNetwork {
+        &mut self.net
+    }
+
+    /// The harness streams, for actor constructors that must draw from a
+    /// shared stream before the loop starts ([`JoinSchedule::new`]).
+    pub fn rngs_mut(&mut self) -> &mut HarnessRngs {
+        &mut self.rngs
+    }
+
+    /// Runs the full minute loop (`0..base.end_minutes()`) over the
+    /// actors, in order. See the module docs for phase semantics.
+    pub fn run(&mut self, actors: &mut [&mut dyn MinuteActor]) {
+        let end_min = self.base.end_minutes();
+        for minute in 0..end_min {
+            let minute_start_ms = minute * 60_000;
+            let mut actions: Vec<(u64, Action)> = Vec::new();
+            {
+                let mut ctx = MinuteCtx {
+                    minute,
+                    minute_start_ms,
+                    end_min,
+                    base: self.base,
+                    rngs: &mut self.rngs,
+                    shared: &mut self.shared,
+                    actions: &mut actions,
+                };
+                for actor in actors.iter_mut() {
+                    actor.on_minute(&mut self.net, &mut ctx);
+                }
+            }
+            // Stable sort: same-instant actions keep actor order.
+            actions.sort_by_key(|&(t, _)| t);
+            for (t, action) in actions {
+                self.net.run_until(SimTime::from_millis(t));
+                apply_action(
+                    &mut self.net,
+                    action,
+                    self.base,
+                    &mut self.rngs.choice,
+                    &mut self.rngs.target,
+                );
+            }
+            let minute_end = SimTime::from_minutes(minute + 1);
+            self.net.run_until(minute_end);
+            let mut ctx = EndCtx {
+                at_minute: minute + 1,
+                time_min: minute_end.as_minutes_f64(),
+                end_min,
+                base: self.base,
+                shared: &mut self.shared,
+            };
+            for actor in actors.iter_mut() {
+                actor.at_minute_end(&mut self.net, &mut ctx);
+            }
+        }
+    }
+
+    /// Tears the session down: the network (for counters; dropping it
+    /// releases any telemetry-sink handle) and the shared state.
+    pub fn finish(self) -> (SimNetwork, SessionShared) {
+        (self.net, self.shared)
+    }
+}
+
+/// Picks a uniformly random alive node, if any.
+pub fn random_alive(net: &SimNetwork, rng: &mut SmallRng) -> Option<NodeAddr> {
+    let alive = net.alive_addrs();
+    if alive.is_empty() {
+        None
+    } else {
+        Some(alive[rng.random_range(0..alive.len())])
+    }
+}
+
+/// Applies one [`Action`] to the network, drawing node choices and
+/// targets from the given streams.
+pub fn apply_action(
+    net: &mut SimNetwork,
+    action: Action,
+    base: &Scenario,
+    choice_rng: &mut SmallRng,
+    target_rng: &mut SmallRng,
+) {
+    match action {
+        Action::Join => {
+            let bootstrap = random_alive(net, choice_rng);
+            let addr = net.spawn_node();
+            net.join(addr, bootstrap);
+        }
+        Action::Remove => {
+            if let Some(addr) = random_alive(net, choice_rng) {
+                net.remove_node(addr);
+            }
+        }
+        Action::Lookup(addr) => {
+            // Draw the target before the liveness check (inside
+            // `start_lookup`) so the random stream stays aligned whether or
+            // not the node departed mid-minute.
+            let target = NodeId::random(target_rng, base.protocol.bits);
+            net.start_lookup(addr, target);
+        }
+        Action::Store(addr) => {
+            let key = NodeId::random(target_rng, base.protocol.bits);
+            net.start_store(addr, key);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The standard actors
+// ----------------------------------------------------------------------
+
+/// Queues the initial joins: instants uniform over the setup phase, drawn
+/// in full from the `harness-schedule` stream at construction (before any
+/// other actor draws from it — the historical stream order).
+pub struct JoinSchedule {
+    join_times: Vec<u64>,
+    cursor: usize,
+}
+
+impl JoinSchedule {
+    /// Draws the scenario's join schedule from the driver's shared
+    /// schedule stream.
+    pub fn new(driver: &mut SessionDriver<'_>) -> JoinSchedule {
+        let base = driver.base();
+        let setup_ms = base.setup_minutes.max(1) * 60_000;
+        let size = base.size;
+        let schedule = &mut driver.rngs_mut().schedule;
+        let mut join_times: Vec<u64> = (0..size)
+            .map(|_| schedule.random_range(0..setup_ms))
+            .collect();
+        join_times.sort_unstable();
+        JoinSchedule {
+            join_times,
+            cursor: 0,
+        }
+    }
+}
+
+impl MinuteActor for JoinSchedule {
+    fn on_minute(&mut self, _net: &mut SimNetwork, ctx: &mut MinuteCtx<'_>) {
+        while self.cursor < self.join_times.len()
+            && self.join_times[self.cursor] < ctx.minute_start_ms + 60_000
+        {
+            ctx.actions
+                .push((self.join_times[self.cursor], Action::Join));
+            self.cursor += 1;
+        }
+    }
+}
+
+/// Queues churn actions (removals first, then joins — the historical draw
+/// order) from the end of stabilization onward.
+pub struct ChurnActor;
+
+impl MinuteActor for ChurnActor {
+    fn on_minute(&mut self, _net: &mut SimNetwork, ctx: &mut MinuteCtx<'_>) {
+        let base = ctx.base;
+        if base.churn.is_active() && ctx.minute >= base.stabilization_minutes {
+            for _ in 0..base.churn.remove_per_min {
+                ctx.actions.push((
+                    ctx.minute_start_ms + ctx.rngs.schedule.random_range(0..60_000),
+                    Action::Remove,
+                ));
+            }
+            for _ in 0..base.churn.add_per_min {
+                ctx.actions.push((
+                    ctx.minute_start_ms + ctx.rngs.schedule.random_range(0..60_000),
+                    Action::Join,
+                ));
+            }
+        }
+    }
+}
+
+/// Which nodes originate data traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficOrigins {
+    /// Every alive node, compromised included — right when the run
+    /// measures only structural quantities (κ), since compromised nodes
+    /// mimic honest behavior (the campaign runner).
+    AllAlive,
+    /// Honest nodes only — right when lookup success rates are the
+    /// metric, because the population of origins *is* the metric's
+    /// denominator and the sink cannot tell an attacker-originated
+    /// lookup apart (the service and defense runners).
+    HonestOnly,
+}
+
+/// Queues the per-node data traffic (lookups then stores per origin, the
+/// historical draw order).
+pub struct TrafficActor {
+    origins: TrafficOrigins,
+}
+
+impl TrafficActor {
+    /// A traffic actor drawing origins from the given population.
+    pub fn new(origins: TrafficOrigins) -> TrafficActor {
+        TrafficActor { origins }
+    }
+}
+
+impl MinuteActor for TrafficActor {
+    fn on_minute(&mut self, net: &mut SimNetwork, ctx: &mut MinuteCtx<'_>) {
+        let Some(traffic) = ctx.base.traffic else {
+            return;
+        };
+        let origins = match self.origins {
+            TrafficOrigins::AllAlive => net.alive_addrs(),
+            TrafficOrigins::HonestOnly => net.honest_addrs(),
+        };
+        for addr in origins {
+            for _ in 0..traffic.lookups_per_min {
+                ctx.actions.push((
+                    ctx.minute_start_ms + ctx.rngs.schedule.random_range(0..60_000),
+                    Action::Lookup(addr),
+                ));
+            }
+            for _ in 0..traffic.stores_per_min {
+                ctx.actions.push((
+                    ctx.minute_start_ms + ctx.rngs.schedule.random_range(0..60_000),
+                    Action::Store(addr),
+                ));
+            }
+        }
+    }
+}
+
+/// The live adversary: re-plans at each attack-minute boundary against a
+/// fresh snapshot, picks victims under its [`AttackPlan`], and schedules
+/// the compromises at random instants within the minute through the
+/// event kernel. Publishes spent budget and the victim schedule into
+/// [`SessionShared`].
+pub struct AttackerActor {
+    spec: AttackSpec,
+    targeted: HashSet<NodeAddr>,
+    cut_queue: VecDeque<NodeAddr>,
+    eclipse: EclipseState,
+    rng: SmallRng,
+}
+
+impl AttackerActor {
+    /// Wires the attacker's streams (`attacker`,
+    /// `attacker-eclipse-target`) from the session factory.
+    pub fn new(spec: AttackSpec, driver: &SessionDriver<'_>) -> AttackerActor {
+        let factory = driver.factory();
+        let bits = driver.base().protocol.bits;
+        AttackerActor {
+            spec,
+            targeted: HashSet::new(),
+            cut_queue: VecDeque::new(),
+            eclipse: EclipseState::new(NodeId::random(
+                &mut factory.stream("attacker-eclipse-target"),
+                bits,
+            )),
+            rng: factory.stream("attacker"),
+        }
+    }
+
+    /// Switches the victim-selection plan in place, keeping the targeted
+    /// set, the cut queue and the eclipse anchor — the phased attackers
+    /// of `repro sweep` drive this between minutes.
+    pub fn set_plan(&mut self, plan: AttackPlan) {
+        self.spec.plan = plan;
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> AttackPlan {
+        self.spec.plan
+    }
+
+    /// The attack spec this actor was wired with (plan reflects
+    /// [`AttackerActor::set_plan`] switches).
+    pub fn spec(&self) -> &AttackSpec {
+        &self.spec
+    }
+}
+
+impl MinuteActor for AttackerActor {
+    fn on_minute(&mut self, net: &mut SimNetwork, ctx: &mut MinuteCtx<'_>) {
+        if ctx.minute < self.spec.start_minute || ctx.shared.budget_spent >= self.spec.budget {
+            return;
+        }
+        let snap = net.snapshot();
+        for _ in 0..self.spec.compromises_per_min {
+            if ctx.shared.budget_spent >= self.spec.budget {
+                break;
+            }
+            let Some(victim) = pick_victim(
+                self.spec.plan,
+                net,
+                &snap,
+                &self.targeted,
+                &mut self.cut_queue,
+                &mut self.eclipse,
+                &mut self.rng,
+            ) else {
+                break; // no honest victim left
+            };
+            self.targeted.insert(victim);
+            let at = ctx.minute_start_ms + self.rng.random_range(0..60_000);
+            net.schedule_compromise(SimTime::from_millis(at), victim);
+            ctx.shared.victims.push((ctx.minute, victim.index() as u32));
+            ctx.shared.budget_spent += 1;
+        }
+    }
+}
+
+/// The dissemination-durability probe as an actor: retrieval rounds fire
+/// at the minute boundary *before* fresh stores, so a probe never races
+/// the dissemination it just scheduled. Publishes the tracked-object
+/// count into [`SessionShared::stored_objects`].
+pub struct ProbeActor {
+    probe: kademlia::probe::DurabilityProbe,
+    rng: SmallRng,
+    objects_per_round: usize,
+    store_every_min: u64,
+    probe_every_min: u64,
+    /// Paths per disjoint retrieval; ≤ 1 disables the disjoint column.
+    disjoint_paths: usize,
+}
+
+impl ProbeActor {
+    /// Wires the probe's `service-probe` stream from the session factory.
+    pub fn new(
+        driver: &SessionDriver<'_>,
+        objects_per_round: usize,
+        store_every_min: u64,
+        probe_every_min: u64,
+        disjoint_paths: usize,
+    ) -> ProbeActor {
+        ProbeActor {
+            probe: kademlia::probe::DurabilityProbe::new(),
+            rng: driver.factory().stream("service-probe"),
+            objects_per_round,
+            store_every_min,
+            probe_every_min,
+            disjoint_paths,
+        }
+    }
+}
+
+impl MinuteActor for ProbeActor {
+    fn on_minute(&mut self, net: &mut SimNetwork, ctx: &mut MinuteCtx<'_>) {
+        if ctx.minute >= ctx.base.setup_minutes {
+            if ctx.minute.is_multiple_of(self.probe_every_min.max(1))
+                && !self.probe.keys().is_empty()
+            {
+                self.probe.probe_round(net, &mut self.rng);
+                if self.disjoint_paths > 1 {
+                    self.probe
+                        .probe_round_disjoint(net, self.disjoint_paths, &mut self.rng);
+                }
+            }
+            if ctx.minute.is_multiple_of(self.store_every_min.max(1)) {
+                self.probe
+                    .store_round(net, self.objects_per_round, &mut self.rng);
+            }
+        }
+        ctx.shared.stored_objects = self.probe.keys().len();
+    }
+}
+
+/// When snapshots are due: a base grid, optionally densified from the
+/// attack's start minute (the κ(t) series must resolve each budget
+/// increment). The final minute always samples.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotGrid {
+    /// Grid spacing outside the attack phase, in minutes.
+    pub base_minutes: u64,
+    /// Minute the dense phase starts, if any.
+    pub attack_start: Option<u64>,
+    /// Grid spacing from `attack_start` onward.
+    pub attack_minutes: u64,
+}
+
+impl SnapshotGrid {
+    /// Whether `at_minute` is a sampling instant.
+    pub fn due(&self, at_minute: u64, end_min: u64) -> bool {
+        let grid = match self.attack_start {
+            Some(start) if at_minute >= start => self.attack_minutes.max(1),
+            _ => self.base_minutes.max(1),
+        };
+        at_minute.is_multiple_of(grid) || at_minute == end_min
+    }
+}
+
+/// The measurement actor: on each due grid instant, runs the sample
+/// closure and collects its typed point. The closure gets the network
+/// (snapshots, counters) and the end-of-minute context (shared state,
+/// time axis) — sink handles and window bookkeeping live in its
+/// captures, so each runner's measurement logic stays local to it.
+pub struct Sampler<P, F>
+where
+    F: FnMut(&mut SimNetwork, &mut EndCtx<'_>) -> P,
+{
+    grid: SnapshotGrid,
+    sample: F,
+    points: Vec<P>,
+}
+
+impl<P, F> Sampler<P, F>
+where
+    F: FnMut(&mut SimNetwork, &mut EndCtx<'_>) -> P,
+{
+    /// A sampler on the given grid.
+    pub fn new(grid: SnapshotGrid, sample: F) -> Sampler<P, F> {
+        Sampler {
+            grid,
+            sample,
+            points: Vec::new(),
+        }
+    }
+
+    /// The collected series, ascending in time.
+    pub fn into_points(self) -> Vec<P> {
+        self.points
+    }
+}
+
+impl<P, F> MinuteActor for Sampler<P, F>
+where
+    F: FnMut(&mut SimNetwork, &mut EndCtx<'_>) -> P,
+{
+    fn at_minute_end(&mut self, net: &mut SimNetwork, ctx: &mut EndCtx<'_>) {
+        if self.grid.due(ctx.at_minute, ctx.end_min) {
+            let point = (self.sample)(net, ctx);
+            self.points.push(point);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ChurnRate, ScenarioBuilder};
+
+    #[test]
+    fn driver_with_join_actor_builds_the_overlay() {
+        let mut b = ScenarioBuilder::quick(10, 4);
+        b.name("session-joins").seed(3).stabilization_minutes(35);
+        let base = b.build();
+        let mut driver = SessionDriver::new(&base);
+        let mut joins = JoinSchedule::new(&mut driver);
+        let mut traffic = TrafficActor::new(TrafficOrigins::AllAlive);
+        driver.run(&mut [&mut joins, &mut traffic]);
+        let (net, shared) = driver.finish();
+        assert_eq!(net.alive_addrs().len(), 10, "every scheduled join landed");
+        assert_eq!(shared.budget_spent, 0);
+    }
+
+    #[test]
+    fn snapshot_grid_densifies_from_attack_start() {
+        let grid = SnapshotGrid {
+            base_minutes: 20,
+            attack_start: Some(40),
+            attack_minutes: 2,
+        };
+        assert!(grid.due(20, 100));
+        assert!(!grid.due(30, 100), "off-grid before the attack");
+        assert!(grid.due(42, 100), "dense during the attack");
+        assert!(!grid.due(43, 100));
+        assert!(grid.due(100, 100), "final minute always samples");
+        let no_attack = SnapshotGrid {
+            base_minutes: 20,
+            attack_start: None,
+            attack_minutes: 2,
+        };
+        assert!(!no_attack.due(42, 100));
+    }
+
+    #[test]
+    fn composed_session_replays_identically() {
+        let run = || {
+            let mut b = ScenarioBuilder::quick(12, 4);
+            b.name("session-replay")
+                .seed(9)
+                .stabilization_minutes(40)
+                .churn(ChurnRate::ONE_ONE)
+                .churn_minutes(8)
+                .snapshot_minutes(10);
+            let base = b.build();
+            let mut driver = SessionDriver::new(&base);
+            let mut joins = JoinSchedule::new(&mut driver);
+            let mut churn = ChurnActor;
+            let mut traffic = TrafficActor::new(TrafficOrigins::AllAlive);
+            let mut attacker = AttackerActor::new(
+                AttackSpec {
+                    plan: AttackPlan::Random,
+                    budget: 3,
+                    compromises_per_min: 1,
+                    start_minute: 40,
+                },
+                &driver,
+            );
+            let mut sampler = Sampler::new(
+                SnapshotGrid {
+                    base_minutes: 10,
+                    attack_start: Some(40),
+                    attack_minutes: 2,
+                },
+                |net: &mut SimNetwork, ctx: &mut EndCtx<'_>| {
+                    (
+                        ctx.at_minute,
+                        net.snapshot().node_count(),
+                        ctx.shared.budget_spent,
+                    )
+                },
+            );
+            driver.run(&mut [
+                &mut joins,
+                &mut churn,
+                &mut traffic,
+                &mut attacker,
+                &mut sampler,
+            ]);
+            let (net, shared) = driver.finish();
+            (
+                sampler.into_points(),
+                shared.victims,
+                net.counters().clone(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same wiring, same seed, same everything");
+        assert_eq!(a.1.len(), 3, "attacker spent its budget");
+    }
+}

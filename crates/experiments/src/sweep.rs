@@ -1,0 +1,594 @@
+//! Mixed-phase attack sweeps: the attacker switches strategy mid-campaign.
+//!
+//! The first workload that exists *because* of the session engine: a
+//! [`PhasedAttackerActor`] drives the shared [`AttackerActor`] through an
+//! ordered list of [`AttackPhase`]s, switching victim-selection plans on a
+//! clock or on the measured κ feedback the sampler publishes into
+//! [`SessionShared`] — e.g. eclipse a replica neighborhood until `κ_min`
+//! troughs, then finish the overlay off with min-cut-guided compromises.
+//! Under the hand-rolled minute loops this shape needed a fourth 800-line
+//! runner; here it is one actor plus grid/CSV glue.
+//!
+//! The sweep grid crosses two phase scripts with every [`kad_defense`]
+//! policy, so "does a defense that survives a *fixed* strategy also
+//! survive an adaptive one" is answerable from one CSV — the
+//! environment-crossing methodology of the companion CPS study scaled to
+//! adversaries instead of deployment parameters. `repro sweep` runs it
+//! and writes `sweep-timeseries.csv` (the κ/service series with the
+//! active phase label per row).
+//!
+//! [`SessionShared`]: crate::session::SessionShared
+
+use crate::attack_plan::{grid_base_scenario, AttackPlan, AttackSpec};
+use crate::matrix::MatrixRunner;
+use crate::scale::Scale;
+use crate::scenario::{ChurnRate, Scenario, TrafficModel};
+use crate::session::{
+    AttackerActor, ChurnActor, JoinSchedule, MinuteActor, MinuteCtx, ProbeActor, Sampler,
+    SessionDriver, SnapshotGrid, TrafficActor, TrafficOrigins,
+};
+use dessim::metrics::Counters;
+use kad_defense::PolicyKind;
+use kad_resilience::{analyze_snapshot, ConnectivityReport};
+use kad_telemetry::{Cell, LookupRecord, MinuteSeries, Recorder, TelemetrySink, TracePurpose};
+use kademlia::network::SimNetwork;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// When a phase hands over to the next one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchRule {
+    /// After this many minutes in the phase (attack minutes, counted from
+    /// phase entry).
+    AfterMinutes(u64),
+    /// When the sampler-published `κ_min` first drops below the
+    /// threshold — the "switch at the κ trough" trigger. The feedback
+    /// arrives on the snapshot grid, so the switch lands on the first
+    /// attack minute after the qualifying sample.
+    KappaBelow(u64),
+    /// Never: the terminal phase.
+    Never,
+}
+
+/// One phase of the attacker's script: a plan and the rule that ends it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttackPhase {
+    /// Victim-selection plan active during the phase.
+    pub plan: AttackPlan,
+    /// When to hand over to the next phase (ignored on the last one).
+    pub switch: SwitchRule,
+}
+
+/// Drives the shared [`AttackerActor`] through an [`AttackPhase`] script.
+/// The targeted set, the min-cut queue and the eclipse anchor persist
+/// across switches — the adversary keeps its knowledge, only its policy
+/// changes. Publishes the active plan label and every transition into
+/// the session's shared state.
+pub struct PhasedAttackerActor {
+    inner: AttackerActor,
+    phases: Vec<AttackPhase>,
+    phase_index: usize,
+    /// Minute the current phase was entered (None until the attack
+    /// starts).
+    entered_minute: Option<u64>,
+}
+
+impl PhasedAttackerActor {
+    /// Wires the attacker with the first phase's plan; `spec.plan` is
+    /// overridden by `phases[0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `phases` is empty.
+    pub fn new(spec: AttackSpec, phases: Vec<AttackPhase>, driver: &SessionDriver<'_>) -> Self {
+        assert!(!phases.is_empty(), "a phased attacker needs ≥ 1 phase");
+        let mut inner = AttackerActor::new(spec, driver);
+        inner.set_plan(phases[0].plan);
+        PhasedAttackerActor {
+            inner,
+            phases,
+            phase_index: 0,
+            entered_minute: None,
+        }
+    }
+
+    fn should_switch(&self, minute: u64, shared: &crate::session::SessionShared) -> bool {
+        let Some(entered) = self.entered_minute else {
+            return false;
+        };
+        match self.phases[self.phase_index].switch {
+            SwitchRule::Never => false,
+            SwitchRule::AfterMinutes(m) => minute - entered >= m,
+            // Only κ samples taken *after* the phase was entered count:
+            // a stale pre-attack (or pre-phase) snapshot must never
+            // trigger the trough switch.
+            SwitchRule::KappaBelow(threshold) => {
+                shared.kappa_since(entered).is_some_and(|k| k < threshold)
+            }
+        }
+    }
+}
+
+impl MinuteActor for PhasedAttackerActor {
+    fn on_minute(&mut self, net: &mut SimNetwork, ctx: &mut MinuteCtx<'_>) {
+        let attacking = ctx.minute >= self.inner.spec().start_minute;
+        if attacking {
+            if self.entered_minute.is_none() {
+                self.entered_minute = Some(ctx.minute);
+            }
+            while self.phase_index + 1 < self.phases.len()
+                && self.should_switch(ctx.minute, ctx.shared)
+            {
+                self.phase_index += 1;
+                let plan = self.phases[self.phase_index].plan;
+                self.inner.set_plan(plan);
+                self.entered_minute = Some(ctx.minute);
+                ctx.shared.phase_switches.push((ctx.minute, plan.label()));
+            }
+        }
+        ctx.shared.attack_label = self.inner.plan().label();
+        self.inner.on_minute(net, ctx);
+    }
+}
+
+/// A fully specified mixed-phase sweep cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepScenario {
+    /// The overlay scenario (size, churn, traffic, loss, protocol, seed).
+    pub base: Scenario,
+    /// The routing-table hardening policy installed during the run.
+    pub policy: PolicyKind,
+    /// Short label of the phase script (`eclipse>min-cut@trough`), the
+    /// CSV's `script` column.
+    pub script: String,
+    /// The attacker's phase script, first phase first.
+    pub phases: Vec<AttackPhase>,
+    /// Total compromises across all phases.
+    pub budget: usize,
+    /// Compromises scheduled per attack minute.
+    pub compromises_per_min: u32,
+    /// Simulated minute the attack starts.
+    pub start_minute: u64,
+    /// Objects disseminated per store round.
+    pub objects_per_round: usize,
+    /// Minutes between store rounds.
+    pub store_every_min: u64,
+    /// Minutes between retrieval probe rounds.
+    pub probe_every_min: u64,
+}
+
+impl SweepScenario {
+    /// Display name: base + script + policy.
+    pub fn name(&self) -> String {
+        format!("{}+{}+{}", self.base.name, self.script, self.policy.label())
+    }
+}
+
+/// One point of the sweep time series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Simulated minutes.
+    pub time_min: f64,
+    /// Label of the attack plan active at the snapshot.
+    pub phase: &'static str,
+    /// Compromises scheduled so far.
+    pub budget_spent: usize,
+    /// Honest alive nodes at the snapshot.
+    pub honest_size: usize,
+    /// Connectivity analysis of the honest subgraph.
+    pub report: ConnectivityReport,
+    /// Data lookups completed in the window since the previous point.
+    pub lookups: u64,
+    /// Fraction of those that converged (0 when none completed).
+    pub lookup_success_rate: f64,
+    /// Retrieval probes completed in the window.
+    pub retrieves: u64,
+    /// Fraction of those that found their object (0 when none ran).
+    pub retrievability: f64,
+}
+
+/// The result of one sweep run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepOutcome {
+    /// The scenario that ran.
+    pub scenario: SweepScenario,
+    /// Time series on the snapshot grid, ascending.
+    pub points: Vec<SweepPoint>,
+    /// Phase transitions: `(minute, label of the plan switched to)`.
+    pub phase_switches: Vec<(u64, &'static str)>,
+    /// Total compromises the attacker scheduled.
+    pub budget_spent: usize,
+    /// Protocol/transport counters accumulated over the run.
+    pub counters: Counters,
+}
+
+/// The service aggregates a sweep collects (lookup success and
+/// retrievability; hop distributions stay with the service runner).
+#[derive(Debug, Default)]
+struct SweepTelemetry {
+    lookups: MinuteSeries,
+    retrieves: MinuteSeries,
+}
+
+impl TelemetrySink for SweepTelemetry {
+    fn on_lookup(&mut self, record: &LookupRecord) {
+        let minute = record.completed_minute();
+        match record.purpose {
+            TracePurpose::Locate => {
+                let ok = record.outcome.is_success();
+                self.lookups.record(minute, if ok { 1.0 } else { 0.0 });
+            }
+            TracePurpose::Retrieve => {
+                let hit = record.outcome.is_success();
+                self.retrieves.record(minute, if hit { 1.0 } else { 0.0 });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs a mixed-phase sweep cell to completion. Deterministic like every
+/// session composition: seed + wiring fixes the replay.
+pub fn run_sweep(scenario: &SweepScenario) -> SweepOutcome {
+    let base = &scenario.base;
+    let mut driver = SessionDriver::new(base);
+    driver
+        .network_mut()
+        .set_defense_policy(scenario.policy.build());
+    let sink = Rc::new(RefCell::new(SweepTelemetry::default()));
+    driver
+        .network_mut()
+        .set_telemetry_sink(Box::new(Rc::clone(&sink)));
+
+    let mut probe = ProbeActor::new(
+        &driver,
+        scenario.objects_per_round,
+        scenario.store_every_min,
+        scenario.probe_every_min,
+        1,
+    );
+    let mut joins = JoinSchedule::new(&mut driver);
+    let mut churn = ChurnActor;
+    let mut traffic = TrafficActor::new(TrafficOrigins::HonestOnly);
+    let mut attacker = PhasedAttackerActor::new(
+        AttackSpec {
+            plan: scenario.phases[0].plan,
+            budget: scenario.budget,
+            compromises_per_min: scenario.compromises_per_min,
+            start_minute: scenario.start_minute,
+        },
+        scenario.phases.clone(),
+        &driver,
+    );
+
+    let analysis = base.analysis;
+    let sink_handle = Rc::clone(&sink);
+    let mut window_start_min = 0u64;
+    let mut sampler = Sampler::new(
+        SnapshotGrid {
+            base_minutes: base.snapshot_minutes,
+            attack_start: Some(scenario.start_minute),
+            attack_minutes: 2,
+        },
+        move |net: &mut SimNetwork, ctx: &mut crate::session::EndCtx<'_>| {
+            let snap = net.snapshot();
+            let report = analyze_snapshot(&snap, &analysis);
+            // The feedback loop: the phased attacker reads this κ to
+            // decide its trough-triggered switches.
+            ctx.shared
+                .publish_kappa(ctx.at_minute, report.min_connectivity);
+            let t = sink_handle.borrow();
+            let lookups = t.lookups.range_stats(window_start_min, ctx.at_minute);
+            let retrieves = t.retrieves.range_stats(window_start_min, ctx.at_minute);
+            window_start_min = ctx.at_minute;
+            SweepPoint {
+                time_min: ctx.time_min,
+                phase: ctx.shared.attack_label,
+                budget_spent: ctx.shared.budget_spent,
+                honest_size: snap.node_count(),
+                report,
+                lookups: lookups.count,
+                lookup_success_rate: lookups.mean(),
+                retrieves: retrieves.count,
+                retrievability: retrieves.mean(),
+            }
+        },
+    );
+
+    driver.run(&mut [
+        &mut probe,
+        &mut joins,
+        &mut churn,
+        &mut traffic,
+        &mut attacker,
+        &mut sampler,
+    ]);
+    let (net, shared) = driver.finish();
+    let counters = net.counters().clone();
+    SweepOutcome {
+        scenario: scenario.clone(),
+        points: sampler.into_points(),
+        phase_switches: shared.phase_switches,
+        budget_spent: shared.budget_spent,
+        counters,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Grid + rendering
+// ----------------------------------------------------------------------
+
+/// The two phase scripts the sweep grid crosses with every policy.
+fn phase_scripts() -> Vec<(String, Vec<AttackPhase>)> {
+    vec![
+        (
+            // Eclipse a replica neighborhood until κ_min troughs below 5,
+            // then finish with guided min-cut compromises.
+            "eclipse>min-cut@trough".to_string(),
+            vec![
+                AttackPhase {
+                    plan: AttackPlan::Eclipse,
+                    switch: SwitchRule::KappaBelow(5),
+                },
+                AttackPhase {
+                    plan: AttackPlan::MinCut,
+                    switch: SwitchRule::Never,
+                },
+            ],
+        ),
+        (
+            // Blend in as random failures for 4 attack minutes, then go
+            // after the best-connected nodes.
+            "random>highest-degree@4m".to_string(),
+            vec![
+                AttackPhase {
+                    plan: AttackPlan::Random,
+                    switch: SwitchRule::AfterMinutes(4),
+                },
+                AttackPhase {
+                    plan: AttackPlan::HighestDegree,
+                    switch: SwitchRule::Never,
+                },
+            ],
+        ),
+    ]
+}
+
+/// The grid `repro sweep` runs: both phase scripts × every [`PolicyKind`]
+/// (churn off — the adaptive attacker is the variable under test), sized
+/// like the defense grid so all 8 cells finish in seconds at bench scale.
+pub fn sweep_grid(scale: Scale, base_seed: u64) -> Vec<SweepScenario> {
+    let cfg = scale.config();
+    let size = (cfg.small_size * 3 / 4).max(12);
+    let budget = (size / 2).max(3);
+    let attack_minutes = budget as u64 / 2;
+    let recovery_minutes = 14;
+    let mut grid = Vec::new();
+    for (script, phases) in phase_scripts() {
+        for policy in PolicyKind::ALL {
+            let name = format!("sweep-{}-{}", script, policy.label());
+            let base = grid_base_scenario(
+                &name,
+                size,
+                ChurnRate::NONE,
+                Some(40),
+                attack_minutes + recovery_minutes,
+                cfg.snapshot_minutes,
+                TrafficModel {
+                    lookups_per_min: (cfg.lookups_per_min / 2).max(1),
+                    stores_per_min: cfg.stores_per_min,
+                },
+                base_seed,
+            );
+            let start_minute = base.stabilization_minutes;
+            grid.push(SweepScenario {
+                base,
+                policy,
+                script: script.clone(),
+                phases: phases.clone(),
+                budget,
+                compromises_per_min: 2,
+                start_minute,
+                objects_per_round: 4,
+                store_every_min: 8,
+                probe_every_min: 2,
+            });
+        }
+    }
+    grid
+}
+
+/// Runs a sweep grid through the [`MatrixRunner`], streaming one callback
+/// per finished cell. Outcomes return in input order.
+pub fn run_sweep_grid(
+    runner: &MatrixRunner,
+    grid: &[SweepScenario],
+    on_done: impl FnMut(usize, &SweepOutcome),
+) -> Vec<SweepOutcome> {
+    runner.run_tasks(grid, run_sweep, on_done)
+}
+
+/// The mixed-phase time-series CSV: one row per (cell, snapshot), with
+/// the active attack phase as a column.
+pub fn sweep_timeseries_csv(outcomes: &[SweepOutcome]) -> String {
+    let mut rec = Recorder::new(&[
+        "script",
+        "policy",
+        "churn",
+        "time_min",
+        "phase",
+        "budget_spent",
+        "honest_size",
+        "kappa_min",
+        "kappa_avg",
+        "resilience",
+        "lookups",
+        "lookup_success_rate",
+        "retrieves",
+        "retrievability",
+    ]);
+    for outcome in outcomes {
+        let policy = outcome.scenario.policy.label();
+        let churn = outcome.scenario.base.churn.label();
+        for p in &outcome.points {
+            rec.row(&[
+                outcome.scenario.script.clone().into(),
+                policy.into(),
+                churn.clone().into(),
+                Cell::f64(p.time_min, 1),
+                p.phase.into(),
+                p.budget_spent.into(),
+                p.honest_size.into(),
+                p.report.min_connectivity.into(),
+                Cell::f64(p.report.avg_connectivity, 3),
+                p.report.resilience().into(),
+                p.lookups.into(),
+                Cell::f64(p.lookup_success_rate, 4),
+                p.retrieves.into(),
+                Cell::f64(p.retrievability, 4),
+            ]);
+        }
+    }
+    rec.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+
+    fn quick_sweep(phases: Vec<AttackPhase>, seed: u64) -> SweepScenario {
+        let mut b = ScenarioBuilder::quick(18, 4);
+        b.name("test-sweep")
+            .seed(seed)
+            .stabilization_minutes(40)
+            .churn_minutes(14)
+            .snapshot_minutes(20);
+        SweepScenario {
+            base: b.build(),
+            policy: PolicyKind::None,
+            script: "test".to_string(),
+            phases,
+            budget: 8,
+            compromises_per_min: 2,
+            start_minute: 40,
+            objects_per_round: 3,
+            store_every_min: 5,
+            probe_every_min: 2,
+        }
+    }
+
+    #[test]
+    fn clock_switch_fires_and_is_recorded() {
+        let outcome = run_sweep(&quick_sweep(
+            vec![
+                AttackPhase {
+                    plan: AttackPlan::Random,
+                    switch: SwitchRule::AfterMinutes(2),
+                },
+                AttackPhase {
+                    plan: AttackPlan::HighestDegree,
+                    switch: SwitchRule::Never,
+                },
+            ],
+            7,
+        ));
+        assert_eq!(
+            outcome.phase_switches.len(),
+            1,
+            "{:?}",
+            outcome.phase_switches
+        );
+        let (minute, label) = outcome.phase_switches[0];
+        assert_eq!(label, "highest-degree");
+        assert_eq!(minute, 42, "2 attack minutes after start 40");
+        // Both phase labels appear in the series.
+        let phases: std::collections::HashSet<&str> =
+            outcome.points.iter().map(|p| p.phase).collect();
+        assert!(phases.contains("random"), "{phases:?}");
+        assert!(phases.contains("highest-degree"), "{phases:?}");
+        assert_eq!(outcome.budget_spent, 8);
+    }
+
+    #[test]
+    fn kappa_trough_switch_reacts_to_the_measured_series() {
+        // A threshold above any possible κ switches on the very first
+        // post-attack-start sample.
+        let outcome = run_sweep(&quick_sweep(
+            vec![
+                AttackPhase {
+                    plan: AttackPlan::Random,
+                    switch: SwitchRule::KappaBelow(u64::MAX),
+                },
+                AttackPhase {
+                    plan: AttackPlan::MinCut,
+                    switch: SwitchRule::Never,
+                },
+            ],
+            9,
+        ));
+        assert_eq!(outcome.phase_switches.len(), 1);
+        assert_eq!(outcome.phase_switches[0].1, "min-cut");
+        // An unreachable threshold never switches.
+        let stay = run_sweep(&quick_sweep(
+            vec![
+                AttackPhase {
+                    plan: AttackPlan::Random,
+                    switch: SwitchRule::KappaBelow(0),
+                },
+                AttackPhase {
+                    plan: AttackPlan::MinCut,
+                    switch: SwitchRule::Never,
+                },
+            ],
+            9,
+        ));
+        assert!(stay.phase_switches.is_empty(), "{:?}", stay.phase_switches);
+        assert!(stay.points.iter().all(|p| p.phase != "min-cut"));
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let phases = vec![
+            AttackPhase {
+                plan: AttackPlan::Eclipse,
+                switch: SwitchRule::KappaBelow(3),
+            },
+            AttackPhase {
+                plan: AttackPlan::MinCut,
+                switch: SwitchRule::Never,
+            },
+        ];
+        let a = run_sweep(&quick_sweep(phases.clone(), 11));
+        let b = run_sweep(&quick_sweep(phases, 11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_covers_scripts_and_policies_and_csv_renders() {
+        let grid = sweep_grid(Scale::Bench, 5);
+        assert_eq!(grid.len(), 8, "2 scripts × 4 policies");
+        let mut seeds: Vec<u64> = grid.iter().map(|c| c.base.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8, "unique seed per cell");
+        // Smoke-run the two none-policy cells and render.
+        let sample: Vec<SweepScenario> = grid
+            .into_iter()
+            .filter(|c| c.policy == PolicyKind::None)
+            .collect();
+        assert_eq!(sample.len(), 2);
+        let mut done = 0usize;
+        let outcomes = run_sweep_grid(&MatrixRunner::new().scenario_threads(2), &sample, |_, _| {
+            done += 1;
+        });
+        assert_eq!(done, 2);
+        let csv = sweep_timeseries_csv(&outcomes);
+        assert!(csv.starts_with("script,policy,churn,time_min,phase"));
+        assert!(
+            csv.contains("eclipse>min-cut@trough,none"),
+            "{}",
+            &csv[..300.min(csv.len())]
+        );
+    }
+}

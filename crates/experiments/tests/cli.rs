@@ -25,7 +25,7 @@ fn unknown_subcommand_lists_the_registry_and_exits_2() {
     // Every registered subcommand appears in the error message, the grid
     // workloads included.
     for subcommand in [
-        "all", "matrix", "campaign", "service", "defend", "tab1", "fig2", "sampling",
+        "all", "matrix", "campaign", "service", "defend", "sweep", "tab1", "fig2", "sampling",
     ] {
         assert!(
             stderr.contains(subcommand),
@@ -41,6 +41,7 @@ fn missing_experiment_prints_usage_and_exits_2() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("usage: repro"), "{stderr}");
     assert!(stderr.contains("service"), "usage lists service: {stderr}");
+    assert!(stderr.contains("sweep"), "usage lists sweep: {stderr}");
 }
 
 #[test]

@@ -18,6 +18,9 @@
 //!   install a sink pay one `Option` discriminant check per lookup.
 //! * [`timeseries::MinuteSeries`] — windowed aggregation keyed by simulated
 //!   minute, with the same merge-for-parallel-runners contract.
+//! * [`recorder::Recorder`] — schema-checked CSV emission: column names
+//!   declared once, every row typed and arity-checked against them, so the
+//!   header and the rows of an experiment's output can never drift apart.
 //!
 //! The crate is dependency-free (std only) on purpose: the instruments sit
 //! on the lookup hot path, and keeping them self-contained makes the
@@ -28,10 +31,12 @@
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod recorder;
 pub mod timeseries;
 pub mod trace;
 
 pub use histogram::LogHistogram;
+pub use recorder::{Cell, Recorder};
 pub use timeseries::{MinuteSeries, WindowStats};
 pub use trace::{
     DefenseAction, LookupOutcome, LookupRecord, NoopSink, TelemetrySink, TracePurpose, VecSink,

@@ -1,0 +1,170 @@
+//! Typed CSV emission: one writer, per-run column schemas.
+//!
+//! Every experiment runner emits one or more CSV files whose rows pair a
+//! handful of label columns with numeric series. Before this module each
+//! runner hand-rolled its own `String` + `writeln!` pair, which meant the
+//! header and the row format string could silently drift apart (a column
+//! added to one but not the other compiles fine and corrupts the CSV).
+//! [`Recorder`] closes that hole: a run declares its schema once as a
+//! column-name slice, and every row is a typed [`Cell`] slice checked
+//! against that schema — a row with the wrong arity panics at the emission
+//! site instead of producing a misaligned file.
+//!
+//! Formatting is part of the schema contract: [`Cell`] renders exactly like
+//! the `format!` specifiers the hand-rolled writers used (`{}` for integers
+//! and strings, `{:.prec$}` for floats), so porting a writer onto the
+//! recorder is byte-identical for the same data. The golden-equivalence
+//! suite in `kad_experiments` pins that property.
+//!
+//! # Example
+//!
+//! ```
+//! use kad_telemetry::recorder::{Cell, Recorder};
+//!
+//! let mut rec = Recorder::new(&["strategy", "time_min", "kappa_min"]);
+//! rec.row(&["eclipse".into(), Cell::f64(12.0, 1), 3u64.into()]);
+//! assert_eq!(rec.finish(), "strategy,time_min,kappa_min\neclipse,12.0,3\n");
+//! ```
+
+use std::fmt;
+
+/// One typed CSV cell. Integers and strings render as `{}`; floats carry
+/// their precision so `{:.prec$}` formatting travels with the value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// A label column (strategy, churn, policy, …) or a pre-rendered
+    /// special value such as `never`.
+    Text(String),
+    /// An unsigned integer, rendered as `{}`.
+    U64(u64),
+    /// A float with an explicit decimal precision, rendered `{:.prec$}`.
+    F64 {
+        /// The value.
+        value: f64,
+        /// Decimal places.
+        precision: usize,
+    },
+}
+
+impl Cell {
+    /// A float cell with `precision` decimal places.
+    pub fn f64(value: f64, precision: usize) -> Cell {
+        Cell::F64 { value, precision }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Text(s) => f.write_str(s),
+            Cell::U64(v) => write!(f, "{v}"),
+            Cell::F64 { value, precision } => write!(f, "{value:.precision$}"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Text(s)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Cell {
+        Cell::U64(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Cell {
+        Cell::U64(v as u64)
+    }
+}
+
+impl From<u32> for Cell {
+    fn from(v: u32) -> Cell {
+        Cell::U64(u64::from(v))
+    }
+}
+
+/// A schema-checked CSV writer: header emitted from the column list, every
+/// row validated against it.
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    columns: usize,
+    out: String,
+}
+
+impl Recorder {
+    /// Starts a CSV with the given column names as its header line.
+    pub fn new(columns: &[&str]) -> Recorder {
+        let mut out = columns.join(",");
+        out.push('\n');
+        Recorder {
+            columns: columns.len(),
+            out,
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count does not match the schema — the bug the
+    /// recorder exists to catch at the emission site.
+    pub fn row(&mut self, cells: &[Cell]) {
+        use fmt::Write as _;
+        assert_eq!(
+            cells.len(),
+            self.columns,
+            "row arity does not match the declared schema"
+        );
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{cell}");
+        }
+        self.out.push('\n');
+    }
+
+    /// The finished CSV (header + rows, trailing newline).
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_format_like_the_hand_rolled_writers() {
+        assert_eq!(Cell::f64(0.5, 3).to_string(), format!("{:.3}", 0.5));
+        assert_eq!(Cell::f64(120.0, 1).to_string(), format!("{:.1}", 120.0));
+        assert_eq!(Cell::from(7u64).to_string(), format!("{}", 7u64));
+        assert_eq!(Cell::from(7usize).to_string(), format!("{}", 7usize));
+        assert_eq!(Cell::from("1/1").to_string(), "1/1");
+    }
+
+    #[test]
+    fn header_and_rows_round_trip() {
+        let mut rec = Recorder::new(&["a", "b"]);
+        rec.row(&[Cell::from(1u64), Cell::f64(2.25, 2)]);
+        rec.row(&["x".into(), Cell::from(0u64)]);
+        assert_eq!(rec.finish(), "a,b\n1,2.25\nx,0\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut rec = Recorder::new(&["a", "b"]);
+        rec.row(&[Cell::from(1u64)]);
+    }
+}
