@@ -1,14 +1,24 @@
-//! Campaign cost: incremental dirty-pair recomputation vs naive per-step
-//! full re-sweeps.
+//! Campaign cost: the batched incremental tracker vs the per-pair
+//! incremental baseline vs naive per-step full re-sweeps.
 //!
 //! A `T`-step attack campaign needs the exact survivor connectivity after
 //! every removal. The naive approach re-runs the full non-adjacent-pair
 //! sweep `T` times; the incremental tracker re-solves only the pairs whose
-//! recorded flow witness used the removed vertex. Both paths produce
-//! byte-identical results (asserted here against each other and tested in
+//! recorded flow witness used the removed vertex. On top of that, the
+//! batched engine shares BFS level graphs across same-source pairs in the
+//! initial sweep, skips dirty-pair re-solves whose replayed flow already
+//! attains the alive-degree bound (without touching the network at all),
+//! stops surviving probes after one augmenting path, and reuses the
+//! replayed decomposition instead of re-tracing it when the flow did not
+//! change. All three paths produce byte-identical results (asserted here
+//! against each other and tested in
 //! `kad_resilience::attack::incremental`); this bench quantifies the
-//! speedup on Bench-preset-sized overlay graphs and prints the flow-solve
-//! counts behind it.
+//! speedups on Bench-preset-sized overlay graphs and prints the
+//! flow-solve counts behind them.
+//!
+//! `batched_campaign` vs `incremental_campaign` measures the attack-phase
+//! cost (prebuilt tracker, one clone + the full victim schedule per
+//! iteration); `*_initial_sweep` measures the one-off construction.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kad_bench::support::overlay_graph;
@@ -59,42 +69,115 @@ fn bench_campaign(c: &mut Criterion) {
         let victims = victim_schedule(&g, budget, 17);
         assert_eq!(victims.len(), budget);
 
-        // One-off instrumentation: count flow solves on both paths and
-        // assert they agree on every step's κ.
+        // One-off instrumentation: count flow solves on every path and
+        // assert all three agree on every step's κ.
         {
-            let mut tracker = IncrementalConnectivity::new(&g);
-            let initial_flows = tracker.flows_computed();
+            let t = std::time::Instant::now();
+            let mut batched = IncrementalConnectivity::new(&g);
+            let batched_init_time = t.elapsed();
+            let t = std::time::Instant::now();
+            let mut per_pair = IncrementalConnectivity::with_engine(&g, false);
+            let per_pair_init_time = t.elapsed();
+            println!("  init sweep: batched {batched_init_time:.2?} vs per-pair {per_pair_init_time:.2?}");
+            let batched_initial = batched.flows_computed();
+            let per_pair_initial = per_pair.flows_computed();
             let mut removed = HashSet::new();
             for &v in &victims {
-                tracker.remove(v).expect("victim alive");
+                batched.remove(v).expect("victim alive");
+                per_pair.remove(v).expect("victim alive");
                 removed.insert(v);
+                let min = full_resweep(&g, &removed);
                 assert_eq!(
-                    tracker.summary().min,
-                    full_resweep(&g, &removed),
-                    "incremental diverged from full re-sweep"
+                    batched.summary().min,
+                    min,
+                    "batched incremental diverged from full re-sweep"
+                );
+                assert_eq!(
+                    per_pair.summary().min,
+                    min,
+                    "per-pair incremental diverged from full re-sweep"
                 );
             }
-            let step_flows = tracker.flows_computed() - initial_flows;
+            let batched_steps = batched.flows_computed() - batched_initial;
+            let per_pair_steps = per_pair.flows_computed() - per_pair_initial;
             println!(
-                "  n={n} k={k} budget={budget}: initial sweep {initial_flows} flows, \
-                 {step_flows} incremental re-solves over {budget} steps \
-                 (naive would re-solve ≈ {} flows)",
-                initial_flows as usize * budget
+                "  n={n} k={k} budget={budget}: initial sweep {batched_initial} flows, \
+                 {batched_steps} batched vs {per_pair_steps} per-pair re-solves over \
+                 {budget} steps (naive would re-solve ≈ {} flows)",
+                per_pair_initial as usize * budget
+            );
+            let built = IncrementalConnectivity::new(&g);
+            let t = std::time::Instant::now();
+            let clone = built.clone();
+            let clone_time = t.elapsed();
+            let mut stepper = built.clone();
+            let t = std::time::Instant::now();
+            for &v in &victims {
+                stepper.remove(v).expect("victim alive");
+                std::hint::black_box(stepper.summary().min);
+            }
+            println!(
+                "  clone {clone_time:.2?}, batched steps {:.2?} ({} alive)",
+                t.elapsed(),
+                clone.alive()
             );
         }
 
+        // Attack-phase cost: a live campaign builds the tracker once during
+        // stabilization, then consumes one removal per simulated minute —
+        // the per-step path is what the session engine pays. Each iteration
+        // clones the prebuilt tracker (a memcpy, ~1% of the loop) and runs
+        // the full victim schedule.
+        let batched_base = IncrementalConnectivity::new(&g);
+        let per_pair_base = IncrementalConnectivity::with_engine(&g, false);
+
         group.bench_with_input(
-            BenchmarkId::new("incremental_campaign", format!("n{n}-T{budget}")),
-            &g,
-            |bencher, g| {
+            BenchmarkId::new("batched_campaign", format!("n{n}-T{budget}")),
+            &batched_base,
+            |bencher, base| {
                 bencher.iter(|| {
-                    let mut tracker = IncrementalConnectivity::new(g);
+                    let mut tracker = base.clone();
                     let mut series = Vec::with_capacity(victims.len());
                     for &v in &victims {
                         tracker.remove(v).expect("victim alive");
                         series.push(tracker.summary().min);
                     }
                     black_box(series)
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental_campaign", format!("n{n}-T{budget}")),
+            &per_pair_base,
+            |bencher, base| {
+                bencher.iter(|| {
+                    let mut tracker = base.clone();
+                    let mut series = Vec::with_capacity(victims.len());
+                    for &v in &victims {
+                        tracker.remove(v).expect("victim alive");
+                        series.push(tracker.summary().min);
+                    }
+                    black_box(series)
+                });
+            },
+        );
+
+        // Construction cost (the initial full sweep), batched vs per-pair —
+        // kept separate so the one-off setup does not drown the live path.
+        group.bench_with_input(
+            BenchmarkId::new("batched_initial_sweep", format!("n{n}")),
+            &g,
+            |bencher, g| {
+                bencher.iter(|| black_box(IncrementalConnectivity::new(g).summary().min));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_pair_initial_sweep", format!("n{n}")),
+            &g,
+            |bencher, g| {
+                bencher.iter(|| {
+                    black_box(IncrementalConnectivity::with_engine(g, false).summary().min)
                 });
             },
         );

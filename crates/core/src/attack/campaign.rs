@@ -245,7 +245,7 @@ impl Campaign {
             victim,
             survivors: self.tracker.alive(),
             kappa_min: summary.min,
-            kappa_avg: summary.avg,
+            kappa_avg: summary.avg.expect("tracker computes full flow values"),
             zero_pairs: summary.zero_pairs,
             pairs_reevaluated: stats.pairs_reevaluated,
         })

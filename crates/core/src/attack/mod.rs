@@ -42,7 +42,7 @@ pub mod campaign;
 pub mod incremental;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignOutcome, CampaignStep, CampaignStrategy};
-pub use incremental::{IncrementalConnectivity, RemovalStats};
+pub use incremental::{IncrementalConnectivity, InsertionStats, RemovalStats};
 
 use crate::graph::exact_connectivity;
 use crate::AnalysisConfig;
@@ -95,6 +95,8 @@ pub enum AttackError {
     VertexOutOfRange(u32),
     /// The vertex was already removed earlier in the campaign.
     AlreadyRemoved(u32),
+    /// The vertex is alive, so it cannot be restored.
+    NotRemoved(u32),
 }
 
 impl fmt::Display for AttackError {
@@ -115,6 +117,7 @@ impl fmt::Display for AttackError {
             }
             AttackError::VertexOutOfRange(v) => write!(f, "vertex {v} out of range"),
             AttackError::AlreadyRemoved(v) => write!(f, "vertex {v} already removed"),
+            AttackError::NotRemoved(v) => write!(f, "vertex {v} is alive, nothing to restore"),
         }
     }
 }

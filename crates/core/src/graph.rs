@@ -71,14 +71,10 @@ pub fn has_connectivity_at_least(g: &DiGraph, threshold: u64, config: &AnalysisC
         // κ(D) ≤ min degree for non-complete graphs.
         return false;
     }
-    let solver = config.solver;
-    let mut even = flowgraph::even::EvenNetwork::from_graph(g);
-    let mut workspace = flowgraph::maxflow::FlowWorkspace::for_network(even.network());
+    let mut eval = crate::pair::PairEvaluator::new(g, config.solver).with_batching(config.batched);
     for v in 0..n as u32 {
         for w in 0..n as u32 {
-            if let Some(flow) =
-                even.vertex_connectivity_with(&solver, v, w, Some(threshold), &mut workspace)
-            {
+            if let Some(flow) = eval.connectivity(v, w, Some(threshold)) {
                 if flow < threshold {
                     return false;
                 }

@@ -80,6 +80,14 @@ pub struct AnalysisConfig {
     pub use_cutoff: bool,
     /// Compute pair flows on rayon worker threads.
     pub parallel: bool,
+    /// Route pair flows through the batched shared-source Dinic engine
+    /// (`flowgraph::maxflow::BatchedDinic`): one clean-network BFS level
+    /// graph per source is reused across every target, and a capacity-bound
+    /// early exit skips the final certifying BFS on bound-attaining pairs.
+    /// Values are exact either way — this is purely a speed lever, enabled
+    /// by default and only honored for the Dinic solver. Disable to measure
+    /// the per-pair baseline.
+    pub batched: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -90,6 +98,7 @@ impl Default for AnalysisConfig {
             min_sources: 8,
             use_cutoff: false,
             parallel: true,
+            batched: true,
         }
     }
 }
@@ -146,5 +155,12 @@ mod tests {
     fn min_only_enables_cutoff() {
         assert!(AnalysisConfig::min_only().use_cutoff);
         assert!(!AnalysisConfig::paper_sampled().use_cutoff);
+    }
+
+    #[test]
+    fn batched_engine_is_the_default() {
+        assert!(AnalysisConfig::default().batched);
+        assert!(AnalysisConfig::exact().batched);
+        assert!(AnalysisConfig::min_only().batched);
     }
 }

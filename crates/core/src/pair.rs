@@ -2,7 +2,7 @@
 
 use crate::solver::SolverKind;
 use flowgraph::even::{EdgeCapacity, EvenNetwork};
-use flowgraph::maxflow::FlowWorkspace;
+use flowgraph::maxflow::{BatchedDinic, FlowWorkspace};
 use flowgraph::DiGraph;
 use std::sync::Arc;
 
@@ -41,11 +41,15 @@ pub fn pair_connectivity(g: &DiGraph, v: u32, w: u32, solver: SolverKind) -> Opt
 pub struct PairEvaluator {
     even: EvenNetwork,
     solver: SolverKind,
+    /// Present when the batched shared-source engine drives the flows
+    /// (Dinic only); `None` falls back to the per-pair trait solvers.
+    batched: Option<BatchedDinic>,
     workspace: FlowWorkspace,
 }
 
 impl PairEvaluator {
-    /// Builds the evaluator for a graph.
+    /// Builds the evaluator for a graph. Dinic evaluators default to the
+    /// batched shared-source engine; see [`PairEvaluator::with_batching`].
     pub fn new(g: &DiGraph, solver: SolverKind) -> Self {
         Self::from_shared(Arc::new(g.clone()), solver)
     }
@@ -55,11 +59,28 @@ impl PairEvaluator {
     pub fn from_shared(g: Arc<DiGraph>, solver: SolverKind) -> Self {
         let even = EvenNetwork::from_shared(g, EdgeCapacity::Unit);
         let workspace = FlowWorkspace::for_network(even.network());
+        let batched = match solver {
+            SolverKind::Dinic => Some(BatchedDinic::new()),
+            _ => None,
+        };
         PairEvaluator {
             even,
             solver,
+            batched,
             workspace,
         }
+    }
+
+    /// Enables or disables the batched shared-source engine (only effective
+    /// for the Dinic solver — the other solvers always run per-pair).
+    /// κ values are identical either way; `false` is the measurement
+    /// baseline for the `perf_kappa` bench.
+    pub fn with_batching(mut self, batched: bool) -> Self {
+        self.batched = match (batched, self.solver) {
+            (true, SolverKind::Dinic) => Some(BatchedDinic::new()),
+            _ => None,
+        };
+        self
     }
 
     /// The solver this evaluator runs.
@@ -70,8 +91,33 @@ impl PairEvaluator {
     /// `κ(v, w)`, or `None` for adjacent/equal pairs. With a cutoff the
     /// result may be any certified lower bound `>= cutoff`.
     pub fn connectivity(&mut self, v: u32, w: u32, cutoff: Option<u64>) -> Option<u64> {
-        self.even
-            .vertex_connectivity_with(&self.solver, v, w, cutoff, &mut self.workspace)
+        let Some(engine) = self.batched.as_mut() else {
+            return self.even.vertex_connectivity_with(
+                &self.solver,
+                v,
+                w,
+                cutoff,
+                &mut self.workspace,
+            );
+        };
+        let n = self.even.original_node_count() as u32;
+        assert!(v < n && w < n, "vertex out of range");
+        let graph = self.even.graph();
+        if v == w || graph.has_edge(v, w) {
+            return None;
+        }
+        // κ(v, w) ≤ min(outdeg(v), indeg(w)) on the unit Even network —
+        // tighter than the generic capacity-bound scan and free to compute.
+        let bound = (graph.out_degree(v) as u64).min(graph.in_degree(w) as u64);
+        let (s, t) = (EvenNetwork::out_vertex(v), EvenNetwork::in_vertex(w));
+        Some(engine.max_flow_bounded(
+            self.even.network_mut(),
+            s,
+            t,
+            cutoff,
+            Some(bound),
+            &mut self.workspace,
+        ))
     }
 }
 

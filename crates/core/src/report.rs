@@ -18,7 +18,9 @@ pub struct ConnectivityReport {
     /// strongly connected).
     pub min_connectivity: u64,
     /// Mean connectivity over the evaluated pairs — the "Avg" curves.
-    pub avg_connectivity: f64,
+    /// `None` when the sweep ran with cutoff pruning, whose per-pair values
+    /// are lower bounds with no meaningful mean.
+    pub avg_connectivity: Option<f64>,
     /// Whether the graph was strongly connected.
     pub strongly_connected: bool,
     /// Nodes outside the largest strongly connected component — the
@@ -57,13 +59,17 @@ impl ConnectivityReport {
 
 impl fmt::Display for ConnectivityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let avg = match self.avg_connectivity {
+            Some(v) => format!("{v:.2}"),
+            None => "n/a".to_string(),
+        };
         write!(
             f,
-            "n={} m={} κ_min={} κ_avg={:.2} resilience={}{}",
+            "n={} m={} κ_min={} κ_avg={} resilience={}{}",
             self.node_count,
             self.edge_count,
             self.min_connectivity,
-            self.avg_connectivity,
+            avg,
             self.resilience(),
             if self.strongly_connected {
                 ""
@@ -83,7 +89,7 @@ mod tests {
             node_count: 10,
             edge_count: 40,
             min_connectivity: min,
-            avg_connectivity: 5.0,
+            avg_connectivity: Some(5.0),
             strongly_connected: min > 0,
             disconnected_nodes: 0,
             reciprocity: 1.0,
@@ -109,5 +115,13 @@ mod tests {
     fn display_mentions_disconnection() {
         assert!(!report(3).to_string().contains("not strongly"));
         assert!(report(0).to_string().contains("not strongly connected"));
+    }
+
+    #[test]
+    fn display_handles_unknown_average() {
+        let mut r = report(3);
+        assert!(r.to_string().contains("κ_avg=5.00"));
+        r.avg_connectivity = None;
+        assert!(r.to_string().contains("κ_avg=n/a"));
     }
 }

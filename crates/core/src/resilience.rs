@@ -40,6 +40,25 @@ pub fn tolerates(kappa: u64, attackers: u64) -> bool {
     kappa > attackers
 }
 
+/// Measures a graph's resilience directly: Equation 2 applied to the exact
+/// `κ(D)` computed by [`crate::graph::exact_connectivity`] — which routes
+/// its pair flows through the batched shared-source engine whenever
+/// `config.batched` is set.
+///
+/// # Example
+///
+/// ```
+/// use flowgraph::generators::bidirected_cycle;
+/// use kad_resilience::resilience::graph_resilience;
+/// use kad_resilience::AnalysisConfig;
+///
+/// // κ = 2, so one compromised node can never partition the ring.
+/// assert_eq!(graph_resilience(&bidirected_cycle(8), &AnalysisConfig::default()), 1);
+/// ```
+pub fn graph_resilience(g: &flowgraph::DiGraph, config: &crate::AnalysisConfig) -> u64 {
+    resilience_from_connectivity(crate::graph::exact_connectivity(g, config))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +95,20 @@ mod tests {
     fn zero_connectivity_tolerates_nothing() {
         assert!(!tolerates(0, 0));
         assert_eq!(resilience_from_connectivity(0), 0);
+    }
+
+    #[test]
+    fn graph_resilience_matches_exact_connectivity() {
+        use flowgraph::generators::{bidirected_cycle, cycle};
+        let config = crate::AnalysisConfig::default();
+        // κ = 2 ring → r = 1; κ = 1 directed cycle → r = 0; and the batched
+        // engine agrees with the per-pair baseline.
+        assert_eq!(graph_resilience(&bidirected_cycle(9), &config), 1);
+        assert_eq!(graph_resilience(&cycle(9), &config), 0);
+        let per_pair = crate::AnalysisConfig {
+            batched: false,
+            ..config
+        };
+        assert_eq!(graph_resilience(&bidirected_cycle(9), &per_pair), 1);
     }
 }

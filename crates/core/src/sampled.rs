@@ -25,9 +25,11 @@ pub struct SampledConnectivity {
     /// Minimum flow value over all evaluated pairs (`n−1` for complete
     /// graphs, 0 for graphs with fewer than 2 vertices).
     pub min: u64,
-    /// Mean flow value over all evaluated pairs. Meaningless when the
-    /// sweep ran with cutoff pruning (see [`AnalysisConfig::use_cutoff`]).
-    pub avg: f64,
+    /// Mean flow value over all evaluated pairs, or `None` when the sweep
+    /// ran with cutoff pruning (see [`AnalysisConfig::use_cutoff`]): pruned
+    /// per-pair values are lower bounds, so their mean certifies nothing —
+    /// recording it as a number was silently misleading.
+    pub avg: Option<f64>,
     /// Number of (non-adjacent) pairs whose flow was computed.
     pub pairs_evaluated: usize,
     /// Number of source vertices used.
@@ -40,7 +42,9 @@ impl SampledConnectivity {
     fn trivial(min: u64, avg: f64) -> Self {
         SampledConnectivity {
             min,
-            avg,
+            // Trivial results are exact by construction, so the average is
+            // always known.
+            avg: Some(avg),
             pairs_evaluated: 0,
             sources_used: 0,
             zero_pairs: 0,
@@ -62,7 +66,8 @@ impl SampledConnectivity {
 /// let g = bidirected_cycle(12);
 /// let result = sampled_connectivity(&g, &AnalysisConfig::exact());
 /// assert_eq!(result.min, 2);
-/// assert_eq!(result.avg, 2.0); // every pair has exactly 2 disjoint paths
+/// // Every pair has exactly 2 disjoint paths; full flows make avg exact.
+/// assert_eq!(result.avg, Some(2.0));
 /// ```
 pub fn sampled_connectivity(g: &DiGraph, config: &AnalysisConfig) -> SampledConnectivity {
     let n = g.node_count();
@@ -98,8 +103,9 @@ pub fn connectivity_from_sources(
     let use_cutoff = config.use_cutoff;
     // One prototype evaluator; workers clone it, sharing the graph behind
     // an `Arc` and duplicating only the residual network + workspace. Each
-    // worker then sweeps its sources with zero per-pair allocation.
-    let prototype = PairEvaluator::new(g, config.solver);
+    // worker then sweeps its sources with zero per-pair allocation — and,
+    // with batching on, one shared level graph per source.
+    let prototype = PairEvaluator::new(g, config.solver).with_batching(config.batched);
 
     let sweep_source = |eval: &mut PairEvaluator, v: u32| -> (u64, u128, usize, usize) {
         let mut local_min = u64::MAX;
@@ -170,7 +176,9 @@ pub fn connectivity_from_sources(
     }
     SampledConnectivity {
         min,
-        avg: sum as f64 / pairs as f64,
+        // Under cutoff pruning the per-pair values are lower bounds, not
+        // flows; no meaningful mean exists.
+        avg: (!use_cutoff).then(|| sum as f64 / pairs as f64),
         pairs_evaluated: pairs,
         sources_used: sources.len(),
         zero_pairs: zeros,
@@ -199,7 +207,7 @@ mod tests {
         let config = AnalysisConfig::default();
         let r = sampled_connectivity(&complete(7), &config);
         assert_eq!(r.min, 6);
-        assert_eq!(r.avg, 6.0);
+        assert_eq!(r.avg, Some(6.0));
         assert_eq!(r.pairs_evaluated, 0);
     }
 
@@ -207,7 +215,7 @@ mod tests {
     fn directed_cycle_has_connectivity_one() {
         let r = sampled_connectivity(&cycle(9), &AnalysisConfig::exact());
         assert_eq!(r.min, 1);
-        assert_eq!(r.avg, 1.0);
+        assert_eq!(r.avg, Some(1.0));
         // 9 vertices, each with 1 out-edge: 9*8 ordered pairs minus 9 edges.
         assert_eq!(r.pairs_evaluated, 63);
     }
@@ -282,6 +290,8 @@ mod tests {
                 },
             );
             assert_eq!(full.min, cut.min);
+            assert!(full.avg.is_some(), "full flows record an average");
+            assert!(cut.avg.is_none(), "pruned sweeps must not fake one");
         }
     }
 
@@ -351,7 +361,8 @@ mod tests {
     fn bidirected_cycle_avg_and_min() {
         let r = sampled_connectivity(&bidirected_cycle(10), &AnalysisConfig::exact());
         assert_eq!(r.min, 2);
-        assert!((r.avg - 2.0).abs() < 1e-12);
+        let avg = r.avg.expect("full flows, avg defined");
+        assert!((avg - 2.0).abs() < 1e-12);
         assert_eq!(r.zero_pairs, 0);
     }
 

@@ -45,8 +45,22 @@ proptest! {
         for solver in SolverKind::ALL {
             let result = sampled_connectivity(&g, &AnalysisConfig { solver, ..base });
             prop_assert_eq!(result.min, reference.min, "{}", solver);
-            prop_assert!((result.avg - reference.avg).abs() < 1e-9, "{}", solver);
+            let avg = result.avg.expect("exact sweep defines the mean");
+            let ref_avg = reference.avg.expect("exact sweep defines the mean");
+            prop_assert!((avg - ref_avg).abs() < 1e-9, "{}", solver);
         }
+    }
+
+    /// The batched shared-source engine sweeps to the same aggregates as
+    /// the per-pair baseline (both exact; only the work schedule differs).
+    #[test]
+    fn batched_sweep_matches_per_pair(g in arb_digraph(12)) {
+        let batched = sampled_connectivity(&g, &AnalysisConfig::exact());
+        let per_pair = sampled_connectivity(
+            &g,
+            &AnalysisConfig { batched: false, ..AnalysisConfig::exact() },
+        );
+        prop_assert_eq!(batched, per_pair);
     }
 
     /// Cutoff pruning preserves the exact minimum.
@@ -104,7 +118,8 @@ proptest! {
         let report = analyze_graph(&g, &AnalysisConfig::exact());
         prop_assert_eq!(report.node_count, g.node_count());
         prop_assert_eq!(report.edge_count, g.edge_count());
-        prop_assert!(report.min_connectivity as f64 <= report.avg_connectivity + 1e-9
+        let avg = report.avg_connectivity.expect("exact analysis keeps the mean");
+        prop_assert!(report.min_connectivity as f64 <= avg + 1e-9
             || report.pairs_evaluated == 0);
         prop_assert_eq!(report.strongly_connected, report.disconnected_nodes == 0);
         if !report.strongly_connected {
@@ -166,7 +181,73 @@ proptest! {
             prop_assert_eq!(got.min, oracle.min);
             prop_assert_eq!(got.pairs_evaluated, oracle.pairs_evaluated);
             prop_assert_eq!(got.zero_pairs, oracle.zero_pairs);
-            prop_assert!((got.avg - oracle.avg).abs() < 1e-12);
+            let avg = got.avg.expect("tracker keeps full flow values");
+            let oracle_avg = oracle.avg.expect("exact sweep defines the mean");
+            prop_assert!((avg - oracle_avg).abs() < 1e-12);
+        }
+    }
+
+    /// Interleaved removals, restores, and edge insertions stay in exact
+    /// agreement with a from-scratch re-sweep of the current topology.
+    #[test]
+    fn incremental_insertion_matches_full_resweep(
+        g in arb_digraph(9),
+        seed in any::<u64>(),
+        script in proptest::collection::vec(0u8..4, 1..8),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut tracker = IncrementalConnectivity::new(&g);
+        // Current topology mirrored outside the tracker: base graph grown
+        // by insertions, minus the currently removed vertex set.
+        let mut grown = g.clone();
+        let n = g.node_count() as u32;
+        let mut removed = std::collections::HashSet::new();
+        for op in script {
+            match op {
+                // Remove a random alive vertex (keep at least one alive).
+                0 | 1 => {
+                    let alive = tracker.alive_vertices();
+                    if alive.len() <= 1 {
+                        continue;
+                    }
+                    let victim = alive[rand::Rng::random_range(&mut rng, 0..alive.len())];
+                    tracker.remove(victim).expect("alive victim");
+                    removed.insert(victim);
+                }
+                // Restore a random removed vertex.
+                2 => {
+                    if removed.is_empty() {
+                        continue;
+                    }
+                    let mut gone: Vec<u32> = removed.iter().copied().collect();
+                    gone.sort_unstable();
+                    let back = gone[rand::Rng::random_range(&mut rng, 0..gone.len())];
+                    tracker.restore(back).expect("was removed");
+                    removed.remove(&back);
+                }
+                // Insert a random new edge between alive vertices.
+                _ => {
+                    let u = rand::Rng::random_range(&mut rng, 0..n);
+                    let v = rand::Rng::random_range(&mut rng, 0..n);
+                    if u == v || removed.contains(&u) || removed.contains(&v) {
+                        continue;
+                    }
+                    tracker.insert_edge(u, v).expect("alive endpoints");
+                    grown.add_edge(u, v);
+                }
+            }
+            let (survivor, _) = grown.remove_vertices(&removed);
+            let oracle = sampled_connectivity(
+                &survivor,
+                &AnalysisConfig { parallel: false, ..AnalysisConfig::exact() },
+            );
+            let got = tracker.summary();
+            prop_assert_eq!(got.min, oracle.min);
+            prop_assert_eq!(got.pairs_evaluated, oracle.pairs_evaluated);
+            prop_assert_eq!(got.zero_pairs, oracle.zero_pairs);
+            let avg = got.avg.expect("tracker keeps full flow values");
+            let oracle_avg = oracle.avg.expect("exact sweep defines the mean");
+            prop_assert!((avg - oracle_avg).abs() < 1e-12);
         }
     }
 

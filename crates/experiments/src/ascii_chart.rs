@@ -36,11 +36,15 @@ fn render(figure: &FigureData, metric: Metric) -> String {
     let mut max_t: f64 = 1.0;
     for points in figure.series.values() {
         for p in points {
+            // Points without a defined mean (cutoff-pruned sweeps) are
+            // simply not plotted on the avg chart.
             let y = match metric {
-                Metric::Min => p.min_connectivity as f64,
+                Metric::Min => Some(p.min_connectivity as f64),
                 Metric::Avg => p.avg_connectivity,
             };
-            max_y = max_y.max(y);
+            if let Some(y) = y {
+                max_y = max_y.max(y);
+            }
             max_t = max_t.max(p.time_min);
         }
     }
@@ -50,9 +54,10 @@ fn render(figure: &FigureData, metric: Metric) -> String {
         let glyph = glyphs[si % glyphs.len()];
         for p in points {
             let y = match metric {
-                Metric::Min => p.min_connectivity as f64,
+                Metric::Min => Some(p.min_connectivity as f64),
                 Metric::Avg => p.avg_connectivity,
             };
+            let Some(y) = y else { continue };
             let col = ((p.time_min / max_t) * (WIDTH - 1) as f64).round() as usize;
             let row = HEIGHT - 1 - ((y / max_y) * (HEIGHT - 1) as f64).round() as usize;
             grid[row.min(HEIGHT - 1)][col.min(WIDTH - 1)] = glyph;
@@ -99,7 +104,7 @@ mod tests {
                 time_min: i as f64 * 10.0,
                 network_size: 50,
                 min_connectivity: i as u64,
-                avg_connectivity: i as f64 * 2.0,
+                avg_connectivity: Some(i as f64 * 2.0),
             })
             .collect();
         fig.series.insert("k=20".into(), points);

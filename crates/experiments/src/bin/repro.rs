@@ -34,11 +34,14 @@ const USAGE: &str =
     service: κ(t) × lookup success × hop counts × retrievability grid, two CSVs\n\
     defend: defense-policy grid (none/evict-unresponsive/diversify/self-heal × attacks × churn), two CSVs\n\
     sweep: mixed-phase attacker grid (strategy switches mid-campaign, e.g. eclipse→min-cut at the κ trough) × policies, one CSV\n\
+    bench: fold the criterion-shim BENCH_*.json reports (cwd, or --out DIR) into BENCH_summary.json\n\
     --seed N makes every CSV bit-identically reproducible (all subcommands)\n\
     --jobs sets the scenario-level worker count (matrix/campaign/service/defend/sweep; others auto-split)";
 
 /// The grid subcommands registered outside the figure/table registry.
-const GRID_SUBCOMMANDS: [&str; 6] = ["all", "matrix", "campaign", "service", "defend", "sweep"];
+const GRID_SUBCOMMANDS: [&str; 7] = [
+    "all", "matrix", "campaign", "service", "defend", "sweep", "bench",
+];
 
 /// Every registered subcommand, for the unknown-experiment error message.
 fn registered_subcommands() -> String {
@@ -128,6 +131,10 @@ fn main() {
         run_sweep_cells(&args);
         return;
     }
+    if args.experiment.eq_ignore_ascii_case("bench") {
+        run_bench_summary(&args);
+        return;
+    }
 
     let ids: Vec<ExperimentId> = if all {
         ExperimentId::ALL.to_vec()
@@ -199,12 +206,13 @@ fn run_matrix(args: &Args) {
     let mut summary = String::from("scenario,final_size,min_connectivity,avg_connectivity\n");
     for outcome in &outcomes {
         if let Some(last) = outcome.final_snapshot() {
+            let avg = last
+                .report
+                .avg_connectivity
+                .map_or("na".to_string(), |v| format!("{v:.2}"));
             let line = format!(
-                "{},{},{},{:.2}",
-                outcome.scenario.name,
-                last.network_size,
-                last.report.min_connectivity,
-                last.report.avg_connectivity
+                "{},{},{},{avg}",
+                outcome.scenario.name, last.network_size, last.report.min_connectivity
             );
             println!("{line}");
             summary.push_str(&line);
@@ -455,6 +463,43 @@ fn run_sweep_cells(args: &Args) {
         println!("{csv}");
     }
     eprintln!("== sweep done in {:.1?} ==", started.elapsed());
+}
+
+/// Folds every criterion-shim `BENCH_*.json` report in the target
+/// directory (`--out DIR`, default the current directory — the repo root
+/// under `cargo run`) into `BENCH_summary.json` there: the committed
+/// performance snapshot, `<bench>/<group>/<id>` → median ns, sorted.
+fn run_bench_summary(args: &Args) {
+    use kad_experiments::bench_summary::{render_summary, summarize_dir};
+
+    let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    let (summary, problems) = match summarize_dir(&dir) {
+        Ok(result) => result,
+        Err(err) => {
+            eprintln!("error scanning {}: {err}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    for problem in &problems {
+        eprintln!("warning: skipped {problem}");
+    }
+    if summary.is_empty() {
+        eprintln!(
+            "no BENCH_*.json reports under {} — run `cargo bench` first",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    let rendered = render_summary(&summary);
+    print!("{rendered}");
+    let path = dir.join("BENCH_summary.json");
+    match std::fs::write(&path, &rendered) {
+        Ok(()) => eprintln!("wrote {} ({} bench ids)", path.display(), summary.len()),
+        Err(err) => {
+            eprintln!("error writing {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 fn write_csvs(dir: &PathBuf, result: &ExperimentResult) -> std::io::Result<()> {

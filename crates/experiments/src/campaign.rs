@@ -288,7 +288,7 @@ pub fn campaign_csv(outcomes: &[CampaignOutcome]) -> String {
                 p.budget_spent.into(),
                 p.honest_size.into(),
                 p.report.min_connectivity.into(),
-                Cell::f64(p.report.avg_connectivity, 3),
+                Cell::opt_f64(p.report.avg_connectivity, 3),
                 p.report.resilience().into(),
                 p.report.zero_pairs.into(),
             ]);

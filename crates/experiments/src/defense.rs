@@ -44,6 +44,7 @@ use crate::matrix::MatrixRunner;
 use crate::scale::Scale;
 use crate::scenario::{ChurnRate, Scenario, TrafficModel};
 use crate::service::ServiceAttack;
+use crate::session::LiveKappaActor;
 use crate::session::{
     AttackerActor, ChurnActor, JoinSchedule, MinuteActor, ProbeActor, Sampler, SessionDriver,
     SnapshotGrid, TrafficActor, TrafficOrigins,
@@ -155,6 +156,12 @@ pub struct DefenseOutcome {
     pub scenario: DefenseScenario,
     /// Time series on the snapshot grid, ascending.
     pub points: Vec<DefensePoint>,
+    /// True per-minute `κ_min` of the honest subgraph over the attack and
+    /// recovery window (`(minute, κ_min)`, ascending; empty for attackless
+    /// cells) — the [`LiveKappaActor`]
+    /// feed, resolving the κ collapse and the defense's healing slope at
+    /// minute granularity instead of the snapshot grid's.
+    pub live_kappa: Vec<(u64, u64)>,
     /// Total compromises the attacker scheduled.
     pub budget_spent: usize,
     /// Protocol/transport counters accumulated over the run.
@@ -296,10 +303,19 @@ pub fn run_defense(scenario: &DefenseScenario) -> DefenseOutcome {
         },
     );
 
+    // Per-minute κ feedback over the attack + recovery window; attackless
+    // cells skip the feed (nothing to react to, nothing to heal).
+    let mut live_kappa = scenario
+        .attack
+        .map(|spec| LiveKappaActor::new(spec.start_minute));
+
     let mut actors: Vec<&mut dyn MinuteActor> =
         vec![&mut probe, &mut joins, &mut churn, &mut traffic];
     if let Some(attacker) = attacker.as_mut() {
         actors.push(attacker);
+    }
+    if let Some(live) = live_kappa.as_mut() {
+        actors.push(live);
     }
     actors.push(&mut sampler);
     driver.run(&mut actors);
@@ -309,6 +325,7 @@ pub fn run_defense(scenario: &DefenseScenario) -> DefenseOutcome {
     DefenseOutcome {
         scenario: scenario.clone(),
         points: sampler.into_points(),
+        live_kappa: live_kappa.map_or_else(Vec::new, LiveKappaActor::into_series),
         budget_spent: shared.budget_spent,
         counters,
     }
@@ -425,7 +442,7 @@ pub fn defense_timeseries_csv(outcomes: &[DefenseOutcome]) -> String {
                 p.budget_spent.into(),
                 p.honest_size.into(),
                 p.report.min_connectivity.into(),
-                Cell::f64(p.report.avg_connectivity, 3),
+                Cell::opt_f64(p.report.avg_connectivity, 3),
                 p.report.resilience().into(),
                 p.lookups.into(),
                 Cell::f64(p.lookup_success_rate, 4),

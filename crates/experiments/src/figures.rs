@@ -248,9 +248,13 @@ fn k_sweep_figure(
         .collect();
     for (k, outcome) in K_SWEEP.into_iter().zip(run_grid(scenarios)) {
         if let Some(last) = outcome.final_snapshot() {
+            let avg = last
+                .report
+                .avg_connectivity
+                .map_or("n/a".to_string(), |v| format!("{v:.1}"));
             notes.push(format!(
-                "k={k}: final size {}, κ_min {}, κ_avg {:.1}",
-                last.network_size, last.report.min_connectivity, last.report.avg_connectivity
+                "k={k}: final size {}, κ_min {}, κ_avg {avg}",
+                last.network_size, last.report.min_connectivity
             ));
         }
         figure.add_outcome(format!("k={k}"), &outcome);
@@ -449,7 +453,9 @@ fn bitlength(scale: Scale, base_seed: u64) -> ExperimentResult {
                     size.to_string(),
                     bits.to_string(),
                     last.report.min_connectivity.to_string(),
-                    format!("{:.1}", last.report.avg_connectivity),
+                    last.report
+                        .avg_connectivity
+                        .map_or("n/a".to_string(), |v| format!("{v:.1}")),
                     format!("{:.2}", summary.mean()),
                 ]);
             }

@@ -47,6 +47,9 @@
 //!   runs the grid.
 //! * [`series`] / [`table`] / [`ascii_chart`] — figure and table data
 //!   structures with CSV and terminal renderings.
+//! * [`bench_summary`] — folds the criterion-shim `BENCH_*.json` reports
+//!   into the committed `BENCH_summary.json` snapshot; `repro bench`
+//!   drives it.
 //! * [`figures`] — the experiment registry: one entry per paper
 //!   figure/table, executable via `repro <experiment>` or the bench
 //!   harness.
@@ -56,6 +59,7 @@
 
 pub mod ascii_chart;
 pub mod attack_plan;
+pub mod bench_summary;
 pub mod campaign;
 pub mod defense;
 pub mod figures;

@@ -15,8 +15,9 @@ pub struct SeriesPoint {
     pub network_size: usize,
     /// Minimum connectivity.
     pub min_connectivity: u64,
-    /// Average connectivity.
-    pub avg_connectivity: f64,
+    /// Average connectivity; `None` when the sweep pruned with cutoffs and
+    /// the mean is undefined (rendered `na` in CSV).
+    pub avg_connectivity: Option<f64>,
 }
 
 /// The data behind one paper figure: labelled series over simulated time.
@@ -58,10 +59,14 @@ impl FigureData {
             String::from("series,time_min,network_size,min_connectivity,avg_connectivity\n");
         for (label, points) in &self.series {
             for p in points {
+                let avg = match p.avg_connectivity {
+                    Some(v) => format!("{v:.3}"),
+                    None => "na".to_string(),
+                };
                 let _ = writeln!(
                     out,
-                    "{label},{:.1},{},{},{:.3}",
-                    p.time_min, p.network_size, p.min_connectivity, p.avg_connectivity
+                    "{label},{:.1},{},{},{avg}",
+                    p.time_min, p.network_size, p.min_connectivity
                 );
             }
         }

@@ -402,7 +402,7 @@ pub fn service_timeseries_csv(outcomes: &[ServiceOutcome]) -> String {
                 p.budget_spent.into(),
                 p.honest_size.into(),
                 p.report.min_connectivity.into(),
-                Cell::f64(p.report.avg_connectivity, 3),
+                Cell::opt_f64(p.report.avg_connectivity, 3),
                 p.report.resilience().into(),
                 p.lookups.into(),
                 Cell::f64(p.lookup_success_rate, 4),

@@ -613,6 +613,60 @@ impl SnapshotGrid {
     }
 }
 
+/// The per-minute κ feed: publishes the honest subgraph's *true* `κ_min`
+/// into [`SessionShared`] at the end of **every** minute from
+/// `start_minute` on — not just at snapshot-grid instants. Trough-triggered
+/// attackers ([`crate::sweep::SwitchRule::KappaBelow`]) and defense
+/// feedback loops then react within one simulated minute of the
+/// connectivity actually dropping, instead of waiting for the next grid
+/// sample.
+///
+/// Each minute costs one minimum-only sweep
+/// ([`AnalysisConfig::min_only`](kad_resilience::AnalysisConfig::min_only):
+/// cutoff pruning, batched shared-source engine) on the honest snapshot —
+/// the cheap exact-minimum path, which is what makes a per-minute feed
+/// affordable (`perf_kappa` pins the budget at n=1000). The full
+/// `(minute, κ_min)` series is kept for the outcome.
+pub struct LiveKappaActor {
+    start_minute: u64,
+    analysis: kad_resilience::AnalysisConfig,
+    series: Vec<(u64, u64)>,
+}
+
+impl LiveKappaActor {
+    /// A live κ feed active from `start_minute` (typically the attack
+    /// start — feedback before that has nothing to react to).
+    pub fn new(start_minute: u64) -> LiveKappaActor {
+        LiveKappaActor {
+            start_minute,
+            analysis: kad_resilience::AnalysisConfig::min_only(),
+            series: Vec::new(),
+        }
+    }
+
+    /// The `(minute, κ_min)` series observed so far, ascending.
+    pub fn series(&self) -> &[(u64, u64)] {
+        &self.series
+    }
+
+    /// Consumes the actor into its per-minute series.
+    pub fn into_series(self) -> Vec<(u64, u64)> {
+        self.series
+    }
+}
+
+impl MinuteActor for LiveKappaActor {
+    fn at_minute_end(&mut self, net: &mut SimNetwork, ctx: &mut EndCtx<'_>) {
+        if ctx.at_minute < self.start_minute {
+            return;
+        }
+        let snap = net.snapshot();
+        let kappa = kad_resilience::analyze_snapshot(&snap, &self.analysis).min_connectivity;
+        ctx.shared.publish_kappa(ctx.at_minute, kappa);
+        self.series.push((ctx.at_minute, kappa));
+    }
+}
+
 /// The measurement actor: on each due grid instant, runs the sample
 /// closure and collects its typed point. The closure gets the network
 /// (snapshots, counters) and the end-of-minute context (shared state,

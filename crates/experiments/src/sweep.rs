@@ -24,8 +24,8 @@ use crate::matrix::MatrixRunner;
 use crate::scale::Scale;
 use crate::scenario::{ChurnRate, Scenario, TrafficModel};
 use crate::session::{
-    AttackerActor, ChurnActor, JoinSchedule, MinuteActor, MinuteCtx, ProbeActor, Sampler,
-    SessionDriver, SnapshotGrid, TrafficActor, TrafficOrigins,
+    AttackerActor, ChurnActor, JoinSchedule, LiveKappaActor, MinuteActor, MinuteCtx, ProbeActor,
+    Sampler, SessionDriver, SnapshotGrid, TrafficActor, TrafficOrigins,
 };
 use dessim::metrics::Counters;
 use kad_defense::PolicyKind;
@@ -41,10 +41,11 @@ pub enum SwitchRule {
     /// After this many minutes in the phase (attack minutes, counted from
     /// phase entry).
     AfterMinutes(u64),
-    /// When the sampler-published `κ_min` first drops below the
-    /// threshold — the "switch at the κ trough" trigger. The feedback
-    /// arrives on the snapshot grid, so the switch lands on the first
-    /// attack minute after the qualifying sample.
+    /// When the published `κ_min` first drops below the threshold — the
+    /// "switch at the κ trough" trigger. The
+    /// [`LiveKappaActor`] publishes the
+    /// true κ every minute of the attack, so the switch lands on the very
+    /// next attack minute after connectivity actually drops.
     KappaBelow(u64),
     /// Never: the terminal phase.
     Never,
@@ -196,6 +197,11 @@ pub struct SweepOutcome {
     pub points: Vec<SweepPoint>,
     /// Phase transitions: `(minute, label of the plan switched to)`.
     pub phase_switches: Vec<(u64, &'static str)>,
+    /// True per-minute `κ_min` of the honest subgraph from the attack
+    /// start on (`(minute, κ_min)`, ascending) — the
+    /// [`LiveKappaActor`] feed the
+    /// trough-triggered switches react to.
+    pub live_kappa: Vec<(u64, u64)>,
     /// Total compromises the attacker scheduled.
     pub budget_spent: usize,
     /// Protocol/transport counters accumulated over the run.
@@ -295,12 +301,18 @@ pub fn run_sweep(scenario: &SweepScenario) -> SweepOutcome {
         },
     );
 
+    // The live feed runs before the grid sampler, so at grid instants the
+    // sampler's full-report κ (same exact minimum) is the one that stays
+    // published.
+    let mut live_kappa = LiveKappaActor::new(scenario.start_minute);
+
     driver.run(&mut [
         &mut probe,
         &mut joins,
         &mut churn,
         &mut traffic,
         &mut attacker,
+        &mut live_kappa,
         &mut sampler,
     ]);
     let (net, shared) = driver.finish();
@@ -309,6 +321,7 @@ pub fn run_sweep(scenario: &SweepScenario) -> SweepOutcome {
         scenario: scenario.clone(),
         points: sampler.into_points(),
         phase_switches: shared.phase_switches,
+        live_kappa: live_kappa.into_series(),
         budget_spent: shared.budget_spent,
         counters,
     }
@@ -440,7 +453,7 @@ pub fn sweep_timeseries_csv(outcomes: &[SweepOutcome]) -> String {
                 p.budget_spent.into(),
                 p.honest_size.into(),
                 p.report.min_connectivity.into(),
-                Cell::f64(p.report.avg_connectivity, 3),
+                Cell::opt_f64(p.report.avg_connectivity, 3),
                 p.report.resilience().into(),
                 p.lookups.into(),
                 Cell::f64(p.lookup_success_rate, 4),

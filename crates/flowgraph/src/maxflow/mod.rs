@@ -14,6 +14,13 @@
 //! * [`EdmondsKarp`] — BFS augmenting paths; the simple baseline used to
 //!   cross-check the other two.
 //!
+//! [`BatchedDinic`] is the fourth engine, built for connectivity *sweeps*
+//! rather than one-shot flows: it caches one clean-network BFS level graph
+//! per (source, [`FlowNetwork::base_epoch`]) and reuses it across every
+//! target sharing that source, with a capacity-bound early exit replacing
+//! the final certifying BFS on bound-attaining pairs. It is stateful and so
+//! lives outside the [`MaxFlow`] trait.
+//!
 //! All solvers implement [`MaxFlow`] and support an optional **cutoff**: the
 //! solver may stop as soon as it can prove the flow value is at least the
 //! cutoff. When scanning thousands of vertex pairs for the *minimum*
@@ -39,10 +46,12 @@
 //! [`Solver`] is the enum-dispatched selector used by the analysis crates:
 //! `Copy`, serializable, and statically dispatched in the inner loop.
 
+mod batched;
 mod dinic;
 mod edmonds_karp;
 mod push_relabel;
 
+pub use batched::{capacity_bound, probe_unit_augment, BatchedDinic};
 pub use dinic::Dinic;
 pub use edmonds_karp::EdmondsKarp;
 pub use push_relabel::PushRelabel;
@@ -92,6 +101,11 @@ pub struct FlowNetwork {
     /// Even-numbered ids of arc pairs pushed over since the last reset.
     /// May contain duplicates; restoring is idempotent.
     touched: Vec<u32>,
+    /// Bumped whenever the *base* network changes (arcs added, base
+    /// capacities edited) — never by flow pushes or resets. Level-graph
+    /// caches key on this to know when a clean-network BFS is stale.
+    #[serde(default)]
+    base_epoch: u64,
 }
 
 impl PartialEq for FlowNetwork {
@@ -119,6 +133,7 @@ impl FlowNetwork {
             orig_cap: Vec::new(),
             adj: vec![Vec::new(); n],
             touched: Vec::new(),
+            base_epoch: 0,
         }
     }
 
@@ -152,7 +167,18 @@ impl FlowNetwork {
         self.cap.push(0);
         self.orig_cap.push(0);
         self.adj[v as usize].push(id + 1);
+        self.base_epoch += 1;
         id
+    }
+
+    /// Monotone counter identifying the current *base* network: bumped by
+    /// [`FlowNetwork::add_arc`] and [`FlowNetwork::set_base_capacity`], never
+    /// by pushes or resets. Two calls observing the same epoch (and no
+    /// in-flight flow) see identical clean networks, so level graphs computed
+    /// against one are valid for the other.
+    #[inline]
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
     }
 
     /// Head (target vertex) of arc `i`.
@@ -233,6 +259,7 @@ impl FlowNetwork {
     pub fn set_base_capacity(&mut self, i: u32, cap: u64) {
         self.orig_cap[i as usize] = cap;
         self.cap[i as usize] = cap;
+        self.base_epoch += 1;
     }
 
     /// Net flow out of `v` (outgoing minus incoming flow on forward arcs).
@@ -315,6 +342,9 @@ pub struct FlowWorkspace {
     pub(crate) queue: VecDeque<u32>,
     /// Dinic's partial augmenting path (arc ids).
     pub(crate) path: Vec<u32>,
+    /// Bitset (one bit per vertex, `u64` words) marking vertices in the
+    /// current level graph; clearing a bit removes a dead-end vertex.
+    pub(crate) visited: Vec<u64>,
     /// Push-relabel per-vertex excess.
     pub(crate) excess: Vec<u64>,
     /// Push-relabel active-vertex buckets by label (lazy deletion).
@@ -346,6 +376,10 @@ impl FlowWorkspace {
         if self.label.len() < n {
             self.label.resize(n, u32::MAX);
             self.cur.resize(n, 0);
+        }
+        let words = words_for(n);
+        if self.visited.len() < words {
+            self.visited.resize(words, 0);
         }
     }
 
@@ -453,6 +487,27 @@ impl fmt::Display for Solver {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(MaxFlow::name(self))
     }
+}
+
+/// Number of `u64` words needed for an `n`-bit vertex bitset.
+#[inline]
+pub(crate) fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+#[inline]
+pub(crate) fn bit_test(words: &[u64], v: u32) -> bool {
+    words[(v >> 6) as usize] & (1u64 << (v & 63)) != 0
+}
+
+#[inline]
+pub(crate) fn bit_set(words: &mut [u64], v: u32) {
+    words[(v >> 6) as usize] |= 1u64 << (v & 63);
+}
+
+#[inline]
+pub(crate) fn bit_clear(words: &mut [u64], v: u32) {
+    words[(v >> 6) as usize] &= !(1u64 << (v & 63));
 }
 
 pub(crate) fn check_endpoints(net: &FlowNetwork, s: u32, t: u32) {

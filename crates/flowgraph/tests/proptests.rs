@@ -9,7 +9,7 @@ use flowgraph::digraph::DiGraph;
 use flowgraph::even::{EdgeCapacity, EvenNetwork};
 use flowgraph::generators;
 use flowgraph::maxflow::{
-    Dinic, EdmondsKarp, FlowNetwork, FlowWorkspace, MaxFlow, PushRelabel, Solver,
+    BatchedDinic, Dinic, EdmondsKarp, FlowNetwork, FlowWorkspace, MaxFlow, PushRelabel, Solver,
 };
 use flowgraph::mincut::{cut_disconnects, min_vertex_cut};
 use flowgraph::paths::{validate_disjoint_paths, vertex_disjoint_paths};
@@ -250,6 +250,49 @@ proptest! {
         PushRelabel::new().max_flow(&mut work, s, t, None);
         work.reset();
         prop_assert_eq!(&work, &net);
+    }
+
+    /// The batched engine equals per-pair Dinic and push-relabel on raw
+    /// random flow networks — including the level-graph-reuse path, which a
+    /// source-major pair order exercises deliberately.
+    #[test]
+    fn batched_matches_per_pair_solvers((net, _, _) in arb_network(12)) {
+        let mut engine = BatchedDinic::new();
+        let mut ws = FlowWorkspace::new();
+        let n = net.node_count() as u32;
+        for s in 0..n {
+            for t in 0..n {
+                if s == t {
+                    continue;
+                }
+                let mut per_pair = net.clone();
+                let expected = Dinic::new().max_flow(&mut per_pair, s, t, None);
+                let mut pr = net.clone();
+                let pr_flow = PushRelabel::new().max_flow(&mut pr, s, t, None);
+                let mut shared = net.clone();
+                let got = engine.max_flow(&mut shared, s, t, None, &mut ws);
+                prop_assert_eq!(got, expected, "batched vs dinic ({}, {})", s, t);
+                prop_assert_eq!(got, pr_flow, "batched vs push-relabel ({}, {})", s, t);
+            }
+        }
+    }
+
+    /// Batched cutoff runs obey the same certified-lower-bound contract as
+    /// the per-pair solvers.
+    #[test]
+    fn batched_cutoff_is_sound((net, s, t) in arb_network(10), cutoff in 0u64..20) {
+        let mut exact_net = net.clone();
+        let exact = Dinic::new().max_flow(&mut exact_net, s, t, None);
+        let mut engine = BatchedDinic::new();
+        let mut ws = FlowWorkspace::new();
+        let mut work = net.clone();
+        let bounded = engine.max_flow(&mut work, s, t, Some(cutoff), &mut ws);
+        prop_assert!(bounded <= exact);
+        if exact >= cutoff {
+            prop_assert!(bounded >= cutoff);
+        } else {
+            prop_assert_eq!(bounded, exact, "below cutoff the value is exact");
+        }
     }
 
     /// Graph mutation invariants: removing an edge never increases

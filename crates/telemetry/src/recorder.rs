@@ -51,6 +51,15 @@ impl Cell {
     pub fn f64(value: f64, precision: usize) -> Cell {
         Cell::F64 { value, precision }
     }
+
+    /// An optional float: `None` renders as the literal text `na` (the
+    /// convention for means suppressed by cutoff pruning).
+    pub fn opt_f64(value: Option<f64>, precision: usize) -> Cell {
+        match value {
+            Some(value) => Cell::F64 { value, precision },
+            None => Cell::Text("na".to_string()),
+        }
+    }
 }
 
 impl fmt::Display for Cell {

@@ -34,14 +34,18 @@ fn main() {
             .snapshot_minutes(20);
         let outcome = run_scenario(&builder.build());
         let last = outcome.final_snapshot().expect("snapshots");
+        let avg = last
+            .report
+            .avg_connectivity
+            .expect("full-flow sweep reports an average");
         println!(
             " {:<8} {:>11} {:>12.1} {:>9}",
             loss.to_string(),
             last.report.min_connectivity,
-            last.report.avg_connectivity,
+            avg,
             outcome.counters.get("rpc_timeout"),
         );
-        results.push((loss, last.report.avg_connectivity));
+        results.push((loss, avg));
     }
 
     let none_avg = results

@@ -29,7 +29,7 @@ fn main() {
             snap.time_min,
             snap.network_size,
             snap.report.min_connectivity,
-            snap.report.avg_connectivity,
+            snap.report.avg_connectivity.unwrap_or(f64::NAN),
             snap.report.resilience()
         );
     }

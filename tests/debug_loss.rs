@@ -34,7 +34,7 @@ fn dump_low_loss_series() {
             let outcome = run_scenario(&scenario);
             let last = outcome.snapshots.last().expect("snapshots");
             println!(
-                "n={n} k={k} setup={setup} loss={loss:?} seed={seed}: outside={} κ_min={} κ_avg={:.1}",
+                "n={n} k={k} setup={setup} loss={loss:?} seed={seed}: outside={} κ_min={} κ_avg={:?}",
                 last.report.disconnected_nodes,
                 last.report.min_connectivity,
                 last.report.avg_connectivity,

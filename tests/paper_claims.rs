@@ -8,6 +8,14 @@ use kademlia_resilience::kad_experiments::runner::run_scenario;
 use kademlia_resilience::kad_experiments::scenario::{ChurnRate, ScenarioBuilder, TrafficModel};
 use kademlia_resilience::kad_experiments::series::churn_phase_min_summary;
 
+/// The registry scenarios run full-flow sweeps, so the average is defined.
+fn avg_of(snapshot: &kademlia_resilience::kad_experiments::runner::SnapshotResult) -> f64 {
+    snapshot
+        .report
+        .avg_connectivity
+        .expect("full-flow sweep reports an average")
+}
+
 fn base(n: usize, k: usize, seed: u64) -> ScenarioBuilder {
     let mut b = ScenarioBuilder::quick(n, k);
     b.seed(seed).traffic(TrafficModel {
@@ -48,10 +56,10 @@ fn traffic_improves_connectivity() {
     let early_with = with_traffic.snapshots.first().expect("snapshots");
     let early_without = without_traffic.snapshots.first().expect("snapshots");
     assert!(
-        early_with.report.avg_connectivity >= early_without.report.avg_connectivity,
+        avg_of(early_with) >= avg_of(early_without),
         "traffic should speed up connectivity: {} vs {}",
-        early_with.report.avg_connectivity,
-        early_without.report.avg_connectivity
+        avg_of(early_with),
+        avg_of(early_without)
     );
 }
 
@@ -106,18 +114,8 @@ fn message_loss_increases_connectivity_with_s1() {
 
     let clean = run_scenario(&lossless.build());
     let noisy = run_scenario(&lossy.build());
-    let clean_avg = clean
-        .snapshots
-        .last()
-        .expect("snapshots")
-        .report
-        .avg_connectivity;
-    let noisy_avg = noisy
-        .snapshots
-        .last()
-        .expect("snapshots")
-        .report
-        .avg_connectivity;
+    let clean_avg = avg_of(clean.snapshots.last().expect("snapshots"));
+    let noisy_avg = avg_of(noisy.snapshots.last().expect("snapshots"));
     assert!(
         noisy_avg > clean_avg,
         "loss should improve avg connectivity: {noisy_avg} vs {clean_avg}"
@@ -152,18 +150,8 @@ fn staleness_limit_damps_loss_effect() {
 
     let fast = run_scenario(&fast_eviction.build());
     let slow = run_scenario(&slow_eviction.build());
-    let fast_avg = fast
-        .snapshots
-        .last()
-        .expect("snapshots")
-        .report
-        .avg_connectivity;
-    let slow_avg = slow
-        .snapshots
-        .last()
-        .expect("snapshots")
-        .report
-        .avg_connectivity;
+    let fast_avg = avg_of(fast.snapshots.last().expect("snapshots"));
+    let slow_avg = avg_of(slow.snapshots.last().expect("snapshots"));
     assert!(
         slow_avg < fast_avg,
         "s=5 should damp the loss-driven gain: s5 {slow_avg} vs s1 {fast_avg}"
@@ -180,14 +168,12 @@ fn bit_length_has_no_significant_effect() {
     let narrow = run_scenario(&narrow_builder.build());
     let wide_last = wide.snapshots.last().expect("snapshots");
     let narrow_last = narrow.snapshots.last().expect("snapshots");
-    let rel_diff = (wide_last.report.avg_connectivity - narrow_last.report.avg_connectivity).abs()
-        / wide_last.report.avg_connectivity.max(1.0);
+    let (wide_avg, narrow_avg) = (avg_of(wide_last), avg_of(narrow_last));
+    let rel_diff = (wide_avg - narrow_avg).abs() / wide_avg.max(1.0);
     assert!(
         rel_diff < 0.25,
-        "b=160 vs b=80 diverged by {:.0}% (avg {:.1} vs {:.1})",
+        "b=160 vs b=80 diverged by {:.0}% (avg {wide_avg:.1} vs {narrow_avg:.1})",
         rel_diff * 100.0,
-        wide_last.report.avg_connectivity,
-        narrow_last.report.avg_connectivity
     );
     assert_eq!(
         wide_last.report.min_connectivity > 0,
