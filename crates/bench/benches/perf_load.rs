@@ -1,0 +1,77 @@
+//! Metric-family recording overhead on the load engine's hot path.
+//!
+//! The load engine installs a [`kad_experiments::load::LoadTelemetry`]
+//! sink that fans every completed lookup out into labelled metric
+//! families — a `(purpose, outcome, phase)` counter, a per-minute latency
+//! histogram family and a found-rate minute series. That is strictly more
+//! bookkeeping per record than the service grid's single-histogram sink,
+//! and it runs once per request at production rates, so its cost must be
+//! measured, not assumed. Two benches drive the *same* FIND_VALUE
+//! retrieval workload (the load engine's traffic):
+//!
+//! * `retrieve_noop_sink` — the floor: [`kad_telemetry::NoopSink`]
+//!   installed, so the run pays the sink seam but records nothing;
+//! * `retrieve_family_sink` — the full family-recording path.
+//!
+//! CI's `load-smoke` job compares the two medians and fails if the family
+//! path costs more than 5% over the noop floor — the families are O(1)
+//! BTreeMap updates per *completed lookup*, which is noise against the
+//! simulated lookup itself, and this pin keeps it that way.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dessim::time::SimDuration;
+use kad_bench::support::stabilized_network;
+use kad_experiments::load::LoadTelemetry;
+use kad_telemetry::NoopSink;
+use kademlia::id::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn bench_load_sink(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_sink");
+    // Each iteration is a whole simulated retrieval (~5 ms), so the
+    // recording delta is small against per-iteration noise; a larger
+    // sample keeps the median comparison in CI meaningful.
+    group.sample_size(40);
+
+    group.bench_function("retrieve_noop_sink", |bencher| {
+        let mut net = stabilized_network(100, 20, 3);
+        net.set_telemetry_sink(Box::new(NoopSink));
+        let mut rng = SmallRng::seed_from_u64(2);
+        let key = NodeId::random(&mut rng, net.config().bits);
+        net.start_store(net.alive_addrs()[0], key);
+        net.run_until(net.now() + SimDuration::from_secs(60));
+        let alive = net.alive_addrs();
+        bencher.iter(|| {
+            let from = alive[rng.random_range(0..alive.len())];
+            net.start_find_value(from, key);
+            net.run_until(net.now() + SimDuration::from_secs(30));
+            black_box(net.counters().get("value_hit"))
+        });
+    });
+
+    group.bench_function("retrieve_family_sink", |bencher| {
+        let mut net = stabilized_network(100, 20, 3);
+        let sink = Rc::new(RefCell::new(LoadTelemetry::new(u64::MAX)));
+        net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+        let mut rng = SmallRng::seed_from_u64(2);
+        let key = NodeId::random(&mut rng, net.config().bits);
+        net.start_store(net.alive_addrs()[0], key);
+        net.run_until(net.now() + SimDuration::from_secs(60));
+        let alive = net.alive_addrs();
+        bencher.iter(|| {
+            let from = alive[rng.random_range(0..alive.len())];
+            net.start_find_value(from, key);
+            net.run_until(net.now() + SimDuration::from_secs(30));
+            black_box(sink.borrow().completed_retrievals)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_sink);
+criterion_main!(benches);

@@ -28,10 +28,11 @@ struct Args {
 
 const USAGE: &str =
     "usage: repro <experiment> [--scale bench|laptop|paper] [--seed N] [--out DIR] [--jobs N]\n\
-    experiments: all, matrix, campaign, service, defend, sweep, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
-    all: the full figure/table registry, then every grid (matrix, campaign, service, defend, sweep)\n\
+    experiments: all, matrix, campaign, service, defend, sweep, load, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
+    all: the full figure/table registry, then every grid (matrix, campaign, service, defend, sweep, load)\n\
     campaign: attack-during-churn grid (random/highest-degree/min-cut/eclipse), κ(t) CSV\n\
     service: κ(t) × lookup success × hop counts × retrievability grid, two CSVs\n\
+    load: production-traffic grid (offered rate × attack plan), latency percentiles under attack, two CSVs\n\
     defend: defense-policy grid (none/evict-unresponsive/diversify/self-heal × attacks × churn), two CSVs\n\
     sweep: mixed-phase attacker grid (strategy switches mid-campaign, e.g. eclipse→min-cut at the κ trough) × policies, one CSV\n\
     bench: fold the criterion-shim BENCH_*.json reports (cwd, or --out DIR) into BENCH_summary.json\n\
@@ -39,8 +40,8 @@ const USAGE: &str =
     --jobs sets the scenario-level worker count (matrix/campaign/service/defend/sweep; others auto-split)";
 
 /// The grid subcommands registered outside the figure/table registry.
-const GRID_SUBCOMMANDS: [&str; 7] = [
-    "all", "matrix", "campaign", "service", "defend", "sweep", "bench",
+const GRID_SUBCOMMANDS: [&str; 8] = [
+    "all", "matrix", "campaign", "service", "defend", "sweep", "load", "bench",
 ];
 
 /// Every registered subcommand, for the unknown-experiment error message.
@@ -131,6 +132,10 @@ fn main() {
         run_sweep_cells(&args);
         return;
     }
+    if args.experiment.eq_ignore_ascii_case("load") {
+        run_load_cells(&args);
+        return;
+    }
     if args.experiment.eq_ignore_ascii_case("bench") {
         run_bench_summary(&args);
         return;
@@ -174,6 +179,7 @@ fn main() {
         run_service_cells(&args);
         run_defense_cells(&args);
         run_sweep_cells(&args);
+        run_load_cells(&args);
     }
 }
 
@@ -463,6 +469,64 @@ fn run_sweep_cells(args: &Args) {
         println!("{csv}");
     }
     eprintln!("== sweep done in {:.1?} ==", started.elapsed());
+}
+
+/// Runs the production-load grid (offered request rate × attack plan,
+/// plus bursty/diurnal baselines) and emits `load-timeseries.csv` (one
+/// row per cell-minute: offered vs completed req/min, p50/p90/p99
+/// latency, shed, κ) plus `load-summary.csv` (per-cell phase percentiles
+/// and the attack-phase p99 delta against the same-rate baseline) — to
+/// `--out DIR`, or stdout without it.
+fn run_load_cells(args: &Args) {
+    use kad_experiments::load::{load_grid, load_summary_csv, load_timeseries_csv, run_load_grid};
+
+    let grid = load_grid(args.scale, args.seed);
+    eprintln!(
+        "== running {} load cells at {} scale (seed {}) ==",
+        grid.len(),
+        args.scale,
+        args.seed
+    );
+    let mut runner = MatrixRunner::new();
+    if let Some(jobs) = args.jobs {
+        runner = runner.scenario_threads(jobs);
+    }
+    let started = Instant::now();
+    let outcomes = run_load_grid(&runner, &grid, |index, outcome| {
+        let attack = outcome.latency_attack();
+        eprintln!(
+            "[{}/{}] {}: offered={} shed={} found={:.0}% attack p99={}ms",
+            index + 1,
+            grid.len(),
+            outcome.scenario.name(),
+            outcome.stats.offered_total,
+            outcome.stats.shed_total,
+            outcome.points.last().map_or(0.0, |p| p.found_rate * 100.0),
+            attack.percentile(0.99),
+        );
+    });
+    let timeseries = load_timeseries_csv(&outcomes);
+    let summary = load_summary_csv(&outcomes);
+    if let Some(dir) = &args.out {
+        let write = std::fs::create_dir_all(dir).and_then(|()| {
+            std::fs::write(dir.join("load-timeseries.csv"), &timeseries)?;
+            std::fs::write(dir.join("load-summary.csv"), &summary)
+        });
+        match write {
+            Ok(()) => {
+                eprintln!("wrote {}", dir.join("load-timeseries.csv").display());
+                eprintln!("wrote {}", dir.join("load-summary.csv").display());
+            }
+            Err(err) => {
+                eprintln!("error writing load CSVs: {err}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("{timeseries}");
+        println!("{summary}");
+    }
+    eprintln!("== load done in {:.1?} ==", started.elapsed());
 }
 
 /// Folds every criterion-shim `BENCH_*.json` report in the target

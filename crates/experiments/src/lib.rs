@@ -37,6 +37,14 @@
 //!   durability probe, correlating `κ(t)` with lookup success rates,
 //!   hop-count distributions and retrievability; `repro service` runs the
 //!   grid.
+//! * [`traffic`] — production-traffic generators: arrival processes
+//!   (Poisson, bursty on/off, diurnal) and the Zipf hot-key sampler,
+//!   hand-rolled on the labelled RNG streams and pinned by a statistical
+//!   test suite (`tests/traffic_stats.rs`).
+//! * [`load`] — the production-load engine: a [`load::LoadActor`] driving
+//!   sustained request volumes with admission-window backpressure, per-
+//!   minute latency percentiles from [`kad_telemetry`] metric families,
+//!   and the (offered rate × attack plan) grid behind `repro load`.
 //! * [`defense`] — the defense side of the ledger: the session engine
 //!   with a [`kad_defense`] routing-table hardening policy installed
 //!   and single- vs disjoint-path retrieval probes, crossing every policy
@@ -63,6 +71,7 @@ pub mod bench_summary;
 pub mod campaign;
 pub mod defense;
 pub mod figures;
+pub mod load;
 pub mod matrix;
 pub mod runner;
 pub mod scale;
@@ -72,11 +81,13 @@ pub mod service;
 pub mod session;
 pub mod sweep;
 pub mod table;
+pub mod traffic;
 
 pub use attack_plan::{AttackPlan, AttackSpec};
 pub use campaign::{run_campaign, CampaignOutcome, CampaignScenario};
 pub use defense::{run_defense, DefenseOutcome, DefensePoint, DefenseScenario};
 pub use figures::{run_experiment, ExperimentId, ExperimentResult};
+pub use load::{run_load, LoadOutcome, LoadPoint, LoadScenario, LoadSpec};
 pub use matrix::{MatrixRunner, SplitPolicy};
 pub use runner::{run_scenario, ScenarioOutcome, SnapshotResult};
 pub use scale::Scale;
@@ -84,3 +95,4 @@ pub use scenario::{Scenario, ScenarioBuilder};
 pub use service::{run_service, ServiceOutcome, ServicePoint, ServiceScenario};
 pub use session::{MinuteActor, SessionDriver};
 pub use sweep::{run_sweep, SweepOutcome, SweepScenario};
+pub use traffic::{ArrivalProcess, ZipfSampler};

@@ -1,0 +1,925 @@
+//! The production-load engine: what attack damage *costs* at the request
+//! level, measured in latency percentiles under sustained traffic.
+//!
+//! The paper's structural story (κ degrades under targeted compromise)
+//! and the service story (`repro service`: success rates sag) both leave
+//! out the quantity a DHT operator actually pages on: tail latency at a
+//! given offered request rate. This module closes that gap. A
+//! [`LoadActor`] drives sustained per-minute request volumes from a
+//! pluggable [`ArrivalProcess`] (Poisson, bursty on/off, diurnal) over a
+//! Zipf-skewed hot-key set, with a bounded in-flight window and a finite
+//! backlog queue (overflow is *shed* and counted). Every retrieval's
+//! simulated latency lands in a [`HistogramFamily`] keyed by completed
+//! minute, and every lookup outcome in a [`CounterFamily`] keyed by
+//! `(purpose, outcome, phase)` — the libp2p `metrics/src/kad.rs` label
+//! scheme, with lossless merge.
+//!
+//! The grid ([`load_grid`]) crosses offered rate with the attack plans
+//! (plus a baseline per rate); `repro load` runs it and emits
+//! `load-timeseries.csv` (offered vs completed req/min, p50/p90/p99,
+//! shed, κ — one row per cell-minute) and `load-summary.csv` (per cell:
+//! phase percentiles and the attack-phase p99 delta against the baseline
+//! cell at the same offered rate — "eclipse costs X ms of p99 at rate
+//! Y").
+//!
+//! # Why the hot keys matter
+//!
+//! Compromised nodes keep answering FIND_NODE (they stay routable) but
+//! withhold stored values. Uniform-target lookups therefore barely feel
+//! an eclipse; *retrievals of the keys the eclipse anchors on* feel it
+//! fully — the replica set is compromised, the retrieval exhausts its
+//! candidate list before finding the value, and every extra round trip
+//! lands in the latency tail. The load grid anchors the eclipse attacker
+//! on the Zipf-hottest key ([`crate::session::AttackerActor::with_anchor`]),
+//! which is exactly the adversary a skewed workload invites.
+//!
+//! # Backpressure semantics (minute granularity)
+//!
+//! Admission control runs at each minute boundary, before the minute's
+//! arrivals are applied:
+//!
+//! 1. `in_flight = issued_total − completed_total` (completions read from
+//!    the run's own telemetry sink);
+//! 2. up to `window − in_flight` requests admit: backlogged requests
+//!    first (oldest load drains first, at the minute boundary), then the
+//!    minute's new arrivals at their sampled instants;
+//! 3. arrivals beyond that queue up to `queue_capacity`; the rest is
+//!    **shed** and counted — sheds are load the overlay refused, not
+//!    load that failed.
+//!
+//! A silent spec (rate 0) is fully inert: no key stores, no stream draws,
+//! no actions — the golden-equivalence suite pins that wiring a rate-0
+//! [`LoadActor`] into the service grid leaves its CSVs byte-identical.
+
+pub use crate::attack_plan::AttackSpec as LoadAttack;
+use crate::attack_plan::{grid_base_scenario, strategy_label, AttackPlan};
+use crate::matrix::MatrixRunner;
+use crate::scale::Scale;
+use crate::scenario::{ChurnRate, Scenario, TrafficModel};
+use crate::session::{
+    Action, AttackerActor, ChurnActor, JoinSchedule, LiveKappaActor, MinuteActor, MinuteCtx,
+    Sampler, SessionDriver, SnapshotGrid, TrafficActor, TrafficOrigins,
+};
+use crate::traffic::{ArrivalProcess, ZipfSampler};
+use dessim::metrics::Counters;
+use kad_telemetry::{
+    Cell, CounterFamily, HistogramFamily, LogHistogram, LookupOutcome, LookupRecord, MinuteSeries,
+    Recorder, TelemetrySink, TracePurpose,
+};
+use kademlia::id::NodeId;
+use kademlia::network::SimNetwork;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Minutes between the hot-key store round and the first request minute:
+/// dissemination must settle before retrievals race it.
+const STORE_LEAD_MINUTES: u64 = 5;
+
+/// The load workload: arrival shape, key skew, and backpressure bounds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadSpec {
+    /// Offered-load model (requests per minute across the network).
+    pub arrival: ArrivalProcess,
+    /// Number of distinct hot keys (stored once, retrieved forever).
+    pub hot_keys: usize,
+    /// Zipf exponent of the key popularity (rank 0 hottest).
+    pub zipf_exponent: f64,
+    /// Maximum requests in flight at a minute boundary.
+    pub window: usize,
+    /// Maximum backlogged requests; overflow is shed.
+    pub queue_capacity: usize,
+    /// First minute requests are issued. Must leave the store lead
+    /// (`STORE_LEAD_MINUTES`) after the setup phase for the key stores.
+    pub start_minute: u64,
+}
+
+impl LoadSpec {
+    /// A spec with the grid's default skew and backpressure bounds.
+    pub fn new(arrival: ArrivalProcess, start_minute: u64) -> LoadSpec {
+        LoadSpec {
+            arrival,
+            hot_keys: 16,
+            zipf_exponent: 1.1,
+            window: 64,
+            queue_capacity: 256,
+            start_minute,
+        }
+    }
+
+    /// The minute the hot keys are disseminated.
+    pub fn store_minute(&self) -> u64 {
+        self.start_minute.saturating_sub(STORE_LEAD_MINUTES)
+    }
+
+    /// Label combining arrival shape and mean rate (`poisson-60`).
+    pub fn rate_label(&self) -> String {
+        format!(
+            "{}-{}",
+            self.arrival.label(),
+            self.arrival.mean_rate().round() as u64
+        )
+    }
+}
+
+/// Which attack phase a completion belongs to, for the outcome counter
+/// family. `Ord` so the tuple key iterates deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LoadPhase {
+    /// Completed before the cell's phase-split minute.
+    PreAttack,
+    /// Completed at or after it.
+    Attack,
+}
+
+impl LoadPhase {
+    /// Short label for CSV cells.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoadPhase::PreAttack => "pre-attack",
+            LoadPhase::Attack => "attack",
+        }
+    }
+}
+
+/// The telemetry aggregates of one load run, installed as the run's sink.
+/// Baseline cells use the same phase-split minute as their attacked
+/// siblings so phase windows stay comparable across a rate.
+#[derive(Debug)]
+pub struct LoadTelemetry {
+    phase_split: u64,
+    /// Every lookup outcome, keyed `(purpose, outcome, phase)`.
+    pub outcomes: CounterFamily<(TracePurpose, LookupOutcome, LoadPhase)>,
+    /// Retrieval latency (ms) keyed by completed minute.
+    pub latency_by_minute: HistogramFamily<u64>,
+    /// Per-minute retrieval hits: 1.0 = value found.
+    pub found: MinuteSeries,
+    /// Retrievals completed so far (the in-flight accounting feed).
+    pub completed_retrievals: u64,
+}
+
+impl LoadTelemetry {
+    /// A sink splitting phases at `phase_split` minutes.
+    pub fn new(phase_split: u64) -> LoadTelemetry {
+        LoadTelemetry {
+            phase_split,
+            outcomes: CounterFamily::new(),
+            latency_by_minute: HistogramFamily::new(),
+            found: MinuteSeries::new(),
+            completed_retrievals: 0,
+        }
+    }
+
+    /// Retrieval latency over completed minutes in `[from, to)`.
+    pub fn latency_window(&self, from: u64, to: u64) -> LogHistogram {
+        self.latency_by_minute
+            .merged_where(|&minute| minute >= from && minute < to)
+    }
+}
+
+impl TelemetrySink for LoadTelemetry {
+    fn on_lookup(&mut self, record: &LookupRecord) {
+        let minute = record.completed_minute();
+        let phase = if minute >= self.phase_split {
+            LoadPhase::Attack
+        } else {
+            LoadPhase::PreAttack
+        };
+        self.outcomes.inc((record.purpose, record.outcome, phase));
+        if record.purpose == TracePurpose::Retrieve {
+            self.completed_retrievals += 1;
+            self.latency_by_minute.record(minute, record.latency_ms());
+            self.found.record(
+                minute,
+                if record.outcome.is_success() {
+                    1.0
+                } else {
+                    0.0
+                },
+            );
+        }
+    }
+}
+
+/// One minute of admission bookkeeping, as recorded by the [`LoadActor`]
+/// at the minute boundary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinuteLoad {
+    /// Requests that arrived this minute.
+    pub offered: u64,
+    /// Requests issued this minute (backlog + new arrivals).
+    pub admitted: u64,
+    /// Requests dropped because the backlog queue was full.
+    pub shed: u64,
+    /// Backlog depth after admission.
+    pub queue_depth: u64,
+    /// Requests in flight at the minute boundary (before admission).
+    pub in_flight: u64,
+}
+
+/// The actor's admission ledger, shared with the sampler.
+#[derive(Debug, Default)]
+pub struct LoadStats {
+    /// Per-minute admission bookkeeping.
+    pub minutes: BTreeMap<u64, MinuteLoad>,
+    /// Total requests offered.
+    pub offered_total: u64,
+    /// Total requests issued.
+    pub admitted_total: u64,
+    /// Total requests shed.
+    pub shed_total: u64,
+}
+
+/// Draws the run's hot keys from the session's `load-keys` stream
+/// (label-keyed, so drawing them shifts no other stream).
+pub fn draw_hot_keys(driver: &SessionDriver<'_>, n: usize) -> Vec<NodeId> {
+    let bits = driver.base().protocol.bits;
+    let mut rng = driver.factory().stream("load-keys");
+    (0..n).map(|_| NodeId::random(&mut rng, bits)).collect()
+}
+
+/// The load generator (see the module docs for the backpressure
+/// semantics). Stores the hot keys once at [`LoadSpec::store_minute`],
+/// then issues Zipf-keyed retrievals under the admission window from
+/// [`LoadSpec::start_minute`] on. Inert when the spec is silent.
+pub struct LoadActor {
+    spec: LoadSpec,
+    keys: Vec<NodeId>,
+    zipf: ZipfSampler,
+    rng: SmallRng,
+    sink: Rc<RefCell<LoadTelemetry>>,
+    stats: Rc<RefCell<LoadStats>>,
+    backlog: u64,
+    issued: u64,
+    stored: bool,
+}
+
+impl LoadActor {
+    /// Wires the actor's `load-arrivals` stream from the session factory.
+    /// `keys` comes from [`draw_hot_keys`] (the grid also hands `keys[0]`
+    /// to the eclipse attacker as its anchor).
+    pub fn new(
+        driver: &SessionDriver<'_>,
+        spec: LoadSpec,
+        keys: Vec<NodeId>,
+        sink: Rc<RefCell<LoadTelemetry>>,
+        stats: Rc<RefCell<LoadStats>>,
+    ) -> LoadActor {
+        let zipf = ZipfSampler::new(keys.len().max(1), spec.zipf_exponent);
+        LoadActor {
+            spec,
+            keys,
+            zipf,
+            rng: driver.factory().stream("load-arrivals"),
+            sink,
+            stats,
+            backlog: 0,
+            issued: 0,
+            stored: false,
+        }
+    }
+
+    /// Queues one retrieval of a Zipf-drawn key from a random honest
+    /// origin at `at_ms`.
+    fn issue(&mut self, origins: &[kademlia::NodeAddr], at_ms: u64, ctx: &mut MinuteCtx<'_>) {
+        let key = self.keys[self.zipf.sample(&mut self.rng)];
+        let addr = origins[self.rng.random_range(0..origins.len())];
+        ctx.actions.push((at_ms, Action::RetrieveKey(addr, key)));
+    }
+}
+
+impl MinuteActor for LoadActor {
+    fn on_minute(&mut self, net: &mut SimNetwork, ctx: &mut MinuteCtx<'_>) {
+        if self.spec.arrival.is_silent() || self.keys.is_empty() {
+            return;
+        }
+        if !self.stored && ctx.minute >= self.spec.store_minute() {
+            self.stored = true;
+            let origins = net.honest_addrs();
+            if !origins.is_empty() {
+                for i in 0..self.keys.len() {
+                    let addr = origins[self.rng.random_range(0..origins.len())];
+                    net.start_store(addr, self.keys[i]);
+                }
+            }
+        }
+        if ctx.minute < self.spec.start_minute {
+            return;
+        }
+        let arrivals = self
+            .spec
+            .arrival
+            .arrivals_in_minute(ctx.minute, &mut self.rng);
+        let offered = arrivals.len() as u64;
+        let completed = self.sink.borrow().completed_retrievals;
+        let in_flight = self.issued.saturating_sub(completed);
+        let mut capacity = (self.spec.window as u64).saturating_sub(in_flight);
+        let origins = net.honest_addrs();
+        let mut admitted = 0u64;
+        let shed;
+        if origins.is_empty() {
+            // Nobody left to originate from: the whole minute sheds.
+            shed = self.backlog + offered;
+            self.backlog = 0;
+        } else {
+            // Backlogged requests first, at the boundary instant.
+            let from_backlog = self.backlog.min(capacity);
+            for _ in 0..from_backlog {
+                self.issue(&origins, ctx.minute_start_ms, ctx);
+            }
+            self.backlog -= from_backlog;
+            capacity -= from_backlog;
+            admitted += from_backlog;
+            // Then the minute's arrivals at their sampled instants.
+            let admit_new = (arrivals.len() as u64).min(capacity) as usize;
+            for &offset in &arrivals[..admit_new] {
+                self.issue(&origins, ctx.minute_start_ms + offset, ctx);
+            }
+            admitted += admit_new as u64;
+            let leftover = offered - admit_new as u64;
+            let to_queue = leftover.min((self.spec.queue_capacity as u64) - self.backlog);
+            self.backlog += to_queue;
+            shed = leftover - to_queue;
+        }
+        self.issued += admitted;
+        let mut stats = self.stats.borrow_mut();
+        stats.minutes.insert(
+            ctx.minute,
+            MinuteLoad {
+                offered,
+                admitted,
+                shed,
+                queue_depth: self.backlog,
+                in_flight,
+            },
+        );
+        stats.offered_total += offered;
+        stats.admitted_total += admitted;
+        stats.shed_total += shed;
+    }
+}
+
+// ----------------------------------------------------------------------
+// The load run
+// ----------------------------------------------------------------------
+
+/// A fully specified load run: base scenario, workload, optional attack,
+/// and the phase-split minute shared across a rate's cells.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadScenario {
+    /// The overlay scenario (size, churn, loss, protocol, seed).
+    pub base: Scenario,
+    /// The workload.
+    pub spec: LoadSpec,
+    /// The attacker, if any.
+    pub attack: Option<LoadAttack>,
+    /// Minute splitting pre-attack from attack-phase telemetry; equals
+    /// the attack start for attacked cells and is copied to baselines so
+    /// their windows align.
+    pub phase_split: u64,
+}
+
+impl LoadScenario {
+    /// Display name: base name + attack plan (or `baseline`).
+    pub fn name(&self) -> String {
+        format!("{}+{}", self.base.name, self.strategy_label())
+    }
+
+    /// Label of the attack strategy column (`baseline` when unattacked).
+    pub fn strategy_label(&self) -> &'static str {
+        strategy_label(&self.attack)
+    }
+}
+
+/// One cell-minute of the load time series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadPoint {
+    /// The completed minute this row summarizes.
+    pub minute: u64,
+    /// Requests that arrived.
+    pub offered: u64,
+    /// Requests issued.
+    pub admitted: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Backlog depth after admission.
+    pub queue_depth: u64,
+    /// In flight at the minute boundary.
+    pub in_flight: u64,
+    /// Retrievals completed within the minute.
+    pub completed: u64,
+    /// Fraction of those that found their value.
+    pub found_rate: f64,
+    /// Latency percentiles of the minute's completions, ms.
+    pub p50_ms: u64,
+    /// 90th percentile, ms.
+    pub p90_ms: u64,
+    /// 99th percentile, ms.
+    pub p99_ms: u64,
+    /// The honest subgraph's κ_min at the minute end.
+    pub kappa_min: u64,
+    /// Compromises scheduled so far.
+    pub budget_spent: usize,
+}
+
+/// The result of one load run.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The scenario that ran.
+    pub scenario: LoadScenario,
+    /// One point per load-phase minute, ascending.
+    pub points: Vec<LoadPoint>,
+    /// The run's telemetry aggregates (outcome counters, latency family).
+    pub telemetry: LoadTelemetry,
+    /// The admission ledger.
+    pub stats: LoadStats,
+    /// Total compromises the attacker scheduled.
+    pub budget_spent: usize,
+    /// Protocol/transport counters accumulated over the run.
+    pub counters: Counters,
+}
+
+impl LoadOutcome {
+    /// Pre-attack retrieval latency (load start to phase split).
+    pub fn latency_pre(&self) -> LogHistogram {
+        self.telemetry
+            .latency_window(self.scenario.spec.start_minute, self.scenario.phase_split)
+    }
+
+    /// Attack-phase retrieval latency (phase split to run end).
+    pub fn latency_attack(&self) -> LogHistogram {
+        self.telemetry
+            .latency_window(self.scenario.phase_split, u64::MAX)
+    }
+}
+
+/// Runs a load scenario to completion. Deterministic: the base seed fixes
+/// the overlay, the hot keys (`load-keys`), the arrivals and admission
+/// order (`load-arrivals`) and the attacker, so identical scenarios
+/// replay byte-identical outcomes.
+pub fn run_load(scenario: &LoadScenario) -> LoadOutcome {
+    let base = &scenario.base;
+    let mut driver = SessionDriver::new(base);
+    let sink = Rc::new(RefCell::new(LoadTelemetry::new(scenario.phase_split)));
+    driver
+        .network_mut()
+        .set_telemetry_sink(Box::new(Rc::clone(&sink)));
+
+    let keys = draw_hot_keys(&driver, scenario.spec.hot_keys);
+    let stats = Rc::new(RefCell::new(LoadStats::default()));
+    let mut joins = JoinSchedule::new(&mut driver);
+    let mut churn = ChurnActor;
+    let mut traffic = TrafficActor::new(TrafficOrigins::HonestOnly);
+    let mut load = LoadActor::new(
+        &driver,
+        scenario.spec,
+        keys.clone(),
+        Rc::clone(&sink),
+        Rc::clone(&stats),
+    );
+    // The eclipse attacker anchors on the hottest key: the replica set it
+    // wipes is the one the skewed retrieval traffic depends on.
+    let mut attacker = scenario.attack.map(|spec| {
+        if spec.plan == AttackPlan::Eclipse {
+            AttackerActor::with_anchor(spec, &driver, keys[0])
+        } else {
+            AttackerActor::new(spec, &driver)
+        }
+    });
+    let mut kappa = LiveKappaActor::new(scenario.spec.start_minute);
+
+    let sink_handle = Rc::clone(&sink);
+    let stats_handle = Rc::clone(&stats);
+    let load_start = scenario.spec.start_minute;
+    let mut sampler = Sampler::new(
+        SnapshotGrid {
+            base_minutes: 1,
+            attack_start: None,
+            attack_minutes: 1,
+        },
+        move |_net: &mut SimNetwork, ctx: &mut crate::session::EndCtx<'_>| {
+            if ctx.at_minute <= load_start {
+                return None;
+            }
+            let minute = ctx.at_minute - 1;
+            let t = sink_handle.borrow();
+            let latency = t
+                .latency_by_minute
+                .get(&minute)
+                .cloned()
+                .unwrap_or_default();
+            let found = t.found.range_stats(minute, minute + 1);
+            let ledger = stats_handle
+                .borrow()
+                .minutes
+                .get(&minute)
+                .copied()
+                .unwrap_or_default();
+            Some(LoadPoint {
+                minute,
+                offered: ledger.offered,
+                admitted: ledger.admitted,
+                shed: ledger.shed,
+                queue_depth: ledger.queue_depth,
+                in_flight: ledger.in_flight,
+                completed: latency.count(),
+                found_rate: found.mean(),
+                p50_ms: latency.percentile(0.5),
+                p90_ms: latency.percentile(0.9),
+                p99_ms: latency.percentile(0.99),
+                kappa_min: ctx.shared.last_kappa.map(|(_, k)| k).unwrap_or(0),
+                budget_spent: ctx.shared.budget_spent,
+            })
+        },
+    );
+
+    let mut actors: Vec<&mut dyn MinuteActor> =
+        vec![&mut joins, &mut churn, &mut traffic, &mut load];
+    if let Some(attacker) = attacker.as_mut() {
+        actors.push(attacker);
+    }
+    actors.push(&mut kappa);
+    actors.push(&mut sampler);
+    driver.run(&mut actors);
+
+    let (net, shared) = driver.finish();
+    let counters = net.counters().clone();
+    let points: Vec<LoadPoint> = sampler.into_points().into_iter().flatten().collect();
+    drop(load); // releases the actor's sink and stats handles
+    drop(net); // releases the simulator's sink handle
+    let telemetry = Rc::try_unwrap(sink)
+        .expect("all other sink handles dropped")
+        .into_inner();
+    let stats = Rc::try_unwrap(stats)
+        .expect("all other stats handles dropped")
+        .into_inner();
+    LoadOutcome {
+        scenario: scenario.clone(),
+        points,
+        telemetry,
+        stats,
+        budget_spent: shared.budget_spent,
+        counters,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Grid + rendering
+// ----------------------------------------------------------------------
+
+/// Stabilization override for load cells: the load phase needs most of
+/// the runtime, and the quick shape's 90 minutes of stabilization buys
+/// nothing at grid sizes.
+const LOAD_STABILIZATION_MIN: u64 = 45;
+/// Minutes of load phase after stabilization.
+const LOAD_PHASE_MIN: u64 = 35;
+/// First request minute (stores go out at `-5`).
+const LOAD_START_MIN: u64 = 47;
+/// Attack start: 8 minutes of pre-attack latency baseline first.
+const LOAD_ATTACK_START_MIN: u64 = 55;
+
+/// The grid `repro load` runs: Poisson offered rates crossed with an
+/// attack-free baseline plus all four [`AttackPlan`]s, plus bursty and
+/// diurnal baseline cells at the middle rate (their arrival statistics
+/// are pinned by the traffic test suite; the attack cross uses the
+/// stationary process so rate stays the only moving part). Churn is off:
+/// the load engine's in-flight accounting requires origins not to die
+/// mid-lookup, and the attack's damage is the variable under study.
+pub fn load_grid(scale: Scale, base_seed: u64) -> Vec<LoadScenario> {
+    let cfg = scale.config();
+    let size = cfg.small_size;
+    let budget = (size / 4).max(2);
+    let mut grid = Vec::new();
+    let push = |arrival: ArrivalProcess, plan: Option<AttackPlan>, grid: &mut Vec<_>| {
+        let spec = LoadSpec::new(arrival, LOAD_START_MIN);
+        let strategy = plan.map_or("baseline", |p| p.label());
+        let name = format!("load-{}-{}", spec.rate_label(), strategy);
+        let base = grid_base_scenario(
+            &name,
+            size,
+            ChurnRate::NONE,
+            Some(LOAD_STABILIZATION_MIN),
+            LOAD_PHASE_MIN,
+            cfg.snapshot_minutes,
+            TrafficModel {
+                lookups_per_min: cfg.lookups_per_min,
+                stores_per_min: cfg.stores_per_min,
+            },
+            base_seed,
+        );
+        grid.push(LoadScenario {
+            base,
+            spec,
+            attack: plan.map(|plan| LoadAttack {
+                plan,
+                budget,
+                compromises_per_min: 2,
+                start_minute: LOAD_ATTACK_START_MIN,
+            }),
+            phase_split: LOAD_ATTACK_START_MIN,
+        });
+    };
+    for rate in [60.0, 180.0] {
+        let arrival = ArrivalProcess::Poisson { rate_per_min: rate };
+        for plan in std::iter::once(None).chain(AttackPlan::ALL.into_iter().map(Some)) {
+            push(arrival, plan, &mut grid);
+        }
+    }
+    push(
+        ArrivalProcess::Bursty {
+            on_minutes: 5,
+            off_minutes: 5,
+            rate_on: 200.0,
+            rate_off: 40.0,
+        },
+        None,
+        &mut grid,
+    );
+    push(
+        ArrivalProcess::Diurnal {
+            mean_rate_per_min: 120.0,
+            amplitude: 0.8,
+            period_minutes: 30,
+        },
+        None,
+        &mut grid,
+    );
+    grid
+}
+
+/// Runs a load grid through the [`MatrixRunner`], streaming one callback
+/// per finished cell. Outcomes return in input order.
+pub fn run_load_grid(
+    runner: &MatrixRunner,
+    grid: &[LoadScenario],
+    on_done: impl FnMut(usize, &LoadOutcome),
+) -> Vec<LoadOutcome> {
+    runner.run_tasks(grid, run_load, on_done)
+}
+
+/// The per-minute CSV: offered vs completed req/min, latency percentiles,
+/// shed and κ, one row per (cell, minute).
+pub fn load_timeseries_csv(outcomes: &[LoadOutcome]) -> String {
+    let mut rec = Recorder::new(&[
+        "strategy",
+        "arrival",
+        "rate_per_min",
+        "minute",
+        "offered",
+        "admitted",
+        "shed",
+        "queue_depth",
+        "in_flight",
+        "completed",
+        "found_rate",
+        "p50_ms",
+        "p90_ms",
+        "p99_ms",
+        "kappa_min",
+        "budget_spent",
+    ]);
+    for outcome in outcomes {
+        let strategy = outcome.scenario.strategy_label();
+        let arrival = outcome.scenario.spec.arrival.label();
+        let rate = outcome.scenario.spec.arrival.mean_rate();
+        for p in &outcome.points {
+            rec.row(&[
+                strategy.into(),
+                arrival.into(),
+                Cell::f64(rate, 1),
+                p.minute.into(),
+                p.offered.into(),
+                p.admitted.into(),
+                p.shed.into(),
+                p.queue_depth.into(),
+                p.in_flight.into(),
+                p.completed.into(),
+                Cell::f64(p.found_rate, 4),
+                p.p50_ms.into(),
+                p.p90_ms.into(),
+                p.p99_ms.into(),
+                p.kappa_min.into(),
+                p.budget_spent.into(),
+            ]);
+        }
+    }
+    rec.finish()
+}
+
+/// The per-cell summary CSV: totals, phase percentiles, and the
+/// attack-phase p99 delta against the baseline cell at the same arrival
+/// shape and rate (0 for baselines themselves — the "eclipse costs X ms
+/// of p99 at rate Y" column).
+pub fn load_summary_csv(outcomes: &[LoadOutcome]) -> String {
+    let baseline_p99 = |of: &LoadOutcome| -> Option<u64> {
+        outcomes
+            .iter()
+            .find(|o| {
+                o.scenario.attack.is_none() && o.scenario.spec.arrival == of.scenario.spec.arrival
+            })
+            .map(|o| o.latency_attack().percentile(0.99))
+    };
+    let mut rec = Recorder::new(&[
+        "strategy",
+        "arrival",
+        "rate_per_min",
+        "offered_total",
+        "admitted_total",
+        "shed_total",
+        "completed_total",
+        "found_rate",
+        "pre_p50_ms",
+        "pre_p99_ms",
+        "attack_p50_ms",
+        "attack_p99_ms",
+        "p99_delta_vs_baseline_ms",
+    ]);
+    for outcome in outcomes {
+        let pre = outcome.latency_pre();
+        let attack = outcome.latency_attack();
+        let found: u64 = outcome
+            .telemetry
+            .outcomes
+            .iter()
+            .filter(|((p, o, _), _)| *p == TracePurpose::Retrieve && o.is_success())
+            .map(|(_, n)| n)
+            .sum();
+        let completed = outcome.telemetry.completed_retrievals;
+        let delta = baseline_p99(outcome)
+            .map(|b| attack.percentile(0.99) as i64 - b as i64)
+            .unwrap_or(0);
+        rec.row(&[
+            outcome.scenario.strategy_label().into(),
+            outcome.scenario.spec.arrival.label().into(),
+            Cell::f64(outcome.scenario.spec.arrival.mean_rate(), 1),
+            outcome.stats.offered_total.into(),
+            outcome.stats.admitted_total.into(),
+            outcome.stats.shed_total.into(),
+            completed.into(),
+            Cell::f64(found as f64 / completed.max(1) as f64, 4),
+            pre.percentile(0.5).into(),
+            pre.percentile(0.99).into(),
+            attack.percentile(0.5).into(),
+            attack.percentile(0.99).into(),
+            delta.to_string().into(),
+        ]);
+    }
+    rec.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+
+    fn quick_load(plan: Option<AttackPlan>, rate: f64, seed: u64) -> LoadScenario {
+        let mut b = ScenarioBuilder::quick(18, 4);
+        b.name(format!(
+            "test-load-{}",
+            plan.map_or("baseline", |p| p.label())
+        ))
+        .seed(seed)
+        .stabilization_minutes(40)
+        .churn_minutes(20);
+        let mut spec = LoadSpec::new(ArrivalProcess::Poisson { rate_per_min: rate }, 42);
+        spec.hot_keys = 4;
+        LoadScenario {
+            base: b.build(),
+            spec,
+            attack: plan.map(|plan| LoadAttack {
+                plan,
+                budget: 5,
+                compromises_per_min: 1,
+                start_minute: 48,
+            }),
+            phase_split: 48,
+        }
+    }
+
+    #[test]
+    fn baseline_load_completes_and_finds_values() {
+        let outcome = run_load(&quick_load(None, 30.0, 3));
+        assert_eq!(outcome.budget_spent, 0);
+        assert!(outcome.stats.offered_total > 0, "arrivals happened");
+        assert!(
+            outcome.telemetry.completed_retrievals > 0,
+            "retrievals completed"
+        );
+        let pre = outcome.latency_pre();
+        assert!(pre.count() > 0 && pre.mean() > 0.0, "latency recorded");
+        let last = outcome.points.last().expect("points");
+        assert!(last.found_rate > 0.5, "hot keys retrievable: {last:?}");
+        // The outcome family saw load retrievals and background traffic.
+        assert!(outcome.telemetry.outcomes.total() > 0);
+        assert!(outcome
+            .telemetry
+            .outcomes
+            .iter()
+            .any(|((p, _, _), _)| *p == TracePurpose::Retrieve));
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = run_load(&quick_load(Some(AttackPlan::Eclipse), 30.0, 7));
+        let b = run_load(&quick_load(Some(AttackPlan::Eclipse), 30.0, 7));
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.stats.minutes, b.stats.minutes);
+        assert_eq!(a.telemetry.outcomes, b.telemetry.outcomes);
+        let c = run_load(&quick_load(Some(AttackPlan::Eclipse), 30.0, 8));
+        assert_ne!(a.points, c.points, "seeds diverge");
+    }
+
+    #[test]
+    fn silent_spec_is_inert() {
+        let mut scenario = quick_load(None, 0.0, 5);
+        scenario.spec.arrival = ArrivalProcess::Poisson { rate_per_min: 0.0 };
+        let outcome = run_load(&scenario);
+        assert_eq!(outcome.stats.offered_total, 0);
+        assert_eq!(outcome.telemetry.completed_retrievals, 0);
+        assert!(outcome.points.iter().all(|p| p.offered == 0));
+    }
+
+    #[test]
+    fn tiny_window_sheds_overload() {
+        let mut scenario = quick_load(None, 120.0, 9);
+        scenario.spec.window = 4;
+        scenario.spec.queue_capacity = 8;
+        let outcome = run_load(&scenario);
+        assert!(
+            outcome.stats.shed_total > 0,
+            "a 4-wide window cannot carry 120 req/min: {:?}",
+            outcome.stats
+        );
+        // Conservation: every offered request was admitted, queued or shed.
+        let queued_at_end = outcome.points.last().map(|p| p.queue_depth).unwrap_or(0);
+        assert_eq!(
+            outcome.stats.offered_total,
+            outcome.stats.admitted_total + outcome.stats.shed_total + queued_at_end,
+        );
+    }
+
+    #[test]
+    fn eclipse_on_hot_key_degrades_found_rate_and_latency() {
+        let baseline = run_load(&quick_load(None, 30.0, 11));
+        let eclipsed = run_load(&quick_load(Some(AttackPlan::Eclipse), 30.0, 11));
+        assert_eq!(eclipsed.budget_spent, 5);
+        let base_attack = baseline.latency_attack();
+        let ecl_attack = eclipsed.latency_attack();
+        assert!(base_attack.count() > 0 && ecl_attack.count() > 0);
+        // The anchored eclipse wipes the hot key's replica set: retrievals
+        // exhaust more candidates, so the attack-phase tail grows.
+        assert!(
+            ecl_attack.percentile(0.99) > base_attack.percentile(0.99),
+            "eclipse p99 {} <= baseline p99 {}",
+            ecl_attack.percentile(0.99),
+            base_attack.percentile(0.99)
+        );
+    }
+
+    #[test]
+    fn grid_covers_rates_and_plans_and_csvs_render() {
+        let grid = load_grid(Scale::Bench, 5);
+        assert_eq!(grid.len(), 12, "2 rates × (1+4) + bursty + diurnal");
+        let mut seeds: Vec<u64> = grid.iter().map(|c| c.base.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12, "unique seed per cell");
+        assert!(grid
+            .iter()
+            .all(|c| c.spec.start_minute >= c.base.setup_minutes + STORE_LEAD_MINUTES));
+        assert!(grid
+            .iter()
+            .all(|c| c.phase_split > c.spec.start_minute && c.phase_split < c.base.end_minutes()));
+        // Smoke-run two cheap cells (low-rate baseline + eclipse) and
+        // render both CSVs.
+        let sample: Vec<LoadScenario> = grid
+            .into_iter()
+            .filter(|c| {
+                c.spec.arrival.mean_rate() == 60.0
+                    && (c.attack.is_none()
+                        || c.attack.is_some_and(|a| a.plan == AttackPlan::Eclipse))
+            })
+            .collect();
+        assert_eq!(sample.len(), 2);
+        let mut done = 0usize;
+        let outcomes = run_load_grid(&MatrixRunner::new().scenario_threads(2), &sample, |_, _| {
+            done += 1;
+        });
+        assert_eq!(done, 2);
+        let ts = load_timeseries_csv(&outcomes);
+        assert!(ts.starts_with("strategy,arrival,rate_per_min,minute"));
+        assert!(ts.contains("\nbaseline,poisson,60.0"));
+        assert!(ts.contains("\neclipse,poisson,60.0"));
+        let summary = load_summary_csv(&outcomes);
+        assert!(summary.starts_with("strategy,arrival,rate_per_min"));
+        assert_eq!(summary.lines().count(), 3, "header + one row per cell");
+        // The baseline row's delta column is 0 by construction.
+        let baseline_row = summary
+            .lines()
+            .find(|l| l.starts_with("baseline"))
+            .expect("baseline row");
+        assert!(baseline_row.ends_with(",0"), "{baseline_row}");
+    }
+}

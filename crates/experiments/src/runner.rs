@@ -105,10 +105,8 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     let mut choice_rng = factory.stream("harness-choices");
     let mut target_rng = factory.stream("harness-targets");
 
-    let transport = dessim::transport::Transport::new(
-        dessim::latency::LatencyModel::default_uniform(),
-        scenario.loss.to_model(),
-    );
+    let transport =
+        dessim::transport::Transport::new(scenario.protocol.latency, scenario.loss.to_model());
     let mut net = SimNetwork::new(scenario.protocol, transport, scenario.seed);
 
     // Initial joins: uniform over the setup phase, per minute.

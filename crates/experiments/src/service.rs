@@ -39,6 +39,7 @@
 
 pub use crate::attack_plan::AttackSpec as ServiceAttack;
 use crate::attack_plan::{grid_base_scenario, strategy_label, AttackPlan};
+use crate::load::{draw_hot_keys, LoadActor, LoadSpec, LoadStats, LoadTelemetry};
 use crate::matrix::MatrixRunner;
 use crate::scale::Scale;
 use crate::scenario::{ChurnRate, Scenario, TrafficModel};
@@ -68,6 +69,11 @@ pub struct ServiceScenario {
     pub store_every_min: u64,
     /// Minutes between retrieval probe rounds.
     pub probe_every_min: u64,
+    /// An optional production-load workload riding on the run
+    /// ([`crate::load`]). A silent spec is fully inert — the golden-
+    /// equivalence suite pins that wiring one leaves the service CSVs
+    /// byte-identical.
+    pub load: Option<LoadSpec>,
 }
 
 impl ServiceScenario {
@@ -79,6 +85,7 @@ impl ServiceScenario {
             objects_per_round: 4,
             store_every_min: 10,
             probe_every_min: 5,
+            load: None,
         }
     }
 
@@ -193,9 +200,34 @@ pub fn run_service(scenario: &ServiceScenario) -> ServiceOutcome {
     let base = &scenario.base;
     let mut driver = SessionDriver::new(base);
     let sink = Rc::new(RefCell::new(ServiceTelemetry::default()));
-    driver
-        .network_mut()
-        .set_telemetry_sink(Box::new(Rc::clone(&sink)));
+    // An optional load workload rides on the run through a fanout sink;
+    // without one the plain sink installs directly (identical behavior —
+    // the golden suite pins the unloaded path byte for byte).
+    let load_parts = scenario.load.map(|spec| {
+        let phase_split = scenario
+            .attack
+            .map_or(base.end_minutes(), |a| a.start_minute);
+        let load_sink = Rc::new(RefCell::new(LoadTelemetry::new(phase_split)));
+        let stats = Rc::new(RefCell::new(LoadStats::default()));
+        let keys = draw_hot_keys(&driver, spec.hot_keys);
+        (spec, load_sink, stats, keys)
+    });
+    match &load_parts {
+        Some((_, load_sink, _, _)) => {
+            driver
+                .network_mut()
+                .set_telemetry_sink(Box::new(kad_telemetry::FanoutSink::new(vec![
+                    Box::new(Rc::clone(&sink)),
+                    Box::new(Rc::clone(load_sink)),
+                ])))
+        }
+        None => driver
+            .network_mut()
+            .set_telemetry_sink(Box::new(Rc::clone(&sink))),
+    }
+    let mut load_actor = load_parts.map(|(spec, load_sink, stats, keys)| {
+        LoadActor::new(&driver, spec, keys, load_sink, stats)
+    });
 
     let mut probe = ProbeActor::new(
         &driver,
@@ -249,6 +281,9 @@ pub fn run_service(scenario: &ServiceScenario) -> ServiceOutcome {
 
     let mut actors: Vec<&mut dyn MinuteActor> =
         vec![&mut probe, &mut joins, &mut churn, &mut traffic];
+    if let Some(load) = load_actor.as_mut() {
+        actors.push(load);
+    }
     if let Some(attacker) = attacker.as_mut() {
         actors.push(attacker);
     }

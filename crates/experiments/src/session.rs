@@ -75,6 +75,11 @@ pub enum Action {
     Lookup(NodeAddr),
     /// Start a dissemination from this node for a random key.
     Store(NodeAddr),
+    /// Start a value retrieval from this node for a *fixed* key (the load
+    /// engine's hot-key traffic; the key was drawn from the load actor's
+    /// own stream at wiring time, so applying this draws nothing from the
+    /// shared harness streams).
+    RetrieveKey(NodeAddr, NodeId),
 }
 
 /// The harness RNG streams shared between the driver and the schedule
@@ -193,10 +198,8 @@ impl<'s> SessionDriver<'s> {
     /// the harness streams for `base`.
     pub fn new(base: &'s Scenario) -> SessionDriver<'s> {
         let factory = RngFactory::new(base.seed);
-        let transport = dessim::transport::Transport::new(
-            dessim::latency::LatencyModel::default_uniform(),
-            base.loss.to_model(),
-        );
+        let transport =
+            dessim::transport::Transport::new(base.protocol.latency, base.loss.to_model());
         let net = SimNetwork::new(base.protocol, transport, base.seed);
         let rngs = HarnessRngs {
             schedule: factory.stream("harness-schedule"),
@@ -330,6 +333,9 @@ pub fn apply_action(
         Action::Store(addr) => {
             let key = NodeId::random(target_rng, base.protocol.bits);
             net.start_store(addr, key);
+        }
+        Action::RetrieveKey(addr, key) => {
+            net.start_find_value(addr, key);
         }
     }
 }
@@ -482,6 +488,25 @@ impl AttackerActor {
                 bits,
             )),
             rng: factory.stream("attacker"),
+        }
+    }
+
+    /// An attacker whose eclipse anchor is a *chosen* id rather than a
+    /// random one — the load grid anchors the eclipse on its hottest key,
+    /// so the compromised replica set sits exactly where the skewed
+    /// retrieval traffic lands. The `attacker-eclipse-target` stream is
+    /// left undrawn; streams are label-keyed, so no other stream shifts.
+    pub fn with_anchor(
+        spec: AttackSpec,
+        driver: &SessionDriver<'_>,
+        anchor: NodeId,
+    ) -> AttackerActor {
+        AttackerActor {
+            spec,
+            targeted: HashSet::new(),
+            cut_queue: VecDeque::new(),
+            eclipse: EclipseState::new(anchor),
+            rng: driver.factory().stream("attacker"),
         }
     }
 

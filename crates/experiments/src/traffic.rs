@@ -1,0 +1,359 @@
+//! Production-traffic generators: arrival processes and hot-key skew.
+//!
+//! The paper's traffic model is a fixed per-node rate (every node issues
+//! `lookups_per_min` lookups, uniformly placed). Production DHT load looks
+//! nothing like that: request *counts* fluctuate (Poisson at best, bursty
+//! or diurnal in practice) and request *keys* are heavily skewed toward a
+//! few hot items (Zipf — the standard model for cache/DHT key popularity).
+//! This module provides both halves for the load engine
+//! ([`crate::load`]), hand-rolled on the harness's own RNG streams so the
+//! determinism contract ("same seed, byte-identical CSVs") extends to the
+//! traffic itself. The statistical properties are pinned by
+//! `tests/traffic_stats.rs`.
+//!
+//! Everything here draws from a *caller-supplied* stream and touches no
+//! global state; an arrival process is pure given `(minute, rng)`.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Milliseconds per simulated minute.
+const MINUTE_MS: u64 = 60_000;
+
+/// Knuth's product method stays in `f64` range for rates up to this; the
+/// sampler splits larger rates into independent chunks (Poisson sums are
+/// Poisson).
+const KNUTH_CHUNK: f64 = 30.0;
+
+/// An offered-load model: how many requests arrive in each simulated
+/// minute, and when within the minute.
+///
+/// All three variants are minute-resolution inhomogeneous Poisson
+/// processes — a per-minute rate `λ(minute)`, a `Poisson(λ)` count, and
+/// uniform placement within the minute. They differ only in the rate
+/// function, so the statistical test suite can check each shape
+/// independently: the Poisson count law, the bursty duty cycle, the
+/// diurnal modulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Stationary Poisson arrivals at `rate_per_min` requests per minute.
+    Poisson {
+        /// Mean arrivals per minute (`λ`).
+        rate_per_min: f64,
+    },
+    /// On/off (interrupted Poisson) arrivals: a deterministic square wave
+    /// that alternates `on_minutes` at `rate_on` with `off_minutes` at
+    /// `rate_off`, starting in the on phase at minute 0.
+    Bursty {
+        /// Length of the on phase in minutes.
+        on_minutes: u64,
+        /// Length of the off phase in minutes.
+        off_minutes: u64,
+        /// Arrival rate during the on phase.
+        rate_on: f64,
+        /// Arrival rate during the off phase (typically ≪ `rate_on`).
+        rate_off: f64,
+    },
+    /// Sinusoidal daily cycle: `λ(m) = mean · (1 + amplitude · sin(2πm /
+    /// period))`, clamped at 0. `amplitude ∈ [0, 1]` keeps the rate
+    /// non-negative and the long-run mean at `mean_rate_per_min`.
+    Diurnal {
+        /// Long-run mean arrivals per minute.
+        mean_rate_per_min: f64,
+        /// Relative swing around the mean, in `[0, 1]`.
+        amplitude: f64,
+        /// Cycle length in minutes.
+        period_minutes: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The instantaneous rate `λ(minute)`, in requests per minute.
+    pub fn rate_at(&self, minute: u64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_min } => rate_per_min,
+            ArrivalProcess::Bursty {
+                on_minutes,
+                off_minutes,
+                rate_on,
+                rate_off,
+            } => {
+                let period = (on_minutes + off_minutes).max(1);
+                if minute % period < on_minutes {
+                    rate_on
+                } else {
+                    rate_off
+                }
+            }
+            ArrivalProcess::Diurnal {
+                mean_rate_per_min,
+                amplitude,
+                period_minutes,
+            } => {
+                let period = period_minutes.max(1) as f64;
+                let phase = (minute % period_minutes.max(1)) as f64 / period;
+                let factor = 1.0 + amplitude * (phase * std::f64::consts::TAU).sin();
+                (mean_rate_per_min * factor).max(0.0)
+            }
+        }
+    }
+
+    /// Short label for CSV cells and grid names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+        }
+    }
+
+    /// The long-run mean rate in requests per minute (the load grid's
+    /// `rate` column, and what makes cells with different shapes
+    /// comparable at equal offered load).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_min } => rate_per_min,
+            ArrivalProcess::Bursty {
+                on_minutes,
+                off_minutes,
+                rate_on,
+                rate_off,
+            } => {
+                let period = (on_minutes + off_minutes).max(1) as f64;
+                (on_minutes as f64 * rate_on + off_minutes as f64 * rate_off) / period
+            }
+            ArrivalProcess::Diurnal {
+                mean_rate_per_min, ..
+            } => mean_rate_per_min,
+        }
+    }
+
+    /// Whether the process never produces an arrival. A silent process
+    /// draws nothing from any stream — the inertness contract the
+    /// golden-equivalence guard pins.
+    pub fn is_silent(&self) -> bool {
+        self.mean_rate() <= 0.0
+    }
+
+    /// Samples the arrival instants for one minute: a `Poisson(λ(minute))`
+    /// count placed uniformly, returned as sorted millisecond offsets in
+    /// `[0, 60_000)`. A zero rate draws **nothing** from `rng` — the
+    /// rate-0 inertness the golden-equivalence guard relies on.
+    pub fn arrivals_in_minute(&self, minute: u64, rng: &mut SmallRng) -> Vec<u64> {
+        let rate = self.rate_at(minute);
+        if rate <= 0.0 {
+            return Vec::new();
+        }
+        let n = sample_poisson(rate, rng);
+        let mut instants: Vec<u64> = (0..n).map(|_| rng.random_range(0..MINUTE_MS)).collect();
+        instants.sort_unstable();
+        instants
+    }
+}
+
+/// Samples `Poisson(lambda)` by Knuth's product method, splitting large
+/// rates into chunks of at most `KNUTH_CHUNK` so `exp(-λ)` never
+/// underflows (Poisson is additive over independent chunks).
+pub fn sample_poisson(lambda: f64, rng: &mut SmallRng) -> u64 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "rate must be finite");
+    let mut remaining = lambda;
+    let mut total = 0u64;
+    while remaining > 0.0 {
+        let chunk = remaining.min(KNUTH_CHUNK);
+        remaining -= chunk;
+        let threshold = (-chunk).exp();
+        let mut product = 1.0f64;
+        loop {
+            // `random::<f64>()` is in [0, 1); nudge away from zero so the
+            // product strictly decreases (P(0) is vanishing anyway).
+            product *= 1.0 - rng.random::<f64>();
+            if product <= threshold {
+                break;
+            }
+            total += 1;
+        }
+    }
+    total
+}
+
+/// A Zipf(s) sampler over ranks `0..n`: rank `r` has weight
+/// `1 / (r + 1)^s`. Rank 0 is the hottest key.
+///
+/// The CDF is precomputed once; each draw costs one uniform and a binary
+/// search. The rank-frequency slope (log-frequency vs log-rank ≈ `-s`) is
+/// pinned by the statistical test suite.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n ≥ 1` ranks with exponent `s ≥ 0` (`s = 0` is
+    /// uniform; production key popularity is typically `s ≈ 0.9–1.1`).
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n >= 1, "need at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding: the last entry must catch every draw.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never: `new` requires `n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The probability of rank `r`.
+    pub fn probability(&self, rank: usize) -> f64 {
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
+
+    /// Draws a rank in `0..len()`, hot ranks most likely.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.random();
+        // First rank whose cumulative probability covers `u`.
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_rate_is_stationary() {
+        let p = ArrivalProcess::Poisson { rate_per_min: 12.5 };
+        assert_eq!(p.rate_at(0), 12.5);
+        assert_eq!(p.rate_at(10_000), 12.5);
+        assert_eq!(p.label(), "poisson");
+    }
+
+    #[test]
+    fn bursty_square_wave_phases() {
+        let b = ArrivalProcess::Bursty {
+            on_minutes: 3,
+            off_minutes: 7,
+            rate_on: 100.0,
+            rate_off: 5.0,
+        };
+        for m in 0..30 {
+            let expect = if m % 10 < 3 { 100.0 } else { 5.0 };
+            assert_eq!(b.rate_at(m), expect, "minute {m}");
+        }
+        assert_eq!(b.label(), "bursty");
+    }
+
+    #[test]
+    fn diurnal_mean_and_extremes() {
+        let d = ArrivalProcess::Diurnal {
+            mean_rate_per_min: 60.0,
+            amplitude: 0.5,
+            period_minutes: 120,
+        };
+        // Peak at a quarter period, trough at three quarters.
+        assert!((d.rate_at(30) - 90.0).abs() < 1e-9);
+        assert!((d.rate_at(90) - 30.0).abs() < 1e-9);
+        // The rate over one full period averages to the mean.
+        let avg: f64 = (0..120).map(|m| d.rate_at(m)).sum::<f64>() / 120.0;
+        assert!((avg - 60.0).abs() < 1.0);
+        assert_eq!(d.label(), "diurnal");
+    }
+
+    #[test]
+    fn zero_rate_draws_nothing() {
+        let p = ArrivalProcess::Poisson { rate_per_min: 0.0 };
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert!(p.arrivals_in_minute(5, &mut a).is_empty());
+        // The stream was not advanced at all.
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_range() {
+        let p = ArrivalProcess::Poisson {
+            rate_per_min: 200.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let instants = p.arrivals_in_minute(0, &mut rng);
+        assert!(!instants.is_empty());
+        assert!(instants.windows(2).all(|w| w[0] <= w[1]));
+        assert!(instants.iter().all(|&t| t < 60_000));
+    }
+
+    #[test]
+    fn poisson_splitting_handles_large_rates() {
+        // exp(-600) underflows to 0; the chunked sampler must not hang and
+        // must land near the mean.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = sample_poisson(600.0, &mut rng);
+        assert!((400..=800).contains(&n), "sample {n} far from λ=600");
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn zipf_probabilities_are_normalized_and_ranked() {
+        let z = ZipfSampler::new(100, 1.0);
+        assert_eq!(z.len(), 100);
+        let total: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..100 {
+            assert!(
+                z.probability(r) <= z.probability(r - 1) + 1e-12,
+                "rank {r} hotter than rank {}",
+                r - 1
+            );
+        }
+        // Zipf(1) over 100 ranks: P(0) = 1/H_100 ≈ 0.1928.
+        assert!((z.probability(0) - 0.1928).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zipf_sample_stays_in_range_and_hits_hot_rank() {
+        let z = ZipfSampler::new(16, 1.1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut hits0 = 0usize;
+        for _ in 0..2000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 16);
+            if r == 0 {
+                hits0 += 1;
+            }
+        }
+        // P(0) ≈ 0.30 for s=1.1, n=16; 2000 draws keep us far from 0.
+        assert!(hits0 > 400, "hot rank under-sampled: {hits0}/2000");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = ZipfSampler::new(8, 0.0);
+        for r in 0..8 {
+            assert!((z.probability(r) - 0.125).abs() < 1e-9);
+        }
+    }
+}

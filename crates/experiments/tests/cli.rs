@@ -25,7 +25,7 @@ fn unknown_subcommand_lists_the_registry_and_exits_2() {
     // Every registered subcommand appears in the error message, the grid
     // workloads included.
     for subcommand in [
-        "all", "matrix", "campaign", "service", "defend", "sweep", "bench", "tab1", "fig2",
+        "all", "matrix", "campaign", "service", "defend", "sweep", "load", "bench", "tab1", "fig2",
         "sampling",
     ] {
         assert!(
@@ -76,6 +76,48 @@ fn same_seed_regenerates_bit_identical_csvs() {
         csv_a, csv_b,
         "--seed pins every random stream: identical invocations must \
          regenerate byte-identical CSVs"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn same_seed_regenerates_bit_identical_load_csvs() {
+    // The load grid adds its own RNG streams (hot keys, arrivals) on top
+    // of the shared harness streams; this pins that the determinism
+    // contract survives the traffic engine — both output CSVs, byte for
+    // byte. Runs just the cheapest slice of the machinery by reusing the
+    // bench scale the smoke CI job uses.
+    let scratch = std::env::temp_dir().join(format!("repro-load-seed-{}", std::process::id()));
+    let (dir_a, dir_b) = (scratch.join("a"), scratch.join("b"));
+    for dir in [&dir_a, &dir_b] {
+        let output = repro()
+            .args(["load", "--scale", "bench", "--seed", "23", "--out"])
+            .arg(dir)
+            .output()
+            .expect("spawn repro");
+        assert!(
+            output.status.success(),
+            "repro load failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+    for name in ["load-timeseries.csv", "load-summary.csv"] {
+        let csv_a = std::fs::read(dir_a.join(name)).expect("first CSV");
+        let csv_b = std::fs::read(dir_b.join(name)).expect("second CSV");
+        assert!(!csv_a.is_empty(), "{name} is empty");
+        assert_eq!(
+            csv_a, csv_b,
+            "{name}: same seed must regenerate byte-identical output"
+        );
+    }
+    // The summary carries the headline column the CI smoke job greps for.
+    let summary = std::fs::read_to_string(dir_a.join("load-summary.csv")).expect("summary");
+    assert!(
+        summary
+            .lines()
+            .next()
+            .is_some_and(|h| h.contains("attack_p99_ms")),
+        "summary header carries p99 columns: {summary}"
     );
     let _ = std::fs::remove_dir_all(&scratch);
 }

@@ -30,21 +30,26 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 #[derive(Debug, Default)]
-struct HopCollector(LogHistogram);
+struct HopCollector {
+    hops: LogHistogram,
+    latency: LogHistogram,
+}
 
 impl TelemetrySink for HopCollector {
     fn on_lookup(&mut self, record: &LookupRecord) {
         // Only converged data lookups: maintenance traffic and partial
         // lookups are not part of the analytic model's population.
         if record.purpose == TracePurpose::Locate && record.outcome.is_success() {
-            self.0.record(record.hops as u64);
+            self.hops.record(record.hops as u64);
+            self.latency.record(record.latency_ms());
         }
     }
 }
 
-/// Builds a stabilized churn-free overlay and measures the hop-count
-/// distribution of `lookups` uniform-target lookups from uniform origins.
-fn measure_hops(n: usize, k: usize, seed: u64, lookups: usize) -> LogHistogram {
+/// Builds a stabilized churn-free overlay and measures the hop-count and
+/// latency distributions of `lookups` uniform-target lookups from uniform
+/// origins.
+fn measure_hops(n: usize, k: usize, seed: u64, lookups: usize) -> HopCollector {
     let config = KademliaConfig::builder()
         .k(k)
         .staleness_limit(1)
@@ -76,9 +81,12 @@ fn measure_hops(n: usize, k: usize, seed: u64, lookups: usize) -> LogHistogram {
         // are a clean i.i.d. sample.
         net.run_until(net.now() + SimDuration::from_secs(30));
     }
-    let hist = sink.borrow().0.clone();
+    let collector = HopCollector {
+        hops: sink.borrow().hops.clone(),
+        latency: sink.borrow().latency.clone(),
+    };
     net.clear_telemetry_sink();
-    hist
+    collector
 }
 
 #[test]
@@ -87,7 +95,7 @@ fn hop_distribution_matches_analytic_expectation() {
     let cases = [(48usize, 8usize, 400usize), (128, 8, 400)];
     let mut means = Vec::new();
     for &(n, k, lookups) in &cases {
-        let hist = measure_hops(n, k, 42, lookups);
+        let hist = measure_hops(n, k, 42, lookups).hops;
         assert!(
             hist.count() >= lookups as u64 * 9 / 10,
             "almost every lookup on a healthy overlay converges: {} of {lookups}",
@@ -121,4 +129,44 @@ fn hop_distribution_matches_analytic_expectation() {
         means[1] > means[0],
         "mean hops grow with n at fixed k: {means:?}"
     );
+}
+
+/// Latency anchor: under the default `Uniform(10, 100)` ms one-way
+/// latency window a query round-trip averages 110 ms, so a converged
+/// lookup should take on the order of *(hops + 1) × 110 ms*: the analytic
+/// hop depth to reach the closest node, plus one extra round-trip wave
+/// for convergence verification (the lookup terminates only after the
+/// final k-closest set has responded, which costs a round beyond the
+/// depth the hop model counts). The α-parallel machinery blurs the
+/// per-round time in both directions — a round can advance on the first
+/// useful response (faster than the mean RTT) while straggler responses
+/// stretch the tail — so the anchor carries a ±35% documented tolerance:
+/// loose enough to ride out parallelism effects, tight enough that a
+/// broken latency model (a zero-latency transport halves it; a
+/// misapplied config window shifts it proportionally) lands far outside.
+#[test]
+fn lookup_latency_tracks_analytic_hop_mean_times_rtt() {
+    /// Mean round trip under the documented default 10–100 ms window.
+    const MEAN_RTT_MS: f64 = 110.0;
+    /// The convergence-verification wave past the analytic hop depth.
+    const CONVERGENCE_ROUNDS: f64 = 1.0;
+    const LATENCY_ANCHOR_TOLERANCE: f64 = 0.35;
+    for &(n, k, lookups) in &[(48usize, 8usize, 400usize), (128, 8, 400)] {
+        let measured = measure_hops(n, k, 42, lookups);
+        assert!(measured.latency.count() >= lookups as u64 * 9 / 10);
+        let mean_latency = measured.latency.mean();
+        let anchor = (analytic_hop_mean(n, k) + CONVERGENCE_ROUNDS) * MEAN_RTT_MS;
+        eprintln!(
+            "n={n} k={k}: measured mean latency {mean_latency:.1} ms \
+             (p50={} p99={}), anchor {anchor:.1} ms",
+            measured.latency.percentile(0.5),
+            measured.latency.percentile(0.99),
+        );
+        let ratio = mean_latency / anchor;
+        assert!(
+            (1.0 - LATENCY_ANCHOR_TOLERANCE..=1.0 + LATENCY_ANCHOR_TOLERANCE).contains(&ratio),
+            "n={n} k={k}: mean latency {mean_latency:.1} ms is {ratio:.2}× the \
+             analytic anchor {anchor:.1} ms (tolerance ±{LATENCY_ANCHOR_TOLERANCE})"
+        );
+    }
 }

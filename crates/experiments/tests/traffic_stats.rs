@@ -1,0 +1,215 @@
+//! Statistical pinning for the production-traffic generators.
+//!
+//! The load engine's realism claims rest on three distributional
+//! properties: Poisson counts follow the Poisson law (mean = variance =
+//! λ), the bursty process concentrates arrivals in its on-phase in the
+//! configured duty-cycle proportion, and the hot-key sampler is actually
+//! Zipfian (log-frequency vs log-rank slope ≈ −s). Each test runs a
+//! fixed-seed experiment large enough that the checked statistic
+//! concentrates well inside the asserted tolerance; the tolerances are
+//! several standard errors wide, so failures mean the generator changed,
+//! not that the dice were unlucky.
+
+use kad_experiments::traffic::{sample_poisson, ArrivalProcess, ZipfSampler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Sample mean and (unbiased) sample variance.
+fn mean_var(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+#[test]
+fn poisson_counts_match_mean_and_variance() {
+    // λ = 20, 5000 draws: std-err of the mean is sqrt(20/5000) ≈ 0.063,
+    // so a ±0.5 window is ~8σ. The variance estimator is noisier
+    // (relative std-err ≈ sqrt(2/n) ≈ 2%), so it gets ±10%.
+    let lambda = 20.0;
+    let mut rng = SmallRng::seed_from_u64(0xfeed);
+    let samples: Vec<f64> = (0..5000)
+        .map(|_| sample_poisson(lambda, &mut rng) as f64)
+        .collect();
+    let (mean, var) = mean_var(&samples);
+    assert!((mean - lambda).abs() < 0.5, "mean {mean} vs λ {lambda}");
+    assert!(
+        (var - lambda).abs() < 0.1 * lambda,
+        "variance {var} vs λ {lambda} (Poisson law: variance = mean)"
+    );
+}
+
+#[test]
+fn poisson_chunked_sampler_agrees_at_large_rates() {
+    // Above the Knuth chunk size the sampler splits λ into pieces;
+    // additivity must preserve the law. λ = 150 ≫ chunk (30).
+    let lambda = 150.0;
+    let mut rng = SmallRng::seed_from_u64(0xbeef);
+    let samples: Vec<f64> = (0..3000)
+        .map(|_| sample_poisson(lambda, &mut rng) as f64)
+        .collect();
+    let (mean, var) = mean_var(&samples);
+    assert!((mean - lambda).abs() < 1.5, "mean {mean} vs λ {lambda}");
+    assert!(
+        (var - lambda).abs() < 0.12 * lambda,
+        "variance {var} vs λ {lambda}"
+    );
+}
+
+#[test]
+fn arrival_counts_through_the_process_match_the_rate() {
+    // The full `arrivals_in_minute` path (count + placement) must keep
+    // the per-minute mean at λ and place instants uniformly: the mean
+    // offset of a uniform draw on [0, 60000) is 30000.
+    let p = ArrivalProcess::Poisson { rate_per_min: 40.0 };
+    let mut rng = SmallRng::seed_from_u64(0xabcd);
+    let mut total = 0u64;
+    let mut offset_sum = 0u64;
+    let minutes = 2000u64;
+    for m in 0..minutes {
+        let instants = p.arrivals_in_minute(m, &mut rng);
+        total += instants.len() as u64;
+        offset_sum += instants.iter().sum::<u64>();
+    }
+    let per_minute = total as f64 / minutes as f64;
+    assert!(
+        (per_minute - 40.0).abs() < 1.0,
+        "observed {per_minute} arrivals/min vs rate 40"
+    );
+    let mean_offset = offset_sum as f64 / total as f64;
+    assert!(
+        (mean_offset - 30_000.0).abs() < 1_000.0,
+        "mean arrival offset {mean_offset} not uniform over the minute"
+    );
+}
+
+#[test]
+fn bursty_duty_cycle_concentrates_arrivals_in_the_on_phase() {
+    // 5 on-minutes at 200/min and 5 off-minutes at 40/min: the on-phase
+    // carries 200·5 / (200·5 + 40·5) = 5/6 ≈ 83.3% of arrivals.
+    let b = ArrivalProcess::Bursty {
+        on_minutes: 5,
+        off_minutes: 5,
+        rate_on: 200.0,
+        rate_off: 40.0,
+    };
+    let mut rng = SmallRng::seed_from_u64(0x1dea);
+    let mut on_total = 0u64;
+    let mut off_total = 0u64;
+    for m in 0..1000u64 {
+        let n = b.arrivals_in_minute(m, &mut rng).len() as u64;
+        if m % 10 < 5 {
+            on_total += n;
+        } else {
+            off_total += n;
+        }
+    }
+    let expected = 5.0 / 6.0;
+    let on_fraction = on_total as f64 / (on_total + off_total) as f64;
+    assert!(
+        (on_fraction - expected).abs() < 0.02,
+        "on-phase fraction {on_fraction} vs expected {expected}"
+    );
+    // And the long-run mean matches the time-weighted average the grid
+    // labels cells with.
+    let per_minute = (on_total + off_total) as f64 / 1000.0;
+    assert!(
+        (per_minute - b.mean_rate()).abs() < 0.05 * b.mean_rate(),
+        "observed mean {per_minute} vs declared {}",
+        b.mean_rate()
+    );
+}
+
+#[test]
+fn diurnal_arrivals_track_the_sinusoid() {
+    // Peak quarter vs trough quarter of a 40-minute cycle at amplitude
+    // 0.8: the peak decile rate is mean·(1+0.8·sin) — compare arrival
+    // mass in the top half of the cycle against the bottom half.
+    let d = ArrivalProcess::Diurnal {
+        mean_rate_per_min: 100.0,
+        amplitude: 0.8,
+        period_minutes: 40,
+    };
+    let mut rng = SmallRng::seed_from_u64(0xd1a1);
+    let mut rising_half = 0u64; // minutes 0..20: sin ≥ 0, rate ≥ mean
+    let mut falling_half = 0u64; // minutes 20..40: sin ≤ 0, rate ≤ mean
+    for m in 0..2000u64 {
+        let n = d.arrivals_in_minute(m, &mut rng).len() as u64;
+        if m % 40 < 20 {
+            rising_half += n;
+        } else {
+            falling_half += n;
+        }
+    }
+    // Analytic split: ∫(1+0.8 sin) over the positive half-cycle vs the
+    // negative one → (π + 1.6)/(2π) ≈ 0.7546 of mass in the high half.
+    let expected = (std::f64::consts::PI + 1.6) / std::f64::consts::TAU;
+    let high_fraction = rising_half as f64 / (rising_half + falling_half) as f64;
+    assert!(
+        (high_fraction - expected).abs() < 0.02,
+        "high-half fraction {high_fraction} vs analytic {expected}"
+    );
+}
+
+#[test]
+fn zipf_rank_frequency_slope_matches_exponent() {
+    // Draw 200k samples from Zipf(s = 1.1) over 64 ranks, then fit
+    // log-frequency against log-rank by least squares over the ranks with
+    // enough mass to estimate reliably (the head — tail ranks get a
+    // handful of hits and would dominate the noise). The fitted slope
+    // must come out ≈ −s.
+    let s = 1.1;
+    let n = 64usize;
+    let z = ZipfSampler::new(n, s);
+    let mut rng = SmallRng::seed_from_u64(0x21bf);
+    let mut counts = vec![0u64; n];
+    let draws = 200_000usize;
+    for _ in 0..draws {
+        counts[z.sample(&mut rng)] += 1;
+    }
+    // Head ranks: 0..24 all receive ≥ ~700 expected hits at these
+    // parameters, plenty for a stable log-frequency.
+    let points: Vec<(f64, f64)> = (0..24)
+        .map(|r| {
+            assert!(counts[r] > 0, "head rank {r} unsampled");
+            (
+                ((r + 1) as f64).ln(),
+                (counts[r] as f64 / draws as f64).ln(),
+            )
+        })
+        .collect();
+    let m = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / m;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / m;
+    let slope = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum::<f64>()
+        / points.iter().map(|p| (p.0 - mean_x).powi(2)).sum::<f64>();
+    assert!(
+        (slope + s).abs() < 0.08,
+        "fitted rank-frequency slope {slope} vs -s = {}",
+        -s
+    );
+}
+
+#[test]
+fn zipf_empirical_head_probability_matches_analytic() {
+    let z = ZipfSampler::new(16, 1.1);
+    let mut rng = SmallRng::seed_from_u64(0x5eed);
+    let draws = 100_000usize;
+    let mut hot = 0usize;
+    for _ in 0..draws {
+        if z.sample(&mut rng) == 0 {
+            hot += 1;
+        }
+    }
+    let observed = hot as f64 / draws as f64;
+    let analytic = z.probability(0);
+    // Binomial std-err ≈ sqrt(p(1-p)/n) ≈ 0.0015; ±0.01 is ~7σ.
+    assert!(
+        (observed - analytic).abs() < 0.01,
+        "hot-rank frequency {observed} vs analytic {analytic}"
+    );
+}

@@ -2,6 +2,7 @@
 //! simulation timing knobs.
 
 use crate::id::MAX_BITS;
+use dessim::latency::LatencyModel;
 use dessim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -70,6 +71,11 @@ pub struct KademliaConfig {
     pub shortlist_factor: usize,
     /// Bucket-refresh coverage policy.
     pub refresh_policy: RefreshPolicy,
+    /// Per-message simulated latency model the harness builds transports
+    /// from (default: the documented 10–100 ms uniform window). Living on
+    /// the config makes per-lookup latency a sweepable knob next to `α`
+    /// and the RPC timeout — the load grid crosses them.
+    pub latency: LatencyModel,
 }
 
 impl KademliaConfig {
@@ -95,6 +101,7 @@ impl Default for KademliaConfig {
             rpc_timeout: SimDuration::from_secs(1),
             shortlist_factor: 3,
             refresh_policy: RefreshPolicy::AllBuckets,
+            latency: LatencyModel::default_uniform(),
         }
     }
 }
@@ -177,6 +184,12 @@ impl KademliaConfigBuilder {
         self
     }
 
+    /// Sets the per-message simulated latency model.
+    pub fn latency(&mut self, latency: LatencyModel) -> &mut Self {
+        self.config_mut().latency = latency;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -205,6 +218,15 @@ impl KademliaConfigBuilder {
         }
         if config.shortlist_factor == 0 {
             return Err(ConfigError("shortlist factor must be at least 1".into()));
+        }
+        if let LatencyModel::Uniform { min, max } = config.latency {
+            if min > max {
+                return Err(ConfigError(format!(
+                    "latency window inverted: min {} ms > max {} ms",
+                    min.as_millis(),
+                    max.as_millis()
+                )));
+            }
         }
         Ok(config)
     }
@@ -252,6 +274,13 @@ mod tests {
             .is_err());
         assert!(KademliaConfig::builder()
             .shortlist_factor(0)
+            .build()
+            .is_err());
+        assert!(KademliaConfig::builder()
+            .latency(LatencyModel::Uniform {
+                min: SimDuration::from_millis(50),
+                max: SimDuration::from_millis(10),
+            })
             .build()
             .is_err());
     }

@@ -1,0 +1,268 @@
+//! Labelled metric families: many instruments behind one name, keyed by a
+//! label set.
+//!
+//! Production metrics surfaces (Prometheus, OpenMetrics, libp2p's
+//! `metrics/src/kad.rs`) expose *families*: one logical metric — "lookup
+//! latency", "lookups completed" — fanned out over a small set of label
+//! values such as `(outcome, purpose, phase)`. The load harness needs the
+//! same shape: per-minute latency histograms keyed by minute, completion
+//! counters keyed by `(purpose, outcome, phase)`, and lossless merging so
+//! parallel grid cells can aggregate per-worker families exactly.
+//!
+//! Two families cover both metric kinds:
+//!
+//! * [`CounterFamily<L>`] — monotone `u64` counters per label set;
+//! * [`HistogramFamily<L>`] — one [`LogHistogram`] per label set.
+//!
+//! Label sets are any `Ord + Clone` value — tuples of enums, `&'static
+//! str`s, or minute indices. Storage is a `BTreeMap`, so iteration order
+//! is deterministic (CSV renderings of a family never depend on insertion
+//! order) and lookup is `O(log families)` with a handful of families in
+//! practice.
+//!
+//! Both families satisfy the merge-is-lossless contract the other
+//! instruments pin: recording a stream into one family equals splitting
+//! it across several and [`merge`](CounterFamily::merge)-ing them
+//! (property-tested in `tests/proptests.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use kad_telemetry::{CounterFamily, HistogramFamily};
+//!
+//! let mut completions: CounterFamily<(&str, &str)> = CounterFamily::new();
+//! completions.inc(("retrieve", "value-found"));
+//! completions.add(("retrieve", "value-missing"), 2);
+//! assert_eq!(completions.get(&("retrieve", "value-found")), 1);
+//! assert_eq!(completions.total(), 3);
+//!
+//! let mut latency: HistogramFamily<u64> = HistogramFamily::new();
+//! latency.record(7, 120); // minute 7: a 120 ms lookup
+//! latency.record(7, 480);
+//! assert_eq!(latency.get(&7).map(|h| h.count()), Some(2));
+//! ```
+
+use crate::histogram::LogHistogram;
+use std::collections::BTreeMap;
+
+/// A family of monotone counters keyed by a label set (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterFamily<L: Ord + Clone> {
+    counters: BTreeMap<L, u64>,
+}
+
+impl<L: Ord + Clone> Default for CounterFamily<L> {
+    fn default() -> Self {
+        CounterFamily::new()
+    }
+}
+
+impl<L: Ord + Clone> CounterFamily<L> {
+    /// Creates an empty family.
+    pub fn new() -> Self {
+        CounterFamily {
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Increments the counter for `labels` by one.
+    pub fn inc(&mut self, labels: L) {
+        self.add(labels, 1);
+    }
+
+    /// Adds `n` to the counter for `labels` (creating it at 0 first).
+    pub fn add(&mut self, labels: L, n: u64) {
+        *self.counters.entry(labels).or_insert(0) += n;
+    }
+
+    /// The counter for `labels` (0 when never incremented).
+    pub fn get(&self, labels: &L) -> u64 {
+        self.counters.get(labels).copied().unwrap_or(0)
+    }
+
+    /// Sum over every label set.
+    pub fn total(&self) -> u64 {
+        self.counters.values().sum()
+    }
+
+    /// Number of distinct label sets observed.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no label set was ever observed.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Iterates `(labels, count)` in label order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (&L, u64)> + '_ {
+        self.counters.iter().map(|(l, &c)| (l, c))
+    }
+
+    /// Merges another family into this one: per-label counts add, so
+    /// merging sharded families equals single-stream recording.
+    pub fn merge(&mut self, other: &CounterFamily<L>) {
+        for (labels, &count) in &other.counters {
+            self.add(labels.clone(), count);
+        }
+    }
+}
+
+/// A family of [`LogHistogram`]s keyed by a label set (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramFamily<L: Ord + Clone> {
+    histograms: BTreeMap<L, LogHistogram>,
+}
+
+impl<L: Ord + Clone> Default for HistogramFamily<L> {
+    fn default() -> Self {
+        HistogramFamily::new()
+    }
+}
+
+impl<L: Ord + Clone> HistogramFamily<L> {
+    /// Creates an empty family.
+    pub fn new() -> Self {
+        HistogramFamily {
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Records one sample into the histogram for `labels` (creating an
+    /// empty histogram first if the label set is new).
+    pub fn record(&mut self, labels: L, value: u64) {
+        self.histograms.entry(labels).or_default().record(value);
+    }
+
+    /// The histogram for `labels`, if any sample was ever recorded there.
+    pub fn get(&self, labels: &L) -> Option<&LogHistogram> {
+        self.histograms.get(labels)
+    }
+
+    /// Number of distinct label sets observed.
+    pub fn len(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// Whether no sample was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+    }
+
+    /// Total samples across every label set.
+    pub fn total_count(&self) -> u64 {
+        self.histograms.values().map(LogHistogram::count).sum()
+    }
+
+    /// Iterates `(labels, histogram)` in label order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (&L, &LogHistogram)> + '_ {
+        self.histograms.iter()
+    }
+
+    /// One histogram over every label set's samples (lossless: bucket
+    /// counts add). The "no labels" rollup a summary row wants.
+    pub fn merged(&self) -> LogHistogram {
+        let mut all = LogHistogram::new();
+        for h in self.histograms.values() {
+            all.merge(h);
+        }
+        all
+    }
+
+    /// A rollup over the label subset selected by `keep`: every selected
+    /// histogram merged into one. Used for windowed percentiles (e.g.
+    /// "all minutes in the attack phase").
+    pub fn merged_where(&self, mut keep: impl FnMut(&L) -> bool) -> LogHistogram {
+        let mut all = LogHistogram::new();
+        for (labels, h) in &self.histograms {
+            if keep(labels) {
+                all.merge(h);
+            }
+        }
+        all
+    }
+
+    /// Merges another family into this one: per-label histograms merge
+    /// losslessly, so merging sharded families equals single-stream
+    /// recording.
+    pub fn merge(&mut self, other: &HistogramFamily<L>) {
+        for (labels, h) in &other.histograms {
+            self.histograms.entry(labels.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_family_basics() {
+        let mut f: CounterFamily<(&str, &str)> = CounterFamily::new();
+        assert!(f.is_empty());
+        assert_eq!(f.get(&("locate", "converged")), 0);
+        f.inc(("locate", "converged"));
+        f.inc(("locate", "converged"));
+        f.add(("locate", "failed"), 3);
+        assert_eq!(f.get(&("locate", "converged")), 2);
+        assert_eq!(f.get(&("locate", "failed")), 3);
+        assert_eq!(f.total(), 5);
+        assert_eq!(f.len(), 2);
+        // Iteration is in label order, not insertion order.
+        let labels: Vec<&(&str, &str)> = f.iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, [&("locate", "converged"), &("locate", "failed")]);
+    }
+
+    #[test]
+    fn counter_merge_adds_per_label() {
+        let mut a: CounterFamily<u64> = CounterFamily::new();
+        a.add(1, 2);
+        a.add(2, 5);
+        let mut b: CounterFamily<u64> = CounterFamily::new();
+        b.add(2, 1);
+        b.add(3, 7);
+        a.merge(&b);
+        assert_eq!(a.get(&1), 2);
+        assert_eq!(a.get(&2), 6);
+        assert_eq!(a.get(&3), 7);
+        assert_eq!(a.total(), 15);
+    }
+
+    #[test]
+    fn histogram_family_basics() {
+        let mut f: HistogramFamily<u64> = HistogramFamily::new();
+        assert!(f.is_empty());
+        assert!(f.get(&0).is_none());
+        f.record(3, 10);
+        f.record(3, 20);
+        f.record(4, 30);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.total_count(), 3);
+        assert_eq!(f.get(&3).map(|h| h.count()), Some(2));
+        let all = f.merged();
+        assert_eq!(all.count(), 3);
+        assert_eq!(all.max(), 30);
+        let windowed = f.merged_where(|&m| m >= 4);
+        assert_eq!(windowed.count(), 1);
+        assert_eq!(windowed.min(), 30);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_stream() {
+        let samples = [(1u64, 5u64), (1, 9), (2, 100), (2, 5), (1, 63)];
+        let mut all: HistogramFamily<u64> = HistogramFamily::new();
+        let mut left: HistogramFamily<u64> = HistogramFamily::new();
+        let mut right: HistogramFamily<u64> = HistogramFamily::new();
+        for (i, &(m, v)) in samples.iter().enumerate() {
+            all.record(m, v);
+            if i % 2 == 0 {
+                left.record(m, v);
+            } else {
+                right.record(m, v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, all);
+    }
+}

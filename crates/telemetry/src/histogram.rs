@@ -282,6 +282,38 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases() {
+        // Empty: every quantile is 0, out-of-range included.
+        let empty = LogHistogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.percentile(q), 0);
+        }
+        // Single sample in the exact region: every quantile is the sample.
+        let mut one = LogHistogram::new();
+        one.record(42);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(one.percentile(q), 42);
+        }
+        // Single sample in the log region: every quantile is the bucket
+        // representative, at or below the sample within one sub-bucket.
+        let mut big = LogHistogram::new();
+        big.record(1000);
+        let p = big.percentile(1.0);
+        assert_eq!(big.percentile(0.0), p);
+        assert!(p <= 1000 && (1000 - p) as f64 <= 1000.0 / 16.0 + 1.0);
+        // p=0 is the minimum, p=100 the maximum (exact region), and
+        // out-of-range quantiles clamp to them.
+        let mut h = LogHistogram::new();
+        for v in [5u64, 7, 11, 13] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 5);
+        assert_eq!(h.percentile(1.0), 13);
+        assert_eq!(h.percentile(-3.0), 5);
+        assert_eq!(h.percentile(7.0), 13);
+    }
+
+    #[test]
     fn percentile_is_monotone_on_a_sample() {
         let mut h = LogHistogram::new();
         for v in [3u64, 1, 4, 1, 5, 9, 2, 6, 535, 89, 79] {

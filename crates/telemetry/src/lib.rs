@@ -18,6 +18,11 @@
 //!   install a sink pay one `Option` discriminant check per lookup.
 //! * [`timeseries::MinuteSeries`] — windowed aggregation keyed by simulated
 //!   minute, with the same merge-for-parallel-runners contract.
+//! * [`family`] — labelled metric families in the Prometheus/libp2p
+//!   `metrics` spirit: [`family::CounterFamily`] and
+//!   [`family::HistogramFamily`] fan one logical metric out over a label
+//!   set such as `(purpose, outcome, phase)`, with deterministic
+//!   iteration order and the same lossless `merge()`.
 //! * [`recorder::Recorder`] — schema-checked CSV emission: column names
 //!   declared once, every row typed and arity-checked against them, so the
 //!   header and the rows of an experiment's output can never drift apart.
@@ -30,14 +35,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod family;
 pub mod histogram;
 pub mod recorder;
 pub mod timeseries;
 pub mod trace;
 
+pub use family::{CounterFamily, HistogramFamily};
 pub use histogram::LogHistogram;
 pub use recorder::{Cell, Recorder};
 pub use timeseries::{MinuteSeries, WindowStats};
 pub use trace::{
-    DefenseAction, LookupOutcome, LookupRecord, NoopSink, TelemetrySink, TracePurpose, VecSink,
+    DefenseAction, FanoutSink, LookupOutcome, LookupRecord, NoopSink, TelemetrySink, TracePurpose,
+    VecSink,
 };

@@ -11,7 +11,8 @@
 
 /// Why a lookup ran. Mirrors the protocol layer's lookup purposes but
 /// stays independent of it so this crate remains dependency-free.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// `Ord` (declaration order) so purposes can key metric families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TracePurpose {
     /// Data-traffic lookup: locate the k closest nodes to a target.
     Locate,
@@ -87,8 +88,9 @@ impl DefenseAction {
     }
 }
 
-/// How a lookup ended.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// How a lookup ended. `Ord` (declaration order) so outcomes can key
+/// metric families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LookupOutcome {
     /// `k` nodes responded — the lookup fully converged.
     Converged,
@@ -203,6 +205,37 @@ impl<S: TelemetrySink> TelemetrySink for std::rc::Rc<std::cell::RefCell<S>> {
     }
 }
 
+/// Fans every event out to several sinks, in order. Harnesses that need
+/// two independent aggregations over one run (the service recorder plus a
+/// load recorder, say) compose them here instead of writing a combined
+/// sink; with a single inner sink the forwarding is observationally
+/// identical to installing that sink directly.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+}
+
+impl FanoutSink {
+    /// A fanout over the given sinks (events delivered in vec order).
+    pub fn new(sinks: Vec<Box<dyn TelemetrySink>>) -> FanoutSink {
+        FanoutSink { sinks }
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn on_lookup(&mut self, record: &LookupRecord) {
+        for sink in &mut self.sinks {
+            sink.on_lookup(record);
+        }
+    }
+
+    fn on_defense(&mut self, action: DefenseAction) {
+        for sink in &mut self.sinks {
+            sink.on_defense(action);
+        }
+    }
+}
+
 /// A sink that discards everything — the semantics of running with no sink
 /// installed. Exists so benches can measure the dispatch cost itself.
 #[derive(Clone, Copy, Debug, Default)]
@@ -308,6 +341,22 @@ mod tests {
         handle.on_lookup(&record(TracePurpose::Locate, LookupOutcome::Converged));
         drop(handle);
         assert_eq!(shared.borrow().records.len(), 1);
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_sink_in_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let a = Rc::new(RefCell::new(VecSink::default()));
+        let b = Rc::new(RefCell::new(VecSink::default()));
+        let mut fanout = FanoutSink::new(vec![Box::new(Rc::clone(&a)), Box::new(Rc::clone(&b))]);
+        fanout.on_lookup(&record(TracePurpose::Retrieve, LookupOutcome::ValueFound));
+        fanout.on_defense(DefenseAction::Probe);
+        drop(fanout);
+        for sink in [&a, &b] {
+            assert_eq!(sink.borrow().records.len(), 1);
+            assert_eq!(sink.borrow().defense, vec![DefenseAction::Probe]);
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! * **percentiles are monotone** in the quantile, and exact in the
 //!   small-value region where hop and message counts live.
 
-use kad_telemetry::{LogHistogram, MinuteSeries};
+use kad_telemetry::{CounterFamily, HistogramFamily, LogHistogram, MinuteSeries};
 use proptest::prelude::*;
 
 proptest! {
@@ -125,6 +125,94 @@ proptest! {
         }
         left.merge(&right);
         prop_assert_eq!(&left, &all);
+    }
+
+    /// Label-set lookup in a counter family is stable: after any recording
+    /// sequence, `get(l)` equals the sum of the increments recorded under
+    /// exactly `l`, and the total equals the sum over all increments.
+    #[test]
+    fn counter_family_lookup_is_stable(
+        increments in proptest::collection::vec((0u8..6, 0u8..6, 1u64..50), 0..200),
+    ) {
+        let mut family: CounterFamily<(u8, u8)> = CounterFamily::new();
+        for &(a, b, n) in &increments {
+            family.add((a, b), n);
+        }
+        for a in 0u8..6 {
+            for b in 0u8..6 {
+                let expected: u64 = increments
+                    .iter()
+                    .filter(|&&(x, y, _)| (x, y) == (a, b))
+                    .map(|&(_, _, n)| n)
+                    .sum();
+                prop_assert_eq!(family.get(&(a, b)), expected);
+            }
+        }
+        let total: u64 = increments.iter().map(|&(_, _, n)| n).sum();
+        prop_assert_eq!(family.total(), total);
+    }
+
+    /// Counter-family merge() of sharded recording equals single-stream
+    /// recording, for an arbitrary split point.
+    #[test]
+    fn counter_family_merge_equals_single_stream(
+        increments in proptest::collection::vec((0u8..8, 1u64..100), 0..150),
+        split in any::<u64>(),
+    ) {
+        let cut = (split % (increments.len() as u64 + 1)) as usize;
+        let mut all: CounterFamily<u8> = CounterFamily::new();
+        for &(l, n) in &increments {
+            all.add(l, n);
+        }
+        let mut left: CounterFamily<u8> = CounterFamily::new();
+        let mut right: CounterFamily<u8> = CounterFamily::new();
+        for &(l, n) in &increments[..cut] {
+            left.add(l, n);
+        }
+        for &(l, n) in &increments[cut..] {
+            right.add(l, n);
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &all);
+        // Commutative: merging in the opposite order is identical.
+        let mut flipped: CounterFamily<u8> = CounterFamily::new();
+        for &(l, n) in &increments[cut..] {
+            flipped.add(l, n);
+        }
+        for &(l, n) in &increments[..cut] {
+            flipped.add(l, n);
+        }
+        prop_assert_eq!(&flipped, &all);
+    }
+
+    /// Histogram-family merge() of sharded recording equals single-stream
+    /// recording, per label and on the merged rollup.
+    #[test]
+    fn histogram_family_merge_equals_single_stream(
+        samples in proptest::collection::vec((0u8..6, any::<u64>()), 0..200),
+        split in any::<u64>(),
+    ) {
+        let cut = (split % (samples.len() as u64 + 1)) as usize;
+        let mut all: HistogramFamily<u8> = HistogramFamily::new();
+        for &(l, v) in &samples {
+            all.record(l, v);
+        }
+        let mut left: HistogramFamily<u8> = HistogramFamily::new();
+        let mut right: HistogramFamily<u8> = HistogramFamily::new();
+        for &(l, v) in &samples[..cut] {
+            left.record(l, v);
+        }
+        for &(l, v) in &samples[cut..] {
+            right.record(l, v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &all);
+        // The rollup is lossless too: one histogram over the whole stream.
+        let mut flat = LogHistogram::new();
+        for &(_, v) in &samples {
+            flat.record(v);
+        }
+        prop_assert_eq!(left.merged(), flat);
     }
 
     /// Range aggregation equals the sum of the per-window aggregates.
