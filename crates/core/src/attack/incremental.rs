@@ -622,6 +622,7 @@ impl IncrementalConnectivity {
     /// augmentation to recover the broken unit. (`κ` drops by at most 1 per
     /// removal, so one augmentation decides between `κ` and `κ − 1`.)
     fn repair_pair(&mut self, code: usize, broken_internal: u32) {
+        let _span = kad_telemetry::span::span("repair");
         let (v, w) = self.decode(code);
         let mut surviving = std::mem::take(&mut self.paths[code]);
         surviving.retain(|path| !path.contains(&broken_internal));

@@ -14,20 +14,27 @@
 
 use kad_experiments::figures::{run_experiment, ExperimentId, ExperimentResult};
 use kad_experiments::matrix::MatrixRunner;
+use kad_experiments::observe;
 use kad_experiments::scale::Scale;
 use std::path::PathBuf;
 use std::time::Instant;
 
+#[derive(Clone)]
 struct Args {
     experiment: String,
     scale: Scale,
     seed: u64,
     out: Option<PathBuf>,
     jobs: Option<usize>,
+    observe: Option<PathBuf>,
+    /// Positional arguments after the experiment (only `audit` takes any:
+    /// its two run directories).
+    rest: Vec<String>,
 }
 
 const USAGE: &str =
-    "usage: repro <experiment> [--scale bench|laptop|paper] [--seed N] [--out DIR] [--jobs N]\n\
+    "usage: repro <experiment> [--scale bench|laptop|paper] [--seed N] [--out DIR] [--jobs N] [--observe DIR]\n\
+    \x20      repro audit RUN_A RUN_B\n\
     experiments: all, matrix, campaign, service, defend, sweep, load, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
     all: the full figure/table registry, then every grid (matrix, campaign, service, defend, sweep, load)\n\
     campaign: attack-during-churn grid (random/highest-degree/min-cut/eclipse), κ(t) CSV\n\
@@ -36,12 +43,15 @@ const USAGE: &str =
     defend: defense-policy grid (none/evict-unresponsive/diversify/self-heal × attacks × churn), two CSVs\n\
     sweep: mixed-phase attacker grid (strategy switches mid-campaign, e.g. eclipse→min-cut at the κ trough) × policies, one CSV\n\
     bench: fold the criterion-shim BENCH_*.json reports (cwd, or --out DIR) into BENCH_summary.json\n\
+    audit: diff two --observe runs' audit-chain.csv; exit 0 when the chains match, 1 naming the first divergent (cell, minute)\n\
     --seed N makes every CSV bit-identically reproducible (all subcommands)\n\
-    --jobs sets the scenario-level worker count (matrix/campaign/service/defend/sweep; others auto-split)";
+    --jobs sets the scenario-level worker count (matrix/campaign/service/defend/sweep; others auto-split)\n\
+    --observe DIR writes run-manifest.json, profile.csv, audit-chain.csv and metrics.prom there\n\
+    \x20   (wall-clock data lands only in those artifacts; the golden CSVs stay byte-identical)";
 
 /// The grid subcommands registered outside the figure/table registry.
-const GRID_SUBCOMMANDS: [&str; 8] = [
-    "all", "matrix", "campaign", "service", "defend", "sweep", "load", "bench",
+const GRID_SUBCOMMANDS: [&str; 9] = [
+    "all", "matrix", "campaign", "service", "defend", "sweep", "load", "bench", "audit",
 ];
 
 /// Every registered subcommand, for the unknown-experiment error message.
@@ -61,6 +71,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         out: None,
         jobs: None,
+        observe: None,
+        rest: Vec::new(),
     };
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
@@ -85,12 +97,19 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("bad job count {value:?}"))?,
                 );
             }
+            "--observe" => {
+                let value = raw.next().ok_or("--observe needs a value")?;
+                args.observe = Some(PathBuf::from(value));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
             }
             other if args.experiment.is_empty() && !other.starts_with('-') => {
                 args.experiment = other.to_string();
+            }
+            other if !other.starts_with('-') && args.experiment.eq_ignore_ascii_case("audit") => {
+                args.rest.push(other.to_string());
             }
             other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
         }
@@ -112,6 +131,10 @@ fn main() {
 
     let all = args.experiment.eq_ignore_ascii_case("all");
 
+    if args.experiment.eq_ignore_ascii_case("audit") {
+        run_audit(&args);
+        return;
+    }
     if args.experiment.eq_ignore_ascii_case("matrix") {
         run_matrix(&args);
         return;
@@ -154,13 +177,29 @@ fn main() {
         }
     };
 
+    // Under `repro all --observe DIR`, each workload gets its own
+    // artifact subdirectory (the registry included); a single subcommand
+    // writes into DIR directly.
+    let registry_args = sub_observe_args(&args, "registry", all);
+    let observing = registry_args.observe.is_some();
+    if observing {
+        observe::begin_collection();
+    }
     for id in ids {
         let started = Instant::now();
         eprintln!(
             "== running {id} at {} scale (seed {}) ==",
             args.scale, args.seed
         );
-        let result = run_experiment(id, args.scale, args.seed);
+        // Registry experiments predate the session engine: observing one
+        // yields its span profile (the whole experiment as one cell), not
+        // a journal.
+        let result = observe::run_observed(observing, &id.to_string(), || {
+            (
+                run_experiment(id, args.scale, args.seed),
+                observe::CellReport::empty(),
+            )
+        });
         println!("{}", result.render());
         eprintln!("== {id} done in {:.1?} ==\n", started.elapsed());
         if let Some(dir) = &args.out {
@@ -170,23 +209,119 @@ fn main() {
             }
         }
     }
+    finish_observation(
+        &registry_args,
+        if all { "registry" } else { &args.experiment },
+    );
 
     // `repro all` reproduces *everything*: after the figure/table
     // registry, run every grid workload too.
     if all {
-        run_matrix(&args);
-        run_campaign_cells(&args);
-        run_service_cells(&args);
-        run_defense_cells(&args);
-        run_sweep_cells(&args);
-        run_load_cells(&args);
+        run_matrix(&sub_observe_args(&args, "matrix", all));
+        run_campaign_cells(&sub_observe_args(&args, "campaign", all));
+        run_service_cells(&sub_observe_args(&args, "service", all));
+        run_defense_cells(&sub_observe_args(&args, "defend", all));
+        run_sweep_cells(&sub_observe_args(&args, "sweep", all));
+        run_load_cells(&sub_observe_args(&args, "load", all));
+    }
+}
+
+/// A copy of `args` whose `--observe` directory is redirected into the
+/// per-workload subdirectory when running under `repro all`.
+fn sub_observe_args(args: &Args, name: &str, all: bool) -> Args {
+    let mut sub = args.clone();
+    if all {
+        sub.observe = args.observe.as_ref().map(|dir| dir.join(name));
+    }
+    sub
+}
+
+/// Starts observation collection for a grid when `--observe` is on.
+/// Returns whether the grid's cells should run with `observe` set.
+fn begin_observation(args: &Args) -> bool {
+    if args.observe.is_some() {
+        observe::begin_collection();
+        true
+    } else {
+        false
+    }
+}
+
+/// Drains the observation collector and writes the artifact set into the
+/// `--observe` directory (no-op without the flag).
+fn finish_observation(args: &Args, experiment: &str) {
+    let Some(dir) = &args.observe else { return };
+    let observations = observe::end_collection();
+    let meta = observe::RunMeta {
+        experiment: experiment.to_string(),
+        scale: args.scale.to_string(),
+        seed: args.seed,
+    };
+    match observe::write_artifacts(dir, &meta, &observations) {
+        Ok(()) => eprintln!(
+            "wrote observe artifacts ({} cells) to {}",
+            observations.len(),
+            dir.display()
+        ),
+        Err(err) => {
+            eprintln!(
+                "error writing observe artifacts to {}: {err}",
+                dir.display()
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro audit RUN_A RUN_B`: parses both runs' `audit-chain.csv` (each
+/// argument an `--observe` directory, or the file itself) and reports the
+/// first divergent `(cell, minute)` — exit 0 on a clean match, 1 on
+/// divergence, 2 on usage or parse errors.
+fn run_audit(args: &Args) {
+    let [run_a, run_b] = &args.rest[..] else {
+        eprintln!("usage: repro audit RUN_A RUN_B\n(each an --observe directory containing audit-chain.csv, or the file itself)");
+        std::process::exit(2);
+    };
+    let load = |raw: &str| -> observe::AuditChains {
+        let mut path = PathBuf::from(raw);
+        if path.is_dir() {
+            path = path.join("audit-chain.csv");
+        }
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+            eprintln!("error reading {}: {err}", path.display());
+            std::process::exit(2);
+        });
+        observe::parse_audit_chain(&text).unwrap_or_else(|err| {
+            eprintln!("error parsing {}: {err}", path.display());
+            std::process::exit(2);
+        })
+    };
+    let report = observe::compare_audit_chains(&load(run_a), &load(run_b));
+    match report.divergence {
+        None => println!(
+            "audit: {} cells, {} sealed minutes, zero divergence",
+            report.cells, report.minutes
+        ),
+        Some(div) => {
+            println!(
+                "first divergence at cell={} minute={}",
+                div.cell, div.minute
+            );
+            eprintln!("  {}", div.detail);
+            std::process::exit(1);
+        }
     }
 }
 
 /// Runs the paper's full k-sweep scenario grid through [`MatrixRunner`],
 /// streaming one summary line per scenario as it completes.
 fn run_matrix(args: &Args) {
-    let scenarios = kad_experiments::matrix::paper_matrix(args.scale, args.seed);
+    let mut scenarios = kad_experiments::matrix::paper_matrix(args.scale, args.seed);
+    if begin_observation(args) {
+        for scenario in &mut scenarios {
+            scenario.observe = true;
+        }
+    }
     eprintln!(
         "== running {} scenarios at {} scale (seed {}) ==",
         scenarios.len(),
@@ -236,6 +371,7 @@ fn run_matrix(args: &Args) {
             }
         }
     }
+    finish_observation(args, "matrix");
     eprintln!("== matrix done in {:.1?} ==", started.elapsed());
 }
 
@@ -247,7 +383,12 @@ fn run_campaign_cells(args: &Args) {
         campaign_csv, campaign_figure, campaign_grid, run_campaign_grid,
     };
 
-    let grid = campaign_grid(args.scale, args.seed);
+    let mut grid = campaign_grid(args.scale, args.seed);
+    if begin_observation(args) {
+        for cell in &mut grid {
+            cell.base.observe = true;
+        }
+    }
     eprintln!(
         "== running {} attack campaigns at {} scale (seed {}) ==",
         grid.len(),
@@ -290,6 +431,7 @@ fn run_campaign_cells(args: &Args) {
     } else {
         println!("{csv}");
     }
+    finish_observation(args, "campaign");
     eprintln!("== campaign done in {:.1?} ==", started.elapsed());
 }
 
@@ -302,7 +444,12 @@ fn run_service_cells(args: &Args) {
         run_service_grid, service_grid, service_hops_csv, service_timeseries_csv,
     };
 
-    let grid = service_grid(args.scale, args.seed);
+    let mut grid = service_grid(args.scale, args.seed);
+    if begin_observation(args) {
+        for cell in &mut grid {
+            cell.base.observe = true;
+        }
+    }
     eprintln!(
         "== running {} service cells at {} scale (seed {}) ==",
         grid.len(),
@@ -356,6 +503,7 @@ fn run_service_cells(args: &Args) {
         println!("{timeseries}");
         println!("{hops}");
     }
+    finish_observation(args, "service");
     eprintln!("== service done in {:.1?} ==", started.elapsed());
 }
 
@@ -369,7 +517,12 @@ fn run_defense_cells(args: &Args) {
         defense_grid, defense_summary_csv, defense_timeseries_csv, run_defense_grid,
     };
 
-    let grid = defense_grid(args.scale, args.seed);
+    let mut grid = defense_grid(args.scale, args.seed);
+    if begin_observation(args) {
+        for cell in &mut grid {
+            cell.base.observe = true;
+        }
+    }
     eprintln!(
         "== running {} defense cells at {} scale (seed {}) ==",
         grid.len(),
@@ -416,6 +569,7 @@ fn run_defense_cells(args: &Args) {
         println!("{timeseries}");
         println!("{summary}");
     }
+    finish_observation(args, "defend");
     eprintln!("== defend done in {:.1?} ==", started.elapsed());
 }
 
@@ -425,7 +579,12 @@ fn run_defense_cells(args: &Args) {
 fn run_sweep_cells(args: &Args) {
     use kad_experiments::sweep::{run_sweep_grid, sweep_grid, sweep_timeseries_csv};
 
-    let grid = sweep_grid(args.scale, args.seed);
+    let mut grid = sweep_grid(args.scale, args.seed);
+    if begin_observation(args) {
+        for cell in &mut grid {
+            cell.base.observe = true;
+        }
+    }
     eprintln!(
         "== running {} mixed-phase sweep cells at {} scale (seed {}) ==",
         grid.len(),
@@ -468,6 +627,7 @@ fn run_sweep_cells(args: &Args) {
     } else {
         println!("{csv}");
     }
+    finish_observation(args, "sweep");
     eprintln!("== sweep done in {:.1?} ==", started.elapsed());
 }
 
@@ -480,7 +640,12 @@ fn run_sweep_cells(args: &Args) {
 fn run_load_cells(args: &Args) {
     use kad_experiments::load::{load_grid, load_summary_csv, load_timeseries_csv, run_load_grid};
 
-    let grid = load_grid(args.scale, args.seed);
+    let mut grid = load_grid(args.scale, args.seed);
+    if begin_observation(args) {
+        for cell in &mut grid {
+            cell.base.observe = true;
+        }
+    }
     eprintln!(
         "== running {} load cells at {} scale (seed {}) ==",
         grid.len(),
@@ -526,6 +691,7 @@ fn run_load_cells(args: &Args) {
         println!("{timeseries}");
         println!("{summary}");
     }
+    finish_observation(args, "load");
     eprintln!("== load done in {:.1?} ==", started.elapsed());
 }
 

@@ -55,6 +55,7 @@
 use crate::attack_plan::{grid_base_scenario, AttackSpec};
 pub use crate::attack_plan::{AttackPlan, EclipseState};
 use crate::matrix::MatrixRunner;
+use crate::observe::{run_observed, CellReport};
 use crate::scale::Scale;
 use crate::scenario::{ChurnRate, Scenario, TrafficModel};
 use crate::series::FigureData;
@@ -136,9 +137,26 @@ pub struct CampaignOutcome {
 /// traffic from all alive nodes (this runner measures only κ, and
 /// compromised nodes mimic honest behavior), the attacker, and a κ
 /// sampler on the dual snapshot grid.
+///
+/// When the base scenario observes, the cell runs under
+/// [`run_observed`]: span profile installed on this thread, the session
+/// journal (created by the driver) wired in as the network's telemetry
+/// sink so lookup and defense records land in the hash chain too.
 pub fn run_campaign(scenario: &CampaignScenario) -> CampaignOutcome {
+    run_observed(scenario.base.observe, &scenario.name(), || {
+        run_campaign_cell(scenario)
+    })
+}
+
+fn run_campaign_cell(scenario: &CampaignScenario) -> (CampaignOutcome, CellReport) {
     let base = &scenario.base;
     let mut driver = SessionDriver::new(base);
+    let journal = driver.journal();
+    if let Some(journal) = &journal {
+        driver
+            .network_mut()
+            .set_telemetry_sink(Box::new(std::rc::Rc::clone(journal)));
+    }
     let mut joins = JoinSchedule::new(&mut driver);
     let mut churn = ChurnActor;
     let mut traffic = TrafficActor::new(TrafficOrigins::AllAlive);
@@ -180,13 +198,15 @@ pub fn run_campaign(scenario: &CampaignScenario) -> CampaignOutcome {
         &mut sampler,
     ]);
     let (net, shared) = driver.finish();
-    CampaignOutcome {
+    let counters = net.counters().clone();
+    let outcome = CampaignOutcome {
         scenario: scenario.clone(),
         points: sampler.into_points(),
         victims: shared.victims,
         budget_spent: shared.budget_spent,
-        counters: net.counters().clone(),
-    }
+        counters: counters.clone(),
+    };
+    (outcome, CellReport { journal, counters })
 }
 
 // ----------------------------------------------------------------------

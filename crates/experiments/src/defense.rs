@@ -235,15 +235,26 @@ impl TelemetrySink for DefenseTelemetry {
 /// retrievals, and the measurement actor reads the defense-action
 /// counters next to the service metrics.
 pub fn run_defense(scenario: &DefenseScenario) -> DefenseOutcome {
+    crate::observe::run_observed(scenario.base.observe, &scenario.name(), || {
+        run_defense_cell(scenario)
+    })
+}
+
+fn run_defense_cell(scenario: &DefenseScenario) -> (DefenseOutcome, crate::observe::CellReport) {
     let base = &scenario.base;
     let mut driver = SessionDriver::new(base);
     driver
         .network_mut()
         .set_defense_policy(scenario.policy.build());
+    let journal = driver.journal();
     let sink = Rc::new(RefCell::new(DefenseTelemetry::default()));
-    driver
-        .network_mut()
-        .set_telemetry_sink(Box::new(Rc::clone(&sink)));
+    driver.network_mut().set_telemetry_sink(match &journal {
+        Some(journal) => Box::new(kad_telemetry::FanoutSink::new(vec![
+            Box::new(Rc::clone(&sink)),
+            Box::new(Rc::clone(journal)),
+        ])),
+        None => Box::new(Rc::clone(&sink)),
+    });
 
     let mut probe = ProbeActor::new(
         &driver,
@@ -322,13 +333,14 @@ pub fn run_defense(scenario: &DefenseScenario) -> DefenseOutcome {
 
     let (net, shared) = driver.finish();
     let counters = net.counters().clone();
-    DefenseOutcome {
+    let outcome = DefenseOutcome {
         scenario: scenario.clone(),
         points: sampler.into_points(),
         live_kappa: live_kappa.map_or_else(Vec::new, LiveKappaActor::into_series),
         budget_spent: shared.budget_spent,
-        counters,
-    }
+        counters: counters.clone(),
+    };
+    (outcome, crate::observe::CellReport { journal, counters })
 }
 
 // ----------------------------------------------------------------------

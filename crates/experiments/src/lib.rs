@@ -55,6 +55,12 @@
 //!   runs the grid.
 //! * [`series`] / [`table`] / [`ascii_chart`] — figure and table data
 //!   structures with CSV and terminal renderings.
+//! * [`observe`] — the flight recorder behind `--observe DIR`: every grid
+//!   cell runs through [`observe::run_observed`], which captures the span
+//!   profile, the session journal's determinism hash chain, and the
+//!   protocol counters, and the collector writes `run-manifest.json`,
+//!   `profile.csv`, `audit-chain.csv` and `metrics.prom`; `repro audit`
+//!   diffs two runs' chains via [`observe::compare_audit_chains`].
 //! * [`bench_summary`] — folds the criterion-shim `BENCH_*.json` reports
 //!   into the committed `BENCH_summary.json` snapshot; `repro bench`
 //!   drives it.
@@ -73,6 +79,7 @@ pub mod defense;
 pub mod figures;
 pub mod load;
 pub mod matrix;
+pub mod observe;
 pub mod runner;
 pub mod scale;
 pub mod scenario;
@@ -89,6 +96,7 @@ pub use defense::{run_defense, DefenseOutcome, DefensePoint, DefenseScenario};
 pub use figures::{run_experiment, ExperimentId, ExperimentResult};
 pub use load::{run_load, LoadOutcome, LoadPoint, LoadScenario, LoadSpec};
 pub use matrix::{MatrixRunner, SplitPolicy};
+pub use observe::{run_observed, CellObservation, CellReport};
 pub use runner::{run_scenario, ScenarioOutcome, SnapshotResult};
 pub use scale::Scale;
 pub use scenario::{Scenario, ScenarioBuilder};

@@ -460,12 +460,23 @@ impl LoadOutcome {
 /// order (`load-arrivals`) and the attacker, so identical scenarios
 /// replay byte-identical outcomes.
 pub fn run_load(scenario: &LoadScenario) -> LoadOutcome {
+    crate::observe::run_observed(scenario.base.observe, &scenario.name(), || {
+        run_load_cell(scenario)
+    })
+}
+
+fn run_load_cell(scenario: &LoadScenario) -> (LoadOutcome, crate::observe::CellReport) {
     let base = &scenario.base;
     let mut driver = SessionDriver::new(base);
+    let journal = driver.journal();
     let sink = Rc::new(RefCell::new(LoadTelemetry::new(scenario.phase_split)));
-    driver
-        .network_mut()
-        .set_telemetry_sink(Box::new(Rc::clone(&sink)));
+    driver.network_mut().set_telemetry_sink(match &journal {
+        Some(journal) => Box::new(kad_telemetry::FanoutSink::new(vec![
+            Box::new(Rc::clone(&sink)),
+            Box::new(Rc::clone(journal)),
+        ])),
+        None => Box::new(Rc::clone(&sink)),
+    });
 
     let keys = draw_hot_keys(&driver, scenario.spec.hot_keys);
     let stats = Rc::new(RefCell::new(LoadStats::default()));
@@ -555,14 +566,15 @@ pub fn run_load(scenario: &LoadScenario) -> LoadOutcome {
     let stats = Rc::try_unwrap(stats)
         .expect("all other stats handles dropped")
         .into_inner();
-    LoadOutcome {
+    let outcome = LoadOutcome {
         scenario: scenario.clone(),
         points,
         telemetry,
         stats,
         budget_spent: shared.budget_spent,
-        counters,
-    }
+        counters: counters.clone(),
+    };
+    (outcome, crate::observe::CellReport { journal, counters })
 }
 
 // ----------------------------------------------------------------------

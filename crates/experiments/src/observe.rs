@@ -1,0 +1,585 @@
+//! The flight recorder: per-cell observation capture and the `--observe`
+//! artifact set.
+//!
+//! Every grid runner funnels its cells through [`run_observed`]. When a
+//! run observes, the wrapper installs a thread-local [`SpanProfile`] on
+//! the worker thread, wraps the cell body in a root `cell` span, and
+//! submits the resulting [`CellObservation`] — span table, the session
+//! journal's determinism hash chain, and the protocol counters — to a
+//! process-global collector that the `repro` binary drains once the grid
+//! finishes. When a run does not observe, the wrapper is a passthrough
+//! and the cell pays nothing beyond one branch.
+//!
+//! The collector then writes four artifacts into the `--observe DIR`:
+//!
+//! * `run-manifest.json` — seed, scale, grid dimensions, and per-cell
+//!   wall time + journal event counts. Wall-clock quantities live *only*
+//!   here and in `profile.csv`; the golden CSVs a run emits stay
+//!   byte-identical whether or not it was observed.
+//! * `profile.csv` — the span table, one row per `(cell, span path)`:
+//!   call count, total and self nanoseconds.
+//! * `audit-chain.csv` — the per-minute determinism fingerprint, one row
+//!   per `(cell, minute)`: event count and the FNV-1a hash chain value
+//!   (as 16 hex digits). Two same-seed runs must produce byte-identical
+//!   files; `repro audit` diffs them with [`compare_audit_chains`] and
+//!   names the first divergent `(cell, minute)` otherwise.
+//! * `metrics.prom` — a Prometheus-style text exposition of the journal
+//!   event counts, the protocol/transport counters, and the span totals,
+//!   labelled by cell.
+
+use dessim::metrics::Counters;
+use kad_telemetry::journal::Journal;
+use kad_telemetry::{span, Recorder, SpanProfile};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::rc::Rc;
+use std::sync::Mutex;
+
+/// What a cell hands back for observation alongside its outcome: the
+/// session journal (if the cell ran under a [`crate::session::SessionDriver`]
+/// with `observe` on) and the run's protocol counters.
+pub struct CellReport {
+    /// The driver's journal handle, cloned out before teardown.
+    pub journal: Option<Rc<RefCell<Journal>>>,
+    /// Protocol/transport counters accumulated over the run.
+    pub counters: Counters,
+}
+
+impl CellReport {
+    /// A report with no journal and no counters — for cells that predate
+    /// the session engine (the k-sweep matrix, the figure registry).
+    pub fn empty() -> CellReport {
+        CellReport {
+            journal: None,
+            counters: Counters::new(),
+        }
+    }
+}
+
+/// One observed cell: everything the artifact writers need.
+#[derive(Clone, Debug)]
+pub struct CellObservation {
+    /// The cell's display name (unique within a grid).
+    pub cell: String,
+    /// The span table captured on the cell's worker thread.
+    pub profile: SpanProfile,
+    /// The session journal, cloned at cell end (hash chain + counts).
+    pub journal: Option<Journal>,
+    /// Protocol/transport counters.
+    pub counters: Counters,
+}
+
+impl CellObservation {
+    /// The cell's wall time: the root `cell` span's total.
+    pub fn wall_ns(&self) -> u64 {
+        self.profile.get("cell").map_or(0, |s| s.total_ns)
+    }
+}
+
+/// The process-global observation collector. `None` while no collection
+/// is active, so cells observed outside a `begin`/`end` window (unit
+/// tests running in parallel, say) are dropped instead of cross-talking.
+static COLLECTOR: Mutex<Option<Vec<CellObservation>>> = Mutex::new(None);
+
+/// Starts collecting observations. Call once before launching a grid.
+pub fn begin_collection() {
+    *COLLECTOR.lock().expect("observe collector poisoned") = Some(Vec::new());
+}
+
+/// Stops collecting and returns the observations sorted by cell name
+/// (worker completion order is nondeterministic; the artifacts are not).
+pub fn end_collection() -> Vec<CellObservation> {
+    let mut observations = COLLECTOR
+        .lock()
+        .expect("observe collector poisoned")
+        .take()
+        .unwrap_or_default();
+    observations.sort_by(|a, b| a.cell.cmp(&b.cell));
+    observations
+}
+
+fn submit(observation: CellObservation) {
+    if let Some(active) = COLLECTOR
+        .lock()
+        .expect("observe collector poisoned")
+        .as_mut()
+    {
+        active.push(observation);
+    }
+}
+
+/// Runs one cell under observation. When `enabled` is false this is a
+/// passthrough. When true, a span profile is installed on the calling
+/// thread for the duration of `body`, the whole cell is timed under a
+/// root `cell` span, and the observation is submitted to the collector.
+/// `body` returns the cell's outcome plus its [`CellReport`].
+pub fn run_observed<T>(enabled: bool, cell: &str, body: impl FnOnce() -> (T, CellReport)) -> T {
+    if !enabled {
+        return body().0;
+    }
+    span::install();
+    let (value, report) = {
+        let _cell = span::span("cell");
+        body()
+    };
+    let profile = span::take().unwrap_or_default();
+    submit(CellObservation {
+        cell: cell.to_string(),
+        profile,
+        journal: report.journal.map(|j| j.borrow().clone()),
+        counters: report.counters,
+    });
+    value
+}
+
+// ----------------------------------------------------------------------
+// Artifact writers
+// ----------------------------------------------------------------------
+
+/// The run-level fields of `run-manifest.json`.
+#[derive(Clone, Debug)]
+pub struct RunMeta {
+    /// The subcommand that ran (`load`, `defend`, …).
+    pub experiment: String,
+    /// The scale label (`bench`, `laptop`, `paper`).
+    pub scale: String,
+    /// The base seed.
+    pub seed: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders `run-manifest.json`: run identity plus one entry per cell
+/// with wall time, span count, and journal accounting. Hand-rolled JSON
+/// in the `BENCH_summary.json` idiom — the build has no JSON crate.
+pub fn render_manifest(meta: &RunMeta, observations: &[CellObservation]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"experiment\": \"{}\",",
+        json_escape(&meta.experiment)
+    );
+    let _ = writeln!(out, "  \"scale\": \"{}\",", json_escape(&meta.scale));
+    let _ = writeln!(out, "  \"seed\": {},", meta.seed);
+    let _ = writeln!(out, "  \"cells\": {},", observations.len());
+    out.push_str("  \"cell_reports\": [\n");
+    for (i, obs) in observations.iter().enumerate() {
+        let (events, dropped, sealed) = obs.journal.as_ref().map_or((0, 0, 0), |j| {
+            (
+                j.recorded_events(),
+                j.dropped_events(),
+                j.seals().len() as u64,
+            )
+        });
+        let comma = if i + 1 < observations.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"cell\": \"{}\", \"wall_ns\": {}, \"spans\": {}, \
+             \"journal_events\": {events}, \"journal_dropped\": {dropped}, \
+             \"sealed_minutes\": {sealed}}}{comma}",
+            json_escape(&obs.cell),
+            obs.wall_ns(),
+            obs.profile.len(),
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders `profile.csv`: the span table, one row per `(cell, path)`.
+pub fn profile_csv(observations: &[CellObservation]) -> String {
+    let mut rec = Recorder::new(&["cell", "path", "calls", "total_ns", "self_ns"]);
+    for obs in observations {
+        for (path, stats) in obs.profile.iter() {
+            rec.row(&[
+                obs.cell.as_str().into(),
+                path.into(),
+                stats.calls.into(),
+                stats.total_ns.into(),
+                stats.self_ns.into(),
+            ]);
+        }
+    }
+    rec.finish()
+}
+
+/// Renders `audit-chain.csv`: one row per `(cell, minute)` with the
+/// minute's cumulative event count and chain value. Seed-determined:
+/// same-seed runs render byte-identical files.
+pub fn audit_chain_csv(observations: &[CellObservation]) -> String {
+    let mut rec = Recorder::new(&["cell", "minute", "events", "chain"]);
+    for obs in observations {
+        let Some(journal) = &obs.journal else {
+            continue;
+        };
+        for seal in journal.seals() {
+            rec.row(&[
+                obs.cell.as_str().into(),
+                seal.minute.into(),
+                seal.events.into(),
+                format!("{:016x}", seal.chain).into(),
+            ]);
+        }
+    }
+    rec.finish()
+}
+
+/// Renders `metrics.prom`: journal event counts, protocol counters, and
+/// span totals as Prometheus text exposition, labelled by cell.
+pub fn metrics_prom(observations: &[CellObservation]) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE kad_journal_events_total counter\n");
+    for obs in observations {
+        let Some(journal) = &obs.journal else {
+            continue;
+        };
+        for (kind, n) in journal.counts().iter() {
+            let _ = writeln!(
+                out,
+                "kad_journal_events_total{{cell=\"{}\",kind=\"{kind}\"}} {n}",
+                obs.cell
+            );
+        }
+    }
+    out.push_str("# TYPE kad_journal_dropped_total counter\n");
+    for obs in observations {
+        let Some(journal) = &obs.journal else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "kad_journal_dropped_total{{cell=\"{}\"}} {}",
+            obs.cell,
+            journal.dropped_events()
+        );
+    }
+    out.push_str("# TYPE kad_sim_events_total counter\n");
+    for obs in observations {
+        for (name, n) in obs.counters.iter() {
+            let _ = writeln!(
+                out,
+                "kad_sim_events_total{{cell=\"{}\",name=\"{name}\"}} {n}",
+                obs.cell
+            );
+        }
+    }
+    out.push_str("# TYPE kad_span_seconds_total counter\n");
+    for obs in observations {
+        for (path, stats) in obs.profile.iter() {
+            let _ = writeln!(
+                out,
+                "kad_span_seconds_total{{cell=\"{}\",path=\"{path}\"}} {:.9}",
+                obs.cell,
+                stats.total_ns as f64 / 1e9
+            );
+        }
+    }
+    out.push_str("# TYPE kad_span_calls_total counter\n");
+    for obs in observations {
+        for (path, stats) in obs.profile.iter() {
+            let _ = writeln!(
+                out,
+                "kad_span_calls_total{{cell=\"{}\",path=\"{path}\"}} {}",
+                obs.cell, stats.calls
+            );
+        }
+    }
+    out
+}
+
+/// Writes the full artifact set into `dir` (created if absent).
+pub fn write_artifacts(
+    dir: &Path,
+    meta: &RunMeta,
+    observations: &[CellObservation],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join("run-manifest.json"),
+        render_manifest(meta, observations),
+    )?;
+    std::fs::write(dir.join("profile.csv"), profile_csv(observations))?;
+    std::fs::write(dir.join("audit-chain.csv"), audit_chain_csv(observations))?;
+    std::fs::write(dir.join("metrics.prom"), metrics_prom(observations))?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Audit: diffing two runs' chains
+// ----------------------------------------------------------------------
+
+/// One parsed `audit-chain.csv`: per cell, the minute seals in row order.
+pub type AuditChains = BTreeMap<String, Vec<(u64, u64, u64)>>;
+
+/// Parses an `audit-chain.csv` body into [`AuditChains`]. Rejects files
+/// whose header is not the writer's.
+pub fn parse_audit_chain(text: &str) -> Result<AuditChains, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty audit-chain.csv")?;
+    if header != "cell,minute,events,chain" {
+        return Err(format!("unexpected audit-chain header {header:?}"));
+    }
+    let mut chains = AuditChains::new();
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        let [cell, minute, events, chain] = fields[..] else {
+            return Err(format!("row {}: expected 4 fields, got {line:?}", i + 2));
+        };
+        let minute: u64 = minute
+            .parse()
+            .map_err(|_| format!("row {}: bad minute {minute:?}", i + 2))?;
+        let events: u64 = events
+            .parse()
+            .map_err(|_| format!("row {}: bad event count {events:?}", i + 2))?;
+        let chain = u64::from_str_radix(chain, 16)
+            .map_err(|_| format!("row {}: bad chain value {chain:?}", i + 2))?;
+        chains
+            .entry(cell.to_string())
+            .or_default()
+            .push((minute, events, chain));
+    }
+    Ok(chains)
+}
+
+/// The first point two audit chains disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// The cell whose chains split.
+    pub cell: String,
+    /// The first minute (in the cell's seal order) that differs — or the
+    /// first minute present on only one side.
+    pub minute: u64,
+    /// What differed, for the human-readable report.
+    pub detail: String,
+}
+
+/// The result of comparing two runs' audit chains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Cells compared (union of both sides).
+    pub cells: usize,
+    /// Minute seals compared.
+    pub minutes: usize,
+    /// The first divergence in cell-name, then minute order — `None`
+    /// when the chains match everywhere.
+    pub divergence: Option<Divergence>,
+}
+
+/// Compares two parsed audit chains and localizes the first divergence.
+/// The hash chain makes this exact: the first minute whose chain value
+/// differs is the first minute whose *event stream* differed, because
+/// every later seal folds over it.
+pub fn compare_audit_chains(a: &AuditChains, b: &AuditChains) -> AuditReport {
+    let mut cells = 0usize;
+    let mut minutes = 0usize;
+    let mut divergence = None;
+    let names: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    for name in names {
+        cells += 1;
+        if divergence.is_some() {
+            continue;
+        }
+        let (left, right) = match (a.get(name), b.get(name)) {
+            (Some(left), Some(right)) => (left, right),
+            (Some(only), None) | (None, Some(only)) => {
+                divergence = Some(Divergence {
+                    cell: name.clone(),
+                    minute: only.first().map_or(0, |s| s.0),
+                    detail: "cell present in only one run".to_string(),
+                });
+                continue;
+            }
+            (None, None) => unreachable!("name came from one of the maps"),
+        };
+        for (l, r) in left.iter().zip(right.iter()) {
+            minutes += 1;
+            if l != r {
+                divergence = Some(Divergence {
+                    cell: name.clone(),
+                    minute: l.0.min(r.0),
+                    detail: format!(
+                        "minute {}: events {} vs {}, chain {:016x} vs {:016x}",
+                        l.0.min(r.0),
+                        l.1,
+                        r.1,
+                        l.2,
+                        r.2
+                    ),
+                });
+                break;
+            }
+        }
+        if divergence.is_none() && left.len() != right.len() {
+            let longer = if left.len() > right.len() {
+                left
+            } else {
+                right
+            };
+            divergence = Some(Divergence {
+                cell: name.clone(),
+                minute: longer[left.len().min(right.len())].0,
+                detail: format!("{} vs {} sealed minutes", left.len(), right.len()),
+            });
+        }
+    }
+    AuditReport {
+        cells,
+        minutes,
+        divergence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kad_telemetry::journal::JournalEvent;
+
+    fn observed_cell(name: &str, seed: u64) -> CellObservation {
+        let mut journal = Journal::new();
+        for minute in 0..3 {
+            journal.record(JournalEvent::Join {
+                minute,
+                node: (seed * 10 + minute) as u32,
+            });
+            journal.seal_minute(minute);
+        }
+        let mut counters = Counters::new();
+        counters.add("msg_sent", 5 + seed);
+        let mut profile = SpanProfile::new();
+        profile.record("cell", 1_000, 400);
+        profile.record("cell/session", 600, 600);
+        CellObservation {
+            cell: name.to_string(),
+            profile,
+            journal: Some(journal),
+            counters,
+        }
+    }
+
+    #[test]
+    fn run_observed_is_a_passthrough_when_disabled() {
+        let value = run_observed(false, "off", || (41 + 1, CellReport::empty()));
+        assert_eq!(value, 42);
+        assert!(!span::is_installed(), "no profile left installed");
+    }
+
+    #[test]
+    fn run_observed_collects_profile_and_journal() {
+        begin_collection();
+        let value = run_observed(true, "cell-b", || {
+            let journal = Rc::new(RefCell::new(Journal::new()));
+            journal
+                .borrow_mut()
+                .record(JournalEvent::Join { minute: 0, node: 7 });
+            journal.borrow_mut().seal_minute(0);
+            let report = CellReport {
+                journal: Some(Rc::clone(&journal)),
+                counters: Counters::new(),
+            };
+            (7u32, report)
+        });
+        run_observed(true, "cell-a", || (1u32, CellReport::empty()));
+        let observations = end_collection();
+        assert_eq!(value, 7);
+        assert_eq!(observations.len(), 2);
+        // Sorted by cell name regardless of completion order.
+        assert_eq!(observations[0].cell, "cell-a");
+        assert_eq!(observations[1].cell, "cell-b");
+        let b = &observations[1];
+        assert!(b.profile.get("cell").is_some(), "root span captured");
+        assert!(b.wall_ns() > 0);
+        assert_eq!(b.journal.as_ref().unwrap().recorded_events(), 1);
+        assert_eq!(b.journal.as_ref().unwrap().seals().len(), 1);
+    }
+
+    #[test]
+    fn submissions_outside_a_collection_window_are_dropped() {
+        // No begin_collection(): must not panic, must not leak into the
+        // next window.
+        run_observed(true, "stray", || ((), CellReport::empty()));
+        begin_collection();
+        assert!(end_collection().is_empty());
+    }
+
+    #[test]
+    fn artifacts_render_and_audit_round_trips() {
+        let observations = vec![observed_cell("alpha", 1), observed_cell("beta", 2)];
+        let meta = RunMeta {
+            experiment: "load".to_string(),
+            scale: "bench".to_string(),
+            seed: 23,
+        };
+        let manifest = render_manifest(&meta, &observations);
+        assert!(manifest.contains("\"experiment\": \"load\""));
+        assert!(manifest.contains("\"seed\": 23"));
+        assert!(manifest.contains("\"cells\": 2"));
+        assert!(manifest.contains("\"journal_events\": 3"));
+        let profile = profile_csv(&observations);
+        assert!(profile.starts_with("cell,path,calls,total_ns,self_ns"));
+        assert!(profile.contains("alpha,cell/session,1,600,600"));
+        let prom = metrics_prom(&observations);
+        assert!(prom.contains("kad_journal_events_total{cell=\"alpha\",kind=\"join\"} 3"));
+        assert!(prom.contains("kad_sim_events_total{cell=\"beta\",name=\"msg_sent\"} 7"));
+        assert!(prom.contains("kad_span_calls_total{cell=\"alpha\",path=\"cell\"} 1"));
+
+        let csv = audit_chain_csv(&observations);
+        let chains = parse_audit_chain(&csv).expect("round-trip");
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains["alpha"].len(), 3);
+        let report = compare_audit_chains(&chains, &chains);
+        assert_eq!(report.cells, 2);
+        assert_eq!(report.minutes, 6);
+        assert_eq!(report.divergence, None);
+    }
+
+    #[test]
+    fn audit_localizes_divergences() {
+        let a = parse_audit_chain(&audit_chain_csv(&[
+            observed_cell("alpha", 1),
+            observed_cell("beta", 2),
+        ]))
+        .unwrap();
+        // Same alpha, different beta events → divergence lands in beta.
+        let b = parse_audit_chain(&audit_chain_csv(&[
+            observed_cell("alpha", 1),
+            observed_cell("beta", 9),
+        ]))
+        .unwrap();
+        let report = compare_audit_chains(&a, &b);
+        let div = report.divergence.expect("diverges");
+        assert_eq!(div.cell, "beta");
+        assert_eq!(div.minute, 0, "chain splits at the first minute");
+
+        // A missing cell is a divergence too.
+        let mut only_alpha = a.clone();
+        only_alpha.remove("beta");
+        let report = compare_audit_chains(&only_alpha, &a);
+        assert_eq!(report.divergence.expect("missing cell").cell, "beta");
+
+        // Truncated seal list: first extra minute is named.
+        let mut truncated = a.clone();
+        truncated.get_mut("alpha").unwrap().truncate(2);
+        let report = compare_audit_chains(&truncated, &a);
+        let div = report.divergence.expect("length mismatch");
+        assert_eq!((div.cell.as_str(), div.minute), ("alpha", 2));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_chains() {
+        assert!(parse_audit_chain("").is_err());
+        assert!(parse_audit_chain("wrong,header\n").is_err());
+        assert!(parse_audit_chain("cell,minute,events,chain\nx,notanumber,0,00\n").is_err());
+        assert!(
+            parse_audit_chain("cell,minute,events,chain\nx,0,0\n").is_err(),
+            "short row"
+        );
+        assert!(parse_audit_chain("cell,minute,events,chain\nx,0,0,zz zz\n").is_err());
+    }
+}

@@ -100,6 +100,20 @@ enum Action {
 /// stream labels, same action-drawing order); a behavioral change to this
 /// event loop must be mirrored in the session engine, and vice versa.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    // This legacy loop predates the session engine, so an observed cell
+    // yields a span profile and counters but no journal (no minute seals
+    // land in `audit-chain.csv` for the k-sweep matrix).
+    crate::observe::run_observed(scenario.observe, &scenario.name, || {
+        let outcome = run_scenario_cell(scenario);
+        let report = crate::observe::CellReport {
+            journal: None,
+            counters: outcome.counters.clone(),
+        };
+        (outcome, report)
+    })
+}
+
+fn run_scenario_cell(scenario: &Scenario) -> ScenarioOutcome {
     let factory = RngFactory::new(scenario.seed);
     let mut schedule_rng = factory.stream("harness-schedule");
     let mut choice_rng = factory.stream("harness-choices");

@@ -89,6 +89,12 @@ pub struct Scenario {
     pub seed: u64,
     /// Connectivity-analysis settings applied to each snapshot.
     pub analysis: AnalysisConfig,
+    /// Record observability artifacts for this run: the session driver
+    /// keeps a [`kad_telemetry::Journal`] (determinism hash chain, event
+    /// counts) and the runners install a span profile per cell. Off by
+    /// default; turning it on must never change simulation outcomes —
+    /// the golden-equivalence suite pins that contract.
+    pub observe: bool,
 }
 
 impl Scenario {
@@ -134,6 +140,7 @@ impl Default for ScenarioBuilder {
                 snapshot_minutes: scale.snapshot_minutes,
                 seed: 1,
                 analysis: AnalysisConfig::default(),
+                observe: false,
             },
         }
     }
@@ -277,6 +284,12 @@ impl ScenarioBuilder {
     /// Sets the analysis configuration.
     pub fn analysis(&mut self, analysis: AnalysisConfig) -> &mut Self {
         self.scenario.analysis = analysis;
+        self
+    }
+
+    /// Enables (or disables) observability recording for the run.
+    pub fn observe(&mut self, observe: bool) -> &mut Self {
+        self.scenario.observe = observe;
         self
     }
 

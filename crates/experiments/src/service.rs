@@ -197,12 +197,20 @@ impl TelemetrySink for ServiceTelemetry {
 /// tell an attacker-originated lookup apart), the optional attacker, and
 /// the measurement actor holding the sink handle.
 pub fn run_service(scenario: &ServiceScenario) -> ServiceOutcome {
+    crate::observe::run_observed(scenario.base.observe, &scenario.name(), || {
+        run_service_cell(scenario)
+    })
+}
+
+fn run_service_cell(scenario: &ServiceScenario) -> (ServiceOutcome, crate::observe::CellReport) {
     let base = &scenario.base;
     let mut driver = SessionDriver::new(base);
+    let journal = driver.journal();
     let sink = Rc::new(RefCell::new(ServiceTelemetry::default()));
-    // An optional load workload rides on the run through a fanout sink;
-    // without one the plain sink installs directly (identical behavior —
-    // the golden suite pins the unloaded path byte for byte).
+    // An optional load workload rides on the run through a fanout sink,
+    // and an observing run's journal joins it; without either the plain
+    // sink installs directly (identical behavior — the golden suite pins
+    // the unloaded path byte for byte).
     let load_parts = scenario.load.map(|spec| {
         let phase_split = scenario
             .attack
@@ -212,19 +220,20 @@ pub fn run_service(scenario: &ServiceScenario) -> ServiceOutcome {
         let keys = draw_hot_keys(&driver, spec.hot_keys);
         (spec, load_sink, stats, keys)
     });
-    match &load_parts {
-        Some((_, load_sink, _, _)) => {
-            driver
-                .network_mut()
-                .set_telemetry_sink(Box::new(kad_telemetry::FanoutSink::new(vec![
-                    Box::new(Rc::clone(&sink)),
-                    Box::new(Rc::clone(load_sink)),
-                ])))
-        }
-        None => driver
-            .network_mut()
-            .set_telemetry_sink(Box::new(Rc::clone(&sink))),
+    let mut sinks: Vec<Box<dyn kad_telemetry::TelemetrySink>> = vec![Box::new(Rc::clone(&sink))];
+    if let Some((_, load_sink, _, _)) = &load_parts {
+        sinks.push(Box::new(Rc::clone(load_sink)));
     }
+    if let Some(journal) = &journal {
+        sinks.push(Box::new(Rc::clone(journal)));
+    }
+    driver
+        .network_mut()
+        .set_telemetry_sink(if sinks.len() == 1 {
+            sinks.pop().expect("one sink")
+        } else {
+            Box::new(kad_telemetry::FanoutSink::new(sinks))
+        });
     let mut load_actor = load_parts.map(|(spec, load_sink, stats, keys)| {
         LoadActor::new(&driver, spec, keys, load_sink, stats)
     });
@@ -297,14 +306,15 @@ pub fn run_service(scenario: &ServiceScenario) -> ServiceOutcome {
     let telemetry = Rc::try_unwrap(sink)
         .expect("simulator dropped, recorder uniquely owned")
         .into_inner();
-    ServiceOutcome {
+    let outcome = ServiceOutcome {
         scenario: scenario.clone(),
         points,
         hops: telemetry.hops,
         messages: telemetry.messages,
         budget_spent: shared.budget_spent,
-        counters,
-    }
+        counters: counters.clone(),
+    };
+    (outcome, crate::observe::CellReport { journal, counters })
 }
 
 // ----------------------------------------------------------------------

@@ -54,12 +54,16 @@ use crate::attack_plan::{pick_victim, AttackPlan, AttackSpec, EclipseState};
 use crate::scenario::Scenario;
 use dessim::rng::RngFactory;
 use dessim::time::SimTime;
+use kad_telemetry::journal::{Journal, JournalEvent};
+use kad_telemetry::span;
 use kademlia::id::NodeId;
 use kademlia::network::SimNetwork;
 use kademlia::NodeAddr;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::cell::RefCell;
 use std::collections::{HashSet, VecDeque};
+use std::rc::Rc;
 
 /// Harness actions applied at random instants within a minute. Attacker
 /// compromises are *not* actions — they are scheduled through the event
@@ -80,6 +84,19 @@ pub enum Action {
     /// own stream at wiring time, so applying this draws nothing from the
     /// shared harness streams).
     RetrieveKey(NodeAddr, NodeId),
+}
+
+impl Action {
+    /// Static label naming the action kind (journal `Action` records).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Action::Join => "join",
+            Action::Remove => "churn",
+            Action::Lookup(_) => "lookup",
+            Action::Store(_) => "store",
+            Action::RetrieveKey(..) => "retrieve",
+        }
+    }
 }
 
 /// The harness RNG streams shared between the driver and the schedule
@@ -117,6 +134,13 @@ pub struct SessionShared {
     /// Phase transitions a phased attacker performed: `(minute, label of
     /// the plan switched to)`.
     pub phase_switches: Vec<(u64, &'static str)>,
+    /// The run's event journal, present when the scenario was built with
+    /// [`Scenario::observe`](crate::scenario::Scenario) set. The driver
+    /// records applied actions and seals each minute; actors with
+    /// journal-worthy events (the attacker's compromises) record through
+    /// the same handle. Recording draws no randomness and never touches
+    /// the network, so observing a run cannot change its outcome.
+    pub journal: Option<Rc<RefCell<Journal>>>,
 }
 
 impl SessionShared {
@@ -180,6 +204,12 @@ pub trait MinuteActor {
 
     /// Called after the minute's events drained, clock at `minute + 1`.
     fn at_minute_end(&mut self, _net: &mut SimNetwork, _ctx: &mut EndCtx<'_>) {}
+
+    /// Static label for the actor's span in the driver's profile
+    /// (`on-minute/<label>`, `minute-end/<label>`).
+    fn label(&self) -> &'static str {
+        "actor"
+    }
 }
 
 /// Owns the network, the clock and the shared streams; runs the minute
@@ -206,13 +236,24 @@ impl<'s> SessionDriver<'s> {
             choice: factory.stream("harness-choices"),
             target: factory.stream("harness-targets"),
         };
+        let mut shared = SessionShared::default();
+        if base.observe {
+            shared.journal = Some(Rc::new(RefCell::new(Journal::new())));
+        }
         SessionDriver {
             base,
             factory,
             net,
             rngs,
-            shared: SessionShared::default(),
+            shared,
         }
+    }
+
+    /// The run's journal handle, when the scenario enables observation.
+    /// Runners clone it to compose the journal into the telemetry sink
+    /// chain and to emit `audit-chain.csv` after the run.
+    pub fn journal(&self) -> Option<Rc<RefCell<Journal>>> {
+        self.shared.journal.clone()
     }
 
     /// The scenario this session runs.
@@ -241,11 +282,14 @@ impl<'s> SessionDriver<'s> {
     /// Runs the full minute loop (`0..base.end_minutes()`) over the
     /// actors, in order. See the module docs for phase semantics.
     pub fn run(&mut self, actors: &mut [&mut dyn MinuteActor]) {
+        let _session = span::span("session");
+        let journal = self.shared.journal.clone();
         let end_min = self.base.end_minutes();
         for minute in 0..end_min {
             let minute_start_ms = minute * 60_000;
             let mut actions: Vec<(u64, Action)> = Vec::new();
             {
+                let _phase = span::span("on-minute");
                 let mut ctx = MinuteCtx {
                     minute,
                     minute_start_ms,
@@ -256,32 +300,64 @@ impl<'s> SessionDriver<'s> {
                     actions: &mut actions,
                 };
                 for actor in actors.iter_mut() {
+                    let _actor = span::span(actor.label());
                     actor.on_minute(&mut self.net, &mut ctx);
                 }
             }
             // Stable sort: same-instant actions keep actor order.
             actions.sort_by_key(|&(t, _)| t);
-            for (t, action) in actions {
-                self.net.run_until(SimTime::from_millis(t));
-                apply_action(
-                    &mut self.net,
-                    action,
-                    self.base,
-                    &mut self.rngs.choice,
-                    &mut self.rngs.target,
-                );
+            {
+                let _phase = span::span("actions");
+                for (t, action) in actions {
+                    self.net.run_until(SimTime::from_millis(t));
+                    let affected = apply_action(
+                        &mut self.net,
+                        action,
+                        self.base,
+                        &mut self.rngs.choice,
+                        &mut self.rngs.target,
+                    );
+                    if let Some(journal) = &journal {
+                        let mut journal = journal.borrow_mut();
+                        match (action, affected) {
+                            (Action::Join, Some(addr)) => journal.record(JournalEvent::Join {
+                                minute,
+                                node: addr.index() as u32,
+                            }),
+                            (Action::Remove, Some(addr)) => journal.record(JournalEvent::Churn {
+                                minute,
+                                node: addr.index() as u32,
+                            }),
+                            _ => journal.record(JournalEvent::Action {
+                                minute,
+                                at_ms: t,
+                                kind: action.kind(),
+                            }),
+                        }
+                    }
+                }
             }
             let minute_end = SimTime::from_minutes(minute + 1);
-            self.net.run_until(minute_end);
-            let mut ctx = EndCtx {
-                at_minute: minute + 1,
-                time_min: minute_end.as_minutes_f64(),
-                end_min,
-                base: self.base,
-                shared: &mut self.shared,
-            };
-            for actor in actors.iter_mut() {
-                actor.at_minute_end(&mut self.net, &mut ctx);
+            {
+                let _phase = span::span("drain");
+                self.net.run_until(minute_end);
+            }
+            {
+                let _phase = span::span("minute-end");
+                let mut ctx = EndCtx {
+                    at_minute: minute + 1,
+                    time_min: minute_end.as_minutes_f64(),
+                    end_min,
+                    base: self.base,
+                    shared: &mut self.shared,
+                };
+                for actor in actors.iter_mut() {
+                    let _actor = span::span(actor.label());
+                    actor.at_minute_end(&mut self.net, &mut ctx);
+                }
+            }
+            if let Some(journal) = &journal {
+                journal.borrow_mut().seal_minute(minute);
             }
         }
     }
@@ -304,24 +380,29 @@ pub fn random_alive(net: &SimNetwork, rng: &mut SmallRng) -> Option<NodeAddr> {
 }
 
 /// Applies one [`Action`] to the network, drawing node choices and
-/// targets from the given streams.
+/// targets from the given streams. Returns the node the action created
+/// or removed (joins and removals), so callers can journal the exact
+/// population change without re-deriving the random choice.
 pub fn apply_action(
     net: &mut SimNetwork,
     action: Action,
     base: &Scenario,
     choice_rng: &mut SmallRng,
     target_rng: &mut SmallRng,
-) {
+) -> Option<NodeAddr> {
     match action {
         Action::Join => {
             let bootstrap = random_alive(net, choice_rng);
             let addr = net.spawn_node();
             net.join(addr, bootstrap);
+            Some(addr)
         }
         Action::Remove => {
-            if let Some(addr) = random_alive(net, choice_rng) {
+            let victim = random_alive(net, choice_rng);
+            if let Some(addr) = victim {
                 net.remove_node(addr);
             }
+            victim
         }
         Action::Lookup(addr) => {
             // Draw the target before the liveness check (inside
@@ -329,13 +410,16 @@ pub fn apply_action(
             // not the node departed mid-minute.
             let target = NodeId::random(target_rng, base.protocol.bits);
             net.start_lookup(addr, target);
+            None
         }
         Action::Store(addr) => {
             let key = NodeId::random(target_rng, base.protocol.bits);
             net.start_store(addr, key);
+            None
         }
         Action::RetrieveKey(addr, key) => {
             net.start_find_value(addr, key);
+            None
         }
     }
 }
@@ -372,6 +456,10 @@ impl JoinSchedule {
 }
 
 impl MinuteActor for JoinSchedule {
+    fn label(&self) -> &'static str {
+        "joins"
+    }
+
     fn on_minute(&mut self, _net: &mut SimNetwork, ctx: &mut MinuteCtx<'_>) {
         while self.cursor < self.join_times.len()
             && self.join_times[self.cursor] < ctx.minute_start_ms + 60_000
@@ -388,6 +476,10 @@ impl MinuteActor for JoinSchedule {
 pub struct ChurnActor;
 
 impl MinuteActor for ChurnActor {
+    fn label(&self) -> &'static str {
+        "churn"
+    }
+
     fn on_minute(&mut self, _net: &mut SimNetwork, ctx: &mut MinuteCtx<'_>) {
         let base = ctx.base;
         if base.churn.is_active() && ctx.minute >= base.stabilization_minutes {
@@ -435,6 +527,10 @@ impl TrafficActor {
 }
 
 impl MinuteActor for TrafficActor {
+    fn label(&self) -> &'static str {
+        "traffic"
+    }
+
     fn on_minute(&mut self, net: &mut SimNetwork, ctx: &mut MinuteCtx<'_>) {
         let Some(traffic) = ctx.base.traffic else {
             return;
@@ -530,6 +626,10 @@ impl AttackerActor {
 }
 
 impl MinuteActor for AttackerActor {
+    fn label(&self) -> &'static str {
+        "attacker"
+    }
+
     fn on_minute(&mut self, net: &mut SimNetwork, ctx: &mut MinuteCtx<'_>) {
         if ctx.minute < self.spec.start_minute || ctx.shared.budget_spent >= self.spec.budget {
             return;
@@ -553,6 +653,12 @@ impl MinuteActor for AttackerActor {
             self.targeted.insert(victim);
             let at = ctx.minute_start_ms + self.rng.random_range(0..60_000);
             net.schedule_compromise(SimTime::from_millis(at), victim);
+            if let Some(journal) = &ctx.shared.journal {
+                journal.borrow_mut().record(JournalEvent::Compromise {
+                    minute: ctx.minute,
+                    node: victim.index() as u32,
+                });
+            }
             ctx.shared.victims.push((ctx.minute, victim.index() as u32));
             ctx.shared.budget_spent += 1;
         }
@@ -594,6 +700,10 @@ impl ProbeActor {
 }
 
 impl MinuteActor for ProbeActor {
+    fn label(&self) -> &'static str {
+        "probe"
+    }
+
     fn on_minute(&mut self, net: &mut SimNetwork, ctx: &mut MinuteCtx<'_>) {
         if ctx.minute >= ctx.base.setup_minutes {
             if ctx.minute.is_multiple_of(self.probe_every_min.max(1))
@@ -681,6 +791,10 @@ impl LiveKappaActor {
 }
 
 impl MinuteActor for LiveKappaActor {
+    fn label(&self) -> &'static str {
+        "live-kappa"
+    }
+
     fn at_minute_end(&mut self, net: &mut SimNetwork, ctx: &mut EndCtx<'_>) {
         if ctx.at_minute < self.start_minute {
             return;
@@ -729,6 +843,10 @@ impl<P, F> MinuteActor for Sampler<P, F>
 where
     F: FnMut(&mut SimNetwork, &mut EndCtx<'_>) -> P,
 {
+    fn label(&self) -> &'static str {
+        "sampler"
+    }
+
     fn at_minute_end(&mut self, net: &mut SimNetwork, ctx: &mut EndCtx<'_>) {
         if self.grid.due(ctx.at_minute, ctx.end_min) {
             let point = (self.sample)(net, ctx);

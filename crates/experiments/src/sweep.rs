@@ -236,15 +236,26 @@ impl TelemetrySink for SweepTelemetry {
 /// Runs a mixed-phase sweep cell to completion. Deterministic like every
 /// session composition: seed + wiring fixes the replay.
 pub fn run_sweep(scenario: &SweepScenario) -> SweepOutcome {
+    crate::observe::run_observed(scenario.base.observe, &scenario.name(), || {
+        run_sweep_cell(scenario)
+    })
+}
+
+fn run_sweep_cell(scenario: &SweepScenario) -> (SweepOutcome, crate::observe::CellReport) {
     let base = &scenario.base;
     let mut driver = SessionDriver::new(base);
     driver
         .network_mut()
         .set_defense_policy(scenario.policy.build());
+    let journal = driver.journal();
     let sink = Rc::new(RefCell::new(SweepTelemetry::default()));
-    driver
-        .network_mut()
-        .set_telemetry_sink(Box::new(Rc::clone(&sink)));
+    driver.network_mut().set_telemetry_sink(match &journal {
+        Some(journal) => Box::new(kad_telemetry::FanoutSink::new(vec![
+            Box::new(Rc::clone(&sink)),
+            Box::new(Rc::clone(journal)),
+        ])),
+        None => Box::new(Rc::clone(&sink)),
+    });
 
     let mut probe = ProbeActor::new(
         &driver,
@@ -317,14 +328,15 @@ pub fn run_sweep(scenario: &SweepScenario) -> SweepOutcome {
     ]);
     let (net, shared) = driver.finish();
     let counters = net.counters().clone();
-    SweepOutcome {
+    let outcome = SweepOutcome {
         scenario: scenario.clone(),
         points: sampler.into_points(),
         phase_switches: shared.phase_switches,
         live_kappa: live_kappa.into_series(),
         budget_spent: shared.budget_spent,
-        counters,
-    }
+        counters: counters.clone(),
+    };
+    (outcome, crate::observe::CellReport { journal, counters })
 }
 
 // ----------------------------------------------------------------------

@@ -25,8 +25,8 @@ fn unknown_subcommand_lists_the_registry_and_exits_2() {
     // Every registered subcommand appears in the error message, the grid
     // workloads included.
     for subcommand in [
-        "all", "matrix", "campaign", "service", "defend", "sweep", "load", "bench", "tab1", "fig2",
-        "sampling",
+        "all", "matrix", "campaign", "service", "defend", "sweep", "load", "bench", "audit",
+        "tab1", "fig2", "sampling",
     ] {
         assert!(
             stderr.contains(subcommand),
@@ -119,6 +119,71 @@ fn same_seed_regenerates_bit_identical_load_csvs() {
             .is_some_and(|h| h.contains("attack_p99_ms")),
         "summary header carries p99 columns: {summary}"
     );
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn observe_artifacts_are_deterministic_and_audit_reports_divergence() {
+    // Two same-seed observed runs must produce byte-identical audit
+    // chains (`repro audit` exits 0); a third run at a different seed
+    // must diverge, and the report must name the first divergent
+    // (cell, minute) in parseable form. Uses the campaign grid at bench
+    // scale — the cheapest journal-bearing grid — so the whole test
+    // stays in CI-smoke territory.
+    let scratch = std::env::temp_dir().join(format!("repro-observe-test-{}", std::process::id()));
+    let dirs = [scratch.join("a"), scratch.join("b"), scratch.join("c")];
+    for (dir, seed) in dirs.iter().zip(["61", "61", "62"]) {
+        let output = repro()
+            .args(["campaign", "--scale", "bench", "--seed", seed, "--observe"])
+            .arg(dir)
+            .output()
+            .expect("spawn repro");
+        assert!(
+            output.status.success(),
+            "repro campaign --observe failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        for artifact in [
+            "run-manifest.json",
+            "profile.csv",
+            "audit-chain.csv",
+            "metrics.prom",
+        ] {
+            assert!(dir.join(artifact).is_file(), "{artifact} written");
+        }
+    }
+    let chain_a = std::fs::read(dirs[0].join("audit-chain.csv")).expect("chain a");
+    let chain_b = std::fs::read(dirs[1].join("audit-chain.csv")).expect("chain b");
+    assert!(!chain_a.is_empty());
+    assert_eq!(
+        chain_a, chain_b,
+        "same seed must regenerate a byte-identical audit chain"
+    );
+
+    let clean = repro()
+        .arg("audit")
+        .args([&dirs[0], &dirs[1]])
+        .output()
+        .expect("spawn repro audit");
+    assert_eq!(clean.status.code(), Some(0), "same-seed audit exits 0");
+    let stdout = String::from_utf8_lossy(&clean.stdout);
+    assert!(stdout.contains("zero divergence"), "{stdout}");
+
+    let diverged = repro()
+        .arg("audit")
+        .args([&dirs[0], &dirs[2]])
+        .output()
+        .expect("spawn repro audit");
+    assert_eq!(diverged.status.code(), Some(1), "divergent audit exits 1");
+    let stdout = String::from_utf8_lossy(&diverged.stdout);
+    assert!(
+        stdout.contains("first divergence at cell=") && stdout.contains(" minute="),
+        "parseable divergence report: {stdout}"
+    );
+
+    // Usage errors are distinct from divergence: exit 2.
+    let usage = repro().arg("audit").output().expect("spawn repro audit");
+    assert_eq!(usage.status.code(), Some(2));
     let _ = std::fs::remove_dir_all(&scratch);
 }
 

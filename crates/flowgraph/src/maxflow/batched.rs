@@ -74,6 +74,7 @@ pub fn probe_unit_augment(
     t: u32,
     workspace: &mut FlowWorkspace,
 ) -> u64 {
+    let _span = kad_telemetry::span::span("probe");
     check_endpoints(net, s, t);
     let n = net.node_count();
     workspace.ensure_basic(n);
@@ -197,6 +198,7 @@ impl BatchedDinic {
         known_bound: Option<u64>,
         workspace: &mut FlowWorkspace,
     ) -> u64 {
+        let _span = kad_telemetry::span::span("blocking-flow");
         check_endpoints(net, s, t);
         net.reset();
         let n = net.node_count();
@@ -252,6 +254,7 @@ impl BatchedDinic {
     /// Rebuilds the cached level graph: one full BFS over the clean network,
     /// layering everything reachable from `s` (no sink to stop at).
     fn relayer(&mut self, net: &FlowNetwork, s: u32, workspace: &mut FlowWorkspace) {
+        let _span = kad_telemetry::span::span("layering");
         let n = net.node_count();
         self.base_level.clear();
         self.base_level.resize(n, u32::MAX);

@@ -610,6 +610,7 @@ impl SimNetwork {
 
     /// Advances a lookup: sends fresh queries or finalizes it.
     fn drive_lookup(&mut self, addr: NodeAddr, lookup_id: LookupId) {
+        let _span = kad_telemetry::span::span("lookup-dispatch");
         let (queries, finished) = {
             let node = &mut self.nodes[addr.index()];
             let Some(state) = node.lookups.get_mut(&lookup_id) else {

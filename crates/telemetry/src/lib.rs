@@ -26,6 +26,16 @@
 //! * [`recorder::Recorder`] — schema-checked CSV emission: column names
 //!   declared once, every row typed and arity-checked against them, so the
 //!   header and the rows of an experiment's output can never drift apart.
+//! * [`span`] — the observability side's wall-clock instrument: a
+//!   hierarchical span profiler ([`span::SpanTimer`] guards aggregating
+//!   into a [`span::SpanProfile`] keyed by static label paths, self/total
+//!   time, lossless merge) that costs one thread-local `Option` check
+//!   when no profile is installed.
+//! * [`journal`] — a bounded structured event journal whose FNV-1a hash
+//!   chain fingerprints the per-minute event sequence of a run
+//!   ([`journal::MinuteSeal`] → `audit-chain.csv` → `repro audit`), with
+//!   ring truncation always surfaced through
+//!   [`journal::Journal::dropped_events`].
 //!
 //! The crate is dependency-free (std only) on purpose: the instruments sit
 //! on the lookup hot path, and keeping them self-contained makes the
@@ -37,13 +47,17 @@
 
 pub mod family;
 pub mod histogram;
+pub mod journal;
 pub mod recorder;
+pub mod span;
 pub mod timeseries;
 pub mod trace;
 
 pub use family::{CounterFamily, HistogramFamily};
 pub use histogram::LogHistogram;
+pub use journal::{Journal, JournalEvent, MinuteSeal};
 pub use recorder::{Cell, Recorder};
+pub use span::{SpanProfile, SpanStats, SpanTimer};
 pub use timeseries::{MinuteSeries, WindowStats};
 pub use trace::{
     DefenseAction, FanoutSink, LookupOutcome, LookupRecord, NoopSink, TelemetrySink, TracePurpose,

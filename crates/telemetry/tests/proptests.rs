@@ -8,8 +8,24 @@
 //! * **percentiles are monotone** in the quantile, and exact in the
 //!   small-value region where hop and message counts live.
 
-use kad_telemetry::{CounterFamily, HistogramFamily, LogHistogram, MinuteSeries};
+use kad_telemetry::journal::{Journal, JournalEvent};
+use kad_telemetry::{CounterFamily, HistogramFamily, LogHistogram, MinuteSeries, SpanProfile};
 use proptest::prelude::*;
+
+/// Decodes a generated `(selector, a, b)` triple into a journal event —
+/// the event stream generator shared by the journal properties.
+fn decode_event((selector, a, b): (u8, u64, u32)) -> JournalEvent {
+    match selector % 4 {
+        0 => JournalEvent::Join { minute: a, node: b },
+        1 => JournalEvent::Churn { minute: a, node: b },
+        2 => JournalEvent::Compromise { minute: a, node: b },
+        _ => JournalEvent::Action {
+            minute: a,
+            at_ms: a * 60_000 + u64::from(b % 60_000),
+            kind: "lookup",
+        },
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -213,6 +229,116 @@ proptest! {
             flat.record(v);
         }
         prop_assert_eq!(left.merged(), flat);
+    }
+
+    /// SpanProfile merge() of sharded recording equals single-stream
+    /// recording, for arbitrary paths and an arbitrary split point —
+    /// the same contract as the metric families, so parallel grid
+    /// workers can aggregate per-cell profiles exactly.
+    #[test]
+    fn span_profile_merge_equals_single_stream(
+        spans in proptest::collection::vec(
+            (0u8..5, 0u8..4, 1u64..1_000_000, 0u64..1_000_000), 0..200),
+        split in any::<u64>(),
+    ) {
+        const ROOTS: [&str; 5] = ["cell", "session", "actions", "drain", "probe"];
+        const LEAVES: [&str; 4] = ["", "/solve", "/layering", "/repair"];
+        let rows: Vec<(String, u64, u64)> = spans
+            .iter()
+            .map(|&(root, leaf, total, self_raw)| {
+                let path = format!("{}{}", ROOTS[root as usize], LEAVES[leaf as usize]);
+                // self-time never exceeds total time.
+                (path, total, self_raw % (total + 1))
+            })
+            .collect();
+        let cut = (split % (rows.len() as u64 + 1)) as usize;
+        let mut all = SpanProfile::new();
+        for (path, total, self_ns) in &rows {
+            all.record(path, *total, *self_ns);
+        }
+        let mut left = SpanProfile::new();
+        let mut right = SpanProfile::new();
+        for (path, total, self_ns) in &rows[..cut] {
+            left.record(path, *total, *self_ns);
+        }
+        for (path, total, self_ns) in &rows[cut..] {
+            right.record(path, *total, *self_ns);
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &all);
+        // Commutative: merging in the opposite order is identical.
+        let mut flipped = SpanProfile::new();
+        for (path, total, self_ns) in &rows[cut..] {
+            flipped.record(path, *total, *self_ns);
+        }
+        let mut other = SpanProfile::new();
+        for (path, total, self_ns) in &rows[..cut] {
+            other.record(path, *total, *self_ns);
+        }
+        flipped.merge(&other);
+        prop_assert_eq!(&flipped, &all);
+    }
+
+    /// The journal's hash chain is capacity-independent: a ring that
+    /// truncates aggressively fingerprints the same event stream
+    /// identically to an unbounded one, with every truncation accounted.
+    #[test]
+    fn journal_chain_is_capacity_independent(
+        events in proptest::collection::vec((0u8..=255, 0u64..100, 0u32..64), 0..150),
+        capacity in 1usize..8,
+    ) {
+        let mut big = Journal::new();
+        let mut small = Journal::with_capacity(capacity);
+        for raw in &events {
+            let event = decode_event(*raw);
+            big.record(event.clone());
+            small.record(event);
+        }
+        prop_assert_eq!(small.chain(), big.chain());
+        prop_assert_eq!(small.recorded_events(), events.len() as u64);
+        prop_assert_eq!(
+            small.dropped_events(),
+            events.len().saturating_sub(capacity) as u64,
+            "every truncated event is accounted"
+        );
+        prop_assert_eq!(small.counts(), big.counts());
+    }
+
+    /// Prefix property: two runs recording the same event prefix carry
+    /// identical seals up to the divergence point and different chains
+    /// from the first divergent event on — what `repro audit` relies on
+    /// to name the first divergent minute.
+    #[test]
+    fn journal_seals_localize_the_first_divergence(
+        prefix in proptest::collection::vec((0u8..=255, 0u64..100, 0u32..64), 0..60),
+        divergence in (0u8..=255, 0u64..100, 0u32..64),
+    ) {
+        let mut a = Journal::new();
+        let mut b = Journal::new();
+        for (minute, raw) in prefix.iter().enumerate() {
+            let event = decode_event(*raw);
+            a.record(event.clone());
+            b.record(event);
+            a.seal_minute(minute as u64);
+            b.seal_minute(minute as u64);
+        }
+        prop_assert_eq!(a.seals(), b.seals());
+        let mutated = {
+            // Guarantee the tail differs: bump the node field.
+            let (s, m, n) = divergence;
+            decode_event((s, m, n ^ 1))
+        };
+        a.record(decode_event(divergence));
+        b.record(mutated);
+        a.seal_minute(prefix.len() as u64);
+        b.seal_minute(prefix.len() as u64);
+        let (last_a, last_b) = (
+            a.seals()[prefix.len()],
+            b.seals()[prefix.len()],
+        );
+        prop_assert_eq!(last_a.minute, last_b.minute);
+        prop_assert_eq!(last_a.events, last_b.events);
+        prop_assert!(last_a.chain != last_b.chain, "divergent event, divergent seal");
     }
 
     /// Range aggregation equals the sum of the per-window aggregates.
