@@ -46,7 +46,9 @@ const USAGE: &str =
     audit: diff two --observe runs' audit-chain.csv; exit 0 when the chains match, 1 naming the first divergent (cell, minute)\n\
     --seed N makes every CSV bit-identically reproducible (all subcommands)\n\
     --jobs sets the scenario-level worker count (matrix/campaign/service/defend/sweep; others auto-split)\n\
-    --observe DIR writes run-manifest.json, profile.csv, audit-chain.csv and metrics.prom there\n\
+    --observe DIR writes run-manifest.json, profile.csv, audit-chain.csv, metrics.prom,\n\
+    \x20   traces.json (Chrome trace-event p99 exemplar trees) and latency-attribution.csv\n\
+    \x20   (critical-path queue/rtt/timeout decomposition, conserving per row)\n\
     \x20   (wall-clock data lands only in those artifacts; the golden CSVs stay byte-identical)";
 
 /// The grid subcommands registered outside the figure/table registry.

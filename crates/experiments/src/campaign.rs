@@ -206,7 +206,14 @@ fn run_campaign_cell(scenario: &CampaignScenario) -> (CampaignOutcome, CellRepor
         budget_spent: shared.budget_spent,
         counters: counters.clone(),
     };
-    (outcome, CellReport { journal, counters })
+    (
+        outcome,
+        CellReport {
+            journal,
+            counters,
+            exemplars: Vec::new(),
+        },
+    )
 }
 
 // ----------------------------------------------------------------------

@@ -340,7 +340,14 @@ fn run_defense_cell(scenario: &DefenseScenario) -> (DefenseOutcome, crate::obser
         budget_spent: shared.budget_spent,
         counters: counters.clone(),
     };
-    (outcome, crate::observe::CellReport { journal, counters })
+    (
+        outcome,
+        crate::observe::CellReport {
+            journal,
+            counters,
+            exemplars: Vec::new(),
+        },
+    )
 }
 
 // ----------------------------------------------------------------------

@@ -96,7 +96,7 @@ pub use defense::{run_defense, DefenseOutcome, DefensePoint, DefenseScenario};
 pub use figures::{run_experiment, ExperimentId, ExperimentResult};
 pub use load::{run_load, LoadOutcome, LoadPoint, LoadScenario, LoadSpec};
 pub use matrix::{MatrixRunner, SplitPolicy};
-pub use observe::{run_observed, CellObservation, CellReport};
+pub use observe::{run_observed, CellObservation, CellReport, TraceExemplar};
 pub use runner::{run_scenario, ScenarioOutcome, SnapshotResult};
 pub use scale::Scale;
 pub use scenario::{Scenario, ScenarioBuilder};

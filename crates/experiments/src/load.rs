@@ -63,20 +63,24 @@ use crate::session::{
 use crate::traffic::{ArrivalProcess, ZipfSampler};
 use dessim::metrics::Counters;
 use kad_telemetry::{
-    Cell, CounterFamily, HistogramFamily, LogHistogram, LookupOutcome, LookupRecord, MinuteSeries,
-    Recorder, TelemetrySink, TracePurpose,
+    Cell, CounterFamily, ExemplarReservoir, HistogramFamily, LogHistogram, LookupOutcome,
+    LookupRecord, MinuteSeries, Recorder, TelemetrySink, TracePurpose, TraceTree,
 };
 use kademlia::id::NodeId;
 use kademlia::network::SimNetwork;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 /// Minutes between the hot-key store round and the first request minute:
 /// dissemination must settle before retrievals race it.
 const STORE_LEAD_MINUTES: u64 = 5;
+
+/// Worst-latency trace trees kept per phase when the run is observed —
+/// enough to name a phase's p99 offenders without ballooning artifacts.
+pub const EXEMPLARS_PER_PHASE: usize = 5;
 
 /// The load workload: arrival shape, key skew, and backpressure bounds.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -158,6 +162,9 @@ pub struct LoadTelemetry {
     pub found: MinuteSeries,
     /// Retrievals completed so far (the in-flight accounting feed).
     pub completed_retrievals: u64,
+    /// Per-phase p99 exemplar reservoirs, `Some` only for observed runs
+    /// (enabling them turns on the simulator's span recording).
+    pub exemplars: Option<BTreeMap<LoadPhase, ExemplarReservoir>>,
 }
 
 impl LoadTelemetry {
@@ -169,7 +176,18 @@ impl LoadTelemetry {
             latency_by_minute: HistogramFamily::new(),
             found: MinuteSeries::new(),
             completed_retrievals: 0,
+            exemplars: None,
         }
+    }
+
+    /// Enables trace capture: the sink answers `wants_traces`, and every
+    /// retrieval tree competes for the phase's [`EXEMPLARS_PER_PHASE`]
+    /// worst-latency slots. Observation only — aggregates and CSVs are
+    /// byte-identical with or without it.
+    pub fn with_exemplars(phase_split: u64) -> LoadTelemetry {
+        let mut t = LoadTelemetry::new(phase_split);
+        t.exemplars = Some(BTreeMap::new());
+        t
     }
 
     /// Retrieval latency over completed minutes in `[from, to)`.
@@ -177,16 +195,30 @@ impl LoadTelemetry {
         self.latency_by_minute
             .merged_where(|&minute| minute >= from && minute < to)
     }
+
+    /// The phase a completed minute belongs to.
+    fn phase_of(&self, minute: u64) -> LoadPhase {
+        if minute >= self.phase_split {
+            LoadPhase::Attack
+        } else {
+            LoadPhase::PreAttack
+        }
+    }
+
+    /// The captured exemplars as `(phase, reservoir)` pairs (empty unless
+    /// the run was observed), pre-attack first.
+    pub fn exemplar_reservoirs(&self) -> Vec<(LoadPhase, &ExemplarReservoir)> {
+        self.exemplars
+            .iter()
+            .flat_map(|m| m.iter().map(|(p, r)| (*p, r)))
+            .collect()
+    }
 }
 
 impl TelemetrySink for LoadTelemetry {
     fn on_lookup(&mut self, record: &LookupRecord) {
         let minute = record.completed_minute();
-        let phase = if minute >= self.phase_split {
-            LoadPhase::Attack
-        } else {
-            LoadPhase::PreAttack
-        };
+        let phase = self.phase_of(minute);
         self.outcomes.inc((record.purpose, record.outcome, phase));
         if record.purpose == TracePurpose::Retrieve {
             self.completed_retrievals += 1;
@@ -200,6 +232,27 @@ impl TelemetrySink for LoadTelemetry {
                 },
             );
         }
+    }
+
+    fn wants_traces(&self) -> bool {
+        self.exemplars.is_some()
+    }
+
+    fn on_trace(&mut self, tree: &TraceTree) {
+        if !matches!(
+            tree.record.purpose,
+            TracePurpose::Retrieve | TracePurpose::RetrieveDisjoint
+        ) {
+            return;
+        }
+        let phase = self.phase_of(tree.record.completed_minute());
+        let Some(reservoirs) = &mut self.exemplars else {
+            return;
+        };
+        reservoirs
+            .entry(phase)
+            .or_insert_with(|| ExemplarReservoir::new(EXEMPLARS_PER_PHASE))
+            .offer(tree);
     }
 }
 
@@ -251,7 +304,11 @@ pub struct LoadActor {
     rng: SmallRng,
     sink: Rc<RefCell<LoadTelemetry>>,
     stats: Rc<RefCell<LoadStats>>,
-    backlog: u64,
+    /// Arrival instants (ms) of backlogged requests, oldest first. The
+    /// instants exist purely so a drained request's queue wait can ride
+    /// its trace; admission counts and RNG draw order are unchanged from
+    /// the scalar-backlog formulation.
+    backlog: VecDeque<u64>,
     issued: u64,
     stored: bool,
 }
@@ -275,18 +332,27 @@ impl LoadActor {
             rng: driver.factory().stream("load-arrivals"),
             sink,
             stats,
-            backlog: 0,
+            backlog: VecDeque::new(),
             issued: 0,
             stored: false,
         }
     }
 
     /// Queues one retrieval of a Zipf-drawn key from a random honest
-    /// origin at `at_ms`.
-    fn issue(&mut self, origins: &[kademlia::NodeAddr], at_ms: u64, ctx: &mut MinuteCtx<'_>) {
+    /// origin at `at_ms`. `queue_wait_ms` is how long the request sat in
+    /// the backlog before admission (0 for fresh arrivals); it annotates
+    /// the request's trace tree and touches nothing else.
+    fn issue(
+        &mut self,
+        origins: &[kademlia::NodeAddr],
+        at_ms: u64,
+        queue_wait_ms: u64,
+        ctx: &mut MinuteCtx<'_>,
+    ) {
         let key = self.keys[self.zipf.sample(&mut self.rng)];
         let addr = origins[self.rng.random_range(0..origins.len())];
-        ctx.actions.push((at_ms, Action::RetrieveKey(addr, key)));
+        ctx.actions
+            .push((at_ms, Action::RetrieveKey(addr, key, queue_wait_ms)));
     }
 }
 
@@ -321,26 +387,31 @@ impl MinuteActor for LoadActor {
         let shed;
         if origins.is_empty() {
             // Nobody left to originate from: the whole minute sheds.
-            shed = self.backlog + offered;
-            self.backlog = 0;
+            shed = self.backlog.len() as u64 + offered;
+            self.backlog.clear();
         } else {
-            // Backlogged requests first, at the boundary instant.
-            let from_backlog = self.backlog.min(capacity);
+            // Backlogged requests first, at the boundary instant. Each
+            // carries its time-in-queue so the wait shows up in traces.
+            let from_backlog = (self.backlog.len() as u64).min(capacity);
             for _ in 0..from_backlog {
-                self.issue(&origins, ctx.minute_start_ms, ctx);
+                let arrived_ms = self.backlog.pop_front().expect("backlog non-empty");
+                let wait = ctx.minute_start_ms.saturating_sub(arrived_ms);
+                self.issue(&origins, ctx.minute_start_ms, wait, ctx);
             }
-            self.backlog -= from_backlog;
             capacity -= from_backlog;
             admitted += from_backlog;
             // Then the minute's arrivals at their sampled instants.
             let admit_new = (arrivals.len() as u64).min(capacity) as usize;
             for &offset in &arrivals[..admit_new] {
-                self.issue(&origins, ctx.minute_start_ms + offset, ctx);
+                self.issue(&origins, ctx.minute_start_ms + offset, 0, ctx);
             }
             admitted += admit_new as u64;
             let leftover = offered - admit_new as u64;
-            let to_queue = leftover.min((self.spec.queue_capacity as u64) - self.backlog);
-            self.backlog += to_queue;
+            let to_queue =
+                leftover.min((self.spec.queue_capacity as u64) - self.backlog.len() as u64);
+            for &offset in &arrivals[admit_new..admit_new + to_queue as usize] {
+                self.backlog.push_back(ctx.minute_start_ms + offset);
+            }
             shed = leftover - to_queue;
         }
         self.issued += admitted;
@@ -351,7 +422,7 @@ impl MinuteActor for LoadActor {
                 offered,
                 admitted,
                 shed,
-                queue_depth: self.backlog,
+                queue_depth: self.backlog.len() as u64,
                 in_flight,
             },
         );
@@ -469,7 +540,13 @@ fn run_load_cell(scenario: &LoadScenario) -> (LoadOutcome, crate::observe::CellR
     let base = &scenario.base;
     let mut driver = SessionDriver::new(base);
     let journal = driver.journal();
-    let sink = Rc::new(RefCell::new(LoadTelemetry::new(scenario.phase_split)));
+    // Observed runs capture p99 exemplar trace trees; unobserved runs keep
+    // wants_traces false so the simulator records no spans at all.
+    let sink = Rc::new(RefCell::new(if base.observe {
+        LoadTelemetry::with_exemplars(scenario.phase_split)
+    } else {
+        LoadTelemetry::new(scenario.phase_split)
+    }));
     driver.network_mut().set_telemetry_sink(match &journal {
         Some(journal) => Box::new(kad_telemetry::FanoutSink::new(vec![
             Box::new(Rc::clone(&sink)),
@@ -574,7 +651,28 @@ fn run_load_cell(scenario: &LoadScenario) -> (LoadOutcome, crate::observe::CellR
         budget_spent: shared.budget_spent,
         counters: counters.clone(),
     };
-    (outcome, crate::observe::CellReport { journal, counters })
+    let exemplars = outcome
+        .telemetry
+        .exemplar_reservoirs()
+        .into_iter()
+        .flat_map(|(phase, reservoir)| {
+            reservoir
+                .exemplars()
+                .iter()
+                .map(move |tree| crate::observe::TraceExemplar {
+                    phase: phase.label(),
+                    tree: tree.clone(),
+                })
+        })
+        .collect();
+    (
+        outcome,
+        crate::observe::CellReport {
+            journal,
+            counters,
+            exemplars,
+        },
+    )
 }
 
 // ----------------------------------------------------------------------
@@ -888,6 +986,97 @@ mod tests {
             ecl_attack.percentile(0.99),
             base_attack.percentile(0.99)
         );
+    }
+
+    #[test]
+    fn observed_cell_captures_conserving_exemplars() {
+        let mut scenario = quick_load(Some(AttackPlan::Eclipse), 30.0, 11);
+        scenario.base.observe = true;
+        let (outcome, report) = run_load_cell(&scenario);
+        assert!(!report.exemplars.is_empty(), "observed run captured trees");
+        let mut phases = std::collections::BTreeSet::new();
+        for ex in &report.exemplars {
+            phases.insert(ex.phase);
+            assert!(
+                matches!(
+                    ex.tree.record.purpose,
+                    TracePurpose::Retrieve | TracePurpose::RetrieveDisjoint
+                ),
+                "only retrievals compete for exemplar slots"
+            );
+            assert!(
+                ex.tree.conserves(),
+                "queue+rtt+timeout == end-to-end on {:?}",
+                ex.tree.record
+            );
+            assert!(!ex.tree.spans.is_empty(), "exemplars carry spans");
+        }
+        assert!(phases.contains("attack"), "attack-phase offenders captured");
+        for (_, reservoir) in outcome.telemetry.exemplar_reservoirs() {
+            assert!(reservoir.len() <= EXEMPLARS_PER_PHASE);
+            let lat: Vec<u64> = reservoir
+                .exemplars()
+                .iter()
+                .map(|t| t.end_to_end_ms())
+                .collect();
+            let mut sorted = lat.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            assert_eq!(lat, sorted, "worst latency first");
+        }
+        // Unobserved sibling: no reservoirs, byte-identical aggregates —
+        // trace capture is observation only.
+        let unobserved = run_load(&quick_load(Some(AttackPlan::Eclipse), 30.0, 11));
+        assert!(unobserved.telemetry.exemplars.is_none());
+        assert_eq!(outcome.points, unobserved.points);
+        assert_eq!(outcome.telemetry.outcomes, unobserved.telemetry.outcomes);
+        // Same seed, same exemplars (the determinism contract the proptest
+        // suite pins at the reservoir level).
+        let (_, report2) = run_load_cell(&scenario);
+        assert_eq!(report.exemplars.len(), report2.exemplars.len());
+        for (a, b) in report.exemplars.iter().zip(&report2.exemplars) {
+            assert_eq!(a.phase, b.phase);
+            assert_eq!(a.tree, b.tree);
+        }
+    }
+
+    #[test]
+    fn eclipse_attack_phase_delta_decomposes_onto_compromised_nodes() {
+        let observed = |plan| {
+            let mut scenario = quick_load(plan, 30.0, 11);
+            scenario.base.observe = true;
+            run_load_cell(&scenario)
+        };
+        let (_, base_report) = observed(None);
+        let (_, ecl_report) = observed(Some(AttackPlan::Eclipse));
+        let attack_attr = |report: &crate::observe::CellReport| {
+            report
+                .exemplars
+                .iter()
+                .filter(|ex| ex.phase == LoadPhase::Attack.label())
+                .map(|ex| ex.tree.critical_path().attribution)
+                .fold((0u64, 0u64), |(total, compromised), a| {
+                    (total + a.total_ms(), compromised + a.compromised_ms())
+                })
+        };
+        let (base_total, base_compromised) = attack_attr(&base_report);
+        let (ecl_total, ecl_compromised) = attack_attr(&ecl_report);
+        assert!(base_total > 0 && ecl_total > 0);
+        // No attacker, no compromised time — the category only lights up
+        // under the eclipse, which is what makes the p99 delta legible.
+        assert_eq!(base_compromised, 0, "baseline has no compromised nodes");
+        assert!(
+            ecl_compromised > 0,
+            "the eclipsed tail spends critical-path time on compromised nodes"
+        );
+        // The worst attack-phase offender personally carries compromised
+        // time on its critical path: the p99 exemplar names the cause.
+        let worst = ecl_report
+            .exemplars
+            .iter()
+            .filter(|ex| ex.phase == LoadPhase::Attack.label())
+            .max_by_key(|ex| ex.tree.end_to_end_ms())
+            .expect("attack-phase exemplar");
+        assert!(worst.tree.critical_path().attribution.compromised_ms() > 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! finishes. When a run does not observe, the wrapper is a passthrough
 //! and the cell pays nothing beyond one branch.
 //!
-//! The collector then writes four artifacts into the `--observe DIR`:
+//! The collector then writes six artifacts into the `--observe DIR`:
 //!
 //! * `run-manifest.json` — seed, scale, grid dimensions, and per-cell
 //!   wall time + journal event counts. Wall-clock quantities live *only*
@@ -24,12 +24,22 @@
 //!   files; `repro audit` diffs them with [`compare_audit_chains`] and
 //!   names the first divergent `(cell, minute)` otherwise.
 //! * `metrics.prom` — a Prometheus-style text exposition of the journal
-//!   event counts, the protocol/transport counters, and the span totals,
-//!   labelled by cell.
+//!   event counts, the protocol/transport counters, the span totals and
+//!   the exemplar counts, labelled by cell. Every family carries `# HELP`
+//!   and `# TYPE` lines (format conformance is unit-tested).
+//! * `traces.json` — the captured p99 exemplar trace trees in Chrome
+//!   trace-event format (`chrome://tracing` / Perfetto): one process per
+//!   cell, one thread per exemplar, `X` duration events for the queue
+//!   wait, the lookup envelope and every RPC span, with critical-path
+//!   membership in the event args.
+//! * `latency-attribution.csv` — one row per exemplar with its
+//!   critical-path latency decomposition; `queue_ms + rtt_ms +
+//!   timeout_ms == total_ms` holds on every row (the conservation law CI
+//!   re-checks from the artifact).
 
 use dessim::metrics::Counters;
 use kad_telemetry::journal::Journal;
-use kad_telemetry::{span, Recorder, SpanProfile};
+use kad_telemetry::{span, Recorder, SpanOutcome, SpanProfile, TraceTree};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -37,14 +47,27 @@ use std::path::Path;
 use std::rc::Rc;
 use std::sync::Mutex;
 
+/// One captured exemplar trace tree, tagged with the phase label its
+/// reservoir was keyed by (`pre-attack` / `attack` for load cells).
+#[derive(Clone, Debug)]
+pub struct TraceExemplar {
+    /// Phase label for the artifact rows.
+    pub phase: &'static str,
+    /// The full trace tree.
+    pub tree: TraceTree,
+}
+
 /// What a cell hands back for observation alongside its outcome: the
 /// session journal (if the cell ran under a [`crate::session::SessionDriver`]
-/// with `observe` on) and the run's protocol counters.
+/// with `observe` on), the run's protocol counters, and any exemplar
+/// trace trees its telemetry sink captured.
 pub struct CellReport {
     /// The driver's journal handle, cloned out before teardown.
     pub journal: Option<Rc<RefCell<Journal>>>,
     /// Protocol/transport counters accumulated over the run.
     pub counters: Counters,
+    /// p99 exemplar trace trees (empty for cells without trace capture).
+    pub exemplars: Vec<TraceExemplar>,
 }
 
 impl CellReport {
@@ -54,6 +77,7 @@ impl CellReport {
         CellReport {
             journal: None,
             counters: Counters::new(),
+            exemplars: Vec::new(),
         }
     }
 }
@@ -69,6 +93,8 @@ pub struct CellObservation {
     pub journal: Option<Journal>,
     /// Protocol/transport counters.
     pub counters: Counters,
+    /// p99 exemplar trace trees, phase-tagged.
+    pub exemplars: Vec<TraceExemplar>,
 }
 
 impl CellObservation {
@@ -130,6 +156,7 @@ pub fn run_observed<T>(enabled: bool, cell: &str, body: impl FnOnce() -> (T, Cel
         profile,
         journal: report.journal.map(|j| j.borrow().clone()),
         counters: report.counters,
+        exemplars: report.exemplars,
     });
     value
 }
@@ -228,11 +255,25 @@ pub fn audit_chain_csv(observations: &[CellObservation]) -> String {
     rec.finish()
 }
 
-/// Renders `metrics.prom`: journal event counts, protocol counters, and
-/// span totals as Prometheus text exposition, labelled by cell.
+/// Writes a family preamble: one `# HELP` and one `# TYPE` line, as the
+/// Prometheus text exposition format requires before a family's samples.
+fn prom_family(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders `metrics.prom`: journal event counts, protocol counters, span
+/// totals and exemplar counts as Prometheus text exposition, labelled by
+/// cell. Every emitted family carries `# HELP` and `# TYPE` lines;
+/// `metrics_prom_families_conform` pins the format.
 pub fn metrics_prom(observations: &[CellObservation]) -> String {
     let mut out = String::new();
-    out.push_str("# TYPE kad_journal_events_total counter\n");
+    prom_family(
+        &mut out,
+        "kad_journal_events_total",
+        "counter",
+        "Structured journal events recorded, by cell and event kind.",
+    );
     for obs in observations {
         let Some(journal) = &obs.journal else {
             continue;
@@ -245,7 +286,12 @@ pub fn metrics_prom(observations: &[CellObservation]) -> String {
             );
         }
     }
-    out.push_str("# TYPE kad_journal_dropped_total counter\n");
+    prom_family(
+        &mut out,
+        "kad_journal_dropped_total",
+        "counter",
+        "Journal events lost to ring truncation, by cell.",
+    );
     for obs in observations {
         let Some(journal) = &obs.journal else {
             continue;
@@ -257,7 +303,12 @@ pub fn metrics_prom(observations: &[CellObservation]) -> String {
             journal.dropped_events()
         );
     }
-    out.push_str("# TYPE kad_sim_events_total counter\n");
+    prom_family(
+        &mut out,
+        "kad_sim_events_total",
+        "counter",
+        "Protocol and transport simulator counters, by cell.",
+    );
     for obs in observations {
         for (name, n) in obs.counters.iter() {
             let _ = writeln!(
@@ -267,7 +318,12 @@ pub fn metrics_prom(observations: &[CellObservation]) -> String {
             );
         }
     }
-    out.push_str("# TYPE kad_span_seconds_total counter\n");
+    prom_family(
+        &mut out,
+        "kad_span_seconds_total",
+        "counter",
+        "Wall-clock seconds spent inside each profiler span path.",
+    );
     for obs in observations {
         for (path, stats) in obs.profile.iter() {
             let _ = writeln!(
@@ -278,7 +334,12 @@ pub fn metrics_prom(observations: &[CellObservation]) -> String {
             );
         }
     }
-    out.push_str("# TYPE kad_span_calls_total counter\n");
+    prom_family(
+        &mut out,
+        "kad_span_calls_total",
+        "counter",
+        "Profiler span entries per path.",
+    );
     for obs in observations {
         for (path, stats) in obs.profile.iter() {
             let _ = writeln!(
@@ -288,7 +349,163 @@ pub fn metrics_prom(observations: &[CellObservation]) -> String {
             );
         }
     }
+    prom_family(
+        &mut out,
+        "kad_trace_exemplars",
+        "gauge",
+        "p99 exemplar trace trees captured, by cell and phase.",
+    );
+    for obs in observations {
+        let mut by_phase: BTreeMap<&str, u64> = BTreeMap::new();
+        for ex in &obs.exemplars {
+            *by_phase.entry(ex.phase).or_default() += 1;
+        }
+        for (phase, n) in by_phase {
+            let _ = writeln!(
+                out,
+                "kad_trace_exemplars{{cell=\"{}\",phase=\"{phase}\"}} {n}",
+                obs.cell
+            );
+        }
+    }
     out
+}
+
+/// Renders `traces.json`: the exemplar trace trees as Chrome trace-event
+/// JSON (load it in `chrome://tracing` or Perfetto). One process per
+/// cell, one thread per exemplar; the queue wait, the lookup envelope and
+/// every RPC render as `X` (complete) events with microsecond
+/// timestamps. Event args carry the queried node, its compromise flag,
+/// the span outcome and whether the RPC sits on the critical path.
+/// Hand-rolled JSON in the `render_manifest` idiom.
+pub fn render_traces_json(observations: &[CellObservation]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (ci, obs) in observations.iter().enumerate() {
+        if obs.exemplars.is_empty() {
+            continue;
+        }
+        let pid = ci + 1;
+        events.push(format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            json_escape(&obs.cell)
+        ));
+        for (ti, ex) in obs.exemplars.iter().enumerate() {
+            let tid = ti + 1;
+            let tree = &ex.tree;
+            let rec = &tree.record;
+            let critical = tree.critical_path();
+            events.push(format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+                 \"args\": {{\"name\": \"{} lookup {} ({} ms)\"}}}}",
+                ex.phase,
+                rec.lookup_id,
+                tree.end_to_end_ms()
+            ));
+            if tree.queue_wait_ms > 0 {
+                events.push(format!(
+                    "{{\"name\": \"queue-wait\", \"cat\": \"queue\", \"ph\": \"X\", \
+                     \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}, \"dur\": {}, \
+                     \"args\": {{\"queue_wait_ms\": {}}}}}",
+                    rec.started_ms.saturating_sub(tree.queue_wait_ms) * 1_000,
+                    tree.queue_wait_ms * 1_000,
+                    tree.queue_wait_ms
+                ));
+            }
+            events.push(format!(
+                "{{\"name\": \"{}\", \"cat\": \"lookup\", \"ph\": \"X\", \
+                 \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}, \"dur\": {}, \
+                 \"args\": {{\"outcome\": \"{}\", \"hops\": {}, \"messages\": {}}}}}",
+                rec.purpose.label(),
+                rec.started_ms * 1_000,
+                rec.latency_ms() * 1_000,
+                rec.outcome.label(),
+                rec.hops,
+                rec.messages
+            ));
+            for span in &tree.spans {
+                let on_path = critical.rpc_ids.contains(&span.rpc_id);
+                events.push(format!(
+                    "{{\"name\": \"rpc n{}\", \"cat\": \"rpc\", \"ph\": \"X\", \
+                     \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}, \"dur\": {}, \
+                     \"args\": {{\"rpc_id\": {}, \"outcome\": \"{}\", \
+                     \"compromised\": {}, \"critical\": {}, \"caused_by\": {}}}}}",
+                    span.to_node,
+                    span.sent_ms * 1_000,
+                    span.duration_ms() * 1_000,
+                    span.rpc_id,
+                    span.outcome.label(),
+                    span.to_compromised,
+                    on_path,
+                    span.caused_by
+                        .map_or("null".to_string(), |id| id.to_string()),
+                ));
+            }
+        }
+    }
+    let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    for (i, event) in events.iter().enumerate() {
+        let comma = if i + 1 < events.len() { "," } else { "" };
+        let _ = writeln!(out, "    {event}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders `latency-attribution.csv`: one row per exemplar with the
+/// critical-path decomposition of its end-to-end latency. The
+/// conservation law `queue_ms + rtt_ms + timeout_ms == total_ms` holds on
+/// every row; CI re-checks it from the written artifact.
+pub fn latency_attribution_csv(observations: &[CellObservation]) -> String {
+    let mut rec = Recorder::new(&[
+        "cell",
+        "phase",
+        "lookup_id",
+        "purpose",
+        "outcome",
+        "started_ms",
+        "completed_ms",
+        "spans",
+        "timeouts",
+        "critical_len",
+        "queue_ms",
+        "rtt_ms",
+        "rtt_compromised_ms",
+        "timeout_ms",
+        "timeout_compromised_ms",
+        "total_ms",
+    ]);
+    for obs in observations {
+        for ex in &obs.exemplars {
+            let tree = &ex.tree;
+            let critical = tree.critical_path();
+            let a = critical.attribution;
+            let timeouts = tree
+                .spans
+                .iter()
+                .filter(|s| s.outcome == SpanOutcome::TimedOut)
+                .count() as u64;
+            rec.row(&[
+                obs.cell.as_str().into(),
+                ex.phase.into(),
+                tree.record.lookup_id.into(),
+                tree.record.purpose.label().into(),
+                tree.record.outcome.label().into(),
+                tree.record.started_ms.into(),
+                tree.record.completed_ms.into(),
+                (tree.spans.len() as u64).into(),
+                timeouts.into(),
+                (critical.rpc_ids.len() as u64).into(),
+                a.queue_ms.into(),
+                a.rtt_ms.into(),
+                a.rtt_compromised_ms.into(),
+                a.timeout_ms.into(),
+                a.timeout_compromised_ms.into(),
+                a.total_ms().into(),
+            ]);
+        }
+    }
+    rec.finish()
 }
 
 /// Writes the full artifact set into `dir` (created if absent).
@@ -305,6 +522,11 @@ pub fn write_artifacts(
     std::fs::write(dir.join("profile.csv"), profile_csv(observations))?;
     std::fs::write(dir.join("audit-chain.csv"), audit_chain_csv(observations))?;
     std::fs::write(dir.join("metrics.prom"), metrics_prom(observations))?;
+    std::fs::write(dir.join("traces.json"), render_traces_json(observations))?;
+    std::fs::write(
+        dir.join("latency-attribution.csv"),
+        latency_attribution_csv(observations),
+    )?;
     Ok(())
 }
 
@@ -440,6 +662,7 @@ pub fn compare_audit_chains(a: &AuditChains, b: &AuditChains) -> AuditReport {
 mod tests {
     use super::*;
     use kad_telemetry::journal::JournalEvent;
+    use kad_telemetry::{LookupOutcome, LookupRecord, RpcSpan, TracePurpose};
 
     fn observed_cell(name: &str, seed: u64) -> CellObservation {
         let mut journal = Journal::new();
@@ -460,6 +683,51 @@ mod tests {
             profile,
             journal: Some(journal),
             counters,
+            exemplars: vec![exemplar(seed)],
+        }
+    }
+
+    /// A two-hop exemplar with a 100 ms queue wait, a 40 ms honest RTT
+    /// and a 500 ms timeout on a compromised node (640 ms end to end).
+    fn exemplar(seed: u64) -> TraceExemplar {
+        let base = 60_000 * seed;
+        TraceExemplar {
+            phase: "attack",
+            tree: TraceTree {
+                record: LookupRecord {
+                    lookup_id: seed,
+                    target: [0x22; kad_telemetry::trace::TARGET_BYTES],
+                    purpose: TracePurpose::Retrieve,
+                    outcome: LookupOutcome::ValueFound,
+                    hops: 2,
+                    messages: 2,
+                    responded: 1,
+                    started_ms: base + 100,
+                    completed_ms: base + 640,
+                },
+                queue_wait_ms: 100,
+                spans: vec![
+                    RpcSpan {
+                        rpc_id: 1,
+                        to_node: 4,
+                        to_compromised: false,
+                        sent_ms: base + 100,
+                        completed_ms: base + 140,
+                        outcome: SpanOutcome::Responded,
+                        caused_by: None,
+                    },
+                    RpcSpan {
+                        rpc_id: 2,
+                        to_node: 9,
+                        to_compromised: true,
+                        sent_ms: base + 140,
+                        completed_ms: base + 640,
+                        outcome: SpanOutcome::TimedOut,
+                        caused_by: Some(1),
+                    },
+                ],
+                final_rpc: Some(2),
+            },
         }
     }
 
@@ -482,6 +750,7 @@ mod tests {
             let report = CellReport {
                 journal: Some(Rc::clone(&journal)),
                 counters: Counters::new(),
+                exemplars: Vec::new(),
             };
             (7u32, report)
         });
@@ -569,6 +838,101 @@ mod tests {
         let report = compare_audit_chains(&truncated, &a);
         let div = report.divergence.expect("length mismatch");
         assert_eq!((div.cell.as_str(), div.minute), ("alpha", 2));
+    }
+
+    #[test]
+    fn metrics_prom_families_conform() {
+        let prom = metrics_prom(&[observed_cell("alpha", 1), observed_cell("beta", 2)]);
+        let mut help: std::collections::BTreeSet<&str> = Default::default();
+        let mut typed: std::collections::BTreeSet<&str> = Default::default();
+        for line in prom.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(help.insert(name), "duplicate HELP for {name}");
+                assert!(
+                    rest.len() > name.len() + 1,
+                    "HELP for {name} has no help text"
+                );
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let name = it.next().unwrap();
+                let kind = it.next().unwrap_or("");
+                assert!(typed.insert(name), "duplicate TYPE for {name}");
+                assert!(
+                    matches!(kind, "counter" | "gauge"),
+                    "bad TYPE {kind:?} for {name}"
+                );
+                assert!(
+                    help.contains(name),
+                    "TYPE for {name} not preceded by its HELP"
+                );
+            } else if !line.is_empty() {
+                let family = line
+                    .split(['{', ' '])
+                    .next()
+                    .expect("sample line has a family name");
+                assert!(
+                    typed.contains(family),
+                    "sample for {family} before its TYPE line: {line}"
+                );
+            }
+        }
+        assert_eq!(help, typed, "every family has both HELP and TYPE");
+        assert!(typed.contains("kad_trace_exemplars"));
+        assert!(prom.contains("kad_trace_exemplars{cell=\"alpha\",phase=\"attack\"} 1"));
+    }
+
+    #[test]
+    fn traces_json_renders_exemplars_as_chrome_events() {
+        let json = render_traces_json(&[observed_cell("alpha", 1)]);
+        // Structure: one process, one thread, queue + lookup + 2 RPC spans.
+        assert!(json.starts_with("{\n  \"displayTimeUnit\": \"ms\","));
+        assert!(json.contains("\"traceEvents\": ["));
+        assert!(json.contains("\"args\": {\"name\": \"alpha\"}"));
+        assert!(json.contains("\"name\": \"attack lookup 1 (640 ms)\""));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 4);
+        // Microsecond timestamps: the queue span starts at started−wait.
+        assert!(json.contains("\"name\": \"queue-wait\""));
+        assert!(json.contains(&format!("\"ts\": {}, \"dur\": 100000", 60_000_000)));
+        // The timeout RPC is marked compromised and on the critical path.
+        assert!(
+            json.contains("\"outcome\": \"timeout\", \"compromised\": true, \"critical\": true")
+        );
+        assert!(json.contains("\"caused_by\": 1"));
+        // Valid JSON by the crude but effective balance check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // A cell with no exemplars contributes nothing.
+        let mut bare = observed_cell("bare", 3);
+        bare.exemplars.clear();
+        assert!(!render_traces_json(&[bare]).contains("bare"));
+    }
+
+    #[test]
+    fn attribution_csv_rows_conserve() {
+        let csv = latency_attribution_csv(&[observed_cell("alpha", 1), observed_cell("beta", 2)]);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(
+            header,
+            "cell,phase,lookup_id,purpose,outcome,started_ms,completed_ms,spans,timeouts,\
+             critical_len,queue_ms,rtt_ms,rtt_compromised_ms,timeout_ms,timeout_compromised_ms,\
+             total_ms"
+        );
+        let mut rows = 0;
+        for line in lines.filter(|l| !l.is_empty()) {
+            rows += 1;
+            let f: Vec<&str> = line.split(',').collect();
+            assert_eq!(f.len(), 16);
+            let get = |i: usize| f[i].parse::<u64>().unwrap();
+            let (queue, rtt, timeout, total) = (get(10), get(11), get(13), get(15));
+            assert_eq!(queue + rtt + timeout, total, "conservation on {line}");
+            assert_eq!((queue, rtt, timeout), (100, 40, 500));
+            // Compromised shares never exceed their categories.
+            assert!(get(12) <= rtt && get(14) <= timeout);
+            assert_eq!(get(14), 500, "the timeout burned on a compromised node");
+        }
+        assert_eq!(rows, 2, "one row per exemplar");
     }
 
     #[test]

@@ -36,12 +36,15 @@ use dessim::metrics::Counters;
 use dessim::rng::RngFactory;
 use dessim::time::SimTime;
 use kad_resilience::{analyze_snapshot, ConnectivityReport};
+use kad_telemetry::journal::{Journal, JournalEvent};
 use kademlia::id::NodeId;
 use kademlia::network::SimNetwork;
 use kademlia::NodeAddr;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// One measured point of a scenario run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -90,6 +93,19 @@ enum Action {
     Store(NodeAddr),
 }
 
+impl Action {
+    /// Static label for [`JournalEvent::Action`] rows; matches the
+    /// session engine's kinds so audit chains stay comparable.
+    fn kind(&self) -> &'static str {
+        match self {
+            Action::JoinInitial | Action::JoinChurn => "join",
+            Action::Remove => "churn",
+            Action::Lookup(_) => "lookup",
+            Action::Store(_) => "store",
+        }
+    }
+}
+
 /// Runs a scenario to completion.
 ///
 /// Deterministic: the scenario's `seed` fixes node ids, latencies, loss,
@@ -100,20 +116,27 @@ enum Action {
 /// stream labels, same action-drawing order); a behavioral change to this
 /// event loop must be mirrored in the session engine, and vice versa.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
-    // This legacy loop predates the session engine, so an observed cell
-    // yields a span profile and counters but no journal (no minute seals
-    // land in `audit-chain.csv` for the k-sweep matrix).
+    // Observed cells keep the same determinism journal as the session
+    // engine (same event mapping, same minute seals), so `repro audit`
+    // covers the k-sweep matrix grid too.
     crate::observe::run_observed(scenario.observe, &scenario.name, || {
-        let outcome = run_scenario_cell(scenario);
+        let journal = scenario
+            .observe
+            .then(|| Rc::new(RefCell::new(Journal::new())));
+        let outcome = run_scenario_cell(scenario, journal.as_ref());
         let report = crate::observe::CellReport {
-            journal: None,
+            journal,
             counters: outcome.counters.clone(),
+            exemplars: Vec::new(),
         };
         (outcome, report)
     })
 }
 
-fn run_scenario_cell(scenario: &Scenario) -> ScenarioOutcome {
+fn run_scenario_cell(
+    scenario: &Scenario,
+    journal: Option<&Rc<RefCell<Journal>>>,
+) -> ScenarioOutcome {
     let factory = RngFactory::new(scenario.seed);
     let mut schedule_rng = factory.stream("harness-schedule");
     let mut choice_rng = factory.stream("harness-choices");
@@ -122,6 +145,11 @@ fn run_scenario_cell(scenario: &Scenario) -> ScenarioOutcome {
     let transport =
         dessim::transport::Transport::new(scenario.protocol.latency, scenario.loss.to_model());
     let mut net = SimNetwork::new(scenario.protocol, transport, scenario.seed);
+    if let Some(journal) = journal {
+        // Completed lookups land in the journal too, exactly as they do
+        // under the session engine's sink chain.
+        net.set_telemetry_sink(Box::new(Rc::clone(journal)));
+    }
 
     // Initial joins: uniform over the setup phase, per minute.
     let setup_ms = scenario.setup_minutes.max(1) * 60_000;
@@ -184,10 +212,34 @@ fn run_scenario_cell(scenario: &Scenario) -> ScenarioOutcome {
         actions.sort_by_key(|&(t, _)| t);
         for (t, action) in actions {
             net.run_until(SimTime::from_millis(t));
-            apply_action(&mut net, action, scenario, &mut choice_rng, &mut target_rng);
+            let affected =
+                apply_action(&mut net, action, scenario, &mut choice_rng, &mut target_rng);
+            if let Some(journal) = journal {
+                let mut journal = journal.borrow_mut();
+                match (action, affected) {
+                    (Action::JoinInitial | Action::JoinChurn, Some(addr)) => {
+                        journal.record(JournalEvent::Join {
+                            minute,
+                            node: addr.index() as u32,
+                        })
+                    }
+                    (Action::Remove, Some(addr)) => journal.record(JournalEvent::Churn {
+                        minute,
+                        node: addr.index() as u32,
+                    }),
+                    _ => journal.record(JournalEvent::Action {
+                        minute,
+                        at_ms: t,
+                        kind: action.kind(),
+                    }),
+                }
+            }
         }
         let minute_end = SimTime::from_minutes(minute + 1);
         net.run_until(minute_end);
+        if let Some(journal) = journal {
+            journal.borrow_mut().seal_minute(minute);
+        }
 
         // Snapshot grid (plus always the final instant).
         let at_minute = minute + 1;
@@ -224,7 +276,7 @@ fn apply_action(
     scenario: &Scenario,
     choice_rng: &mut SmallRng,
     target_rng: &mut SmallRng,
-) {
+) -> Option<NodeAddr> {
     match action {
         Action::JoinInitial | Action::JoinChurn => {
             let bootstrap = random_alive(net, choice_rng);
@@ -233,11 +285,14 @@ fn apply_action(
             // newcomer (`spawn_node` comes after the draw, so the newcomer
             // can never bootstrap off itself).
             net.join(addr, bootstrap);
+            Some(addr)
         }
         Action::Remove => {
-            if let Some(addr) = random_alive(net, choice_rng) {
+            let addr = random_alive(net, choice_rng);
+            if let Some(addr) = addr {
                 net.remove_node(addr);
             }
+            addr
         }
         Action::Lookup(addr) => {
             // Draw the target before the liveness check so the random
@@ -245,10 +300,12 @@ fn apply_action(
             // mid-minute.
             let target = NodeId::random(target_rng, scenario.protocol.bits);
             net.start_lookup(addr, target);
+            None
         }
         Action::Store(addr) => {
             let key = NodeId::random(target_rng, scenario.protocol.bits);
             net.start_store(addr, key);
+            None
         }
     }
 }
@@ -352,6 +409,37 @@ mod tests {
         for s in outcome.churn_phase() {
             assert!(s.time_min >= 90.0);
         }
+    }
+
+    #[test]
+    fn journaled_legacy_run_seals_minutes_and_stays_equivalent() {
+        let mut b = ScenarioBuilder::quick(12, 4);
+        b.name("legacy-journal").seed(3).traffic(TrafficModel {
+            lookups_per_min: 2,
+            stores_per_min: 1,
+        });
+        let scenario = b.build();
+        let journal = Rc::new(RefCell::new(Journal::new()));
+        let outcome = run_scenario_cell(&scenario, Some(&journal));
+        {
+            let j = journal.borrow();
+            assert_eq!(
+                j.seals().len() as u64,
+                scenario.end_minutes(),
+                "one seal per minute"
+            );
+            assert!(j.counts().get(&"join") >= scenario.size as u64);
+            assert!(j.counts().get(&"action") > 0, "traffic actions journaled");
+            assert!(j.counts().get(&"lookup") > 0, "completed lookups journaled");
+        }
+        // Journaling is observation only: the run itself is unchanged.
+        let unjournaled = run_scenario_cell(&scenario, None);
+        assert_eq!(outcome.snapshots, unjournaled.snapshots);
+        assert_eq!(outcome.counters, unjournaled.counters);
+        // Same seed, same chain: this is what `repro audit` diffs.
+        let again = Rc::new(RefCell::new(Journal::new()));
+        run_scenario_cell(&scenario, Some(&again));
+        assert_eq!(journal.borrow().seals(), again.borrow().seals());
     }
 
     #[test]

@@ -314,7 +314,14 @@ fn run_service_cell(scenario: &ServiceScenario) -> (ServiceOutcome, crate::obser
         budget_spent: shared.budget_spent,
         counters: counters.clone(),
     };
-    (outcome, crate::observe::CellReport { journal, counters })
+    (
+        outcome,
+        crate::observe::CellReport {
+            journal,
+            counters,
+            exemplars: Vec::new(),
+        },
+    )
 }
 
 // ----------------------------------------------------------------------

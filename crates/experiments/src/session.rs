@@ -82,8 +82,11 @@ pub enum Action {
     /// Start a value retrieval from this node for a *fixed* key (the load
     /// engine's hot-key traffic; the key was drawn from the load actor's
     /// own stream at wiring time, so applying this draws nothing from the
-    /// shared harness streams).
-    RetrieveKey(NodeAddr, NodeId),
+    /// shared harness streams). The third field is the simulated
+    /// milliseconds the request waited in the load engine's admission
+    /// queue — a pure trace annotation (0 for unqueued requests) that the
+    /// journal's `kind()`-only encoding never sees.
+    RetrieveKey(NodeAddr, NodeId, u64),
 }
 
 impl Action {
@@ -417,8 +420,8 @@ pub fn apply_action(
             net.start_store(addr, key);
             None
         }
-        Action::RetrieveKey(addr, key) => {
-            net.start_find_value(addr, key);
+        Action::RetrieveKey(addr, key, queue_wait_ms) => {
+            net.start_find_value_queued(addr, key, queue_wait_ms);
             None
         }
     }

@@ -336,7 +336,14 @@ fn run_sweep_cell(scenario: &SweepScenario) -> (SweepOutcome, crate::observe::Ce
         budget_spent: shared.budget_spent,
         counters: counters.clone(),
     };
-    (outcome, crate::observe::CellReport { journal, counters })
+    (
+        outcome,
+        crate::observe::CellReport {
+            journal,
+            counters,
+            exemplars: Vec::new(),
+        },
+    )
 }
 
 // ----------------------------------------------------------------------

@@ -22,6 +22,18 @@
 //! [`SimNetwork::set_telemetry_sink`] makes every terminating lookup emit
 //! one [`LookupRecord`] (purpose, outcome, hop depth, messages, simulated
 //! latency). Without a sink the cost is one `Option` check per lookup.
+//!
+//! Trace trees: when the installed sink answers `true` to
+//! [`TelemetrySink::wants_traces`], every lookup RPC additionally becomes
+//! an [`RpcSpan`] — send instant, response-or-timeout outcome, the
+//! queried node's compromise flag at completion, and a causal parent (the
+//! RPC of the same lookup whose completion triggered the dispatch). The
+//! finished lookup then emits a full [`TraceTree`] through
+//! [`TelemetrySink::on_trace`] right after its flat record; disjoint-path
+//! groups merge every member path's spans into one tree. Span recording
+//! is observation only — it draws no randomness and schedules nothing, so
+//! enabling it cannot change outcomes — and costs nothing when the sink
+//! keeps the default `wants_traces() == false`.
 
 use crate::config::{KademliaConfig, RefreshPolicy};
 use crate::contact::{Contact, NodeAddr};
@@ -37,7 +49,10 @@ use dessim::rng::RngFactory;
 use dessim::scheduler::EventQueue;
 use dessim::time::SimTime;
 use dessim::transport::Transport;
-use kad_telemetry::{DefenseAction, LookupOutcome, LookupRecord, TelemetrySink, TracePurpose};
+use kad_telemetry::{
+    DefenseAction, LookupOutcome, LookupRecord, RpcSpan, SpanOutcome, TelemetrySink, TracePurpose,
+    TraceTree,
+};
 use rand::rngs::SmallRng;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -132,7 +147,16 @@ struct DisjointGroup {
     /// Node ids claimed by some path: candidates are filtered against
     /// this set when merged, which keeps the paths vertex-disjoint.
     claimed: HashSet<NodeId>,
+    /// Spans of every terminated member path (populated only while the
+    /// sink wants traces; the group emits them as one tree).
+    trace_spans: Vec<RpcSpan>,
+    /// The RPC whose completion terminated the last member — the root of
+    /// the group's critical path.
+    trace_final: Option<RpcId>,
 }
+
+/// Slot sentinel: this pending RPC recorded no trace span.
+const NO_TRACE_SLOT: usize = usize::MAX;
 
 /// A request awaiting its response.
 #[derive(Clone, Debug)]
@@ -141,6 +165,36 @@ struct PendingRpc {
     to: Contact,
     lookup: Option<LookupId>,
     timeout_event: EventId,
+    /// Index of this RPC's span in its lookup's trace buffer
+    /// ([`NO_TRACE_SLOT`] when tracing was off or no buffer existed).
+    /// Keeping the slot here spares a per-RPC side-table on the hot path.
+    trace_slot: usize,
+}
+
+/// Span buffer of one in-progress lookup (only allocated while the sink
+/// wants traces).
+#[derive(Debug, Default)]
+struct TraceBuffer {
+    /// Spans in send order; open spans keep [`SpanOutcome::Inflight`].
+    spans: Vec<RpcSpan>,
+    /// Admission-queue wait annotated by the load engine, milliseconds.
+    queue_wait_ms: u64,
+}
+
+/// All span-recording state, empty unless the installed sink wants
+/// traces. Recording is observation only: no randomness, no scheduling.
+#[derive(Debug, Default)]
+struct TraceState {
+    /// Per-lookup span buffers, created with the lookup.
+    buffers: HashMap<LookupId, TraceBuffer>,
+    /// The RPC completion currently being processed, with its lookup:
+    /// queries dispatched while it is set record it as their causal
+    /// parent (same lookup only — a repair lookup started from another
+    /// lookup's timeout is a fresh root).
+    cause: Option<(RpcId, LookupId)>,
+    /// Queue wait to stamp on the next created lookup (set by
+    /// [`SimNetwork::start_find_value_queued`] just before the start).
+    pending_queue_wait_ms: u64,
 }
 
 /// The simulated network (see module docs).
@@ -165,6 +219,11 @@ pub struct SimNetwork {
     /// Start instants of in-progress lookups, tracked only while a sink is
     /// installed (the trace record needs the simulated latency).
     lookup_started: HashMap<LookupId, SimTime>,
+    /// Whether the installed sink wants trace trees (asked once at
+    /// install time); gates all span recording behind one bool check.
+    traces_on: bool,
+    /// Span-recording state, empty unless `traces_on`.
+    trace: TraceState,
     /// Defense policy; `None` (the default) costs one discriminant check
     /// per routing-table insert.
     defense: DefenseSlot,
@@ -199,6 +258,8 @@ impl SimNetwork {
             compromised_count: 0,
             sink: TelemetrySlot(None),
             lookup_started: HashMap::new(),
+            traces_on: false,
+            trace: TraceState::default(),
             defense: DefenseSlot(None),
             disjoint: HashMap::new(),
             groups: HashMap::new(),
@@ -211,6 +272,8 @@ impl SimNetwork {
     /// starting the traffic to be measured — lookups already in flight
     /// have no tracked start instant and report a zero start time.
     pub fn set_telemetry_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.traces_on = sink.wants_traces();
+        self.trace = TraceState::default();
         self.sink = TelemetrySlot(Some(sink));
     }
 
@@ -218,6 +281,8 @@ impl SimNetwork {
     pub fn clear_telemetry_sink(&mut self) {
         self.sink = TelemetrySlot(None);
         self.lookup_started.clear();
+        self.traces_on = false;
+        self.trace = TraceState::default();
     }
 
     /// Installs a defense policy. Every node of the network shares the
@@ -367,6 +432,7 @@ impl SimNetwork {
         node.alive = false;
         for id in node.lookups.keys() {
             self.lookup_started.remove(id);
+            self.trace.buffers.remove(id);
             // Disjoint-path groups die with their origin: drop the group
             // (all members run at the same node) without emitting.
             if let Some(gid) = self.disjoint.remove(id) {
@@ -449,11 +515,33 @@ impl SimNetwork {
     /// stored objects are still reachable. Returns the lookup id, or
     /// `None` if the node is dead.
     pub fn start_find_value(&mut self, addr: NodeAddr, key: NodeId) -> Option<LookupId> {
+        self.start_find_value_queued(addr, key, 0)
+    }
+
+    /// [`SimNetwork::start_find_value`] with an admission-queue wait
+    /// annotation: the load engine passes the simulated milliseconds the
+    /// request spent queued before being issued, and the value is stamped
+    /// on the lookup's [`TraceTree`] (prepended to its critical path).
+    /// Pure observation — with tracing off (or a zero wait) this is
+    /// exactly `start_find_value`.
+    pub fn start_find_value_queued(
+        &mut self,
+        addr: NodeAddr,
+        key: NodeId,
+        queue_wait_ms: u64,
+    ) -> Option<LookupId> {
         if !self.nodes[addr.index()].alive {
             return None;
         }
         self.counters.incr("retrieve_started");
-        Some(self.start_lookup_internal(addr, key, LookupPurpose::Retrieve))
+        if self.traces_on {
+            self.trace.pending_queue_wait_ms = queue_wait_ms;
+        }
+        let id = self.start_lookup_internal(addr, key, LookupPurpose::Retrieve);
+        if self.traces_on {
+            self.trace.pending_queue_wait_ms = 0;
+        }
+        Some(id)
     }
 
     /// Starts a **disjoint-path** retrieval of `key` at `addr`: up to `d`
@@ -524,6 +612,8 @@ impl SimNetwork {
                 responded: 0,
                 started: self.queue.now(),
                 claimed,
+                trace_spans: Vec::new(),
+                trace_final: None,
             },
         );
         for id in members {
@@ -605,6 +695,15 @@ impl SimNetwork {
         if track_start && self.sink.0.is_some() {
             self.lookup_started.insert(id, self.queue.now());
         }
+        if self.traces_on {
+            self.trace.buffers.insert(
+                id,
+                TraceBuffer {
+                    spans: Vec::with_capacity(8),
+                    queue_wait_ms: self.trace.pending_queue_wait_ms,
+                },
+            );
+        }
         id
     }
 
@@ -672,6 +771,11 @@ impl SimNetwork {
         let Some(group) = self.groups.get_mut(&gid) else {
             return;
         };
+        if self.traces_on {
+            if let Some(buf) = self.trace.buffers.remove(&state.id()) {
+                group.trace_spans.extend(buf.spans);
+            }
+        }
         group.remaining -= 1;
         group.messages += state.messages_sent();
         group.responded += state.responded() as u32;
@@ -700,14 +804,22 @@ impl SimNetwork {
             }
         }
         if done {
-            let group = self.groups.remove(&gid).expect("group still registered");
-            self.emit_group_record(&group);
+            let mut group = self.groups.remove(&gid).expect("group still registered");
+            if self.traces_on {
+                // The critical path of the group is the dependency chain
+                // of the member whose termination completed it.
+                group.trace_final = self
+                    .trace
+                    .cause
+                    .and_then(|(rpc, owner)| (owner == state.id()).then_some(rpc));
+            }
+            self.emit_group_record(group);
         }
     }
 
     /// Emits the synthesized record of a completed disjoint-path group,
     /// if a telemetry sink is installed.
-    fn emit_group_record(&mut self, group: &DisjointGroup) {
+    fn emit_group_record(&mut self, group: DisjointGroup) {
         let Some(sink) = self.sink.0.as_mut() else {
             return;
         };
@@ -727,6 +839,10 @@ impl SimNetwork {
             completed_ms: self.queue.now().as_millis(),
         };
         sink.on_lookup(&record);
+        if self.traces_on {
+            let tree = build_trace_tree(record, 0, group.trace_spans, group.trace_final);
+            sink.on_trace(&tree);
+        }
     }
 
     /// Builds and emits the trace record of a terminated lookup, if a
@@ -772,6 +888,18 @@ impl SimNetwork {
             completed_ms: self.queue.now().as_millis(),
         };
         sink.on_lookup(&record);
+        if self.traces_on {
+            if let Some(buf) = self.trace.buffers.remove(&state.id()) {
+                let final_rpc = self
+                    .trace
+                    .cause
+                    .and_then(|(rpc, owner)| (owner == state.id()).then_some(rpc));
+                let tree = build_trace_tree(record, buf.queue_wait_ms, buf.spans, final_rpc);
+                if let Some(sink) = self.sink.0.as_mut() {
+                    sink.on_trace(&tree);
+                }
+            }
+        }
     }
 
     /// Offers a learned contact to `addr`'s routing table, with the
@@ -851,6 +979,27 @@ impl SimNetwork {
         let timeout_event = self
             .queue
             .schedule_after(self.config.rpc_timeout, SimEvent::RpcTimeout { rpc_id });
+        let mut trace_slot = NO_TRACE_SLOT;
+        if self.traces_on {
+            if let Some(lookup_id) = lookup {
+                if let Some(buf) = self.trace.buffers.get_mut(&lookup_id) {
+                    let caused_by = self
+                        .trace
+                        .cause
+                        .and_then(|(rpc, owner)| (owner == lookup_id).then_some(rpc));
+                    trace_slot = buf.spans.len();
+                    buf.spans.push(RpcSpan {
+                        rpc_id,
+                        to_node: to.addr.index() as u32,
+                        to_compromised: false,
+                        sent_ms: self.queue.now().as_millis(),
+                        completed_ms: 0,
+                        outcome: SpanOutcome::Inflight,
+                        caused_by,
+                    });
+                }
+            }
+        }
         self.pending.insert(
             rpc_id,
             PendingRpc {
@@ -858,6 +1007,7 @@ impl SimNetwork {
                 to,
                 lookup,
                 timeout_event,
+                trace_slot,
             },
         );
         self.counters.incr("rpc_sent");
@@ -930,6 +1080,10 @@ impl SimNetwork {
                 self.nodes[to.index()].routing.record_success(&from.id, now);
                 self.counters.incr("response_received");
                 if let Some(lookup_id) = pending.lookup {
+                    if self.traces_on {
+                        self.close_trace_span(&pending, lookup_id, SpanOutcome::Responded);
+                        self.trace.cause = Some((rpc_id, lookup_id));
+                    }
                     let (contacts, value_found) = match body {
                         ResponseBody::Nodes(nodes) => (nodes, false),
                         ResponseBody::Value { found, nodes } => (nodes, found),
@@ -955,6 +1109,7 @@ impl SimNetwork {
                         }
                     }
                     self.drive_lookup(to, lookup_id);
+                    self.trace.cause = None;
                 }
             }
         }
@@ -996,10 +1151,39 @@ impl SimNetwork {
             }
         }
         if let Some(lookup_id) = pending.lookup {
+            if self.traces_on {
+                self.close_trace_span(&pending, lookup_id, SpanOutcome::TimedOut);
+                self.trace.cause = Some((rpc_id, lookup_id));
+            }
             if let Some(state) = self.nodes[requester.index()].lookups.get_mut(&lookup_id) {
                 state.on_failure(&pending.to.id);
             }
             self.drive_lookup(requester, lookup_id);
+            self.trace.cause = None;
+        }
+    }
+
+    /// Closes an RPC span: stamps the completion instant, the outcome and
+    /// the queried node's compromise flag. A no-op when the RPC recorded
+    /// no span or the owning lookup's buffer is gone (the lookup
+    /// finalized while this RPC was still in flight).
+    fn close_trace_span(
+        &mut self,
+        pending: &PendingRpc,
+        lookup_id: LookupId,
+        outcome: SpanOutcome,
+    ) {
+        if pending.trace_slot == NO_TRACE_SLOT {
+            return;
+        }
+        let compromised = self.is_compromised(pending.to.addr);
+        let now = self.queue.now().as_millis();
+        if let Some(buf) = self.trace.buffers.get_mut(&lookup_id) {
+            if let Some(span) = buf.spans.get_mut(pending.trace_slot) {
+                span.completed_ms = now;
+                span.outcome = outcome;
+                span.to_compromised = compromised;
+            }
         }
     }
 
@@ -1030,6 +1214,28 @@ impl SimNetwork {
             self.config.refresh_interval,
             SimEvent::RefreshTick { node: addr },
         );
+    }
+}
+
+/// Assembles a [`TraceTree`] from a finished lookup's buffer: stragglers
+/// still in flight get their open span capped at the lookup's completion
+/// instant (they never sit on the critical path).
+fn build_trace_tree(
+    record: LookupRecord,
+    queue_wait_ms: u64,
+    mut spans: Vec<RpcSpan>,
+    final_rpc: Option<RpcId>,
+) -> TraceTree {
+    for span in &mut spans {
+        if span.outcome == SpanOutcome::Inflight {
+            span.completed_ms = record.completed_ms;
+        }
+    }
+    TraceTree {
+        record,
+        queue_wait_ms,
+        spans,
+        final_rpc,
     }
 }
 
@@ -1352,6 +1558,162 @@ mod tests {
         );
         net.run_until(net.now() + SimDuration::from_secs(30));
         assert!(net.lookup_started.is_empty());
+    }
+
+    #[test]
+    fn flat_sinks_allocate_no_span_buffers() {
+        use kad_telemetry::NoopSink;
+
+        let mut net = build_network(10, 4, 35);
+        net.set_telemetry_sink(Box::new(NoopSink));
+        assert!(!net.traces_on, "NoopSink keeps the default wants_traces");
+        let origin = net.alive_addrs()[0];
+        net.start_lookup(origin, NodeId::from_u64(5, 32));
+        assert!(
+            net.trace.buffers.is_empty(),
+            "a flat-record sink must not pay for span recording"
+        );
+        net.run_until(net.now() + SimDuration::from_secs(30));
+        assert!(net.trace.buffers.is_empty());
+    }
+
+    /// Every tree emitted under loss (timeouts), compromise (flagged
+    /// spans) and plain traffic must conserve: critical-path rtt +
+    /// timeout + queue time equals the end-to-end latency exactly.
+    #[test]
+    fn trace_trees_conserve_latency_attribution() {
+        use kad_telemetry::{SpanOutcome, VecSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let transport = Transport::new(
+            LatencyModel::Uniform {
+                min: SimDuration::from_millis(20),
+                max: SimDuration::from_millis(80),
+            },
+            LossModel::Bernoulli(0.2),
+        );
+        let mut net = SimNetwork::new(test_config(4), transport, 91);
+        let mut prev: Option<NodeAddr> = None;
+        for i in 0..14 {
+            let addr = net.spawn_node();
+            net.join(addr, prev);
+            prev = Some(addr);
+            net.run_until(SimTime::from_secs((i as u64 + 1) * 10));
+        }
+        net.run_until(SimTime::from_minutes(20));
+        let key = NodeId::from_u64(0xF00D, 32);
+        net.start_store(net.alive_addrs()[0], key);
+        net.run_until(net.now() + SimDuration::from_secs(60));
+
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+        assert!(net.traces_on, "VecSink wants traces");
+        // A compromised node near the key forces flagged spans onto some
+        // critical paths.
+        let victim = *net.alive_addrs().last().expect("nodes alive");
+        net.compromise_node(victim);
+        for i in 0..6 {
+            let origin = net.alive_addrs()[i];
+            net.start_lookup(origin, NodeId::from_u64(0x1000 + i as u64, 32));
+            net.start_find_value(origin, key);
+        }
+        net.run_until(net.now() + SimDuration::from_minutes(5));
+
+        let traces = sink.borrow();
+        assert!(
+            traces.traces.len() >= traces.records.len(),
+            "every record has a tree (refreshes included): {} trees, {} records",
+            traces.traces.len(),
+            traces.records.len()
+        );
+        let mut timeouts = 0;
+        for tree in &traces.traces {
+            assert!(
+                tree.conserves(),
+                "attribution must sum to latency: {:?} vs end-to-end {}",
+                tree.critical_path().attribution,
+                tree.end_to_end_ms()
+            );
+            let cp = tree.critical_path();
+            timeouts += cp.attribution.timeout_ms;
+            for pair in cp.rpc_ids.windows(2) {
+                let parent = tree.spans.iter().find(|s| s.rpc_id == pair[0]).unwrap();
+                let child = tree.spans.iter().find(|s| s.rpc_id == pair[1]).unwrap();
+                assert_eq!(
+                    child.sent_ms, parent.completed_ms,
+                    "a triggered RPC departs the instant its cause completes"
+                );
+                assert_ne!(parent.outcome, SpanOutcome::Inflight);
+            }
+        }
+        assert!(timeouts > 0, "20% loss must put timeouts on some path");
+    }
+
+    #[test]
+    fn queue_wait_rides_the_trace_and_its_critical_path() {
+        use kad_telemetry::VecSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut net = build_network(12, 4, 92);
+        let key = NodeId::from_u64(0xCAFE, 32);
+        net.start_store(net.alive_addrs()[0], key);
+        net.run_until(net.now() + SimDuration::from_secs(30));
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+        let origin = net.alive_addrs()[3];
+        net.start_find_value_queued(origin, key, 750);
+        net.run_until(net.now() + SimDuration::from_secs(60));
+        let traces = sink.borrow();
+        let tree = traces
+            .traces
+            .iter()
+            .find(|t| t.record.purpose == TracePurpose::Retrieve)
+            .expect("retrieval traced");
+        assert_eq!(tree.queue_wait_ms, 750);
+        assert_eq!(
+            tree.critical_path().attribution.queue_ms,
+            750,
+            "queue wait is prepended to the critical path"
+        );
+        assert!(tree.conserves());
+        assert_eq!(tree.end_to_end_ms(), 750 + tree.record.latency_ms());
+    }
+
+    #[test]
+    fn disjoint_group_trace_merges_member_paths() {
+        use kad_telemetry::VecSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut net = build_network(14, 4, 93);
+        let key = NodeId::from_u64(0xABCD, 32);
+        net.start_store(net.alive_addrs()[0], key);
+        net.run_until(net.now() + SimDuration::from_secs(30));
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        net.set_telemetry_sink(Box::new(Rc::clone(&sink)));
+        let retriever = net.alive_addrs()[7];
+        net.start_find_value_disjoint(retriever, key, 3);
+        net.run_until(net.now() + SimDuration::from_secs(60));
+        let traces = sink.borrow();
+        assert_eq!(traces.traces.len(), 1, "one tree per group");
+        let tree = &traces.traces[0];
+        assert_eq!(tree.record.purpose, TracePurpose::RetrieveDisjoint);
+        assert_eq!(
+            tree.spans.len() as u32,
+            tree.record.messages,
+            "the group tree carries every member path's spans"
+        );
+        assert!(tree.conserves(), "group attribution conserves too");
+        assert!(
+            !tree.critical_path().rpc_ids.is_empty(),
+            "the finalizing member's chain is the group's critical path"
+        );
+        assert!(
+            net.trace.buffers.is_empty(),
+            "member buffers are folded into the group and freed"
+        );
     }
 
     #[test]

@@ -36,6 +36,14 @@
 //!   ([`journal::MinuteSeal`] → `audit-chain.csv` → `repro audit`), with
 //!   ring truncation always surfaced through
 //!   [`journal::Journal::dropped_events`].
+//! * [`tracetree`] — full simulated-time trace trees behind the flat
+//!   records: per-RPC spans with causal parents
+//!   ([`tracetree::RpcSpan`]), critical-path extraction whose
+//!   rtt/timeout/queue attribution provably sums to the end-to-end
+//!   latency ([`tracetree::TraceTree::critical_path`]), and the
+//!   deterministic p99 exemplar reservoir
+//!   ([`tracetree::ExemplarReservoir`]) with the same lossless
+//!   order-independent merge contract.
 //!
 //! The crate is dependency-free (std only) on purpose: the instruments sit
 //! on the lookup hot path, and keeping them self-contained makes the
@@ -52,6 +60,7 @@ pub mod recorder;
 pub mod span;
 pub mod timeseries;
 pub mod trace;
+pub mod tracetree;
 
 pub use family::{CounterFamily, HistogramFamily};
 pub use histogram::LogHistogram;
@@ -62,4 +71,7 @@ pub use timeseries::{MinuteSeries, WindowStats};
 pub use trace::{
     DefenseAction, FanoutSink, LookupOutcome, LookupRecord, NoopSink, TelemetrySink, TracePurpose,
     VecSink,
+};
+pub use tracetree::{
+    Attribution, CriticalPath, ExemplarReservoir, RpcSpan, SpanOutcome, TraceTree,
 };

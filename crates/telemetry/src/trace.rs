@@ -178,6 +178,22 @@ pub trait TelemetrySink {
     fn on_defense(&mut self, action: DefenseAction) {
         let _ = action;
     }
+
+    /// Whether this sink wants full [`crate::TraceTree`]s. The simulator
+    /// asks once at install time and only pays the per-RPC span-buffer
+    /// cost when some installed sink answers `true`; flat-record sinks
+    /// keep the default and cost nothing extra.
+    fn wants_traces(&self) -> bool {
+        false
+    }
+
+    /// Called once per terminated lookup with its full trace tree,
+    /// immediately after [`on_lookup`](TelemetrySink::on_lookup) — but
+    /// only when [`wants_traces`](TelemetrySink::wants_traces) was `true`
+    /// at install time. Defaults to a no-op.
+    fn on_trace(&mut self, tree: &crate::TraceTree) {
+        let _ = tree;
+    }
 }
 
 /// Sharing a sink between the simulator (which owns it as a boxed trait
@@ -202,6 +218,14 @@ impl<S: TelemetrySink> TelemetrySink for std::rc::Rc<std::cell::RefCell<S>> {
 
     fn on_defense(&mut self, action: DefenseAction) {
         self.borrow_mut().on_defense(action);
+    }
+
+    fn wants_traces(&self) -> bool {
+        self.borrow().wants_traces()
+    }
+
+    fn on_trace(&mut self, tree: &crate::TraceTree) {
+        self.borrow_mut().on_trace(tree);
     }
 }
 
@@ -234,6 +258,16 @@ impl TelemetrySink for FanoutSink {
             sink.on_defense(action);
         }
     }
+
+    fn wants_traces(&self) -> bool {
+        self.sinks.iter().any(|sink| sink.wants_traces())
+    }
+
+    fn on_trace(&mut self, tree: &crate::TraceTree) {
+        for sink in &mut self.sinks {
+            sink.on_trace(tree);
+        }
+    }
 }
 
 /// A sink that discards everything — the semantics of running with no sink
@@ -245,13 +279,16 @@ impl TelemetrySink for NoopSink {
     fn on_lookup(&mut self, _record: &LookupRecord) {}
 }
 
-/// A sink that stores every record, for tests and benches.
+/// A sink that stores every record, for tests and benches. Wants traces,
+/// so installing one also exercises the simulator's span-recording path.
 #[derive(Clone, Debug, Default)]
 pub struct VecSink {
     /// The records received, in completion order.
     pub records: Vec<LookupRecord>,
     /// The defense events received, in emission order.
     pub defense: Vec<DefenseAction>,
+    /// The trace trees received, in completion order.
+    pub traces: Vec<crate::TraceTree>,
 }
 
 impl TelemetrySink for VecSink {
@@ -261,6 +298,14 @@ impl TelemetrySink for VecSink {
 
     fn on_defense(&mut self, action: DefenseAction) {
         self.defense.push(action);
+    }
+
+    fn wants_traces(&self) -> bool {
+        true
+    }
+
+    fn on_trace(&mut self, tree: &crate::TraceTree) {
+        self.traces.push(tree.clone());
     }
 }
 

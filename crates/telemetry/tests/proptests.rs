@@ -9,7 +9,11 @@
 //!   small-value region where hop and message counts live.
 
 use kad_telemetry::journal::{Journal, JournalEvent};
-use kad_telemetry::{CounterFamily, HistogramFamily, LogHistogram, MinuteSeries, SpanProfile};
+use kad_telemetry::trace::{LookupOutcome, LookupRecord, TracePurpose, TARGET_BYTES};
+use kad_telemetry::{
+    CounterFamily, ExemplarReservoir, HistogramFamily, LogHistogram, MinuteSeries, SpanProfile,
+    TraceTree,
+};
 use proptest::prelude::*;
 
 /// Decodes a generated `(selector, a, b)` triple into a journal event —
@@ -24,6 +28,28 @@ fn decode_event((selector, a, b): (u8, u64, u32)) -> JournalEvent {
             at_ms: a * 60_000 + u64::from(b % 60_000),
             kind: "lookup",
         },
+    }
+}
+
+/// Decodes a generated `(lookup_id, started, latency)` triple into a
+/// minimal trace tree — distinct ids so tree identities are unique, as
+/// the simulator guarantees within a run.
+fn decode_tree((lookup_id, started_ms, latency): (u64, u64, u64)) -> TraceTree {
+    TraceTree {
+        record: LookupRecord {
+            lookup_id,
+            target: [0x33; TARGET_BYTES],
+            purpose: TracePurpose::Retrieve,
+            outcome: LookupOutcome::ValueFound,
+            hops: 1,
+            messages: 1,
+            responded: 1,
+            started_ms,
+            completed_ms: started_ms + latency,
+        },
+        queue_wait_ms: 0,
+        spans: Vec::new(),
+        final_rpc: None,
     }
 }
 
@@ -339,6 +365,96 @@ proptest! {
         prop_assert_eq!(last_a.minute, last_b.minute);
         prop_assert_eq!(last_a.events, last_b.events);
         prop_assert!(last_a.chain != last_b.chain, "divergent event, divergent seal");
+    }
+
+    /// The exemplar reservoir is a deterministic top-K: whatever order
+    /// the trees arrive in, the kept exemplars are exactly the
+    /// worst-latency `capacity` trees under the total rank order
+    /// (latency desc, lookup id asc, start asc) — so same-seed runs pick
+    /// byte-identical exemplars no matter how event interleaving shuffles
+    /// completion order.
+    #[test]
+    fn exemplar_reservoir_is_an_order_independent_top_k(
+        raw in proptest::collection::vec((0u64..1_000_000, 0u64..10_000), 0..80),
+        capacity in 0usize..12,
+        rotate in any::<u64>(),
+    ) {
+        // Index-derived lookup ids: unique identities, as in a real run.
+        let trees: Vec<TraceTree> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(started, latency))| decode_tree((i as u64, started, latency)))
+            .collect();
+        let mut expected = trees.clone();
+        expected.sort_by_key(|t| {
+            (
+                std::cmp::Reverse(t.end_to_end_ms()),
+                t.record.lookup_id,
+                t.record.started_ms,
+            )
+        });
+        expected.truncate(capacity);
+        let mut forward = ExemplarReservoir::new(capacity);
+        for t in &trees {
+            forward.offer(t);
+        }
+        prop_assert_eq!(forward.exemplars(), &expected[..]);
+        // Any rotation of the offer order picks the same exemplars.
+        let cut = if trees.is_empty() {
+            0
+        } else {
+            (rotate % trees.len() as u64) as usize
+        };
+        let mut rotated = ExemplarReservoir::new(capacity);
+        for t in trees[cut..].iter().chain(&trees[..cut]) {
+            rotated.offer(t);
+        }
+        prop_assert_eq!(&rotated, &forward);
+        let mut reversed = ExemplarReservoir::new(capacity);
+        for t in trees.iter().rev() {
+            reversed.offer(t);
+        }
+        prop_assert_eq!(&reversed, &forward);
+    }
+
+    /// Reservoir merge() across matrix workers is lossless and
+    /// order-independent: merging per-shard reservoirs equals offering
+    /// the whole stream to one reservoir, whichever shard merges first,
+    /// and re-merging a shard changes nothing (dedup by tree identity).
+    #[test]
+    fn exemplar_reservoir_merge_equals_single_stream(
+        raw in proptest::collection::vec((0u64..1_000_000, 0u64..10_000), 0..80),
+        capacity in 1usize..8,
+        split in any::<u64>(),
+    ) {
+        let trees: Vec<TraceTree> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(started, latency))| decode_tree((i as u64, started, latency)))
+            .collect();
+        let cut = (split % (trees.len() as u64 + 1)) as usize;
+        let mut all = ExemplarReservoir::new(capacity);
+        for t in &trees {
+            all.offer(t);
+        }
+        let mut left = ExemplarReservoir::new(capacity);
+        let mut right = ExemplarReservoir::new(capacity);
+        for t in &trees[..cut] {
+            left.offer(t);
+        }
+        for t in &trees[cut..] {
+            right.offer(t);
+        }
+        let mut ab = left.clone();
+        ab.merge(&right);
+        prop_assert_eq!(&ab, &all, "sharded merge equals the single stream");
+        let mut ba = right.clone();
+        ba.merge(&left);
+        prop_assert_eq!(&ba, &all, "merge commutes");
+        let mut twice = ab.clone();
+        twice.merge(&right);
+        twice.merge(&left);
+        prop_assert_eq!(&twice, &all, "re-merging shards is idempotent");
     }
 
     /// Range aggregation equals the sum of the per-window aggregates.
