@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod attack;
+pub mod estimator;
 pub mod graph;
 pub mod pair;
 pub mod pipeline;
@@ -51,6 +52,7 @@ pub mod resilience;
 pub mod sampled;
 pub mod solver;
 
+pub use estimator::{sampled_kappa, KappaEstimate, SampledKappaConfig};
 pub use pipeline::{analyze_graph, analyze_snapshot, snapshot_to_digraph};
 pub use report::ConnectivityReport;
 pub use solver::SolverKind;

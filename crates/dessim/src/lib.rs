@@ -44,11 +44,13 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod hashers;
 pub mod latency;
 pub mod loss;
 pub mod metrics;
 pub mod rng;
 pub mod scheduler;
+pub mod slab;
 pub mod time;
 pub mod transport;
 

@@ -143,10 +143,74 @@ impl fmt::Display for Summary {
     }
 }
 
+/// Number of [`HotCounter`] variants.
+pub const HOT_COUNTER_COUNT: usize = 10;
+
+/// Counters incremented several times per simulated message — the ones
+/// whose BTreeMap probes would otherwise dominate the event loop. Each
+/// variant indexes a fixed slot in [`Counters::incr_hot`]'s array, so a
+/// hot increment is a single add with no string hashing or tree walk.
+///
+/// Variant order **must** match the ascending byte order of the names in
+/// `HOT_NAMES`: the discriminant is the array index, and `Counters::iter`
+/// merge-sorts the hot slots against the BTreeMap stream by that order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HotCounter {
+    /// `late_response`
+    LateResponse = 0,
+    /// `lookup_finished`
+    LookupFinished,
+    /// `msg_lost`
+    MsgLost,
+    /// `msg_sent`
+    MsgSent,
+    /// `msg_to_dead`
+    MsgToDead,
+    /// `request_handled`
+    RequestHandled,
+    /// `response_received`
+    ResponseReceived,
+    /// `rpc_sent`
+    RpcSent,
+    /// `rpc_timeout`
+    RpcTimeout,
+    /// `value_hit`
+    ValueHit,
+}
+
+/// Hot-counter names in ascending byte order (checked by a test); index
+/// `i` is the name of the `HotCounter` with discriminant `i`.
+const HOT_NAMES: [&str; HOT_COUNTER_COUNT] = [
+    "late_response",
+    "lookup_finished",
+    "msg_lost",
+    "msg_sent",
+    "msg_to_dead",
+    "request_handled",
+    "response_received",
+    "rpc_sent",
+    "rpc_timeout",
+    "value_hit",
+];
+
+impl HotCounter {
+    /// The counter name this variant stands for.
+    pub fn name(self) -> &'static str {
+        HOT_NAMES[self as usize]
+    }
+}
+
 /// Named event counters (messages sent, lookups started, …).
+///
+/// Two storage tiers share one namespace: arbitrary names live in a
+/// `BTreeMap`, and the fixed [`HotCounter`] set lives in a plain array
+/// updated by [`Counters::incr_hot`]. Reads ([`Counters::get`],
+/// [`Counters::iter`]) always present the *sum* of both tiers per name, in
+/// name order — callers cannot tell which path an increment took.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counters {
     counts: BTreeMap<String, u64>,
+    hot: [u64; HOT_COUNTER_COUNT],
 }
 
 impl Counters {
@@ -156,8 +220,16 @@ impl Counters {
     }
 
     /// Adds `n` to counter `name`, creating it at zero if absent.
+    ///
+    /// Hot path for the simulator (several increments per event), so the
+    /// existing-key case must not allocate: the `String` key is built only
+    /// on the first touch of a name, never on subsequent increments.
     pub fn add(&mut self, name: &str, n: u64) {
-        *self.counts.entry(name.to_owned()).or_insert(0) += n;
+        if let Some(count) = self.counts.get_mut(name) {
+            *count += n;
+        } else {
+            self.counts.insert(name.to_owned(), n);
+        }
     }
 
     /// Increments counter `name` by one.
@@ -165,14 +237,79 @@ impl Counters {
         self.add(name, 1);
     }
 
-    /// Current value of `name` (0 if never touched).
-    pub fn get(&self, name: &str) -> u64 {
-        self.counts.get(name).copied().unwrap_or(0)
+    /// Increments a hot counter by one: a single array add, the per-message
+    /// fast path. Equivalent to `incr(c.name())` as far as any reader can
+    /// observe.
+    #[inline]
+    pub fn incr_hot(&mut self, c: HotCounter) {
+        self.hot[c as usize] += 1;
     }
 
-    /// Iterates `(name, count)` pairs in name order.
+    /// Adds `n` to a hot counter. See [`Counters::incr_hot`].
+    #[inline]
+    pub fn add_hot(&mut self, c: HotCounter, n: u64) {
+        self.hot[c as usize] += n;
+    }
+
+    /// Current value of `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        let base = self.counts.get(name).copied().unwrap_or(0);
+        match HOT_NAMES.binary_search(&name) {
+            Ok(i) => base + self.hot[i],
+            Err(_) => base,
+        }
+    }
+
+    /// Iterates `(name, count)` pairs in name order. Hot counters that were
+    /// never incremented stay invisible, exactly like untouched map names.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+        MergedCounters {
+            map: self.counts.iter().peekable(),
+            hot: &self.hot,
+            hot_idx: 0,
+        }
+    }
+}
+
+/// Merge-sorted view over the two counter tiers: the BTreeMap stream and
+/// the statically name-sorted hot array. Names present in both tiers are
+/// emitted once with the summed value.
+struct MergedCounters<'a> {
+    map: std::iter::Peekable<std::collections::btree_map::Iter<'a, String, u64>>,
+    hot: &'a [u64; HOT_COUNTER_COUNT],
+    hot_idx: usize,
+}
+
+impl<'a> Iterator for MergedCounters<'a> {
+    type Item = (&'a str, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.hot_idx < HOT_COUNTER_COUNT && self.hot[self.hot_idx] == 0 {
+            self.hot_idx += 1;
+        }
+        let hot_name = (self.hot_idx < HOT_COUNTER_COUNT).then(|| HOT_NAMES[self.hot_idx]);
+        match (self.map.peek(), hot_name) {
+            (Some(&(k, _)), Some(h)) if k.as_str() < h => {
+                let (k, &v) = self.map.next().expect("peeked");
+                Some((k.as_str(), v))
+            }
+            (Some(&(k, _)), Some(h)) if k.as_str() == h => {
+                let (k, &v) = self.map.next().expect("peeked");
+                let hv = self.hot[self.hot_idx];
+                self.hot_idx += 1;
+                Some((k.as_str(), v + hv))
+            }
+            (_, Some(h)) => {
+                let v = self.hot[self.hot_idx];
+                self.hot_idx += 1;
+                Some((h, v))
+            }
+            (Some(_), None) => {
+                let (k, &v) = self.map.next().expect("peeked");
+                Some((k.as_str(), v))
+            }
+            (None, None) => None,
+        }
     }
 }
 
@@ -267,5 +404,52 @@ mod tests {
         assert_eq!(c.get("absent"), 0);
         let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["lookup", "msg"]);
+    }
+
+    #[test]
+    fn hot_names_are_sorted_and_match_discriminants() {
+        assert!(HOT_NAMES.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(HotCounter::LateResponse.name(), "late_response");
+        assert_eq!(HotCounter::ValueHit.name(), "value_hit");
+        assert_eq!(HotCounter::ValueHit as usize, HOT_COUNTER_COUNT - 1);
+    }
+
+    #[test]
+    fn hot_counters_are_indistinguishable_from_named() {
+        let mut c = Counters::new();
+        c.incr_hot(HotCounter::MsgSent);
+        c.add_hot(HotCounter::MsgSent, 4);
+        c.incr_hot(HotCounter::RpcTimeout);
+        assert_eq!(c.get("msg_sent"), 5);
+        assert_eq!(c.get("rpc_timeout"), 1);
+        assert_eq!(c.get("msg_lost"), 0);
+        // Untouched hot slots stay invisible to iteration.
+        let pairs: Vec<(&str, u64)> = c.iter().collect();
+        assert_eq!(pairs, vec![("msg_sent", 5), ("rpc_timeout", 1)]);
+    }
+
+    #[test]
+    fn iter_merges_hot_and_map_tiers_in_name_order() {
+        let mut c = Counters::new();
+        c.incr("aardvark"); // before every hot name
+        c.incr("node_spawned"); // between msg_to_dead and request_handled
+        c.incr("zzz"); // after every hot name
+        c.add("msg_sent", 2); // same name via both tiers: values sum
+        c.add_hot(HotCounter::MsgSent, 3);
+        c.incr_hot(HotCounter::LateResponse);
+        c.incr_hot(HotCounter::ValueHit);
+        let pairs: Vec<(&str, u64)> = c.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("aardvark", 1),
+                ("late_response", 1),
+                ("msg_sent", 5),
+                ("node_spawned", 1),
+                ("value_hit", 1),
+                ("zzz", 1),
+            ]
+        );
+        assert_eq!(c.get("msg_sent"), 5);
     }
 }

@@ -1,9 +1,71 @@
 //! The event queue at the heart of the simulation.
 
 use crate::event::{Entry, EventId};
+use crate::slab::GenSlab;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
+
+/// Wheel window: events firing within this many milliseconds of the drain
+/// cursor live in per-millisecond buckets; everything farther out waits in
+/// the overflow heap. 16.4 simulated seconds comfortably covers message
+/// latencies and RPC timeouts, the two event kinds that dominate traffic.
+const WHEEL_SLOTS: usize = 1 << 14;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+
+/// Entries per storage chunk (see [`Chunk`]).
+const CHUNK: usize = 16;
+
+/// Null link / index sentinel.
+const NIL: u32 = u32::MAX;
+
+/// A wheel bucket holds events for exactly one absolute millisecond, so an
+/// entry needs no timestamp — only the id, which carries both the
+/// deterministic tie-break sequence and the payload's slab key.
+#[derive(Clone, Copy, Debug)]
+struct WheelEntry {
+    id: EventId,
+}
+
+/// Bucket storage: an unrolled linked list of fixed-size chunks drawn from
+/// one shared pool.
+///
+/// Why not a `Vec` per bucket: with 16 k buckets, per-bucket capacity
+/// ratchets up for a very long time as burst patterns drift across slots
+/// (every slot eventually sees its record millisecond), which defeats a
+/// zero-steady-state-allocation gate. Why not a plain linked list of
+/// single entries: one pointer chase per event wrecks locality. Chunks of
+/// 16 give contiguous scans with at most one link hop per 16 events, and
+/// the pool converges as soon as the *total* pending-event high-water mark
+/// is reached, independent of which buckets the load lands in.
+#[derive(Clone, Debug)]
+struct Chunk {
+    entries: [WheelEntry; CHUNK],
+    next: u32,
+}
+
+/// Per-bucket list state. Interior chunks are always full: only the head
+/// chunk has consumed entries (`pos` of them) and only the tail chunk has
+/// free space (it holds `fill` entries).
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    head: u32,
+    tail: u32,
+    /// Read offset in the head chunk.
+    pos: u16,
+    /// Write offset in the tail chunk.
+    fill: u16,
+    /// Events currently in the bucket.
+    count: u32,
+}
+
+const EMPTY_BUCKET: Bucket = Bucket {
+    head: NIL,
+    tail: NIL,
+    pos: 0,
+    fill: 0,
+    count: 0,
+};
 
 /// A deterministic, cancellable discrete-event queue.
 ///
@@ -28,10 +90,50 @@ use std::collections::{BinaryHeap, HashSet};
 /// }
 /// assert_eq!(words, ["hello", "world"]);
 /// ```
+///
+/// # Implementation
+///
+/// Internally this is a timing wheel, not a binary heap: the clock is
+/// millisecond-grained, so near-term events sit in per-millisecond buckets
+/// and push/pop are O(1) appends and cursor advances instead of O(log n)
+/// sifts over fat entries. Delivery order stays identical to a
+/// `(time, id)`-ordered heap because:
+///
+/// * a bucket maps to exactly one absolute millisecond inside the wheel's
+///   sliding window, and inserts append in scheduling order, so each
+///   bucket is already sorted by id;
+/// * events beyond the window sit in an overflow heap that is *compared at
+///   pop time* — the wheel scan is bounded by the overflow head's
+///   timestamp, and whichever of the two heads has the smaller
+///   `(time, id)` fires first (no migration, no re-sorting);
+/// * events scheduled behind the drain cursor — legal whenever the cursor
+///   has scanned ahead of [`EventQueue::now`] through empty buckets — go
+///   to a small "late" heap that is always drained first, which is correct
+///   because everything in the wheel is at or after the cursor.
+///
+/// Payloads live in a [`GenSlab`] and bucket lists in a free-listed chunk
+/// pool, so once those and the heaps reach the workload's high-water mark,
+/// scheduling and delivery allocate nothing.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<EventId>,
+    /// Per-millisecond buckets; `buckets[t & WHEEL_MASK]` holds the events
+    /// for absolute millisecond `t` whenever
+    /// `cursor <= t < cursor + WHEEL_SLOTS`.
+    buckets: Vec<Bucket>,
+    /// Shared chunk pool backing every bucket's list.
+    chunks: Vec<Chunk>,
+    /// Recycled chunk indices.
+    free_chunks: Vec<u32>,
+    /// Entries currently in the wheel (cancelled-but-unsurfaced included).
+    wheel_len: usize,
+    /// Absolute millisecond of the bucket currently being drained. Every
+    /// wheel entry fires at or after this time.
+    cursor: u64,
+    /// Events at least one full window ahead of the cursor.
+    overflow: BinaryHeap<Reverse<Entry>>,
+    /// Events scheduled behind the cursor (always ahead of `now`).
+    late: BinaryHeap<Reverse<Entry>>,
+    store: GenSlab<E>,
     next_seq: u64,
     now: SimTime,
     popped: u64,
@@ -41,8 +143,14 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            buckets: vec![EMPTY_BUCKET; WHEEL_SLOTS],
+            chunks: Vec::new(),
+            free_chunks: Vec::new(),
+            wheel_len: 0,
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            late: BinaryHeap::new(),
+            store: GenSlab::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -63,12 +171,91 @@ impl<E> EventQueue<E> {
     /// Number of events still pending (cancelled-but-unpopped entries may
     /// be counted until they surface).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.overflow.len() + self.late.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Grabs a chunk from the pool (recycled when available).
+    fn alloc_chunk(&mut self) -> u32 {
+        match self.free_chunks.pop() {
+            Some(c) => {
+                self.chunks[c as usize].next = NIL;
+                c
+            }
+            None => {
+                let c = u32::try_from(self.chunks.len()).expect("wheel chunk pool overflow");
+                self.chunks.push(Chunk {
+                    entries: [WheelEntry {
+                        id: EventId { seq: 0, key: 0 },
+                    }; CHUNK],
+                    next: NIL,
+                });
+                c
+            }
+        }
+    }
+
+    /// Appends an event to its bucket (ids arrive in increasing order, so
+    /// append preserves the bucket's id-sorted delivery order).
+    fn bucket_push(&mut self, t: u64, id: EventId) {
+        let slot = (t & WHEEL_MASK) as usize;
+        let mut bucket = self.buckets[slot];
+        if bucket.head == NIL {
+            let c = self.alloc_chunk();
+            bucket = Bucket {
+                head: c,
+                tail: c,
+                pos: 0,
+                fill: 0,
+                count: 0,
+            };
+        } else if bucket.fill as usize == CHUNK {
+            let c = self.alloc_chunk();
+            self.chunks[bucket.tail as usize].next = c;
+            bucket.tail = c;
+            bucket.fill = 0;
+        }
+        self.chunks[bucket.tail as usize].entries[bucket.fill as usize] = WheelEntry { id };
+        bucket.fill += 1;
+        bucket.count += 1;
+        self.buckets[slot] = bucket;
+        self.wheel_len += 1;
+    }
+
+    /// Unlinks and returns the first event of the cursor's bucket. The
+    /// caller checked `count > 0`.
+    fn bucket_pop_head(&mut self) -> WheelEntry {
+        let slot = (self.cursor & WHEEL_MASK) as usize;
+        let mut bucket = self.buckets[slot];
+        debug_assert!(bucket.count > 0, "bucket_pop_head on empty bucket");
+        let entry = self.chunks[bucket.head as usize].entries[bucket.pos as usize];
+        bucket.pos += 1;
+        bucket.count -= 1;
+        if bucket.count == 0 {
+            // Head and tail are the same chunk; recycle it.
+            self.free_chunks.push(bucket.head);
+            bucket = EMPTY_BUCKET;
+        } else if bucket.pos as usize == CHUNK {
+            // Interior chunks are full: this one is exhausted.
+            let next = self.chunks[bucket.head as usize].next;
+            self.free_chunks.push(bucket.head);
+            bucket.head = next;
+            bucket.pos = 0;
+        }
+        self.buckets[slot] = bucket;
+        self.wheel_len -= 1;
+        entry
+    }
+
+    /// Id of the first event in the cursor's bucket (caller checked
+    /// `count > 0`).
+    fn bucket_head_id(&self) -> EventId {
+        let bucket = &self.buckets[(self.cursor & WHEEL_MASK) as usize];
+        self.chunks[bucket.head as usize].entries[bucket.pos as usize].id
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -84,9 +271,20 @@ impl<E> EventQueue<E> {
             "cannot schedule into the past ({at} < {})",
             self.now
         );
-        let id = EventId(self.next_seq);
+        let key = self.store.insert(event);
+        let id = EventId {
+            seq: self.next_seq,
+            key,
+        };
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { at, id, event }));
+        let t = at.as_millis();
+        if t < self.cursor {
+            self.late.push(Reverse(Entry { at, id }));
+        } else if t - self.cursor < WHEEL_SLOTS as u64 {
+            self.bucket_push(t, id);
+        } else {
+            self.overflow.push(Reverse(Entry { at, id }));
+        }
         id
     }
 
@@ -97,61 +295,146 @@ impl<E> EventQueue<E> {
 
     /// Cancels a previously scheduled event. Returns `true` if the event
     /// had not yet fired (or been cancelled).
+    ///
+    /// Cancellation removes the payload from the slab immediately; the
+    /// wheel/heap entry stays behind and is discarded when it surfaces,
+    /// recognized by its now-stale generational key. Fired, cancelled and
+    /// never-issued handles all miss the generation check, so no separate
+    /// cancelled-id set is consulted on the delivery path.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
+        self.store.remove(id.key).is_some()
+    }
+
+    /// Advances the cursor to the wheel's head event without consuming it.
+    /// Returns its absolute millisecond if it fires strictly before
+    /// `limit`; `None` when no wheel event does. When the wheel is empty
+    /// and `limit` is finite, the cursor jumps to `limit` — every bucket
+    /// before it is known empty, so the next scan can start there.
+    fn wheel_head(&mut self, limit: u64) -> Option<u64> {
+        loop {
+            if self.buckets[(self.cursor & WHEEL_MASK) as usize].count > 0 {
+                return (self.cursor < limit).then_some(self.cursor);
+            }
+            if self.wheel_len == 0 {
+                if limit != u64::MAX {
+                    self.cursor = self.cursor.max(limit);
+                }
+                return None;
+            }
+            if self.cursor + 1 >= limit {
+                return None;
+            }
+            self.cursor += 1;
         }
-        self.cancelled.insert(id)
+    }
+
+    /// Shared pop core: delivers the next event firing strictly before
+    /// `limit` (pass `u64::MAX` for "any").
+    fn pop_limited(&mut self, limit: u64) -> Option<(SimTime, E)> {
+        loop {
+            // The late heap's times all precede everything in the wheel,
+            // and its entries went there precisely because they fire
+            // before anything the overflow heap can hold.
+            if let Some(Reverse(head)) = self.late.peek() {
+                if head.at.as_millis() >= limit {
+                    return None;
+                }
+                let Reverse(e) = self.late.pop().expect("peeked entry");
+                let Some(event) = self.store.remove(e.id.key) else {
+                    continue; // cancelled
+                };
+                debug_assert!(e.at >= self.now, "event queue went backwards");
+                self.now = e.at;
+                self.popped += 1;
+                return Some((e.at, event));
+            }
+            // The overflow head bounds the wheel scan; whichever head has
+            // the smaller (time, id) fires.
+            let over = self
+                .overflow
+                .peek()
+                .map(|Reverse(e)| (e.at.as_millis(), e.id));
+            let wheel_limit = match over {
+                Some((t, _)) => limit.min(t.saturating_add(1)),
+                None => limit,
+            };
+            let from_wheel = match (self.wheel_head(wheel_limit), over) {
+                (Some(at), Some((t, oid))) => at < t || self.bucket_head_id() < oid,
+                (Some(_), None) => true,
+                (None, Some((t, _))) if t < limit => false,
+                (None, _) => return None,
+            };
+            if from_wheel {
+                let at = SimTime::from_millis(self.cursor);
+                let entry = self.bucket_pop_head();
+                let Some(event) = self.store.remove(entry.id.key) else {
+                    continue; // cancelled
+                };
+                debug_assert!(at >= self.now, "event queue went backwards");
+                self.now = at;
+                self.popped += 1;
+                return Some((at, event));
+            }
+            let Reverse(e) = self.overflow.pop().expect("peeked entry");
+            // The wheel had nothing before this instant: the cursor can
+            // start there so follow-up schedules land in buckets.
+            self.cursor = self.cursor.max(e.at.as_millis());
+            let Some(event) = self.store.remove(e.id.key) else {
+                continue; // cancelled
+            };
+            debug_assert!(e.at >= self.now, "event queue went backwards");
+            self.now = e.at;
+            self.popped += 1;
+            return Some((e.at, event));
+        }
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
     /// Cancelled events are skipped silently.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
-                continue;
-            }
-            debug_assert!(entry.at >= self.now, "event queue went backwards");
-            self.now = entry.at;
-            self.popped += 1;
-            return Some((entry.at, entry.event));
-        }
-        None
+        self.pop_limited(u64::MAX)
     }
 
     /// Pops the next event only if it fires strictly before `deadline`.
     /// The clock does not advance when `None` is returned, so the caller
     /// can later resume with a later deadline.
     pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
-        loop {
-            match self.heap.peek() {
-                Some(Reverse(entry)) if entry.at < deadline => {
-                    if self.cancelled.contains(&entry.id) {
-                        let Reverse(entry) = self.heap.pop().expect("peeked entry");
-                        self.cancelled.remove(&entry.id);
-                        continue;
-                    }
-                    return self.pop();
-                }
-                _ => return None,
-            }
-        }
+        self.pop_limited(deadline.as_millis())
     }
 
     /// Timestamp of the next (non-cancelled) pending event.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         loop {
-            match self.heap.peek() {
-                Some(Reverse(entry)) => {
-                    if self.cancelled.contains(&entry.id) {
-                        let Reverse(entry) = self.heap.pop().expect("peeked entry");
-                        self.cancelled.remove(&entry.id);
-                        continue;
-                    }
-                    return Some(entry.at);
+            if let Some(Reverse(head)) = self.late.peek() {
+                if self.store.get(head.id.key).is_some() {
+                    return Some(head.at);
                 }
-                None => return None,
+                self.late.pop();
+                continue;
             }
+            let over = self
+                .overflow
+                .peek()
+                .map(|Reverse(e)| (e.at.as_millis(), e.id));
+            let wheel_limit = over.map_or(u64::MAX, |(t, _)| t.saturating_add(1));
+            let from_wheel = match (self.wheel_head(wheel_limit), over) {
+                (Some(at), Some((t, oid))) => at < t || self.bucket_head_id() < oid,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return None,
+            };
+            if from_wheel {
+                if self.store.get(self.bucket_head_id().key).is_some() {
+                    return Some(SimTime::from_millis(self.cursor));
+                }
+                self.bucket_pop_head();
+                continue;
+            }
+            let (t, oid) = over.expect("checked above");
+            if self.store.get(oid.key).is_some() {
+                return Some(SimTime::from_millis(t));
+            }
+            self.overflow.pop();
         }
     }
 
@@ -214,7 +497,10 @@ mod tests {
         let drop_ = q.schedule_at(SimTime::from_millis(2), "drop");
         assert!(q.cancel(drop_));
         assert!(!q.cancel(drop_), "double-cancel reports false");
-        assert!(!q.cancel(crate::event::EventId(999)), "unknown id");
+        assert!(
+            !q.cancel(crate::event::EventId { seq: 999, key: 999 }),
+            "unknown id"
+        );
         let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec!["keep"]);
         let _ = keep;
@@ -281,5 +567,158 @@ mod tests {
         let mut q: EventQueue<()> = EventQueue::new();
         q.advance_to(SimTime::from_minutes(5));
         assert_eq!(q.now(), SimTime::from_minutes(5));
+    }
+
+    #[test]
+    fn far_future_events_cross_the_wheel_window() {
+        // Refresh-style schedule: events much farther out than the wheel
+        // window, interleaved with near-term traffic.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_minutes(60), "refresh");
+        q.schedule_at(SimTime::from_millis(3), "near");
+        q.schedule_at(SimTime::from_minutes(90), "later-refresh");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("near"));
+        let (t, e) = q.pop().expect("refresh fires");
+        assert_eq!((t, e), (SimTime::from_minutes(60), "refresh"));
+        let (t, e) = q.pop().expect("later refresh fires");
+        assert_eq!((t, e), (SimTime::from_minutes(90), "later-refresh"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_and_wheel_heads_interleave_by_id_at_equal_times() {
+        // An overflow event and later direct inserts share a timestamp;
+        // delivery must follow pure id order regardless of which structure
+        // holds each event.
+        let t = SimTime::from_millis(2 * WHEEL_SLOTS as u64 + 7);
+        let mut q = EventQueue::new();
+        q.schedule_at(t, 0u32); // overflow (beyond the window from cursor 0)
+        q.schedule_at(t, 1); // overflow
+        q.schedule_at(SimTime::from_millis(WHEEL_SLOTS as u64 + 50), 2); // overflow
+        q.schedule_at(t, 3); // overflow
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        // The cursor advanced to event 2's time, so t is now in-window:
+        // these go straight into t's bucket alongside the overflow copies.
+        q.schedule_at(t, 4);
+        q.schedule_at(t, 5);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn scheduling_behind_the_scanned_cursor_stays_ordered() {
+        // pop_before scans far ahead through empty buckets without moving
+        // `now`; a subsequent schedule at an earlier (but still future)
+        // time must fire before anything later.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(1), "warm");
+        q.pop();
+        assert!(q.pop_before(SimTime::from_secs(30)).is_none());
+        q.schedule_at(SimTime::from_millis(5), "late-sched");
+        q.schedule_at(SimTime::from_secs(40), "far");
+        assert_eq!(
+            q.pop_before(SimTime::from_secs(60)),
+            Some((SimTime::from_millis(5), "late-sched"))
+        );
+        assert_eq!(q.pop().map(|(_, e)| e), Some("far"));
+        assert_eq!(q.now(), SimTime::from_secs(40));
+    }
+
+    #[test]
+    fn cancelled_late_and_overflow_entries_are_skipped() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(1), "warm");
+        q.pop();
+        assert!(q.pop_before(SimTime::from_secs(20)).is_none());
+        let late = q.schedule_at(SimTime::from_millis(7), "late");
+        let far = q.schedule_at(SimTime::from_minutes(10), "far");
+        q.cancel(late);
+        q.cancel(far);
+        q.schedule_at(SimTime::from_minutes(11), "kept");
+        assert_eq!(q.peek_time(), Some(SimTime::from_minutes(11)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("kept"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn buckets_spanning_many_chunks_stay_fifo() {
+        // One millisecond receiving far more events than a single chunk
+        // holds (the timeout-burst shape): order must stay exact and the
+        // chunk pool must recycle.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(99);
+        for i in 0..100u32 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        // Refill: the pool must serve the same load again without issue.
+        let t2 = SimTime::from_millis(200);
+        for i in 0..100u32 {
+            q.schedule_at(t2, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    /// Model test: the wheel must deliver an arbitrary workload in exactly
+    /// `(time, id)` order — the order a sorted list of entries produces.
+    #[test]
+    fn matches_reference_order_on_mixed_workload() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, u64)> = Vec::new(); // (at_ms, seq)
+        let mut pending: Vec<(EventId, u64, u64)> = Vec::new();
+        let mut seq = 0u64;
+        // Interleave bursts of scheduling (near, far and simultaneous
+        // times), cancellations, and partial drains.
+        for round in 0..200u64 {
+            for _ in 0..rng.random_range(1..20) {
+                let horizon = if rng.random_bool(0.1) {
+                    400_000 // beyond the wheel window
+                } else {
+                    5_000
+                };
+                let at = q.now().as_millis() + rng.random_range(0..horizon);
+                let id = q.schedule_at(SimTime::from_millis(at), seq);
+                pending.push((id, at, seq));
+                seq += 1;
+            }
+            if rng.random_bool(0.3) && !pending.is_empty() {
+                let victim = rng.random_range(0..pending.len());
+                let (id, _, _) = pending.swap_remove(victim);
+                assert!(q.cancel(id));
+            }
+            if rng.random_bool(0.5) {
+                let deadline = q.now() + SimDuration::from_millis(rng.random_range(0..3_000));
+                while let Some((t, e)) = q.pop_before(deadline) {
+                    let pos = pending
+                        .iter()
+                        .position(|&(_, _, s)| s == e)
+                        .expect("delivered event was pending");
+                    let (_, at, _) = pending.swap_remove(pos);
+                    assert_eq!(t.as_millis(), at, "round {round}");
+                    expected.push((at, e));
+                }
+            }
+        }
+        while let Some((t, e)) = q.pop() {
+            let pos = pending
+                .iter()
+                .position(|&(_, _, s)| s == e)
+                .expect("delivered event was pending");
+            let (_, at, _) = pending.swap_remove(pos);
+            assert_eq!(t.as_millis(), at);
+            expected.push((at, e));
+        }
+        assert!(pending.is_empty(), "all non-cancelled events delivered");
+        let mut sorted = expected.clone();
+        sorted.sort();
+        assert_eq!(expected, sorted, "delivery respects (time, id) order");
+        assert_eq!(q.delivered(), expected.len() as u64);
     }
 }

@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Arguments are parsed by hand (the build environment has no clap):
-//! `<experiment> [--scale bench|laptop|paper] [--seed N] [--out DIR]
+//! `<experiment> [--scale bench|laptop|large|paper] [--seed N] [--out DIR]
 //! [--jobs N]`.
 
 use kad_experiments::figures::{run_experiment, ExperimentId, ExperimentResult};
@@ -33,7 +33,7 @@ struct Args {
 }
 
 const USAGE: &str =
-    "usage: repro <experiment> [--scale bench|laptop|paper] [--seed N] [--out DIR] [--jobs N] [--observe DIR]\n\
+    "usage: repro <experiment> [--scale bench|laptop|large|paper] [--seed N] [--out DIR] [--jobs N] [--observe DIR]\n\
     \x20      repro audit RUN_A RUN_B\n\
     experiments: all, matrix, campaign, service, defend, sweep, load, tab1, fig2..fig14, tab2, fig10, bitlen, sampling\n\
     all: the full figure/table registry, then every grid (matrix, campaign, service, defend, sweep, load)\n\
@@ -44,6 +44,8 @@ const USAGE: &str =
     sweep: mixed-phase attacker grid (strategy switches mid-campaign, e.g. eclipse→min-cut at the κ trough) × policies, one CSV\n\
     bench: fold the criterion-shim BENCH_*.json reports (cwd, or --out DIR) into BENCH_summary.json\n\
     audit: diff two --observe runs' audit-chain.csv; exit 0 when the chains match, 1 naming the first divergent (cell, minute)\n\
+    --scale large runs n=1000 overlays: the live κ feed switches to the sampled estimator\n\
+    \x20   (kappa_est/kappa_ci_lo/kappa_ci_hi columns in load-timeseries.csv; na at smaller scales)\n\
     --seed N makes every CSV bit-identically reproducible (all subcommands)\n\
     --jobs sets the scenario-level worker count (matrix/campaign/service/defend/sweep; others auto-split)\n\
     --observe DIR writes run-manifest.json, profile.csv, audit-chain.csv, metrics.prom,\n\

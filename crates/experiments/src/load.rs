@@ -17,7 +17,9 @@
 //! The grid ([`load_grid`]) crosses offered rate with the attack plans
 //! (plus a baseline per rate); `repro load` runs it and emits
 //! `load-timeseries.csv` (offered vs completed req/min, p50/p90/p99,
-//! shed, κ — one row per cell-minute) and `load-summary.csv` (per cell:
+//! shed, κ — one row per cell-minute; at sampled-κ scales the
+//! `kappa_est`/`kappa_ci_lo`/`kappa_ci_hi` columns carry the estimator's
+//! mean and interval, `na` otherwise) and `load-summary.csv` (per cell:
 //! phase percentiles and the attack-phase p99 delta against the baseline
 //! cell at the same offered rate — "eclipse costs X ms of p99 at rate
 //! Y").
@@ -489,8 +491,15 @@ pub struct LoadPoint {
     pub p90_ms: u64,
     /// 99th percentile, ms.
     pub p99_ms: u64,
-    /// The honest subgraph's κ_min at the minute end.
+    /// The honest subgraph's κ_min at the minute end. On sampled minutes
+    /// (overlays at [`crate::session::SAMPLED_KAPPA_MIN_NODES`] and above)
+    /// this is the sampled minimum — an upper bound, not exact κ.
     pub kappa_min: u64,
+    /// The sampled κ estimate for the minute, when the live feed ran the
+    /// estimator instead of the exact sweep. `None` on exact minutes, so
+    /// the CSV renders `na` and downstream parsing can never mistake a
+    /// sampled mean for exact κ.
+    pub kappa_estimate: Option<kad_resilience::KappaEstimate>,
     /// Compromises scheduled so far.
     pub budget_spent: usize,
 }
@@ -618,6 +627,7 @@ fn run_load_cell(scenario: &LoadScenario) -> (LoadOutcome, crate::observe::CellR
                 p90_ms: latency.percentile(0.9),
                 p99_ms: latency.percentile(0.99),
                 kappa_min: ctx.shared.last_kappa.map(|(_, k)| k).unwrap_or(0),
+                kappa_estimate: ctx.shared.last_kappa_estimate.map(|(_, e)| e),
                 budget_spent: ctx.shared.budget_spent,
             })
         },
@@ -788,6 +798,9 @@ pub fn load_timeseries_csv(outcomes: &[LoadOutcome]) -> String {
         "p90_ms",
         "p99_ms",
         "kappa_min",
+        "kappa_est",
+        "kappa_ci_lo",
+        "kappa_ci_hi",
         "budget_spent",
     ]);
     for outcome in outcomes {
@@ -811,6 +824,9 @@ pub fn load_timeseries_csv(outcomes: &[LoadOutcome]) -> String {
                 p.p90_ms.into(),
                 p.p99_ms.into(),
                 p.kappa_min.into(),
+                Cell::opt_f64(p.kappa_estimate.map(|e| e.kappa_est), 3),
+                Cell::opt_f64(p.kappa_estimate.map(|e| e.ci_lo), 3),
+                Cell::opt_f64(p.kappa_estimate.map(|e| e.ci_hi), 3),
                 p.budget_spent.into(),
             ]);
         }
@@ -1077,6 +1093,62 @@ mod tests {
             .max_by_key(|ex| ex.tree.end_to_end_ms())
             .expect("attack-phase exemplar");
         assert!(worst.tree.critical_path().attribution.compromised_ms() > 0);
+    }
+
+    #[test]
+    fn timeseries_csv_labels_sampled_kappa_distinctly_from_exact() {
+        // One exact minute (no estimate: the `kappa_*` estimator columns
+        // must render `na`) and one sampled minute (the estimate lands in
+        // its own columns, never in `kappa_min`).
+        let point = |minute: u64, estimate| LoadPoint {
+            minute,
+            offered: 10,
+            admitted: 10,
+            shed: 0,
+            queue_depth: 0,
+            in_flight: 0,
+            completed: 10,
+            found_rate: 1.0,
+            p50_ms: 120,
+            p90_ms: 200,
+            p99_ms: 340,
+            kappa_min: 3,
+            kappa_estimate: estimate,
+            budget_spent: 0,
+        };
+        let est = kad_resilience::KappaEstimate {
+            kappa_est: 4.25,
+            ci_lo: 3.9,
+            ci_hi: 4.6,
+            confidence: 0.95,
+            min_sampled: 3,
+            strongly_connected: true,
+            pairs_sampled: 256,
+            strata_used: 4,
+            exact: false,
+        };
+        let outcome = LoadOutcome {
+            scenario: quick_load(None, 30.0, 3),
+            points: vec![point(50, None), point(51, Some(est))],
+            telemetry: LoadTelemetry::new(48),
+            stats: LoadStats::default(),
+            budget_spent: 0,
+            counters: Counters::default(),
+        };
+        let csv = load_timeseries_csv(std::slice::from_ref(&outcome));
+        let header = csv.lines().next().expect("header");
+        assert!(
+            header.ends_with("kappa_min,kappa_est,kappa_ci_lo,kappa_ci_hi,budget_spent"),
+            "estimator columns are labeled distinctly: {header}"
+        );
+        assert!(
+            csv.contains(",3,na,na,na,0"),
+            "exact minutes render na estimator cells: {csv}"
+        );
+        assert!(
+            csv.contains(",3,4.250,3.900,4.600,0"),
+            "sampled minutes carry mean and interval: {csv}"
+        );
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! The paper simulated 250- and 2500-node networks for up to 2500 simulated
 //! minutes and burned ~250 CPU-hours per full connectivity analysis on a
 //! cluster. Reproducing the *shape* of every result does not need that
-//! budget, so the harness ships three presets. The substitutions are
-//! documented in DESIGN.md; `--scale paper` restores the original numbers.
+//! budget, so the harness ships four presets. The substitutions are
+//! documented in DESIGN.md; `--scale paper` restores the original numbers
+//! and `--scale large` jumps to n=1000 overlays on the sampled-κ path.
 //!
 //! # Example
 //!
@@ -33,6 +34,13 @@ pub enum Scale {
     /// large enough to show every qualitative effect the paper reports.
     #[default]
     Laptop,
+    /// The scale leap: n=1000 overlays, the size where the live κ feed
+    /// switches to the sampled estimator
+    /// ([`crate::session::SAMPLED_KAPPA_MIN_NODES`]) and the
+    /// allocation-free hot paths earn their keep. Phases are kept at
+    /// laptop-ish lengths so a full grid stays tractable on one machine;
+    /// the point of this preset is node count, not duration.
+    Large,
     /// The paper's original parameters (250/2500 nodes, full durations).
     Paper,
 }
@@ -80,6 +88,15 @@ impl Scale {
                 lookups_per_min: 10,
                 stores_per_min: 1,
             },
+            Scale::Large => ScaleConfig {
+                small_size: 1000,
+                large_size: 2500,
+                churn_minutes: 120,
+                snapshot_minutes: 10,
+                refresh_policy: RefreshPolicy::OccupiedWithMargin(3),
+                lookups_per_min: 10,
+                stores_per_min: 1,
+            },
             Scale::Paper => ScaleConfig {
                 small_size: 250,
                 large_size: 2500,
@@ -92,8 +109,9 @@ impl Scale {
         }
     }
 
-    /// Reads `REPRO_SCALE` from the environment (`bench`/`laptop`/`paper`),
-    /// falling back to `default_scale` when unset or unparsable.
+    /// Reads `REPRO_SCALE` from the environment
+    /// (`bench`/`laptop`/`large`/`paper`), falling back to
+    /// `default_scale` when unset or unparsable.
     pub fn from_env(default_scale: Scale) -> Scale {
         std::env::var("REPRO_SCALE")
             .ok()
@@ -107,6 +125,7 @@ impl fmt::Display for Scale {
         let name = match self {
             Scale::Bench => "bench",
             Scale::Laptop => "laptop",
+            Scale::Large => "large",
             Scale::Paper => "paper",
         };
         f.write_str(name)
@@ -120,8 +139,11 @@ impl FromStr for Scale {
         match s.to_ascii_lowercase().as_str() {
             "bench" => Ok(Scale::Bench),
             "laptop" => Ok(Scale::Laptop),
+            "large" => Ok(Scale::Large),
             "paper" => Ok(Scale::Paper),
-            other => Err(format!("unknown scale {other:?} (bench|laptop|paper)")),
+            other => Err(format!(
+                "unknown scale {other:?} (bench|laptop|large|paper)"
+            )),
         }
     }
 }
@@ -153,10 +175,20 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        for s in [Scale::Bench, Scale::Laptop, Scale::Paper] {
+        for s in [Scale::Bench, Scale::Laptop, Scale::Large, Scale::Paper] {
             assert_eq!(s.to_string().parse::<Scale>().expect("roundtrip"), s);
         }
         assert!("galaxy".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn large_scale_crosses_the_sampled_kappa_threshold() {
+        let c = Scale::Large.config();
+        assert_eq!(c.small_size, crate::session::SAMPLED_KAPPA_MIN_NODES);
+        assert!(c.small_size > Scale::Paper.config().small_size);
+        // Duration stays laptop-ish: the preset buys node count, not
+        // simulated hours.
+        assert!(c.churn_minutes <= Scale::Laptop.config().churn_minutes.max(120));
     }
 
     #[test]

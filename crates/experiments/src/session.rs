@@ -132,6 +132,13 @@ pub struct SessionShared {
     /// sample minute travels with the value so consumers can reject
     /// stale feedback (e.g. a pre-attack snapshot).
     pub last_kappa: Option<(u64, u64)>,
+    /// The most recent *sampled* κ estimate a sampler published, as
+    /// `(at_minute, estimate)`. Only the sampled live feed
+    /// ([`LiveKappaActor`] at [`SAMPLED_KAPPA_MIN_NODES`] and above)
+    /// writes this; small-overlay runs leave it `None`, which is how the
+    /// CSV emitters know to render `na` in the `kappa_est`/`kappa_ci_*`
+    /// columns instead of a number that could be mistaken for exact κ.
+    pub last_kappa_estimate: Option<(u64, kad_resilience::KappaEstimate)>,
     /// Label of the attack phase currently active (phased attackers).
     pub attack_label: &'static str,
     /// Phase transitions a phased attacker performed: `(minute, label of
@@ -152,6 +159,17 @@ impl SessionShared {
     /// [`MinuteActor::at_minute_end`] hook).
     pub fn publish_kappa(&mut self, at_minute: u64, kappa_min: u64) {
         self.last_kappa = Some((at_minute, kappa_min));
+    }
+
+    /// Publishes a sampled κ estimate (mean + confidence interval)
+    /// alongside the scalar feed. Samplers running the estimator call
+    /// this in addition to [`SessionShared::publish_kappa`].
+    pub fn publish_kappa_estimate(
+        &mut self,
+        at_minute: u64,
+        estimate: kad_resilience::KappaEstimate,
+    ) {
+        self.last_kappa_estimate = Some((at_minute, estimate));
     }
 
     /// The latest published `κ_min` sampled strictly *after* `minute` —
@@ -765,11 +783,38 @@ impl SnapshotGrid {
 /// the cheap exact-minimum path, which is what makes a per-minute feed
 /// affordable (`perf_kappa` pins the budget at n=1000). The full
 /// `(minute, κ_min)` series is kept for the outcome.
+///
+/// At [`SAMPLED_KAPPA_MIN_NODES`] honest nodes and above, the actor
+/// switches to the stratified sampled estimator
+/// ([`kad_resilience::sampled_kappa`]): a fixed pair budget per minute
+/// instead of an exact sweep whose cost grows with the overlay. The
+/// published scalar is then the sampled minimum (an *upper bound* on the
+/// true `κ_min`, exactly 0 whenever the strong-connectivity pre-check
+/// fails — never falsely healthy), and the full estimate (mean + CI)
+/// additionally lands in [`SessionShared::last_kappa_estimate`] for the
+/// `kappa_est`/`kappa_ci_*` CSV columns. Below the threshold nothing
+/// changes, so bench- and laptop-scale outputs stay byte-identical.
 pub struct LiveKappaActor {
     start_minute: u64,
     analysis: kad_resilience::AnalysisConfig,
+    sampled: kad_resilience::SampledKappaConfig,
+    sampled_min_nodes: usize,
     series: Vec<(u64, u64)>,
+    estimates: Vec<(u64, kad_resilience::KappaEstimate)>,
 }
+
+/// Honest-snapshot size at which [`LiveKappaActor`] switches from the
+/// exact minimum-only sweep to the sampled estimator. Matches the scale
+/// where `repro --scale large` starts (n=1000): below it the exact
+/// per-minute feed is affordable and keeps goldens byte-identical.
+pub const SAMPLED_KAPPA_MIN_NODES: usize = 1_000;
+
+/// Per-minute pair budget of the live sampled feed. Deliberately far
+/// below [`SampledKappaConfig::default`]'s offline budget: the feed runs
+/// every simulated minute, and a couple hundred max-flows bound its cost
+/// to the same order as the exact sweep it replaces at n=1k while staying
+/// flat through n=10k.
+const LIVE_SAMPLED_PAIRS: usize = 256;
 
 impl LiveKappaActor {
     /// A live κ feed active from `start_minute` (typically the attack
@@ -778,13 +823,36 @@ impl LiveKappaActor {
         LiveKappaActor {
             start_minute,
             analysis: kad_resilience::AnalysisConfig::min_only(),
+            sampled: kad_resilience::SampledKappaConfig {
+                target_pairs: LIVE_SAMPLED_PAIRS,
+                ..Default::default()
+            },
+            sampled_min_nodes: SAMPLED_KAPPA_MIN_NODES,
             series: Vec::new(),
+            estimates: Vec::new(),
+        }
+    }
+
+    /// Like [`LiveKappaActor::new`] but with a custom sampled-mode
+    /// threshold. `min_nodes: 0` forces the estimator on any overlay
+    /// (used by tests to exercise the sampled path without building a
+    /// thousand-node network); `usize::MAX` pins the exact path.
+    pub fn with_sampled_threshold(start_minute: u64, min_nodes: usize) -> LiveKappaActor {
+        LiveKappaActor {
+            sampled_min_nodes: min_nodes,
+            ..LiveKappaActor::new(start_minute)
         }
     }
 
     /// The `(minute, κ_min)` series observed so far, ascending.
     pub fn series(&self) -> &[(u64, u64)] {
         &self.series
+    }
+
+    /// The `(minute, estimate)` series from sampled minutes, ascending.
+    /// Empty when every minute ran the exact path.
+    pub fn estimates(&self) -> &[(u64, kad_resilience::KappaEstimate)] {
+        &self.estimates
     }
 
     /// Consumes the actor into its per-minute series.
@@ -803,7 +871,15 @@ impl MinuteActor for LiveKappaActor {
             return;
         }
         let snap = net.snapshot();
-        let kappa = kad_resilience::analyze_snapshot(&snap, &self.analysis).min_connectivity;
+        let kappa = if snap.node_count() >= self.sampled_min_nodes {
+            let g = kad_resilience::snapshot_to_digraph(&snap);
+            let est = kad_resilience::sampled_kappa(&g, &self.sampled);
+            ctx.shared.publish_kappa_estimate(ctx.at_minute, est);
+            self.estimates.push((ctx.at_minute, est));
+            est.min_sampled
+        } else {
+            kad_resilience::analyze_snapshot(&snap, &self.analysis).min_connectivity
+        };
         ctx.shared.publish_kappa(ctx.at_minute, kappa);
         self.series.push((ctx.at_minute, kappa));
     }
@@ -953,5 +1029,52 @@ mod tests {
         let b = run();
         assert_eq!(a, b, "same wiring, same seed, same everything");
         assert_eq!(a.1.len(), 3, "attacker spent its budget");
+    }
+
+    #[test]
+    fn live_kappa_switches_to_the_sampled_estimator_past_the_threshold() {
+        // Same overlay, two thresholds: above the overlay size the actor
+        // must run the exact sweep (no estimates), at 0 it must run the
+        // estimator every minute and publish both the scalar feed and the
+        // full estimate. A 14-node network stands in for n=1000 — the
+        // switch tests size against `sampled_min_nodes`, nothing else.
+        let run = |min_nodes: usize| {
+            let mut b = ScenarioBuilder::quick(14, 4);
+            b.name("session-live-kappa")
+                .seed(5)
+                .stabilization_minutes(35);
+            let base = b.build();
+            let mut driver = SessionDriver::new(&base);
+            let mut joins = JoinSchedule::new(&mut driver);
+            let mut traffic = TrafficActor::new(TrafficOrigins::AllAlive);
+            let mut kappa = LiveKappaActor::with_sampled_threshold(30, min_nodes);
+            driver.run(&mut [&mut joins, &mut traffic, &mut kappa]);
+            let (_net, shared) = driver.finish();
+            (kappa.series().to_vec(), kappa.estimates().to_vec(), shared)
+        };
+
+        let (series, estimates, shared) = run(usize::MAX);
+        assert!(!series.is_empty(), "exact path publishes the scalar feed");
+        assert!(estimates.is_empty(), "exact path publishes no estimates");
+        assert!(shared.last_kappa.is_some());
+        assert!(shared.last_kappa_estimate.is_none());
+
+        let (series, estimates, shared) = run(0);
+        assert_eq!(
+            series.len(),
+            estimates.len(),
+            "sampled path estimates every fed minute"
+        );
+        for ((min_s, kappa), (min_e, est)) in series.iter().zip(estimates.iter()) {
+            assert_eq!(min_s, min_e);
+            assert_eq!(
+                *kappa, est.min_sampled,
+                "the scalar feed is the sampled minimum"
+            );
+            assert!(est.ci_lo <= est.ci_hi);
+            assert!(est.brackets(est.kappa_est));
+        }
+        let (at, est) = shared.last_kappa_estimate.expect("estimate published");
+        assert_eq!(shared.last_kappa, Some((at, est.min_sampled)));
     }
 }

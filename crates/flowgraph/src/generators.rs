@@ -71,6 +71,19 @@ pub fn bidirected_cycle(n: usize) -> DiGraph {
     g
 }
 
+/// Bidirected star: vertex 0 is the hub, vertices `1..n` are leaves with
+/// edges to and from the hub only. Every leaf pair has vertex connectivity
+/// exactly 1 (the hub is a cut vertex) — the canonical degenerate case for
+/// connectivity estimators.
+pub fn star(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for v in 1..n as u32 {
+        g.add_edge(0, v);
+        g.add_edge(v, 0);
+    }
+    g
+}
+
 /// Erdős–Rényi `G(n, p)` digraph: each ordered pair becomes an edge
 /// independently with probability `p`.
 ///

@@ -15,7 +15,7 @@
 
 use crate::config::KademliaConfig;
 use crate::contact::Contact;
-use crate::id::NodeId;
+use crate::id::{Distance, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Unique id of a lookup within one simulation.
@@ -74,7 +74,7 @@ enum CandidateState {
     Failed,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 struct Candidate {
     contact: Contact,
     state: CandidateState,
@@ -83,6 +83,88 @@ struct Candidate {
     /// depth of the closest responder is the lookup's hop count — the
     /// quantity the Roos-style analytic hop distribution predicts.
     hop: u32,
+    /// XOR distance to the lookup target, cached at insertion so shortlist
+    /// binary searches never recompute it. For a fixed target the XOR
+    /// metric is injective, so `dist` doubles as an identity key: two
+    /// candidates collide on `dist` iff they are the same node.
+    dist: Distance,
+}
+
+/// Reusable per-lookup shortlist arena.
+///
+/// The simulator pools these: a finished [`LookupState`] returns its arena
+/// via [`LookupState::into_scratch`] and the next lookup starts from it via
+/// [`LookupState::with_scratch`], which *resets* (clears) the buffer but
+/// keeps its heap capacity — the event loop never reallocates shortlists in
+/// steady state.
+#[derive(Clone, Debug, Default)]
+pub struct LookupScratch {
+    shortlist: Vec<Candidate>,
+}
+
+/// The set of a node's in-progress lookups, keyed by [`LookupId`].
+///
+/// Backed by an insertion-ordered `Vec` rather than a `HashMap`: a node has
+/// only a handful of concurrent lookups, so linear id scans beat hashing,
+/// and — the property the simulator's determinism contract relies on —
+/// iteration order is *insertion order*, never hash order. Removal shifts
+/// (`Vec::remove`) precisely to preserve that order.
+#[derive(Clone, Debug, Default)]
+pub struct LookupTable {
+    entries: Vec<(LookupId, LookupState)>,
+}
+
+impl LookupTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        LookupTable::default()
+    }
+
+    /// Number of lookups in progress.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no lookup is in progress.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The lookup with id `id`, if present.
+    pub fn get(&self, id: LookupId) -> Option<&LookupState> {
+        self.entries.iter().find(|(i, _)| *i == id).map(|(_, s)| s)
+    }
+
+    /// Mutable access to the lookup with id `id`.
+    pub fn get_mut(&mut self, id: LookupId) -> Option<&mut LookupState> {
+        self.entries
+            .iter_mut()
+            .find(|(i, _)| *i == id)
+            .map(|(_, s)| s)
+    }
+
+    /// Inserts a lookup (ids are unique per simulation; inserting a
+    /// duplicate id is a logic error).
+    pub fn insert(&mut self, state: LookupState) {
+        debug_assert!(self.get(state.id()).is_none(), "duplicate lookup id");
+        self.entries.push((state.id(), state));
+    }
+
+    /// Removes and returns the lookup with id `id`.
+    pub fn remove(&mut self, id: LookupId) -> Option<LookupState> {
+        let pos = self.entries.iter().position(|(i, _)| *i == id)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Iterates lookups in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &LookupState> {
+        self.entries.iter().map(|(_, s)| s)
+    }
+
+    /// Drains all lookups in insertion order, keeping the table's capacity.
+    pub fn drain(&mut self) -> impl Iterator<Item = (LookupId, LookupState)> + '_ {
+        self.entries.drain(..)
+    }
 }
 
 /// The iterative α-parallel lookup state machine.
@@ -103,6 +185,17 @@ pub struct LookupState {
     messages_sent: u32,
     /// Whether a `Retrieve` lookup has hit a node holding the value.
     value_found: bool,
+    /// Watermark: every shortlist entry below this index is known to be
+    /// non-`Untried`. States never revert to `Untried`, so the only thing
+    /// that can lower the bound is an insertion — [`merge_chunk`] clamps
+    /// it to the first insert position. Lets [`next_queries_into`] and
+    /// [`is_finished`] skip the settled prefix instead of rescanning the
+    /// whole shortlist on every response.
+    ///
+    /// [`merge_chunk`]: LookupState::merge_chunk
+    /// [`next_queries_into`]: LookupState::next_queries_into
+    /// [`is_finished`]: LookupState::is_finished
+    untried_floor: usize,
 }
 
 impl LookupState {
@@ -112,25 +205,63 @@ impl LookupState {
         target: NodeId,
         purpose: LookupPurpose,
         own_id: NodeId,
-        seeds: Vec<Contact>,
+        seeds: &[Contact],
         config: &KademliaConfig,
     ) -> Self {
+        LookupState::with_scratch(
+            id,
+            target,
+            purpose,
+            own_id,
+            seeds,
+            config,
+            LookupScratch::default(),
+        )
+    }
+
+    /// [`LookupState::new`] from a pooled shortlist arena: the arena is
+    /// reset (cleared) and reserved to the worst-case shortlist footprint
+    /// (`capacity + k` — a merge can transiently overshoot capacity by one
+    /// response's worth of contacts before pruning), so a warm arena never
+    /// grows again.
+    pub fn with_scratch(
+        id: LookupId,
+        target: NodeId,
+        purpose: LookupPurpose,
+        own_id: NodeId,
+        seeds: &[Contact],
+        config: &KademliaConfig,
+        scratch: LookupScratch,
+    ) -> Self {
+        let mut shortlist = scratch.shortlist;
+        shortlist.clear();
+        let capacity = config.shortlist_capacity();
+        shortlist.reserve(capacity + config.k);
         let mut state = LookupState {
             id,
             target,
             purpose,
             own_id,
-            shortlist: Vec::new(),
-            capacity: config.shortlist_capacity(),
+            shortlist,
+            capacity,
             k: config.k,
             alpha: config.alpha,
             in_flight: 0,
             responded: 0,
             messages_sent: 0,
             value_found: false,
+            untried_floor: 0,
         };
         state.merge_candidates(seeds, 1);
         state
+    }
+
+    /// Reclaims the shortlist arena for pooling (see [`LookupScratch`]).
+    pub fn into_scratch(mut self) -> LookupScratch {
+        self.shortlist.clear();
+        LookupScratch {
+            shortlist: self.shortlist,
+        }
     }
 
     /// The lookup's id.
@@ -190,26 +321,41 @@ impl LookupState {
     /// and returns them for the driver to query.
     pub fn next_queries(&mut self) -> Vec<Contact> {
         let mut queries = Vec::new();
+        self.next_queries_into(&mut queries);
+        queries
+    }
+
+    /// [`LookupState::next_queries`] into a caller-provided buffer
+    /// (cleared first) — the allocation-free variant the simulator's pooled
+    /// query buffer uses.
+    pub fn next_queries_into(&mut self, out: &mut Vec<Contact>) {
+        out.clear();
         if self.responded >= self.k || self.value_found {
-            return queries;
+            return;
         }
-        for cand in self.shortlist.iter_mut() {
+        // Everything below the watermark is known non-`Untried`; entries
+        // scanned here are either already settled or get marked in-flight,
+        // so the watermark advances to wherever the scan stops.
+        let mut idx = self.untried_floor;
+        while idx < self.shortlist.len() {
             if self.in_flight >= self.alpha {
                 break;
             }
+            let cand = &mut self.shortlist[idx];
             if cand.state == CandidateState::Untried {
                 cand.state = CandidateState::InFlight;
                 self.in_flight += 1;
-                queries.push(cand.contact);
+                out.push(cand.contact);
             }
+            idx += 1;
         }
-        self.messages_sent += queries.len() as u32;
-        queries
+        self.untried_floor = idx;
+        self.messages_sent += out.len() as u32;
     }
 
     /// Feeds a successful response from `from`, merging the returned
     /// contacts into the shortlist.
-    pub fn on_response(&mut self, from: &NodeId, returned: Vec<Contact>) {
+    pub fn on_response(&mut self, from: &NodeId, returned: &[Contact]) {
         let mut from_hop = 1;
         if let Some(pos) = self.candidate_position(from) {
             if self.shortlist[pos].state == CandidateState::InFlight {
@@ -244,8 +390,7 @@ impl LookupState {
             return true;
         }
         self.in_flight == 0
-            && !self
-                .shortlist
+            && !self.shortlist[self.untried_floor..]
                 .iter()
                 .any(|c| c.state == CandidateState::Untried)
     }
@@ -253,41 +398,59 @@ impl LookupState {
     /// The closest successfully-contacted nodes — the lookup result, and
     /// the STORE targets for a dissemination.
     pub fn closest_responded(&self, count: usize) -> Vec<Contact> {
-        self.shortlist
-            .iter()
-            .filter(|c| c.state == CandidateState::Responded)
-            .take(count)
-            .map(|c| c.contact)
-            .collect()
+        let mut out = Vec::new();
+        self.closest_responded_into(count, &mut out);
+        out
+    }
+
+    /// [`LookupState::closest_responded`] into a caller-provided buffer
+    /// (cleared first).
+    pub fn closest_responded_into(&self, count: usize, out: &mut Vec<Contact>) {
+        out.clear();
+        out.extend(
+            self.shortlist
+                .iter()
+                .filter(|c| c.state == CandidateState::Responded)
+                .take(count)
+                .map(|c| c.contact),
+        );
     }
 
     fn candidate_position(&self, id: &NodeId) -> Option<usize> {
-        self.shortlist.iter().position(|c| c.contact.id == *id)
+        // The shortlist is sorted by cached distance, and XOR distance to
+        // the fixed target is injective — binary search by distance is an
+        // exact id lookup.
+        let dist = id.distance(&self.target);
+        let pos = self.shortlist.partition_point(|c| c.dist < dist);
+        match self.shortlist.get(pos) {
+            Some(c) if c.dist == dist => {
+                debug_assert_eq!(c.contact.id, *id, "injective distance");
+                Some(pos)
+            }
+            _ => None,
+        }
     }
 
     /// Inserts new candidates at hop depth `hop`, keeping the list sorted
     /// by distance and pruning the farthest *untried* entries beyond
     /// capacity.
-    fn merge_candidates(&mut self, contacts: Vec<Contact>, hop: u32) {
-        for contact in contacts {
-            if contact.id == self.own_id {
-                continue;
-            }
-            if self.shortlist.iter().any(|c| c.contact.id == contact.id) {
-                continue;
-            }
-            let dist = contact.id.distance(&self.target);
-            let pos = self
-                .shortlist
-                .partition_point(|c| c.contact.id.distance(&self.target) <= dist);
-            self.shortlist.insert(
-                pos,
-                Candidate {
-                    contact,
-                    state: CandidateState::Untried,
-                    hop,
-                },
-            );
+    ///
+    /// Candidates are staged on the stack with their distance computed
+    /// once, sorted, and folded into the sorted shortlist with a single
+    /// backward merge pass — every element moves at most once, instead of
+    /// one `Vec::insert` shift per candidate. Because XOR distance to a
+    /// fixed target is injective, a distance collision *is* a duplicate
+    /// node, so the staging pass also answers the duplicate checks.
+    ///
+    /// Equivalence of the fast reject: a contact farther than everything
+    /// in a full-to-capacity shortlist would end up with rank beyond
+    /// `capacity` with every closer entry still present at prune time, so
+    /// the prune's back-scan is guaranteed to reach and remove it —
+    /// skipping it up front is behaviorally identical.
+    fn merge_candidates(&mut self, contacts: &[Contact], hop: u32) {
+        const BATCH: usize = 24;
+        for chunk in contacts.chunks(BATCH) {
+            self.merge_chunk(chunk, hop);
         }
         // Prune: drop farthest untried candidates beyond capacity.
         if self.shortlist.len() > self.capacity {
@@ -299,6 +462,98 @@ impl LookupState {
                     self.shortlist.remove(i);
                     excess -= 1;
                 }
+            }
+        }
+    }
+
+    fn merge_chunk(&mut self, chunk: &[Contact], hop: u32) {
+        let Some(&first) = chunk.first() else { return };
+        let stage = |contact: Contact| Candidate {
+            contact,
+            state: CandidateState::Untried,
+            hop,
+            dist: contact.id.distance(&self.target),
+        };
+        // Stage every candidate with its distance computed once, dropping
+        // the owner itself.
+        let mut staged = [stage(first); 24];
+        let mut m = 0;
+        for &contact in chunk {
+            if contact.id == self.own_id {
+                continue;
+            }
+            staged[m] = stage(contact);
+            m += 1;
+        }
+        if m == 0 {
+            return;
+        }
+        // Simulator responses arrive distance-sorted (they are
+        // `closest_into` output), which the whole filter below exploits;
+        // arbitrary callers may not be, so normalize: sort and drop
+        // in-batch duplicates (equal distance = same node). The sorted
+        // path cannot contain in-batch duplicates — they would violate
+        // strict ascent.
+        if !(1..m).all(|i| staged[i - 1].dist < staged[i].dist) {
+            staged[..m].sort_unstable_by_key(|s| s.dist);
+            let mut unique = 1;
+            for i in 1..m {
+                if staged[i].dist != staged[unique - 1].dist {
+                    staged[unique] = staged[i];
+                    unique += 1;
+                }
+            }
+            m = unique;
+        }
+        // Filter against the current shortlist with one forward scan:
+        // both sides are now sorted, so the duplicate probe is a
+        // sequential two-pointer walk instead of a binary search per
+        // candidate — and when the list is at capacity, one comparison
+        // against the current worst entry rejects the whole remaining
+        // tail (the fast reject above, applied once instead of per
+        // contact).
+        let at_capacity = self.shortlist.len() >= self.capacity;
+        let worst = self.shortlist.last().map(|c| c.dist);
+        let mut keep = 0;
+        let mut p = 0;
+        for i in 0..m {
+            let d = staged[i].dist;
+            if at_capacity && worst.is_some_and(|w| d > w) {
+                break;
+            }
+            while p < self.shortlist.len() && self.shortlist[p].dist < d {
+                p += 1;
+            }
+            if self.shortlist.get(p).is_some_and(|c| c.dist == d) {
+                continue;
+            }
+            if keep == 0 {
+                // First fresh `Untried` entry lands at index `p`; the
+                // watermark must not skip it.
+                self.untried_floor = self.untried_floor.min(p);
+            }
+            staged[keep] = staged[i];
+            keep += 1;
+        }
+        if keep == 0 {
+            return;
+        }
+        let staged = &staged[..keep];
+        // One backward merge pass: grow the list, then fill from the back.
+        let old_len = self.shortlist.len();
+        self.shortlist.resize(old_len + keep, staged[0]);
+        let mut i = old_len; // unmerged shortlist entries [..i]
+        let mut j = keep; // unmerged staged entries [..j]
+        for w in (0..old_len + keep).rev() {
+            if j == 0 {
+                break; // remaining shortlist prefix already in place
+            }
+            if i > 0 && self.shortlist[i - 1].dist > staged[j - 1].dist {
+                self.shortlist[w] = self.shortlist[i - 1];
+                i -= 1;
+            } else {
+                self.shortlist[w] = staged[j - 1];
+                j -= 1;
             }
         }
     }
@@ -328,7 +583,7 @@ mod tests {
             NodeId::from_u64(target, 32),
             LookupPurpose::Locate,
             NodeId::from_u64(u32::MAX as u64, 32),
-            seeds.iter().map(|&v| contact(v)).collect(),
+            &seeds.iter().map(|&v| contact(v)).collect::<Vec<_>>(),
             &config(k, alpha),
         )
     }
@@ -349,7 +604,7 @@ mod tests {
     fn response_frees_slot_and_merges_contacts() {
         let mut s = lookup(0, &[1, 2, 50], 20, 2);
         let _ = s.next_queries();
-        s.on_response(&NodeId::from_u64(1, 32), vec![contact(3), contact(4)]);
+        s.on_response(&NodeId::from_u64(1, 32), &[contact(3), contact(4)]);
         assert_eq!(s.responded(), 1);
         let q = s.next_queries();
         // Closest untried are now 3 (just merged); one slot free.
@@ -361,9 +616,9 @@ mod tests {
         let mut s = lookup(0, &[1, 2, 3], 2, 3);
         let q = s.next_queries();
         assert_eq!(q.len(), 3);
-        s.on_response(&NodeId::from_u64(1, 32), vec![]);
+        s.on_response(&NodeId::from_u64(1, 32), &[]);
         assert!(!s.is_finished());
-        s.on_response(&NodeId::from_u64(2, 32), vec![]);
+        s.on_response(&NodeId::from_u64(2, 32), &[]);
         assert!(s.is_finished(), "k=2 successes reached");
         assert!(
             s.next_queries().is_empty(),
@@ -401,7 +656,7 @@ mod tests {
         let mut s = lookup(0, &[8, 1, 4], 20, 3);
         let _ = s.next_queries();
         for v in [8u64, 1, 4] {
-            s.on_response(&NodeId::from_u64(v, 32), vec![]);
+            s.on_response(&NodeId::from_u64(v, 32), &[]);
         }
         let top = s.closest_responded(2);
         assert_eq!(top, vec![contact(1), contact(4)]);
@@ -411,7 +666,7 @@ mod tests {
     fn failed_candidates_not_in_result() {
         let mut s = lookup(0, &[1, 2], 20, 2);
         let _ = s.next_queries();
-        s.on_response(&NodeId::from_u64(2, 32), vec![]);
+        s.on_response(&NodeId::from_u64(2, 32), &[]);
         s.on_failure(&NodeId::from_u64(1, 32));
         assert_eq!(s.closest_responded(5), vec![contact(2)]);
     }
@@ -430,7 +685,7 @@ mod tests {
             NodeId::from_u64(0, 32),
             LookupPurpose::Locate,
             NodeId::from_u64(u32::MAX as u64, 32),
-            (1..=10).map(contact).collect(),
+            &(1..=10).map(contact).collect::<Vec<_>>(),
             &cfg,
         );
         // Capacity is 4; merging kept only the closest 4 untried.
@@ -444,8 +699,8 @@ mod tests {
     fn late_duplicate_response_not_double_counted() {
         let mut s = lookup(0, &[1, 2], 2, 2);
         let _ = s.next_queries();
-        s.on_response(&NodeId::from_u64(1, 32), vec![]);
-        s.on_response(&NodeId::from_u64(1, 32), vec![]);
+        s.on_response(&NodeId::from_u64(1, 32), &[]);
+        s.on_response(&NodeId::from_u64(1, 32), &[]);
         assert_eq!(s.responded(), 1);
     }
 
@@ -453,7 +708,7 @@ mod tests {
     fn failure_after_response_keeps_responded_state() {
         let mut s = lookup(0, &[1], 5, 1);
         let _ = s.next_queries();
-        s.on_response(&NodeId::from_u64(1, 32), vec![]);
+        s.on_response(&NodeId::from_u64(1, 32), &[]);
         s.on_failure(&NodeId::from_u64(1, 32));
         assert_eq!(s.responded(), 1);
         assert_eq!(s.closest_responded(5).len(), 1);
@@ -463,7 +718,7 @@ mod tests {
     fn unknown_sender_ignored() {
         let mut s = lookup(0, &[1], 5, 1);
         let _ = s.next_queries();
-        s.on_response(&NodeId::from_u64(77, 32), vec![contact(5)]);
+        s.on_response(&NodeId::from_u64(77, 32), &[contact(5)]);
         // 77 wasn't a candidate; its contacts still merge.
         assert_eq!(s.responded(), 0);
         assert!(
@@ -487,7 +742,7 @@ mod tests {
         let mut s = lookup(0, &[1, 2, 3], 10, 2);
         while !s.is_finished() {
             for c in s.next_queries() {
-                s.on_response(&c.id, vec![contact(1), contact(2), contact(3)]);
+                s.on_response(&c.id, &[contact(1), contact(2), contact(3)]);
             }
         }
         assert_eq!(s.responded(), 3, "all three seeds responded");
@@ -526,7 +781,7 @@ mod tests {
                 if i % 2 == 0 {
                     let fresh = vec![contact(next_new), contact(next_new + 1)];
                     next_new += 2;
-                    s.on_response(&c.id, fresh);
+                    s.on_response(&c.id, &fresh);
                 } else {
                     s.on_failure(&c.id);
                 }
@@ -565,14 +820,14 @@ mod tests {
         let q = s.next_queries();
         assert_eq!(q, vec![contact(100)]);
         // Seed (hop 1) responds with a closer node -> that node is hop 2.
-        s.on_response(&NodeId::from_u64(100, 32), vec![contact(4)]);
+        s.on_response(&NodeId::from_u64(100, 32), &[contact(4)]);
         let q = s.next_queries();
         assert_eq!(q, vec![contact(4)]);
-        s.on_response(&NodeId::from_u64(4, 32), vec![contact(1)]);
+        s.on_response(&NodeId::from_u64(4, 32), &[contact(1)]);
         let q = s.next_queries();
         assert_eq!(q, vec![contact(1)]);
         // Hop-3 node is now the closest responder.
-        s.on_response(&NodeId::from_u64(1, 32), vec![]);
+        s.on_response(&NodeId::from_u64(1, 32), &[]);
         assert_eq!(s.result_hops(), 3);
         assert_eq!(s.messages_sent(), 3);
     }
@@ -613,16 +868,76 @@ mod tests {
             NodeId::from_u64(0, 32),
             LookupPurpose::Retrieve,
             NodeId::from_u64(u32::MAX as u64, 32),
-            vec![contact(1), contact(2), contact(3)],
+            &[contact(1), contact(2), contact(3)],
             &config(20, 1),
         );
         let _ = s.next_queries();
         assert!(!s.is_finished());
-        s.on_response(&NodeId::from_u64(1, 32), vec![]);
+        s.on_response(&NodeId::from_u64(1, 32), &[]);
         s.mark_value_found();
         assert!(s.value_found());
         assert!(s.is_finished(), "value hit terminates the lookup");
         assert!(s.next_queries().is_empty(), "no queries after the hit");
         assert_eq!(s.result_hops(), 1);
+    }
+
+    #[test]
+    fn lookup_table_iterates_in_insertion_order() {
+        // Regression test for the determinism audit: per-node lookup
+        // bookkeeping used to live in a HashMap whose iteration order was
+        // hash-dependent; LookupTable pins it to insertion order.
+        let mut t = LookupTable::new();
+        for id in [7u64, 3, 9, 1] {
+            t.insert(LookupState::new(
+                id,
+                NodeId::from_u64(0, 32),
+                LookupPurpose::Locate,
+                NodeId::from_u64(u32::MAX as u64, 32),
+                &[contact(1)],
+                &config(20, 3),
+            ));
+        }
+        let ids: Vec<LookupId> = t.iter().map(|s| s.id()).collect();
+        assert_eq!(ids, vec![7, 3, 9, 1], "insertion order, not key order");
+        assert_eq!(t.remove(9).map(|s| s.id()), Some(9));
+        assert!(t.remove(9).is_none(), "double-remove is a no-op");
+        let ids: Vec<LookupId> = t.iter().map(|s| s.id()).collect();
+        assert_eq!(ids, vec![7, 3, 1], "removal keeps survivors in order");
+        assert_eq!(t.get(3).map(|s| s.id()), Some(3));
+        assert!(t.get(9).is_none());
+        let drained: Vec<LookupId> = t.drain().map(|(id, _)| id).collect();
+        assert_eq!(drained, vec![7, 3, 1], "drain is insertion order too");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_resets_without_reallocating() {
+        let cfg = config(2, 2);
+        let mut s = lookup(0, &[1, 2, 3], 2, 2);
+        let _ = s.next_queries();
+        s.on_response(&NodeId::from_u64(1, 32), &[]);
+        s.on_response(&NodeId::from_u64(2, 32), &[]);
+        assert!(s.is_finished());
+        let scratch = s.into_scratch();
+        let cap = scratch.shortlist.capacity();
+        assert!(
+            cap >= cfg.shortlist_capacity() + cfg.k,
+            "arena reserved to worst-case shortlist footprint"
+        );
+        let mut s2 = LookupState::with_scratch(
+            2,
+            NodeId::from_u64(0, 32),
+            LookupPurpose::Locate,
+            NodeId::from_u64(u32::MAX as u64, 32),
+            &[contact(5)],
+            &cfg,
+            scratch,
+        );
+        assert_eq!(s2.next_queries(), vec![contact(5)]);
+        assert_eq!(
+            s2.shortlist.capacity(),
+            cap,
+            "warm arena is reset, never reallocated"
+        );
     }
 }

@@ -39,12 +39,13 @@ use crate::config::{KademliaConfig, RefreshPolicy};
 use crate::contact::{Contact, NodeAddr};
 use crate::defense::{DefensePolicy, InsertDecision};
 use crate::id::NodeId;
-use crate::lookup::{partition_seeds, LookupId, LookupPurpose, LookupState};
+use crate::lookup::{partition_seeds, LookupId, LookupPurpose, LookupScratch, LookupState};
 use crate::messages::{Message, RequestKind, ResponseBody, RpcId};
 use crate::node::KademliaNode;
+use crate::slab::GenSlab;
 use crate::snapshot::RoutingSnapshot;
 use dessim::event::EventId;
-use dessim::metrics::Counters;
+use dessim::metrics::{Counters, HotCounter};
 use dessim::rng::RngFactory;
 use dessim::scheduler::EventQueue;
 use dessim::time::SimTime;
@@ -158,6 +159,82 @@ struct DisjointGroup {
 /// Slot sentinel: this pending RPC recorded no trace span.
 const NO_TRACE_SLOT: usize = usize::MAX;
 
+/// Pool-size cap: bounds idle memory without throttling steady state (the
+/// number of buffers simultaneously out of the pool is bounded by in-flight
+/// RPCs, which the cap comfortably exceeds at every supported scale).
+const MAX_POOLED_BUFS: usize = 8192;
+
+/// Pooled scratch buffers for the event loop's hot paths.
+///
+/// Contact buffers cycle: one leaves the pool to carry a response body,
+/// rides the event queue inside the message, and returns to the pool when
+/// the response is consumed — or when the message is lost in transit or
+/// delivered to a dead node. Lookup arenas cycle between
+/// [`LookupState::with_scratch`] and [`LookupState::into_scratch`]. After
+/// warm-up every pool sits at its high-water mark and the steady-state
+/// event loop performs zero heap allocations.
+#[derive(Debug, Default)]
+struct NetScratch {
+    /// Recycled contact vectors (response bodies, lookup seeds).
+    contact_bufs: Vec<Vec<Contact>>,
+    /// Recycled per-lookup shortlist arenas.
+    lookup_arenas: Vec<LookupScratch>,
+    /// The query buffer `drive_lookup` borrows via `mem::take`.
+    queries: Vec<Contact>,
+    /// The STORE-target buffer for finished disseminations.
+    store_targets: Vec<Contact>,
+}
+
+/// Capacity every pooled contact buffer is created with, and the floor a
+/// buffer must meet to re-enter the pool. `closest_into`'s bounded band
+/// collection peaks at `count + bucket capacity` contacts, and the
+/// largest `count` on the hot path is the lookup shortlist (`3k`), so
+/// `4k = 80` at the paper's `k = 20` — 128 covers that with slack.
+/// Normalizing capacity at the pool boundary matters for the
+/// zero-allocation gate: without it, each buffer *individually* doubles
+/// its way to the working-set bound over many recyclings, and with
+/// hundreds of buffers cycling randomly that growth trickles on for
+/// hours of simulated time.
+const CONTACT_BUF_CAP: usize = 128;
+
+impl NetScratch {
+    fn take_contacts(&mut self) -> Vec<Contact> {
+        self.contact_bufs
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(CONTACT_BUF_CAP))
+    }
+
+    /// Adds up to `count` full-capacity buffers to the pool (bounded by
+    /// [`MAX_POOLED_BUFS`]); called once per spawned node.
+    fn pre_mint_contacts(&mut self, count: usize) {
+        let target = MAX_POOLED_BUFS.min(self.contact_bufs.len() + count);
+        while self.contact_bufs.len() < target {
+            self.contact_bufs.push(Vec::with_capacity(CONTACT_BUF_CAP));
+        }
+    }
+
+    /// Returns a buffer to the pool. Undersized buffers — one whose
+    /// storage was taken into a response body (capacity zero), or a body
+    /// built before capacity normalization — are dropped; replacements
+    /// are minted at full capacity by [`NetScratch::take_contacts`].
+    fn recycle_contacts(&mut self, mut buf: Vec<Contact>) {
+        if buf.capacity() >= CONTACT_BUF_CAP && self.contact_bufs.len() < MAX_POOLED_BUFS {
+            buf.clear();
+            self.contact_bufs.push(buf);
+        }
+    }
+
+    fn take_lookup(&mut self) -> LookupScratch {
+        self.lookup_arenas.pop().unwrap_or_default()
+    }
+
+    fn recycle_lookup(&mut self, arena: LookupScratch) {
+        if self.lookup_arenas.len() < MAX_POOLED_BUFS {
+            self.lookup_arenas.push(arena);
+        }
+    }
+}
+
 /// A request awaiting its response.
 #[derive(Clone, Debug)]
 struct PendingRpc {
@@ -204,9 +281,13 @@ pub struct SimNetwork {
     transport: Transport,
     nodes: Vec<KademliaNode>,
     queue: EventQueue<SimEvent>,
-    pending: HashMap<RpcId, PendingRpc>,
-    next_rpc_id: RpcId,
+    /// In-flight RPCs in a generation-indexed slab: the [`RpcId`] *is* the
+    /// slab key (`generation << 32 | slot`), so a timeout firing after its
+    /// RPC completed and its slot was reused misses cleanly.
+    pending: GenSlab<PendingRpc>,
     next_lookup_id: LookupId,
+    /// Pooled hot-path buffers (see [`NetScratch`]).
+    scratch: NetScratch,
     transport_rng: SmallRng,
     refresh_rng: SmallRng,
     id_rng: SmallRng,
@@ -247,9 +328,9 @@ impl SimNetwork {
             transport,
             nodes: Vec::new(),
             queue: EventQueue::new(),
-            pending: HashMap::new(),
-            next_rpc_id: 0,
+            pending: GenSlab::new(),
             next_lookup_id: 0,
+            scratch: NetScratch::default(),
             transport_rng: factory.stream("transport"),
             refresh_rng: factory.stream("refresh"),
             id_rng: factory.stream("node-ids"),
@@ -387,6 +468,11 @@ impl SimNetwork {
             .push(KademliaNode::new(contact, &self.config, self.now()));
         self.alive_count += 1;
         self.counters.incr("node_spawned");
+        // Pre-mint pooled response buffers in proportion to network size:
+        // peak buffers-in-flight tracks the minute-start lookup burst
+        // (every node firing α queries at once), and minting here — in
+        // the topology phase — keeps that growth off the event loop.
+        self.scratch.pre_mint_contacts(8);
         // A node's defense-tick chain starts exactly once: here for nodes
         // spawned after the policy was installed, in `set_defense_policy`
         // for nodes alive at install time.
@@ -430,18 +516,24 @@ impl SimNetwork {
             return false;
         }
         node.alive = false;
-        for id in node.lookups.keys() {
-            self.lookup_started.remove(id);
-            self.trace.buffers.remove(id);
+        let compromised = node.compromised;
+        // Drain the dying node's lookups in insertion order (LookupTable
+        // guarantees deterministic traversal) and reclaim their arenas.
+        let mut lookups = std::mem::take(&mut node.lookups);
+        for (id, state) in lookups.drain() {
+            self.lookup_started.remove(&id);
+            self.trace.buffers.remove(&id);
             // Disjoint-path groups die with their origin: drop the group
             // (all members run at the same node) without emitting.
-            if let Some(gid) = self.disjoint.remove(id) {
+            if let Some(gid) = self.disjoint.remove(&id) {
                 self.groups.remove(&gid);
             }
+            self.scratch.recycle_lookup(state.into_scratch());
         }
-        node.lookups.clear();
+        // Hand the (empty) table back so its capacity survives.
+        self.nodes[addr.index()].lookups = lookups;
         self.alive_count -= 1;
-        if node.compromised {
+        if compromised {
             // A compromised machine can still churn away; it stops counting
             // against the attacker's live foothold.
             self.compromised_count -= 1;
@@ -591,7 +683,7 @@ impl SimNetwork {
         let remaining = paths.len();
         let members: Vec<LookupId> = paths
             .into_iter()
-            .map(|path| self.create_lookup(addr, key, LookupPurpose::Retrieve, path, false))
+            .map(|path| self.create_lookup(addr, key, LookupPurpose::Retrieve, &path, false))
             .collect();
         let gid = self.next_group_id;
         self.next_group_id += 1;
@@ -657,20 +749,22 @@ impl SimNetwork {
         target: NodeId,
         purpose: LookupPurpose,
     ) -> LookupId {
-        let node = &mut self.nodes[addr.index()];
-        let mut seeds = node
-            .routing
-            .closest(&target, self.config.shortlist_capacity());
+        let mut seeds = self.scratch.take_contacts();
+        let node = &self.nodes[addr.index()];
+        node.routing
+            .closest_into(&target, self.config.shortlist_capacity(), &mut seeds);
+        let bootstrap = node.bootstrap;
         if seeds.is_empty() {
             // Empty routing table (join request lost, or heavy loss evicted
             // everything): fall back to the remembered bootstrap contact so
             // the node keeps retrying instead of staying isolated forever.
-            if let Some(b) = node.bootstrap {
+            if let Some(b) = bootstrap {
                 seeds.push(b);
                 self.counters.incr("bootstrap_reseed");
             }
         }
-        let id = self.create_lookup(addr, target, purpose, seeds, true);
+        let id = self.create_lookup(addr, target, purpose, &seeds, true);
+        self.scratch.recycle_contacts(seeds);
         self.drive_lookup(addr, id);
         id
     }
@@ -684,14 +778,16 @@ impl SimNetwork {
         addr: NodeAddr,
         target: NodeId,
         purpose: LookupPurpose,
-        seeds: Vec<Contact>,
+        seeds: &[Contact],
         track_start: bool,
     ) -> LookupId {
         let id = self.next_lookup_id;
         self.next_lookup_id += 1;
+        let arena = self.scratch.take_lookup();
         let node = &mut self.nodes[addr.index()];
-        let state = LookupState::new(id, target, purpose, node.id(), seeds, &self.config);
-        node.lookups.insert(id, state);
+        let state =
+            LookupState::with_scratch(id, target, purpose, node.id(), seeds, &self.config, arena);
+        node.lookups.insert(state);
         if track_start && self.sink.0.is_some() {
             self.lookup_started.insert(id, self.queue.now());
         }
@@ -708,38 +804,56 @@ impl SimNetwork {
     }
 
     /// Advances a lookup: sends fresh queries or finalizes it.
+    ///
+    /// Uses the pooled query buffer via `mem::take` (dispatching queries
+    /// re-enters `send_request`, never `drive_lookup` itself, so one
+    /// buffer suffices) and recycles the finished lookup's arena.
     fn drive_lookup(&mut self, addr: NodeAddr, lookup_id: LookupId) {
         let _span = kad_telemetry::span::span("lookup-dispatch");
-        let (queries, finished) = {
+        let mut queries = std::mem::take(&mut self.scratch.queries);
+        let finished = {
             let node = &mut self.nodes[addr.index()];
-            let Some(state) = node.lookups.get_mut(&lookup_id) else {
-                return;
-            };
-            let queries = state.next_queries();
-            (queries, state.is_finished())
+            match node.lookups.get_mut(lookup_id) {
+                Some(state) => {
+                    state.next_queries_into(&mut queries);
+                    state.is_finished()
+                }
+                None => {
+                    self.scratch.queries = queries;
+                    return;
+                }
+            }
         };
         if finished {
-            let node = &mut self.nodes[addr.index()];
-            let state = node
+            let state = self.nodes[addr.index()]
                 .lookups
-                .remove(&lookup_id)
+                .remove(lookup_id)
                 .expect("finished lookup present");
-            self.counters.incr("lookup_finished");
+            self.counters.incr_hot(HotCounter::LookupFinished);
             self.finalize_lookup(&state);
             if state.purpose() == LookupPurpose::Disseminate {
                 let key = state.target();
-                for c in state.closest_responded(self.config.k) {
+                let mut targets = std::mem::take(&mut self.scratch.store_targets);
+                state.closest_responded_into(self.config.k, &mut targets);
+                for &c in &targets {
                     self.send_request(addr, c, RequestKind::Store(key), None);
                     self.counters.incr("store_rpc_sent");
                 }
+                targets.clear();
+                self.scratch.store_targets = targets;
             }
+            self.scratch.recycle_lookup(state.into_scratch());
+            self.scratch.queries = queries;
             return;
         }
         let (target, purpose) = {
             let node = &self.nodes[addr.index()];
-            match node.lookups.get(&lookup_id) {
+            match node.lookups.get(lookup_id) {
                 Some(s) => (s.target(), s.purpose()),
-                None => return,
+                None => {
+                    self.scratch.queries = queries;
+                    return;
+                }
             }
         };
         let kind = if purpose == LookupPurpose::Retrieve {
@@ -747,9 +861,11 @@ impl SimNetwork {
         } else {
             RequestKind::FindNode(target)
         };
-        for c in queries {
+        for &c in &queries {
             self.send_request(addr, c, kind, Some(lookup_id));
         }
+        queries.clear();
+        self.scratch.queries = queries;
     }
 
     /// Routes a terminated lookup to its accounting: disjoint-path
@@ -797,7 +913,7 @@ impl SimNetwork {
             let finished_id = state.id();
             for member in members {
                 if member != finished_id {
-                    if let Some(sibling) = self.nodes[origin.index()].lookups.get_mut(&member) {
+                    if let Some(sibling) = self.nodes[origin.index()].lookups.get_mut(member) {
                         sibling.mark_value_found();
                     }
                 }
@@ -974,8 +1090,9 @@ impl SimNetwork {
         kind: RequestKind,
         lookup: Option<LookupId>,
     ) {
-        let rpc_id = self.next_rpc_id;
-        self.next_rpc_id += 1;
+        // The slab key doubles as the RpcId; `next_key` lets the timeout
+        // event and trace span carry it before the insert happens.
+        let rpc_id = self.pending.next_key();
         let timeout_event = self
             .queue
             .schedule_after(self.config.rpc_timeout, SimEvent::RpcTimeout { rpc_id });
@@ -1000,17 +1117,15 @@ impl SimNetwork {
                 }
             }
         }
-        self.pending.insert(
-            rpc_id,
-            PendingRpc {
-                requester: from,
-                to,
-                lookup,
-                timeout_event,
-                trace_slot,
-            },
-        );
-        self.counters.incr("rpc_sent");
+        let assigned = self.pending.insert(PendingRpc {
+            requester: from,
+            to,
+            lookup,
+            timeout_event,
+            trace_slot,
+        });
+        debug_assert_eq!(assigned, rpc_id, "next_key predicted the slab key");
+        self.counters.incr_hot(HotCounter::RpcSent);
         let msg = Message::Request {
             rpc_id,
             from: self.nodes[from.index()].contact,
@@ -1021,12 +1136,35 @@ impl SimNetwork {
 
     fn send_message(&mut self, to: NodeAddr, msg: Message) {
         let now = self.now();
-        match self.transport.delivery_time(&mut self.transport_rng, now) {
+        let dt = self.transport.delivery_time(&mut self.transport_rng, now);
+        match dt {
             Some(at) => {
                 self.queue.schedule_at(at, SimEvent::Deliver { to, msg });
-                self.counters.incr("msg_sent");
+                self.counters.incr_hot(HotCounter::MsgSent);
             }
-            None => self.counters.incr("msg_lost"),
+            None => {
+                self.counters.incr_hot(HotCounter::MsgLost);
+                self.reclaim_message(msg);
+            }
+        }
+    }
+
+    /// Recovers the pooled contact buffer riding inside a dropped message
+    /// (lost in transit, or delivered to a dead node).
+    fn reclaim_message(&mut self, msg: Message) {
+        if let Message::Response { body, .. } = msg {
+            self.reclaim_body(body);
+        }
+    }
+
+    /// Recovers the pooled contact buffer inside a response body that will
+    /// not be consumed by a lookup.
+    fn reclaim_body(&mut self, body: ResponseBody) {
+        match body {
+            ResponseBody::Nodes(nodes) | ResponseBody::Value { nodes, .. } => {
+                self.scratch.recycle_contacts(nodes);
+            }
+            _ => {}
         }
     }
 
@@ -1044,7 +1182,8 @@ impl SimNetwork {
 
     fn on_deliver(&mut self, to: NodeAddr, msg: Message) {
         if !self.nodes[to.index()].alive {
-            self.counters.incr("msg_to_dead");
+            self.counters.incr_hot(HotCounter::MsgToDead);
+            self.reclaim_message(msg);
             return;
         }
         match msg {
@@ -1053,11 +1192,19 @@ impl SimNetwork {
                 // their respective routing tables": requests advertise
                 // the requester.
                 self.offer_contact(to, from);
+                let mut buf = self.scratch.take_contacts();
                 let (response, responder) = {
                     let node = &mut self.nodes[to.index()];
-                    (node.handle_request(&kind, self.config.k), node.contact)
+                    (
+                        node.handle_request_with(&kind, self.config.k, &mut buf),
+                        node.contact,
+                    )
                 };
-                self.counters.incr("request_handled");
+                // If the response body took the buffer, `buf` is now empty
+                // (capacity travels inside the message and comes back on
+                // the consumption side); otherwise it returns to the pool.
+                self.scratch.recycle_contacts(buf);
+                self.counters.incr_hot(HotCounter::RequestHandled);
                 self.send_message(
                     from.addr,
                     Message::Response {
@@ -1068,9 +1215,10 @@ impl SimNetwork {
                 );
             }
             Message::Response { rpc_id, from, body } => {
-                let Some(pending) = self.pending.remove(&rpc_id) else {
+                let Some(pending) = self.pending.remove(rpc_id) else {
                     // The timeout already declared this RPC failed.
-                    self.counters.incr("late_response");
+                    self.counters.incr_hot(HotCounter::LateResponse);
+                    self.reclaim_body(body);
                     return;
                 };
                 self.queue.cancel(pending.timeout_event);
@@ -1078,48 +1226,46 @@ impl SimNetwork {
                 let now = self.now();
                 self.offer_contact(to, from);
                 self.nodes[to.index()].routing.record_success(&from.id, now);
-                self.counters.incr("response_received");
+                self.counters.incr_hot(HotCounter::ResponseReceived);
                 if let Some(lookup_id) = pending.lookup {
                     if self.traces_on {
                         self.close_trace_span(&pending, lookup_id, SpanOutcome::Responded);
                         self.trace.cause = Some((rpc_id, lookup_id));
                     }
-                    let (contacts, value_found) = match body {
+                    let (mut contacts, value_found) = match body {
                         ResponseBody::Nodes(nodes) => (nodes, false),
                         ResponseBody::Value { found, nodes } => (nodes, found),
                         _ => (Vec::new(), false),
                     };
                     // Disjoint-path members only merge candidates no
                     // sibling path has claimed (vertex-disjointness).
-                    let contacts = match self.disjoint.get(&lookup_id) {
-                        Some(gid) => match self.groups.get_mut(gid) {
-                            Some(group) => contacts
-                                .into_iter()
-                                .filter(|c| group.claimed.insert(c.id))
-                                .collect(),
-                            None => contacts,
-                        },
-                        None => contacts,
-                    };
-                    if let Some(state) = self.nodes[to.index()].lookups.get_mut(&lookup_id) {
-                        state.on_response(&from.id, contacts);
+                    if let Some(gid) = self.disjoint.get(&lookup_id) {
+                        if let Some(group) = self.groups.get_mut(gid) {
+                            contacts.retain(|c| group.claimed.insert(c.id));
+                        }
+                    }
+                    if let Some(state) = self.nodes[to.index()].lookups.get_mut(lookup_id) {
+                        state.on_response(&from.id, &contacts);
                         if value_found {
-                            self.counters.incr("value_hit");
+                            self.counters.incr_hot(HotCounter::ValueHit);
                             state.mark_value_found();
                         }
                     }
+                    self.scratch.recycle_contacts(contacts);
                     self.drive_lookup(to, lookup_id);
                     self.trace.cause = None;
+                } else {
+                    self.reclaim_body(body);
                 }
             }
         }
     }
 
     fn on_timeout(&mut self, rpc_id: RpcId) {
-        let Some(pending) = self.pending.remove(&rpc_id) else {
+        let Some(pending) = self.pending.remove(rpc_id) else {
             return; // response arrived first
         };
-        self.counters.incr("rpc_timeout");
+        self.counters.incr_hot(HotCounter::RpcTimeout);
         let requester = pending.requester;
         if !self.nodes[requester.index()].alive {
             return;
@@ -1155,7 +1301,7 @@ impl SimNetwork {
                 self.close_trace_span(&pending, lookup_id, SpanOutcome::TimedOut);
                 self.trace.cause = Some((rpc_id, lookup_id));
             }
-            if let Some(state) = self.nodes[requester.index()].lookups.get_mut(&lookup_id) {
+            if let Some(state) = self.nodes[requester.index()].lookups.get_mut(lookup_id) {
                 state.on_failure(&pending.to.id);
             }
             self.drive_lookup(requester, lookup_id);

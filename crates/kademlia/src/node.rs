@@ -3,11 +3,11 @@
 use crate::config::KademliaConfig;
 use crate::contact::Contact;
 use crate::id::NodeId;
-use crate::lookup::{LookupId, LookupState};
+use crate::lookup::LookupTable;
 use crate::messages::{RequestKind, ResponseBody};
 use crate::routing::RoutingTable;
 use dessim::time::SimTime;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// One simulated Kademlia node: identity, routing table, stored keys and
 /// in-progress lookups.
@@ -42,8 +42,8 @@ pub struct KademliaNode {
     /// next lookup re-seeds from the bootstrap — the overlay equivalent of
     /// a deployed node retrying its configured bootstrap list.
     pub bootstrap: Option<Contact>,
-    /// In-progress lookups by id.
-    pub lookups: HashMap<LookupId, LookupState>,
+    /// In-progress lookups, in insertion order (see [`LookupTable`]).
+    pub lookups: LookupTable,
 }
 
 impl KademliaNode {
@@ -52,12 +52,17 @@ impl KademliaNode {
         KademliaNode {
             contact,
             routing: RoutingTable::new(contact.id, config),
-            storage: HashSet::new(),
+            // Reserved headroom: STORE traffic grows this set from inside
+            // the event loop, and a resize there is the only allocation
+            // the data plane would otherwise make. 64 slots absorb hours
+            // of simulated traffic at the paper's store rates before the
+            // first resize.
+            storage: HashSet::with_capacity(64),
             alive: true,
             compromised: false,
             joined_at: now,
             bootstrap: None,
-            lookups: HashMap::new(),
+            lookups: LookupTable::new(),
         }
     }
 
@@ -77,9 +82,27 @@ impl KademliaNode {
     /// response body. The caller (network driver) has already verified the
     /// node is alive and recorded the requester in the routing table.
     pub fn handle_request(&mut self, kind: &RequestKind, k: usize) -> ResponseBody {
+        let mut buf = Vec::new();
+        self.handle_request_with(kind, k, &mut buf)
+    }
+
+    /// [`KademliaNode::handle_request`] with a caller-provided contact
+    /// buffer. When the response body carries contacts (FIND_NODE, or a
+    /// FIND_VALUE miss), the buffer is filled and *taken* into the body;
+    /// otherwise it is left untouched so the caller can recycle it — the
+    /// allocation-free path the simulator's buffer pool uses.
+    pub fn handle_request_with(
+        &mut self,
+        kind: &RequestKind,
+        k: usize,
+        buf: &mut Vec<Contact>,
+    ) -> ResponseBody {
         match kind {
             RequestKind::Ping => ResponseBody::Pong,
-            RequestKind::FindNode(target) => ResponseBody::Nodes(self.routing.closest(target, k)),
+            RequestKind::FindNode(target) => {
+                self.routing.closest_into(target, k, buf);
+                ResponseBody::Nodes(std::mem::take(buf))
+            }
             RequestKind::Store(key) => {
                 self.storage.insert(*key);
                 ResponseBody::StoreOk
@@ -97,9 +120,10 @@ impl KademliaNode {
                         nodes: Vec::new(),
                     }
                 } else {
+                    self.routing.closest_into(key, k, buf);
                     ResponseBody::Value {
                         found: false,
-                        nodes: self.routing.closest(key, k),
+                        nodes: std::mem::take(buf),
                     }
                 }
             }

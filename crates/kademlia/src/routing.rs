@@ -35,6 +35,12 @@ pub struct RoutingTable {
     own_id: NodeId,
     buckets: Vec<KBucket>,
     staleness_limit: u32,
+    /// Occupancy bitmap: bit `i` set iff bucket `i` is non-empty. Lets the
+    /// closest-contact scan step straight between occupied buckets instead
+    /// of walking up to `b` empty ones per query (converged lookups query
+    /// nodes close to the target, whose target-side buckets are deep and
+    /// overwhelmingly empty).
+    occupied: [u64; 3],
 }
 
 impl RoutingTable {
@@ -49,6 +55,35 @@ impl RoutingTable {
             own_id,
             buckets: (0..config.bits).map(|_| KBucket::new(config.k)).collect(),
             staleness_limit: config.staleness_limit,
+            occupied: [0; 3],
+        }
+    }
+
+    /// Re-derives bucket `i`'s occupancy bit after a mutation.
+    fn update_occupied(&mut self, i: usize) {
+        if self.buckets[i].is_empty() {
+            self.occupied[i >> 6] &= !(1u64 << (i & 63));
+        } else {
+            self.occupied[i >> 6] |= 1u64 << (i & 63);
+        }
+    }
+
+    /// The smallest occupied bucket index `>= from`, if any.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let mut w = from >> 6;
+        if w >= self.occupied.len() {
+            return None;
+        }
+        let mut bits = self.occupied[w] & (!0u64 << (from & 63));
+        loop {
+            if bits != 0 {
+                return Some((w << 6) + bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= self.occupied.len() {
+                return None;
+            }
+            bits = self.occupied[w];
         }
     }
 
@@ -74,7 +109,11 @@ impl RoutingTable {
     /// and reported as [`InsertOutcome::Full`].
     pub fn offer(&mut self, contact: Contact, now: SimTime) -> InsertOutcome {
         match self.bucket_index(&contact.id) {
-            Some(i) => self.buckets[i].offer(contact, now),
+            Some(i) => {
+                let outcome = self.buckets[i].offer(contact, now);
+                self.update_occupied(i);
+                outcome
+            }
             None => InsertOutcome::Full,
         }
     }
@@ -90,7 +129,13 @@ impl RoutingTable {
     /// staleness limit evicted the contact.
     pub fn record_failure(&mut self, id: &NodeId) -> bool {
         match self.bucket_index(id) {
-            Some(i) => self.buckets[i].record_failure(id, self.staleness_limit),
+            Some(i) => {
+                let evicted = self.buckets[i].record_failure(id, self.staleness_limit);
+                if evicted {
+                    self.update_occupied(i);
+                }
+                evicted
+            }
             None => false,
         }
     }
@@ -98,7 +143,13 @@ impl RoutingTable {
     /// Removes `id` outright (used when a node is told a contact is gone).
     pub fn remove(&mut self, id: &NodeId) -> bool {
         match self.bucket_index(id) {
-            Some(i) => self.buckets[i].remove(id),
+            Some(i) => {
+                let removed = self.buckets[i].remove(id);
+                if removed {
+                    self.update_occupied(i);
+                }
+                removed
+            }
             None => false,
         }
     }
@@ -116,13 +167,90 @@ impl RoutingTable {
     /// Hot path for the simulator (one call per FIND_NODE), so it selects
     /// the top `count` before sorting instead of sorting the whole table.
     pub fn closest(&self, target: &NodeId, count: usize) -> Vec<Contact> {
-        let mut all: Vec<Contact> = self.contacts().copied().collect();
-        if count < all.len() {
-            all.select_nth_unstable_by_key(count, |c| c.id.distance(target));
-            all.truncate(count);
-        }
-        all.sort_by_key(|c| c.id.distance(target));
+        let mut all = Vec::new();
+        self.closest_into(target, count, &mut all);
         all
+    }
+
+    /// [`RoutingTable::closest`] into a caller-provided buffer, clearing it
+    /// first — the allocation-free variant the simulator's event loop uses
+    /// with pooled scratch vectors. Selection and ordering are identical to
+    /// [`RoutingTable::closest`].
+    ///
+    /// Exploits the bucket structure instead of scanning the whole table:
+    /// with `t` the bucket `target` falls into, every contact in bucket `t`
+    /// is at distance `< 2^t` from the target, every contact in a bucket
+    /// below `t` is at distance in `[2^t, 2^(t+1))`, and every contact in a
+    /// bucket `j > t` is at distance in `[2^j, 2^(j+1))`. Those bands are
+    /// disjoint and ordered, so visiting bucket `t`, then all buckets below
+    /// `t` together, then buckets above `t` ascending — sorting within each
+    /// band — yields the globally sorted prefix and lets the scan stop as
+    /// soon as `count` contacts are in hand. In a converged overlay the
+    /// first band usually settles it: one bucket touched instead of the
+    /// whole table.
+    pub fn closest_into(&self, target: &NodeId, count: usize, out: &mut Vec<Contact>) {
+        out.clear();
+        if count == 0 {
+            return;
+        }
+        match self.bucket_index(target) {
+            Some(t) => {
+                out.extend(self.buckets[t].contacts().copied());
+                sort_by_distance(out, target);
+                out.truncate(count);
+                if out.len() < count {
+                    // All buckets below `t` form ONE distance band, so
+                    // they must be collected before ranking — but dumping
+                    // the lot would grow `out` to the table size and
+                    // ratchet pooled buffers' capacities forever. Pruning
+                    // the sorted region to the best `need` seen so far
+                    // between buckets keeps `out` bounded by
+                    // `count + bucket-capacity` without changing the
+                    // band's final top-`need`: XOR distances to a fixed
+                    // target are pairwise distinct, so anything pruned
+                    // was strictly beaten by `need` closer contacts.
+                    let start = out.len();
+                    let need = count - start;
+                    let mut next = self.next_occupied(0);
+                    while let Some(i) = next.filter(|&i| i < t) {
+                        out.extend(self.buckets[i].contacts().copied());
+                        if out.len() - start > need {
+                            sort_by_distance(&mut out[start..], target);
+                            out.truncate(start + need);
+                        }
+                        next = self.next_occupied(i + 1);
+                    }
+                    sort_by_distance(&mut out[start..], target);
+                }
+                let mut next = self.next_occupied(t + 1);
+                while let Some(i) = next {
+                    if out.len() >= count {
+                        break;
+                    }
+                    let start = out.len();
+                    out.extend(self.buckets[i].contacts().copied());
+                    sort_by_distance(&mut out[start..], target);
+                    out.truncate(count);
+                    next = self.next_occupied(i + 1);
+                }
+            }
+            None => {
+                // Target is the owner itself: bucket order *is* distance
+                // order.
+                let mut next = self.next_occupied(0);
+                while let Some(i) = next {
+                    if out.len() >= count {
+                        break;
+                    }
+                    let start = out.len();
+                    out.extend(self.buckets[i].contacts().copied());
+                    sort_by_distance(&mut out[start..], target);
+                    out.truncate(count);
+                    next = self.next_occupied(i + 1);
+                }
+            }
+        }
+        out.truncate(count);
     }
 
     /// Iterates all stored contacts (bucket order, LRS first within each).
@@ -149,6 +277,34 @@ impl RoutingTable {
     pub fn random_id_in_bucket<R: Rng + ?Sized>(&self, rng: &mut R, i: usize) -> NodeId {
         self.own_id
             .random_in_bucket(rng, i, self.buckets.len() as u16)
+    }
+}
+
+/// Sorts contacts ascending by XOR distance to `target`, computing each
+/// distance exactly once. `sort_by_key` re-derives the 20-byte key on every
+/// comparison — measurably the hottest instruction stream in the simulator —
+/// so small bands are staged with cached keys on the stack. Bands larger
+/// than the stage (only the merged below-`t` band can be) fall back to the
+/// recomputing sort. Distance ties cannot occur (XOR injectivity), so
+/// unstable sorting is deterministic.
+fn sort_by_distance(band: &mut [Contact], target: &NodeId) {
+    const STAGE: usize = 24;
+    if band.len() <= 1 {
+        return;
+    }
+    if band.len() <= STAGE {
+        let first = (band[0].id.distance(target), band[0]);
+        let mut keyed = [first; STAGE];
+        for (slot, c) in keyed[1..].iter_mut().zip(&band[1..]) {
+            *slot = (c.id.distance(target), *c);
+        }
+        let keyed = &mut keyed[..band.len()];
+        keyed.sort_unstable_by_key(|k| k.0);
+        for (dst, (_, c)) in band.iter_mut().zip(keyed.iter()) {
+            *dst = *c;
+        }
+    } else {
+        band.sort_by_key(|c| c.id.distance(target));
     }
 }
 
@@ -251,6 +407,35 @@ mod tests {
         for i in [0usize, 3, 9, 15] {
             let id = t.random_id_in_bucket(&mut rng, i);
             assert_eq!(t.bucket_index(&id), Some(i));
+        }
+    }
+
+    #[test]
+    fn banded_closest_matches_full_table_sort() {
+        // The band-ordered bucket traversal must return exactly what a
+        // naive sort of the entire table returns — for targets in every
+        // band position, including the owner itself.
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let own = NodeId::random(&mut rng, 16);
+            let mut t = RoutingTable::new(own, &config(16, 4));
+            for _ in 0..120 {
+                let id = NodeId::random(&mut rng, 16);
+                t.offer(Contact::new(id, NodeAddr(0)), SimTime::ZERO);
+            }
+            for target in [own, NodeId::random(&mut rng, 16), NodeId::ZERO] {
+                for count in [1usize, 3, 7, 20, 1000] {
+                    let mut naive: Vec<Contact> = t.contacts().copied().collect();
+                    naive.sort_by_key(|c| c.id.distance(&target));
+                    naive.truncate(count);
+                    let got = t.closest(&target, count);
+                    assert_eq!(
+                        got.iter().map(|c| c.id).collect::<Vec<_>>(),
+                        naive.iter().map(|c| c.id).collect::<Vec<_>>(),
+                        "banded traversal diverged (count {count})"
+                    );
+                }
+            }
         }
     }
 

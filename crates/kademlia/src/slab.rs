@@ -1,0 +1,8 @@
+//! Generation-indexed slab storage (re-exported from `dessim`).
+//!
+//! The slab started life here as the allocation-free replacement for the
+//! `HashMap<RpcId, PendingRpc>` side table; the implementation now lives
+//! in [`dessim::slab`] so the event queue can share it for its payload
+//! store. This module keeps the original path alive for callers.
+
+pub use dessim::slab::GenSlab;

@@ -163,7 +163,7 @@ proptest! {
             NodeId::from_u64(0, 32),
             LookupPurpose::Locate,
             own,
-            seeds.iter().map(|&v| contact(v, 32)).collect(),
+            &seeds.iter().map(|&v| contact(v, 32)).collect::<Vec<_>>(),
             &config,
         );
         let mut queried = Vec::new();
@@ -172,7 +172,7 @@ proptest! {
         for (v, success) in events {
             let id = NodeId::from_u64(v, 32);
             if success {
-                state.on_response(&id, vec![contact(v.wrapping_mul(7) % 4999 + 1, 32)]);
+                state.on_response(&id, &[contact(v.wrapping_mul(7) % 4999 + 1, 32)]);
             } else {
                 state.on_failure(&id);
             }
